@@ -1,0 +1,197 @@
+package fam
+
+// This file hosts one benchmark per paper artifact (every table and figure
+// of the evaluation section, see DESIGN.md §3) plus the A1–A5 ablations
+// and micro-benchmarks of the core kernels. The experiment benchmarks run
+// the corresponding internal/experiments runner at bench scale; use
+// cmd/famexp for small/paper-scale sweeps with rendered tables.
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"github.com/regretlab/fam/internal/core"
+	"github.com/regretlab/fam/internal/dataset"
+	"github.com/regretlab/fam/internal/experiments"
+	"github.com/regretlab/fam/internal/geom"
+	"github.com/regretlab/fam/internal/rng"
+	"github.com/regretlab/fam/internal/sampling"
+	"github.com/regretlab/fam/internal/skyline"
+	"github.com/regretlab/fam/internal/utility"
+)
+
+// benchExperiment runs a registered experiment once per iteration.
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	cfg := experiments.Config{Scale: experiments.ScaleBench, Seed: 1}
+	ctx := context.Background()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Run(ctx, id, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Paper artifacts (Section V and Appendix B).
+
+func BenchmarkTableII(b *testing.B) { benchExperiment(b, "table2") }
+func BenchmarkTableV(b *testing.B)  { benchExperiment(b, "table5") }
+func BenchmarkFig1(b *testing.B)    { benchExperiment(b, "fig1") }
+func BenchmarkFig2(b *testing.B)    { benchExperiment(b, "fig2") }
+func BenchmarkFig3(b *testing.B)    { benchExperiment(b, "fig3") }
+func BenchmarkFig4(b *testing.B)    { benchExperiment(b, "fig4") }
+func BenchmarkFig5(b *testing.B)    { benchExperiment(b, "fig5") }
+func BenchmarkFig6(b *testing.B)    { benchExperiment(b, "fig6") }
+func BenchmarkFig7(b *testing.B)    { benchExperiment(b, "fig7") }
+func BenchmarkFig8(b *testing.B)    { benchExperiment(b, "fig8") }
+func BenchmarkFig9(b *testing.B)    { benchExperiment(b, "fig9") }
+func BenchmarkFig10(b *testing.B)   { benchExperiment(b, "fig10") }
+func BenchmarkFig11(b *testing.B)   { benchExperiment(b, "fig11") }
+func BenchmarkFig12(b *testing.B)   { benchExperiment(b, "fig12") }
+
+// Ablations (design choices called out in DESIGN.md).
+
+func BenchmarkAblationShrinkStrategies(b *testing.B) { benchExperiment(b, "ablation1") }
+func BenchmarkAblationLazyCounters(b *testing.B)     { benchExperiment(b, "ablation2") }
+func BenchmarkAblationIntegration(b *testing.B)      { benchExperiment(b, "ablation3") }
+func BenchmarkAblationSkyline(b *testing.B)          { benchExperiment(b, "ablation4") }
+func BenchmarkAblationMRR(b *testing.B)              { benchExperiment(b, "ablation5") }
+func BenchmarkAblationAddVsShrink(b *testing.B)      { benchExperiment(b, "ablation6") }
+
+// Micro-benchmarks of the core kernels.
+
+func benchInstance(b *testing.B, n, d, N int) *core.Instance {
+	b.Helper()
+	g := rng.New(7)
+	pts := make([][]float64, n)
+	for i := range pts {
+		p := make([]float64, d)
+		g.UniformVec(p)
+		pts[i] = p
+	}
+	dist, err := utility.NewUniformSimplexLinear(d)
+	if err != nil {
+		b.Fatal(err)
+	}
+	funcs, err := sampling.Sample(dist, N, g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	in, err := core.NewInstance(pts, funcs, core.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return in
+}
+
+func BenchmarkGreedyShrinkDelta(b *testing.B) {
+	for _, size := range []struct{ n, N int }{{200, 1000}, {1000, 2000}} {
+		b.Run(fmt.Sprintf("n=%d/N=%d", size.n, size.N), func(b *testing.B) {
+			in := benchInstance(b, size.n, 6, size.N)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := core.GreedyShrink(context.Background(), in, 10, core.StrategyDelta); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkGreedyShrinkLazy(b *testing.B) {
+	in := benchInstance(b, 200, 6, 1000)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := core.GreedyShrink(context.Background(), in, 10, core.StrategyLazy); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGreedyShrinkNaive(b *testing.B) {
+	in := benchInstance(b, 200, 6, 1000)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := core.GreedyShrink(context.Background(), in, 10, core.StrategyNaive); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGreedyAdd(b *testing.B) {
+	in := benchInstance(b, 1000, 6, 2000)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := core.GreedyAdd(context.Background(), in, 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkARREvaluation(b *testing.B) {
+	in := benchInstance(b, 1000, 6, 2000)
+	set := []int{1, 50, 200, 500, 900}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := in.ARR(set); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSkylineCompute(b *testing.B) {
+	for _, corr := range []dataset.Correlation{dataset.Independent, dataset.Anticorrelated} {
+		b.Run(corr.String(), func(b *testing.B) {
+			ds, err := dataset.Synthetic(5000, 6, corr, 3)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := skyline.Compute(ds.Points); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkRegretIntegralClosedForm(b *testing.B) {
+	sel := []float64{0.3, 0.4}
+	best := []float64{0.8, 0.9}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		geom.RegretIntegral(sel, best, 0.1, 3.5)
+	}
+}
+
+func BenchmarkRegretIntegralSimpson(b *testing.B) {
+	sel := []float64{0.3, 0.4}
+	best := []float64{0.8, 0.9}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		geom.RegretIntegralSimpson(sel, best, 0.1, 3.5)
+	}
+}
+
+func BenchmarkSelectEndToEnd(b *testing.B) {
+	ds, err := Hotels(500, 5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dist, err := UniformLinear(ds.Dim())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Select(context.Background(), ds, dist, SelectOptions{K: 8, Seed: 1, SampleSize: 2000}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

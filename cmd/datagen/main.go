@@ -1,0 +1,89 @@
+// Command datagen writes the repository's generated datasets to CSV so
+// they can be inspected, versioned, or fed back through famcli -data.
+//
+// Usage:
+//
+//	datagen -kind hotels -n 500 -o hotels.csv
+//	datagen -kind synthetic -n 10000 -d 6 -corr anticorrelated -o anti.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	fam "github.com/regretlab/fam"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "datagen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("datagen", flag.ContinueOnError)
+	var (
+		kind = fs.String("kind", "synthetic", "synthetic|nba|nba22|household|forestcover|uscensus|hotels")
+		n    = fs.Int("n", 1000, "number of points")
+		d    = fs.Int("d", 6, "synthetic dimensionality")
+		corr = fs.String("corr", "independent", "synthetic correlation: independent|correlated|anticorrelated")
+		seed = fs.Uint64("seed", 1, "random seed")
+		out  = fs.String("o", "", "output path (default stdout)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var (
+		ds  *fam.Dataset
+		err error
+	)
+	switch strings.ToLower(*kind) {
+	case "synthetic":
+		var c fam.Correlation
+		switch strings.ToLower(*corr) {
+		case "independent":
+			c = fam.Independent
+		case "correlated":
+			c = fam.Correlated
+		case "anticorrelated":
+			c = fam.Anticorrelated
+		case "spherical":
+			c = fam.Spherical
+		default:
+			return fmt.Errorf("unknown correlation %q", *corr)
+		}
+		ds, err = fam.Synthetic(*n, *d, c, *seed)
+	case "nba":
+		ds, err = fam.SimulatedNBA(*n, *seed)
+	case "nba22":
+		ds, err = fam.SimulatedNBA22(*n, *seed)
+	case "household":
+		ds, err = fam.SimulatedHousehold(*n, *seed)
+	case "forestcover":
+		ds, err = fam.SimulatedForestCover(*n, *seed)
+	case "uscensus":
+		ds, err = fam.SimulatedUSCensus(*n, *seed)
+	case "hotels":
+		ds, err = fam.Hotels(*n, *seed)
+	default:
+		return fmt.Errorf("unknown kind %q", *kind)
+	}
+	if err != nil {
+		return err
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	return fam.SaveCSV(w, ds)
+}

@@ -1,0 +1,71 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	fam "github.com/regretlab/fam"
+)
+
+func TestRunWritesCSV(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.csv")
+	if err := run([]string{"-kind", "hotels", "-n", "20", "-o", path}); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	ds, err := fam.LoadCSV(f, "roundtrip")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.N() != 20 || ds.Dim() != 5 {
+		t.Fatalf("dataset shape %dx%d", ds.N(), ds.Dim())
+	}
+	if !strings.HasPrefix(ds.Labels[0], "hotel-") {
+		t.Fatalf("labels missing: %v", ds.Labels[0])
+	}
+}
+
+func TestRunAllKinds(t *testing.T) {
+	dir := t.TempDir()
+	kinds := []string{"synthetic", "nba", "nba22", "household", "forestcover", "uscensus", "hotels"}
+	for _, kind := range kinds {
+		path := filepath.Join(dir, kind+".csv")
+		if err := run([]string{"-kind", kind, "-n", "15", "-o", path}); err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		info, err := os.Stat(path)
+		if err != nil || info.Size() == 0 {
+			t.Fatalf("%s: empty output (%v)", kind, err)
+		}
+	}
+}
+
+func TestRunCorrelations(t *testing.T) {
+	dir := t.TempDir()
+	for _, corr := range []string{"independent", "correlated", "anticorrelated", "spherical"} {
+		path := filepath.Join(dir, corr+".csv")
+		if err := run([]string{"-kind", "synthetic", "-n", "10", "-d", "3", "-corr", corr, "-o", path}); err != nil {
+			t.Fatalf("%s: %v", corr, err)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := [][]string{
+		{"-kind", "unknown"},
+		{"-kind", "synthetic", "-corr", "diagonal"},
+		{"-kind", "hotels", "-n", "0"},
+		{"-kind", "hotels", "-o", "/nonexistent-dir/x.csv"},
+	}
+	for i, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("case %d (%v) should error", i, args)
+		}
+	}
+}

@@ -1,0 +1,80 @@
+// Command famexp regenerates the paper's tables and figures (and this
+// repository's ablation studies) as text tables.
+//
+// Usage:
+//
+//	famexp -list
+//	famexp -exp fig1
+//	famexp -exp all -scale small
+//	famexp -exp fig7 -scale paper      # paper-size sweep; slow
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/regretlab/fam/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "famexp:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("famexp", flag.ContinueOnError)
+	var (
+		exp   = fs.String("exp", "", "experiment id (see -list), or 'all'")
+		scale = fs.String("scale", "small", "bench|small|paper")
+		seed  = fs.Uint64("seed", 1, "random seed")
+		list  = fs.Bool("list", false, "list experiments and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *list {
+		for _, r := range experiments.All() {
+			fmt.Printf("%-10s %s\n", r.ID, r.Description)
+		}
+		return nil
+	}
+	if *exp == "" {
+		return fmt.Errorf("-exp is required (or -list)")
+	}
+	sc, err := experiments.ParseScale(*scale)
+	if err != nil {
+		return err
+	}
+	cfg := experiments.Config{Scale: sc, Seed: *seed}
+	ctx := context.Background()
+
+	runners := experiments.All()
+	if *exp != "all" {
+		r, ok := experiments.Lookup(*exp)
+		if !ok {
+			return fmt.Errorf("unknown experiment %q; try -list", *exp)
+		}
+		runners = []experiments.Runner{r}
+	}
+	for _, r := range runners {
+		fmt.Printf("# %s — %s\n", r.ID, r.Description)
+		start := time.Now()
+		tables, err := r.Run(ctx, cfg)
+		if err != nil {
+			return fmt.Errorf("%s: %w", r.ID, err)
+		}
+		for _, t := range tables {
+			if err := t.Render(os.Stdout); err != nil {
+				return err
+			}
+			fmt.Println()
+		}
+		fmt.Printf("(%s completed in %v)\n\n", r.ID, time.Since(start).Round(time.Millisecond))
+	}
+	return nil
+}

@@ -1,0 +1,30 @@
+package main
+
+import (
+	"testing"
+)
+
+func TestRunList(t *testing.T) {
+	if err := run([]string{"-list"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunSingleExperiment(t *testing.T) {
+	if err := run([]string{"-exp", "table5", "-scale", "bench"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := [][]string{
+		{},                                    // missing -exp
+		{"-exp", "unknown-id"},                // unknown experiment
+		{"-exp", "table5", "-scale", "giant"}, // bad scale
+	}
+	for i, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("case %d (%v) should error", i, args)
+		}
+	}
+}

@@ -1,0 +1,174 @@
+package fam
+
+import (
+	"io"
+
+	"github.com/regretlab/fam/internal/dataset"
+	"github.com/regretlab/fam/internal/gmm"
+	"github.com/regretlab/fam/internal/mf"
+	"github.com/regretlab/fam/internal/rng"
+	"github.com/regretlab/fam/internal/utility"
+)
+
+// Correlation selects the attribute dependence of Synthetic datasets.
+type Correlation = dataset.Correlation
+
+// Synthetic data families in the style of the skyline-operator generator,
+// plus the spherical (convex-front) variant from the regret literature.
+const (
+	Independent    = dataset.Independent
+	Correlated     = dataset.Correlated
+	Anticorrelated = dataset.Anticorrelated
+	Spherical      = dataset.Spherical
+)
+
+// Synthetic generates n points of dimension d with the given correlation
+// structure.
+func Synthetic(n, d int, corr Correlation, seed uint64) (*Dataset, error) {
+	return dataset.Synthetic(n, d, corr, seed)
+}
+
+// Hotels generates the hotel-booking scenario dataset of the paper's
+// introduction.
+func Hotels(n int, seed uint64) (*Dataset, error) { return dataset.Hotels(n, seed) }
+
+// SimulatedNBA generates the 15-attribute NBA-style stand-in dataset.
+func SimulatedNBA(n int, seed uint64) (*Dataset, error) { return dataset.SimulatedNBA(n, seed) }
+
+// SimulatedNBA22 generates the 22-attribute NBA stand-in used by the
+// Table II experiment.
+func SimulatedNBA22(n int, seed uint64) (*Dataset, error) { return dataset.SimulatedNBA22(n, seed) }
+
+// SimulatedHousehold generates the 6-attribute household stand-in.
+func SimulatedHousehold(n int, seed uint64) (*Dataset, error) {
+	return dataset.SimulatedHousehold(n, seed)
+}
+
+// SimulatedForestCover generates the 11-attribute Forest-Cover stand-in.
+func SimulatedForestCover(n int, seed uint64) (*Dataset, error) {
+	return dataset.SimulatedForestCover(n, seed)
+}
+
+// SimulatedUSCensus generates the 10-attribute US-Census stand-in.
+func SimulatedUSCensus(n int, seed uint64) (*Dataset, error) {
+	return dataset.SimulatedUSCensus(n, seed)
+}
+
+// LoadCSV parses a dataset from CSV (header row required; a leading
+// "label" column becomes row labels).
+func LoadCSV(r io.Reader, name string) (*Dataset, error) { return dataset.ReadCSV(r, name) }
+
+// SaveCSV writes the dataset as CSV with a header row.
+func SaveCSV(w io.Writer, ds *Dataset) error { return dataset.WriteCSV(w, ds) }
+
+// UniformLinear returns Θ with linear utilities whose weights are uniform
+// on the probability simplex — the standard model when nothing is known
+// about users.
+func UniformLinear(d int) (Distribution, error) { return utility.NewUniformSimplexLinear(d) }
+
+// UniformBoxLinear returns Θ with linear utilities whose weights are
+// uniform on [0,1]^d — the measure the 2-d dynamic program optimizes
+// exactly.
+func UniformBoxLinear(d int) (Distribution, error) { return utility.NewUniformBoxLinear(d) }
+
+// CESUniform returns Θ with concave CES utilities (rho in (0,1]) and
+// simplex-uniform weights — a non-linear monotone preference model.
+func CESUniform(d int, rho float64) (Distribution, error) { return utility.NewCESUniform(d, rho) }
+
+// TableUsers returns a discrete Θ over explicit per-point utility vectors
+// with the given probabilities (the countable-F case of the paper's
+// Appendix A). monotone declares whether the tables respect dominance.
+func TableUsers(tables [][]float64, probs []float64, monotone bool) (Distribution, error) {
+	funcs := make([]UtilityFunc, len(tables))
+	for i, tu := range tables {
+		funcs[i] = utility.Table{U: tu}
+	}
+	return utility.NewDiscrete(funcs, probs, monotone)
+}
+
+// RatingsPipeline holds the artifacts of the Yahoo!-style learning
+// pipeline: the matrix-factorization model, the latent-space dataset whose
+// points are items, and the learned non-uniform distribution Θ over
+// latent-linear utility functions.
+type RatingsPipeline struct {
+	Model     *mf.Model
+	Mixture   *gmm.Model
+	Items     *Dataset
+	Dist      Distribution
+	TrainRMSE float64
+}
+
+// Rating is one (user, item, score) observation.
+type Rating = dataset.Rating
+
+// RatingsPipelineConfig configures LearnDistribution.
+type RatingsPipelineConfig struct {
+	NumUsers   int
+	NumItems   int
+	Rank       int // latent dimensionality of the factorization
+	Components int // GMM components; 0 means the paper's 5
+	Epochs     int // SGD epochs; 0 means a default of 60
+	Seed       uint64
+}
+
+// LearnDistribution runs the Section V-B2 pipeline on a sparse ratings
+// matrix: matrix factorization completes the matrix, a Gaussian mixture is
+// fitted over the user latent vectors, and the returned dataset/Θ pair
+// poses FAM in the latent item space, where each sampled user is a linear
+// functional drawn from the mixture.
+func LearnDistribution(ratings []Rating, cfg RatingsPipelineConfig) (*RatingsPipeline, error) {
+	data := &dataset.RatingsData{
+		NumUsers: cfg.NumUsers,
+		NumItems: cfg.NumItems,
+		Ratings:  ratings,
+	}
+	mfCfg := mf.DefaultConfig(cfg.Rank)
+	if cfg.Epochs > 0 {
+		mfCfg.Epochs = cfg.Epochs
+	}
+	mfCfg.Seed = cfg.Seed
+	model, err := mf.Train(data, mfCfg)
+	if err != nil {
+		return nil, err
+	}
+	rmse, err := model.RMSE(ratings)
+	if err != nil {
+		return nil, err
+	}
+
+	gmmCfg := gmm.DefaultConfig()
+	if cfg.Components > 0 {
+		gmmCfg.Components = cfg.Components
+	}
+	gmmCfg.Seed = cfg.Seed + 1
+	mixture, err := gmm.Fit(model.UserVectors(), gmmCfg)
+	if err != nil {
+		return nil, err
+	}
+
+	itemPts := model.ItemPoints()
+	items := &Dataset{Name: "latent-items", Points: itemPts}
+	dist, err := utility.NewLatentLinear(latentSampler{m: mixture}, 0)
+	if err != nil {
+		return nil, err
+	}
+	return &RatingsPipeline{
+		Model:     model,
+		Mixture:   mixture,
+		Items:     items,
+		Dist:      dist,
+		TrainRMSE: rmse,
+	}, nil
+}
+
+// latentSampler adapts GMM samples (user latent vectors) to the weight
+// layout of the latent item points.
+type latentSampler struct {
+	m *gmm.Model
+}
+
+func (s latentSampler) SampleVector(g *rng.RNG) []float64 {
+	return mf.WeightVector(s.m.SampleVector(g))
+}
+
+func (s latentSampler) VectorDim() int { return s.m.VectorDim() + 1 }

@@ -1,0 +1,84 @@
+// Command nba mirrors the paper's Section V-A study (Table II): from a
+// 664-player, 22-statistic NBA-style dataset, build the three 5-player
+// sets chosen by average regret ratio (GREEDY-SHRINK), maximum regret
+// ratio (MRR-GREEDY) and the k-hit query, then compare them on the metrics
+// a fan would care about: how well each set covers users with different
+// tastes, and how the sets overlap. (The paper's human-survey and
+// jersey-sales columns require real-world data and are documented as out
+// of scope in EXPERIMENTS.md.)
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	fam "github.com/regretlab/fam"
+)
+
+func main() {
+	ctx := context.Background()
+	players, err := fam.SimulatedNBA22(664, 2016)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dist, err := fam.UniformLinear(players.Dim())
+	if err != nil {
+		log.Fatal(err)
+	}
+	const k = 5
+	opts := func(a fam.Algorithm) fam.SelectOptions {
+		return fam.SelectOptions{K: k, Seed: 3, SampleSize: 10000, Algorithm: a}
+	}
+
+	sArr, err := fam.Select(ctx, players, dist, opts(fam.GreedyShrink))
+	if err != nil {
+		log.Fatal(err)
+	}
+	sMrr, err := fam.Select(ctx, players, dist, opts(fam.MRRGreedy))
+	if err != nil {
+		log.Fatal(err)
+	}
+	sHit, err := fam.Select(ctx, players, dist, opts(fam.KHit))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("Three 5-player sets (structure of the paper's Table II):")
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 3, ' ', 0)
+	fmt.Fprintln(w, "S_arr (avg regret)\tS_mrr (max regret)\tS_k-hit")
+	for i := 0; i < k; i++ {
+		fmt.Fprintf(w, "%s\t%s\t%s\n", sArr.Labels[i], sMrr.Labels[i], sHit.Labels[i])
+	}
+	w.Flush()
+
+	overlap := func(a, b []int) int {
+		in := map[int]bool{}
+		for _, x := range a {
+			in[x] = true
+		}
+		c := 0
+		for _, x := range b {
+			if in[x] {
+				c++
+			}
+		}
+		return c
+	}
+	fmt.Printf("\nSet overlaps: |S_arr ∩ S_k-hit| = %d, |S_arr ∩ S_mrr| = %d (the paper observes the arr and k-hit sets nearly coincide while mrr diverges)\n",
+		overlap(sArr.Indices, sHit.Indices), overlap(sArr.Indices, sMrr.Indices))
+
+	fmt.Println("\nHow each set serves the fan population:")
+	w = tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "set\tavg regret\tstd dev\trr@99%\tmax rr")
+	for _, row := range []struct {
+		name string
+		res  *fam.Result
+	}{{"S_arr", sArr}, {"S_mrr", sMrr}, {"S_k-hit", sHit}} {
+		m := row.res.Metrics
+		fmt.Fprintf(w, "%s\t%.4f\t%.4f\t%.4f\t%.4f\n", row.name, m.ARR, m.StdDev, m.Percentiles[4], m.MaxRR)
+	}
+	w.Flush()
+}

@@ -1,0 +1,55 @@
+// Command quickstart is the smallest end-to-end use of the fam library:
+// generate a hotel catalogue, assume nothing about users (uniform linear
+// preferences), and pick the 5 hotels that minimize the average regret
+// ratio of a random visitor.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	fam "github.com/regretlab/fam"
+)
+
+func main() {
+	ctx := context.Background()
+
+	// A catalogue of 200 hotels scored on value, rating, location,
+	// amenities and quietness (all larger-is-better, normalized to [0,1]).
+	hotels, err := fam.Hotels(200, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// No information about users: linear utilities with weights uniform on
+	// the simplex.
+	dist, err := fam.UniformLinear(hotels.Dim())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Pick 5 hotels with GREEDY-SHRINK (the default algorithm). Epsilon
+	// and Sigma control the sampling bound of Theorem 4.
+	res, err := fam.Select(ctx, hotels, dist, fam.SelectOptions{
+		K:       5,
+		Epsilon: 0.05,
+		Sigma:   0.1,
+		Seed:    1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("The 5 hotels to show a user we know nothing about:")
+	for i, idx := range res.Indices {
+		p := hotels.Points[idx]
+		fmt.Printf("  %d. %-10s  value=%.2f rating=%.2f location=%.2f amenities=%.2f quiet=%.2f\n",
+			i+1, res.Labels[i], p[0], p[1], p[2], p[3], p[4])
+	}
+	fmt.Printf("\nAverage regret ratio: %.4f (a random user's best shown hotel is within %.1f%% of their true favorite)\n",
+		res.Metrics.ARR, 100*res.Metrics.ARR)
+	fmt.Printf("99%% of users have regret ratio at most %.4f\n", res.Metrics.Percentiles[4])
+	fmt.Printf("Skyline preprocessing reduced %d hotels to %d candidates; query took %v\n",
+		hotels.N(), res.SkylineSize, res.Query)
+}

@@ -1,0 +1,62 @@
+// Command twodim demonstrates the exact 2-d machinery of the paper's
+// Section IV: on a two-attribute catalogue (think price-value vs quality),
+// the dynamic program computes the provably optimal selection under linear
+// preferences with weights uniform on [0,1]², and GREEDY-SHRINK is
+// measured against that ground truth — the study of the paper's Figure 1.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	fam "github.com/regretlab/fam"
+)
+
+func main() {
+	ctx := context.Background()
+
+	// A catalogue with a genuine trade-off frontier (spherical
+	// anticorrelation): being great on one attribute costs the other.
+	ds, err := fam.Synthetic(5000, 2, fam.Spherical, 9)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dist, err := fam.UniformBoxLinear(2)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("Exact optimum (DP) vs GREEDY-SHRINK on a 2-d trade-off catalogue")
+	fmt.Printf("n = %d points, Θ = linear with weights uniform on [0,1]²\n\n", ds.N())
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "k\tDP exact arr\tGS sampled arr\tGS/opt\tDP time\tGS time")
+	for _, k := range []int{1, 2, 3, 4, 5, 6, 7} {
+		dp, err := fam.Select(ctx, ds, dist, fam.SelectOptions{
+			K: k, Seed: 1, Algorithm: fam.DP2D, SampleSize: 20000,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		gs, err := fam.Select(ctx, ds, dist, fam.SelectOptions{
+			K: k, Seed: 1, SampleSize: 20000,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		ratio := 1.0
+		if dp.ExactARR > 1e-12 {
+			ratio = gs.Metrics.ARR / dp.ExactARR
+		}
+		fmt.Fprintf(w, "%d\t%.5f\t%.5f\t%.2f\t%v\t%v\n",
+			k, dp.ExactARR, gs.Metrics.ARR, ratio, dp.Query, gs.Query)
+	}
+	w.Flush()
+
+	fmt.Println("\nThe DP value is exact (closed-form integration over the weight")
+	fmt.Println("square); GREEDY-SHRINK's value is a Monte-Carlo estimate, so a")
+	fmt.Println("ratio slightly below 1 reflects sampling error, not a better set.")
+}

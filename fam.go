@@ -1,0 +1,108 @@
+// Package fam is a library for computing average-regret-ratio minimizing
+// sets in databases, reproducing "Finding Average Regret Ratio Minimizing
+// Set in Database" (Zeighami & Wong, ICDE 2019).
+//
+// Given a database of points, a distribution Θ over user utility
+// functions, and a budget k, fam selects the k points that minimize the
+// expected regret ratio of a random user — how much worse their best
+// selected point is than their best database point, in relative terms.
+//
+// The primary algorithm is GREEDY-SHRINK (supermodular greedy removal with
+// the paper's best-point-caching and lazy-evaluation improvements); an
+// exact dynamic program is available for 2-d databases under uniform
+// linear preferences, a brute-force solver for small instances, and three
+// baselines from the literature (MRR-GREEDY, SKY-DOM, K-HIT) for
+// comparison studies.
+//
+// Basic usage:
+//
+//	ds, _ := fam.Hotels(200, 1)
+//	dist, _ := fam.UniformLinear(ds.Dim())
+//	res, err := fam.Select(ctx, ds, dist, fam.SelectOptions{K: 5, Seed: 7})
+//	// res.Indices are the chosen rows; res.Metrics.ARR their average
+//	// regret ratio.
+package fam
+
+import (
+	"github.com/regretlab/fam/internal/core"
+	"github.com/regretlab/fam/internal/dataset"
+	"github.com/regretlab/fam/internal/utility"
+)
+
+// Dataset is a named point set with optional attribute and row labels.
+// Larger attribute values are better.
+type Dataset = dataset.Dataset
+
+// Distribution is a probability distribution Θ over utility functions.
+type Distribution = utility.Distribution
+
+// UtilityFunc scores database points for one user.
+type UtilityFunc = utility.Func
+
+// Metrics bundles the quality statistics of a selection: average regret
+// ratio, its variance/standard deviation and percentile curve, the sampled
+// maximum regret ratio, and the degenerate-user count.
+type Metrics = core.Metrics
+
+// ShrinkStats reports the work GREEDY-SHRINK performed (iterations,
+// evaluations, lazy skips, user rescans).
+type ShrinkStats = core.ShrinkStats
+
+// Algorithm selects the solver used by Select.
+type Algorithm int
+
+const (
+	// GreedyShrink is the paper's algorithm with the fastest evaluation
+	// strategy (delta). The default.
+	GreedyShrink Algorithm = iota
+	// GreedyShrinkLazy is GREEDY-SHRINK with the paper-faithful lazy
+	// evaluation (Improvements 1 and 2).
+	GreedyShrinkLazy
+	// GreedyShrinkNaive recomputes every candidate from scratch; the
+	// reference implementation for tests and ablations.
+	GreedyShrinkNaive
+	// DP2D is the exact dynamic program for 2-d databases under linear
+	// utilities with weights uniform on [0,1]².
+	DP2D
+	// BruteForce enumerates all subsets; exact on the sampled objective,
+	// only feasible for small instances.
+	BruteForce
+	// MRRGreedy is the max-regret-ratio greedy baseline (LP-exact for
+	// monotone linear distributions, sampled otherwise).
+	MRRGreedy
+	// SkyDom is the dominance-maximizing representative skyline baseline.
+	SkyDom
+	// KHit is the favorite-point-probability baseline.
+	KHit
+	// GreedyAdd is the insertion-based greedy (the lineage of the authors'
+	// SIGMOD 2016 poster): grow the set by the point that lowers arr the
+	// most, with lazy-greedy acceleration. Faster than GreedyShrink when
+	// k ≪ n, without Theorem 3's removal-side guarantee.
+	GreedyAdd
+)
+
+// String returns the algorithm's short name as used in experiment tables.
+func (a Algorithm) String() string {
+	switch a {
+	case GreedyShrink:
+		return "greedy-shrink"
+	case GreedyShrinkLazy:
+		return "greedy-shrink-lazy"
+	case GreedyShrinkNaive:
+		return "greedy-shrink-naive"
+	case DP2D:
+		return "dp"
+	case BruteForce:
+		return "brute-force"
+	case MRRGreedy:
+		return "mrr-greedy"
+	case SkyDom:
+		return "sky-dom"
+	case KHit:
+		return "k-hit"
+	case GreedyAdd:
+		return "greedy-add"
+	default:
+		return "unknown"
+	}
+}

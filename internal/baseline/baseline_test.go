@@ -1,0 +1,484 @@
+package baseline
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"github.com/regretlab/fam/internal/core"
+	"github.com/regretlab/fam/internal/geom"
+	"github.com/regretlab/fam/internal/rng"
+	"github.com/regretlab/fam/internal/sampling"
+	"github.com/regretlab/fam/internal/utility"
+)
+
+func randPoints(g *rng.RNG, n, d int) [][]float64 {
+	pts := make([][]float64, n)
+	for i := range pts {
+		p := make([]float64, d)
+		g.UniformVec(p)
+		pts[i] = p
+	}
+	return pts
+}
+
+func linearInstance(t *testing.T, pts [][]float64, N int, seed uint64) *core.Instance {
+	t.Helper()
+	dist, err := utility.NewUniformSimplexLinear(len(pts[0]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	funcs, err := sampling.Sample(dist, N, rng.New(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := core.NewInstance(pts, funcs, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
+
+func TestMRRGreedyLPValidation(t *testing.T) {
+	ctx := context.Background()
+	pts := [][]float64{{1, 0}, {0, 1}}
+	if _, err := MRRGreedyLP(ctx, nil, 1); err == nil {
+		t.Fatal("empty points must error")
+	}
+	if _, err := MRRGreedyLP(ctx, pts, 0); err == nil {
+		t.Fatal("k=0 must error")
+	}
+	if _, err := MRRGreedyLP(ctx, pts, 3); err == nil {
+		t.Fatal("k>n must error")
+	}
+}
+
+func TestMRRGreedyLPSimple(t *testing.T) {
+	// Extremes plus a midpoint: first pick = max first attribute (index 0);
+	// the point realizing the max regret then is (0,1).
+	pts := [][]float64{{1, 0}, {0, 1}, {0.5, 0.5}}
+	set, err := MRRGreedyLP(context.Background(), pts, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(set) != 2 || set[0] != 0 || set[1] != 1 {
+		t.Fatalf("set = %v, want [0 1]", set)
+	}
+}
+
+func TestMaxRegretRatioLPDecreases(t *testing.T) {
+	g := rng.New(3)
+	pts := randPoints(g, 30, 3)
+	ctx := context.Background()
+	prev := 2.0
+	for k := 1; k <= 6; k++ {
+		set, err := MRRGreedyLP(ctx, pts, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(set) != k {
+			t.Fatalf("k=%d: |set| = %d", k, len(set))
+		}
+		mrr, err := MaxRegretRatioLP(ctx, pts, set)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mrr < 0 || mrr > 1 {
+			t.Fatalf("mrr = %v", mrr)
+		}
+		if mrr > prev+1e-9 {
+			t.Fatalf("mrr increased when k grew: %v -> %v", prev, mrr)
+		}
+		prev = mrr
+	}
+	// Whole database: zero max regret.
+	all := make([]int, len(pts))
+	for i := range all {
+		all[i] = i
+	}
+	mrr, err := MaxRegretRatioLP(ctx, pts, all)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mrr > 1e-9 {
+		t.Fatalf("mrr(D) = %v, want 0", mrr)
+	}
+}
+
+// The LP-based max regret ratio must agree with a dense Monte-Carlo
+// estimate (the MC value is a lower bound that approaches the LP optimum).
+func TestMaxRegretRatioLPMatchesSampling(t *testing.T) {
+	g := rng.New(7)
+	pts := randPoints(g, 12, 2)
+	set := []int{0, 1, 2}
+	ctx := context.Background()
+	exact, err := MaxRegretRatioLP(ctx, pts, set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var worst float64
+	for trial := 0; trial < 200000; trial++ {
+		w := []float64{g.Float64(), g.Float64()}
+		var bestD, bestS float64
+		for _, p := range pts {
+			if v := w[0]*p[0] + w[1]*p[1]; v > bestD {
+				bestD = v
+			}
+		}
+		for _, s := range set {
+			if v := w[0]*pts[s][0] + w[1]*pts[s][1]; v > bestS {
+				bestS = v
+			}
+		}
+		if bestD > 0 {
+			if rr := (bestD - bestS) / bestD; rr > worst {
+				worst = rr
+			}
+		}
+	}
+	if worst > exact+1e-9 {
+		t.Fatalf("sampled mrr %v exceeds LP mrr %v", worst, exact)
+	}
+	if exact-worst > 0.02 {
+		t.Fatalf("LP mrr %v far above dense sampling %v", exact, worst)
+	}
+}
+
+func TestMRRGreedyLPCancel(t *testing.T) {
+	g := rng.New(9)
+	pts := randPoints(g, 50, 3)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := MRRGreedyLP(ctx, pts, 5); err == nil {
+		t.Fatal("canceled context must error")
+	}
+}
+
+func TestMRRGreedyLPFillsWhenSaturated(t *testing.T) {
+	// One point dominates everything: regret hits 0 after the first pick,
+	// but the result must still have k members.
+	pts := [][]float64{{1, 1}, {0.5, 0.5}, {0.2, 0.2}}
+	set, err := MRRGreedyLP(context.Background(), pts, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(set) != 3 {
+		t.Fatalf("set = %v", set)
+	}
+}
+
+func TestMRRGreedySampled(t *testing.T) {
+	g := rng.New(11)
+	pts := randPoints(g, 25, 3)
+	in := linearInstance(t, pts, 400, 12)
+	ctx := context.Background()
+	if _, err := MRRGreedySampled(ctx, nil, 2); err == nil {
+		t.Fatal("nil instance must error")
+	}
+	if _, err := MRRGreedySampled(ctx, in, 0); err == nil {
+		t.Fatal("k=0 must error")
+	}
+	prev := 2.0
+	for k := 1; k <= 5; k++ {
+		set, err := MRRGreedySampled(ctx, in, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(set) != k {
+			t.Fatalf("k=%d: %v", k, set)
+		}
+		m, err := in.Evaluate(set, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.MaxRR > prev+1e-9 {
+			t.Fatalf("sampled mrr increased: %v -> %v", prev, m.MaxRR)
+		}
+		prev = m.MaxRR
+	}
+}
+
+func TestSkyDom(t *testing.T) {
+	ctx := context.Background()
+	// Point 0 dominates 3 points, point 1 dominates 1, point 2 dominates
+	// none; greedy coverage should pick 0 then 1.
+	pts := [][]float64{
+		{0.9, 0.9}, // dominates 3,4,5
+		{0.2, 1.0}, // dominates 5? (0.2>0.1, 1.0>0.1) yes; and (0.1,0.95)
+		{1.0, 0.1}, // skyline
+		{0.8, 0.8},
+		{0.5, 0.5},
+		{0.1, 0.1},
+	}
+	set, err := SkyDom(ctx, pts, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(set) != 2 || set[0] != 0 {
+		t.Fatalf("set = %v", set)
+	}
+	cov, err := DominanceCoverage(pts, set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No 2-subset covers more than what greedy found.
+	best := 0
+	for a := 0; a < len(pts); a++ {
+		for b := a + 1; b < len(pts); b++ {
+			c, _ := DominanceCoverage(pts, []int{a, b})
+			if c > best {
+				best = c
+			}
+		}
+	}
+	if cov < best {
+		t.Fatalf("greedy coverage %d < optimal pair coverage %d", cov, best)
+	}
+}
+
+func TestSkyDomValidationAndPadding(t *testing.T) {
+	ctx := context.Background()
+	if _, err := SkyDom(ctx, nil, 1); err == nil {
+		t.Fatal("empty must error")
+	}
+	pts := [][]float64{{1, 1}, {0.5, 0.5}, {0.4, 0.4}}
+	if _, err := SkyDom(ctx, pts, 0); err == nil {
+		t.Fatal("k=0 must error")
+	}
+	// Skyline has 1 point; k=2 must pad.
+	set, err := SkyDom(ctx, pts, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(set) != 2 {
+		t.Fatalf("set = %v", set)
+	}
+	ctxC, cancel := context.WithCancel(ctx)
+	cancel()
+	if _, err := SkyDom(ctxC, pts, 2); err == nil {
+		t.Fatal("canceled context must error")
+	}
+}
+
+func TestKHit(t *testing.T) {
+	ctx := context.Background()
+	// Three extreme points; simplex-uniform users' favorites concentrate
+	// on them.
+	pts := [][]float64{{1, 0}, {0, 1}, {0.9, 0.9}, {0.1, 0.1}}
+	in := linearInstance(t, pts, 2000, 21)
+	if _, err := KHit(ctx, nil, 1); err == nil {
+		t.Fatal("nil instance must error")
+	}
+	if _, err := KHit(ctx, in, 0); err == nil {
+		t.Fatal("k=0 must error")
+	}
+	set, err := KHit(ctx, in, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// (0.9, 0.9) wins for almost all weights.
+	if len(set) != 1 || set[0] != 2 {
+		t.Fatalf("set = %v, want [2]", set)
+	}
+	p, err := HitProbability(in, set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p < 0.5 {
+		t.Fatalf("hit probability of the dominant point = %v", p)
+	}
+	// The k-hit set maximizes hit probability among all k-subsets (exact
+	// for the sampled objective): verify for k=2 against enumeration.
+	set2, err := KHit(ctx, in, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, _ := HitProbability(in, set2)
+	for a := 0; a < len(pts); a++ {
+		for b := a + 1; b < len(pts); b++ {
+			pb, _ := HitProbability(in, []int{a, b})
+			if pb > p2+1e-12 {
+				t.Fatalf("pair (%d,%d) beats k-hit: %v > %v", a, b, pb, p2)
+			}
+		}
+	}
+	// Point 3 is dominated: never a favorite.
+	p3, _ := HitProbability(in, []int{3})
+	if p3 != 0 {
+		t.Fatalf("dominated point hit probability = %v", p3)
+	}
+	if _, err := HitProbability(in, []int{99}); err == nil {
+		t.Fatal("out-of-range set must error")
+	}
+}
+
+// On identical instances, GREEDY-SHRINK should achieve arr no worse than
+// (and typically better than) the three baselines — the headline claim of
+// the paper's Figures 1, 2 and 6.
+func TestShrinkBeatsBaselinesOnARR(t *testing.T) {
+	g := rng.New(31)
+	pts := randPoints(g, 60, 4)
+	in := linearInstance(t, pts, 1500, 32)
+	ctx := context.Background()
+	k := 5
+
+	gsSet, _, err := core.GreedyShrink(ctx, in, k, core.StrategyDelta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gsARR, _ := in.ARR(gsSet)
+
+	others := map[string][]int{}
+	if s, err := MRRGreedyLP(ctx, pts, k); err == nil {
+		others["mrr"] = s
+	} else {
+		t.Fatal(err)
+	}
+	if s, err := SkyDom(ctx, pts, k); err == nil {
+		others["skydom"] = s
+	} else {
+		t.Fatal(err)
+	}
+	if s, err := KHit(ctx, in, k); err == nil {
+		others["khit"] = s
+	} else {
+		t.Fatal(err)
+	}
+	for name, set := range others {
+		arr, err := in.ARR(set)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gsARR > arr+0.02 {
+			t.Fatalf("greedy-shrink arr %v much worse than %s arr %v", gsARR, name, arr)
+		}
+	}
+}
+
+// The envelope-based exact 2-d max regret ratio must agree with the
+// LP-based evaluation used by MRR-GREEDY (the LP maximizes over all
+// non-negative weights; the formulation is scale-invariant, so the two
+// coincide).
+func TestExactMaxRegretRatioMatchesLP(t *testing.T) {
+	g := rng.New(17)
+	ctx := context.Background()
+	for trial := 0; trial < 40; trial++ {
+		n := g.IntN(10) + 3
+		pts := make([][]float64, n)
+		for i := range pts {
+			pts[i] = []float64{0.05 + 0.95*g.Float64(), 0.05 + 0.95*g.Float64()}
+		}
+		k := g.IntN(n) + 1
+		set := g.Choice(n, k)
+		exact, err := geom.ExactMaxRegretRatio(pts, set)
+		if err != nil {
+			t.Fatal(err)
+		}
+		viaLP, err := MaxRegretRatioLP(ctx, pts, set)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(exact-viaLP) > 1e-6 {
+			t.Fatalf("trial %d: envelope %v vs LP %v (set %v of %d points)", trial, exact, viaLP, set, n)
+		}
+	}
+}
+
+func TestKHitExact2D(t *testing.T) {
+	ctx := context.Background()
+	pts := [][]float64{{1, 0}, {0, 1}, {0.9, 0.9}, {0.1, 0.1}}
+	set, hit, err := KHitExact2D(ctx, pts, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(set) != 1 || set[0] != 2 {
+		t.Fatalf("set = %v, want [2]", set)
+	}
+	if hit <= 0.5 || hit > 1 {
+		t.Fatalf("hit probability = %v", hit)
+	}
+	// k = n covers everything.
+	_, hitAll, err := KHitExact2D(ctx, pts, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(hitAll-1) > 1e-9 {
+		t.Fatalf("full-set hit probability = %v", hitAll)
+	}
+	if _, _, err := KHitExact2D(ctx, pts, 0); err == nil {
+		t.Fatal("k=0 must error")
+	}
+	cctx, cancel := context.WithCancel(ctx)
+	cancel()
+	if _, _, err := KHitExact2D(cctx, pts, 1); err == nil {
+		t.Fatal("canceled context must error")
+	}
+}
+
+// The exact 2-d k-hit must agree with the sampled k-hit on a shared
+// uniform-box instance (up to sampling ties).
+func TestKHitExactMatchesSampled(t *testing.T) {
+	ctx := context.Background()
+	g := rng.New(61)
+	pts := make([][]float64, 30)
+	for i := range pts {
+		pts[i] = []float64{g.Float64(), g.Float64()}
+	}
+	boxDist, err := utility.NewUniformBoxLinear(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	funcs, err := sampling.Sample(boxDist, 30000, rng.New(62))
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := core.NewInstance(pts, funcs, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exactSet, exactHit, err := KHitExact2D(ctx, pts, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sampledSet, err := KHit(ctx, in, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The sampled set's exact hit probability can differ only by sampling
+	// noise from the optimum.
+	masses, err := geom.FavoriteMasses(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sampledHit float64
+	for _, p := range sampledSet {
+		sampledHit += masses[p]
+	}
+	if exactHit < sampledHit-1e-9 {
+		t.Fatalf("exact k-hit %v (%v) worse than sampled %v (%v)", exactHit, exactSet, sampledHit, sampledSet)
+	}
+	if exactHit-sampledHit > 0.05 {
+		t.Fatalf("sampled k-hit far from optimum: %v vs %v", sampledHit, exactHit)
+	}
+}
+
+func TestKHitMatchesShrinkClosely(t *testing.T) {
+	// The paper observes K-HIT comes close to GREEDY-SHRINK on arr.
+	g := rng.New(41)
+	pts := randPoints(g, 80, 3)
+	in := linearInstance(t, pts, 2000, 42)
+	ctx := context.Background()
+	gsSet, _, err := core.GreedyShrink(ctx, in, 10, core.StrategyDelta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	khSet, err := KHit(ctx, in, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gsARR, _ := in.ARR(gsSet)
+	khARR, _ := in.ARR(khSet)
+	if math.Abs(gsARR-khARR) > 0.05 {
+		t.Fatalf("k-hit arr %v far from greedy-shrink arr %v", khARR, gsARR)
+	}
+}

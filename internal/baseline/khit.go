@@ -1,0 +1,111 @@
+package baseline
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+
+	"github.com/regretlab/fam/internal/core"
+	"github.com/regretlab/fam/internal/geom"
+)
+
+// KHit implements the k-hit query of Peng and Wong (SIGMOD 2015) under the
+// sampled distribution Θ: find the k points maximizing the probability
+// that a random user's favorite database point belongs to the set. Because
+// each user has exactly one favorite point, the hit probability of a set
+// is the sum of its members' favorite-point probabilities, so the sampled
+// optimum is exactly the k points with the highest favorite counts.
+// (Peng and Wong compute these probabilities geometrically; the Monte-Carlo
+// estimate over the instance's N sampled users preserves the objective —
+// see DESIGN.md, substitution table.)
+func KHit(ctx context.Context, in *core.Instance, k int) ([]int, error) {
+	if in == nil {
+		return nil, errors.New("baseline: nil instance")
+	}
+	n := in.NumPoints()
+	if k <= 0 || k > n {
+		return nil, fmt.Errorf("%w: k=%d n=%d", ErrBadK, k, n)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	counts := make([]int, n)
+	for u := 0; u < in.NumFuncs(); u++ {
+		if b, _ := in.BestInDatabase(u); b >= 0 {
+			counts[b]++
+		}
+	}
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	// Highest favorite count first; ties to the lower index for
+	// determinism.
+	sort.SliceStable(order, func(a, b int) bool {
+		if counts[order[a]] != counts[order[b]] {
+			return counts[order[a]] > counts[order[b]]
+		}
+		return order[a] < order[b]
+	})
+	selected := append([]int(nil), order[:k]...)
+	sort.Ints(selected)
+	return selected, nil
+}
+
+// KHitExact2D solves the k-hit query exactly for 2-d databases under
+// linear utilities with weights uniform on [0,1]²: each point's
+// favorite-point probability is its envelope mass (geom.FavoriteMasses),
+// and the optimal set is the k most probable favorites. It returns the
+// selected indices (ascending) and the exact hit probability achieved.
+func KHitExact2D(ctx context.Context, points [][]float64, k int) ([]int, float64, error) {
+	if k <= 0 || k > len(points) {
+		return nil, 0, fmt.Errorf("%w: k=%d n=%d", ErrBadK, k, len(points))
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, 0, err
+	}
+	masses, err := geom.FavoriteMasses(points)
+	if err != nil {
+		return nil, 0, err
+	}
+	order := make([]int, len(points))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		if masses[order[a]] != masses[order[b]] {
+			return masses[order[a]] > masses[order[b]]
+		}
+		return order[a] < order[b]
+	})
+	selected := append([]int(nil), order[:k]...)
+	var hit float64
+	for _, p := range selected {
+		hit += masses[p]
+	}
+	sort.Ints(selected)
+	return selected, hit, nil
+}
+
+// HitProbability estimates the k-hit objective of a set: the fraction of
+// sampled users whose favorite database point is in the set.
+func HitProbability(in *core.Instance, set []int) (float64, error) {
+	if in == nil {
+		return 0, errors.New("baseline: nil instance")
+	}
+	inSet := make(map[int]bool, len(set))
+	for _, p := range set {
+		if p < 0 || p >= in.NumPoints() {
+			return 0, fmt.Errorf("baseline: point index %d out of range", p)
+		}
+		inSet[p] = true
+	}
+	hits := 0
+	for u := 0; u < in.NumFuncs(); u++ {
+		if b, _ := in.BestInDatabase(u); b >= 0 && inSet[b] {
+			hits++
+		}
+	}
+	return float64(hits) / float64(in.NumFuncs()), nil
+}

@@ -1,0 +1,255 @@
+// Package baseline implements the three competitor algorithms of the
+// paper's evaluation (Section V):
+//
+//   - MRR-GREEDY — the greedy max-regret-ratio minimizer of Nanongkai et
+//     al. (VLDB 2010), in both the LP-exact form for linear utilities and a
+//     sampled form for arbitrary distributions.
+//   - SKY-DOM — the representative-skyline algorithm of Lin et al.
+//     (ICDE 2007): pick the k skyline points that together dominate the
+//     most points.
+//   - K-HIT — the k-hit query of Peng and Wong (SIGMOD 2015): pick the k
+//     points maximizing the probability that a random user's favorite
+//     point is among them.
+package baseline
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+
+	"github.com/regretlab/fam/internal/core"
+	"github.com/regretlab/fam/internal/lp"
+	"github.com/regretlab/fam/internal/point"
+)
+
+// ErrBadK is returned when k is out of (0, n].
+var ErrBadK = errors.New("baseline: k must satisfy 0 < k <= n")
+
+// MRRGreedyLP runs the RDP-GREEDY algorithm of Nanongkai et al. for linear
+// utility functions with non-negative weights: the first point maximizes
+// the first attribute; each subsequent step adds the point that currently
+// realizes the maximum regret ratio against the selected set. The regret
+// ratio of candidate p against set S is evaluated exactly by the LP
+//
+//	minimize  z   subject to   w·q ≤ z (q ∈ S),  w·p = 1,  w ≥ 0,
+//
+// whose optimum z* gives regret ratio 1 − z*.
+func MRRGreedyLP(ctx context.Context, points [][]float64, k int) ([]int, error) {
+	d, err := point.Validate(points)
+	if err != nil {
+		return nil, err
+	}
+	n := len(points)
+	if k <= 0 || k > n {
+		return nil, fmt.Errorf("%w: k=%d n=%d", ErrBadK, k, n)
+	}
+
+	// Seed: the point with the largest first attribute (ties: lowest idx).
+	first := 0
+	for p := 1; p < n; p++ {
+		if points[p][0] > points[first][0] {
+			first = p
+		}
+	}
+	selected := []int{first}
+	inSet := make([]bool, n)
+	inSet[first] = true
+
+	for len(selected) < k {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		worst, worstRR := -1, -1.0
+		for p := 0; p < n; p++ {
+			if inSet[p] {
+				continue
+			}
+			rr, err := regretRatioLP(points, selected, p, d)
+			if err != nil {
+				return nil, err
+			}
+			if rr > worstRR {
+				worst, worstRR = p, rr
+			}
+		}
+		if worst == -1 || worstRR <= 1e-12 {
+			// Remaining points add nothing (max regret ratio already 0);
+			// fill with the lowest-index leftovers to reach k.
+			for p := 0; p < n && len(selected) < k; p++ {
+				if !inSet[p] {
+					selected = append(selected, p)
+					inSet[p] = true
+				}
+			}
+			break
+		}
+		selected = append(selected, worst)
+		inSet[worst] = true
+	}
+	sort.Ints(selected)
+	return selected, nil
+}
+
+// MaxRegretRatioLP evaluates the exact maximum regret ratio of the set
+// over all non-negative linear utility functions: max over p ∈ D of the
+// per-candidate LP optimum.
+func MaxRegretRatioLP(ctx context.Context, points [][]float64, set []int) (float64, error) {
+	d, err := point.Validate(points)
+	if err != nil {
+		return 0, err
+	}
+	if len(set) == 0 {
+		return 1, nil
+	}
+	var worst float64
+	for p := range points {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
+		rr, err := regretRatioLP(points, set, p, d)
+		if err != nil {
+			return 0, err
+		}
+		if rr > worst {
+			worst = rr
+		}
+	}
+	return worst, nil
+}
+
+// regretRatioLP computes max_w (w·p − max_{q∈S} w·q)/(w·p) over w ≥ 0 via
+// the normalization w·p = 1.
+func regretRatioLP(points [][]float64, set []int, p, d int) (float64, error) {
+	// Variables: x = [w_1..w_d, z]. Minimize z.
+	nv := d + 1
+	c := make([]float64, nv)
+	c[d] = 1
+	a := make([][]float64, 0, len(set)+1)
+	b := make([]float64, 0, len(set)+1)
+	rel := make([]lp.Relation, 0, len(set)+1)
+	for _, q := range set {
+		row := make([]float64, nv)
+		copy(row, points[q])
+		row[d] = -1 // w·q − z ≤ 0
+		a = append(a, row)
+		b = append(b, 0)
+		rel = append(rel, lp.LE)
+	}
+	row := make([]float64, nv)
+	copy(row, points[p])
+	a = append(a, row)
+	b = append(b, 1)
+	rel = append(rel, lp.EQ)
+
+	sol, err := lp.Solve(lp.Problem{C: c, A: a, B: b, Rel: rel})
+	if err != nil {
+		return 0, fmt.Errorf("baseline: regret LP for point %d: %w", p, err)
+	}
+	switch sol.Status {
+	case lp.Optimal:
+		rr := 1 - sol.Value
+		if rr < 0 {
+			rr = 0
+		}
+		if rr > 1 {
+			rr = 1
+		}
+		return rr, nil
+	case lp.Infeasible:
+		// w·p = 1 unreachable (p is the origin): p causes no regret.
+		return 0, nil
+	default:
+		return 0, fmt.Errorf("baseline: regret LP for point %d is %v", p, sol.Status)
+	}
+}
+
+// MRRGreedySampled is the distribution-aware analogue used when utilities
+// are not linear (e.g. the learned Θ of the Yahoo! pipeline): the max
+// regret ratio is taken over the instance's sampled utility functions, and
+// each greedy step adds the point realizing the current sampled maximum.
+func MRRGreedySampled(ctx context.Context, in *core.Instance, k int) ([]int, error) {
+	if in == nil {
+		return nil, errors.New("baseline: nil instance")
+	}
+	n, N := in.NumPoints(), in.NumFuncs()
+	if k <= 0 || k > n {
+		return nil, fmt.Errorf("%w: k=%d n=%d", ErrBadK, k, n)
+	}
+
+	// bestVal[u] = user u's best utility within the selected set.
+	bestVal := make([]float64, N)
+	inSet := make([]bool, n)
+
+	// Seed with the point maximizing the first attribute when points carry
+	// attributes; Table-based instances fall back to the point with the
+	// highest total sampled utility.
+	first := 0
+	for p := 1; p < n; p++ {
+		if in.Points[p][0] > in.Points[first][0] {
+			first = p
+		}
+	}
+	add := func(p int) {
+		inSet[p] = true
+		for u := 0; u < N; u++ {
+			if v := in.Utility(u, p); v > bestVal[u] {
+				bestVal[u] = v
+			}
+		}
+	}
+	add(first)
+	selected := []int{first}
+
+	for len(selected) < k {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		// The user with the worst current regret ratio identifies the
+		// point to add (their favorite).
+		worstU, worstRR := -1, -1.0
+		for u := 0; u < N; u++ {
+			satD := 0.0
+			if b, s := in.BestInDatabase(u); b >= 0 {
+				satD = s
+			} else {
+				continue
+			}
+			rr := (satD - bestVal[u]) / satD
+			if rr > worstRR {
+				worstU, worstRR = u, rr
+			}
+		}
+		if worstU == -1 || worstRR <= 1e-12 {
+			for p := 0; p < n && len(selected) < k; p++ {
+				if !inSet[p] {
+					selected = append(selected, p)
+					inSet[p] = true
+				}
+			}
+			break
+		}
+		b, _ := in.BestInDatabase(worstU)
+		if inSet[b] {
+			// Favorite already selected yet regret > 0 is impossible;
+			// defensive fallback to the best unselected point for worstU.
+			bestP, bestV := -1, -1.0
+			for p := 0; p < n; p++ {
+				if inSet[p] {
+					continue
+				}
+				if v := in.Utility(worstU, p); v > bestV {
+					bestP, bestV = p, v
+				}
+			}
+			b = bestP
+			if b == -1 {
+				break
+			}
+		}
+		add(b)
+		selected = append(selected, b)
+	}
+	sort.Ints(selected)
+	return selected, nil
+}

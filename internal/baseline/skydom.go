@@ -1,0 +1,92 @@
+package baseline
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"github.com/regretlab/fam/internal/bitset"
+	"github.com/regretlab/fam/internal/point"
+	"github.com/regretlab/fam/internal/skyline"
+)
+
+// SkyDom implements the representative-skyline selection of Lin et al.
+// (ICDE 2007): choose k skyline points that together dominate the largest
+// number of database points. Maximizing dominance coverage is a max-cover
+// instance, solved greedily (the classic (1−1/e) heuristic, which is also
+// what makes SKY-DOM expensive on large skylines — visible in the paper's
+// query-time plots).
+func SkyDom(ctx context.Context, points [][]float64, k int) ([]int, error) {
+	if _, err := point.Validate(points); err != nil {
+		return nil, err
+	}
+	n := len(points)
+	if k <= 0 || k > n {
+		return nil, fmt.Errorf("%w: k=%d n=%d", ErrBadK, k, n)
+	}
+	sky, err := skyline.Compute(points)
+	if err != nil {
+		return nil, err
+	}
+	domSets := skyline.DominanceSets(points, sky)
+
+	covered := bitset.New(n)
+	used := make([]bool, len(sky))
+	var selected []int
+	for len(selected) < k && len(selected) < len(sky) {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		bestIdx, bestGain := -1, -1
+		for i := range sky {
+			if used[i] {
+				continue
+			}
+			gain := covered.AndNotCount(domSets[i])
+			if gain > bestGain {
+				bestIdx, bestGain = i, gain
+			}
+		}
+		if bestIdx == -1 {
+			break
+		}
+		used[bestIdx] = true
+		covered.UnionWith(domSets[bestIdx])
+		selected = append(selected, sky[bestIdx])
+	}
+	// If the skyline is smaller than k, pad with the lowest-index
+	// non-skyline points so the result always has k members.
+	if len(selected) < k {
+		inSel := make(map[int]bool, len(selected))
+		for _, p := range selected {
+			inSel[p] = true
+		}
+		for p := 0; p < n && len(selected) < k; p++ {
+			if !inSel[p] {
+				selected = append(selected, p)
+			}
+		}
+	}
+	sort.Ints(selected)
+	return selected, nil
+}
+
+// DominanceCoverage returns how many points of the database are dominated
+// by at least one member of the set — the objective SkyDom maximizes.
+func DominanceCoverage(points [][]float64, set []int) (int, error) {
+	if _, err := point.Validate(points); err != nil {
+		return 0, err
+	}
+	covered := bitset.New(len(points))
+	for _, s := range set {
+		if s < 0 || s >= len(points) {
+			return 0, fmt.Errorf("baseline: point index %d out of range", s)
+		}
+		for j := range points {
+			if j != s && point.Dominates(points[s], points[j]) {
+				covered.Add(j)
+			}
+		}
+	}
+	return covered.Count(), nil
+}

@@ -1,0 +1,135 @@
+package bitset
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBasicOps(t *testing.T) {
+	s := New(130)
+	if s.Len() != 130 || s.Count() != 0 {
+		t.Fatal("fresh set should be empty")
+	}
+	s.Add(0)
+	s.Add(64)
+	s.Add(129)
+	if !s.Contains(0) || !s.Contains(64) || !s.Contains(129) {
+		t.Fatal("Contains after Add failed")
+	}
+	if s.Count() != 3 {
+		t.Fatalf("Count = %d", s.Count())
+	}
+	s.Remove(64)
+	if s.Contains(64) || s.Count() != 2 {
+		t.Fatal("Remove failed")
+	}
+	// Out of range operations are no-ops.
+	s.Add(-1)
+	s.Add(130)
+	s.Remove(-1)
+	if s.Count() != 2 || s.Contains(-1) || s.Contains(500) {
+		t.Fatal("out-of-range must be ignored")
+	}
+}
+
+func TestUnionAndCounts(t *testing.T) {
+	a := New(100)
+	b := New(100)
+	for i := 0; i < 50; i++ {
+		a.Add(i)
+	}
+	for i := 25; i < 75; i++ {
+		b.Add(i)
+	}
+	if got := a.CountUnion(b); got != 75 {
+		t.Fatalf("CountUnion = %d, want 75", got)
+	}
+	if got := a.AndNotCount(b); got != 25 {
+		t.Fatalf("AndNotCount = %d, want 25", got)
+	}
+	c := a.Clone()
+	c.UnionWith(b)
+	if c.Count() != 75 || a.Count() != 50 {
+		t.Fatal("UnionWith/Clone aliasing bug")
+	}
+}
+
+func TestClearAndForEach(t *testing.T) {
+	s := New(70)
+	want := []int{3, 64, 69}
+	for _, i := range want {
+		s.Add(i)
+	}
+	var got []int
+	s.ForEach(func(i int) { got = append(got, i) })
+	if len(got) != len(want) {
+		t.Fatalf("ForEach visited %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ForEach order = %v, want %v", got, want)
+		}
+	}
+	s.Clear()
+	if s.Count() != 0 {
+		t.Fatal("Clear failed")
+	}
+}
+
+// Property: bitset agrees with a map-based reference under a random op
+// sequence.
+func TestAgainstMapReference(t *testing.T) {
+	f := func(ops []uint16) bool {
+		const n = 96
+		s := New(n)
+		ref := map[int]bool{}
+		for _, op := range ops {
+			i := int(op) % n
+			switch (op / 128) % 3 {
+			case 0:
+				s.Add(i)
+				ref[i] = true
+			case 1:
+				s.Remove(i)
+				delete(ref, i)
+			case 2:
+				if s.Contains(i) != ref[i] {
+					return false
+				}
+			}
+		}
+		if s.Count() != len(ref) {
+			return false
+		}
+		ok := true
+		s.ForEach(func(i int) {
+			if !ref[i] {
+				ok = false
+			}
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: CountUnion(a,b) == a.Clone().UnionWith(b).Count().
+func TestCountUnionConsistency(t *testing.T) {
+	f := func(aBits, bBits []uint8) bool {
+		const n = 200
+		a, b := New(n), New(n)
+		for _, v := range aBits {
+			a.Add(int(v) % n)
+		}
+		for _, v := range bBits {
+			b.Add(int(v) % n)
+		}
+		u := a.Clone()
+		u.UnionWith(b)
+		return a.CountUnion(b) == u.Count() && a.AndNotCount(b) == u.Count()-a.Count()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

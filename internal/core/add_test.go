@@ -1,0 +1,139 @@
+package core
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"github.com/regretlab/fam/internal/rng"
+)
+
+func TestGreedyAddValidation(t *testing.T) {
+	in := randomInstance(t, 6, 2, 20, 1)
+	ctx := context.Background()
+	if _, _, err := GreedyAdd(ctx, nil, 2); err == nil {
+		t.Fatal("nil instance must error")
+	}
+	if _, _, err := GreedyAdd(ctx, in, 0); err == nil {
+		t.Fatal("k=0 must error")
+	}
+	if _, _, err := GreedyAdd(ctx, in, 7); err == nil {
+		t.Fatal("k>n must error")
+	}
+	if _, err := GreedyAddPlain(ctx, nil, 2); err == nil {
+		t.Fatal("plain nil instance must error")
+	}
+	if _, err := GreedyAddPlain(ctx, in, 0); err == nil {
+		t.Fatal("plain k=0 must error")
+	}
+}
+
+// The lazy-accelerated GreedyAdd must match the unaccelerated reference on
+// random instances.
+func TestGreedyAddLazyMatchesPlain(t *testing.T) {
+	ctx := context.Background()
+	for seed := uint64(0); seed < 20; seed++ {
+		g := rng.New(seed + 700)
+		n := g.IntN(15) + 5
+		N := g.IntN(50) + 10
+		in := sampledTableInstance(g, n, N)
+		k := g.IntN(n) + 1
+		lazy, stats, err := GreedyAdd(ctx, in, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plain, err := GreedyAddPlain(ctx, in, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(lazy) != len(plain) {
+			t.Fatalf("seed %d: %v vs %v", seed, lazy, plain)
+		}
+		for i := range lazy {
+			if lazy[i] != plain[i] {
+				t.Fatalf("seed %d: lazy %v != plain %v", seed, lazy, plain)
+			}
+		}
+		arr, _ := in.ARR(lazy)
+		if math.Abs(arr-stats.FinalARR) > 1e-15 {
+			t.Fatalf("seed %d: FinalARR %v != %v", seed, stats.FinalARR, arr)
+		}
+	}
+}
+
+// GreedyAdd must actually skip evaluations (the lazy acceleration works).
+func TestGreedyAddSkipsEvaluations(t *testing.T) {
+	in := randomInstance(t, 80, 4, 400, 3)
+	_, stats, err := GreedyAdd(context.Background(), in, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.EvalSkipped <= 0 {
+		t.Fatalf("no evaluations skipped: %+v", stats)
+	}
+	if stats.Evaluations >= stats.CandidateTotal+in.NumPoints() {
+		t.Fatalf("lazy add evaluated everything: %+v", stats)
+	}
+}
+
+// Add and shrink are different heuristics but should land in the same
+// quality neighborhood; both must be optimal at k = n.
+func TestGreedyAddVsShrinkQuality(t *testing.T) {
+	ctx := context.Background()
+	in := randomInstance(t, 40, 3, 600, 5)
+	for _, k := range []int{1, 5, 15, 40} {
+		addSet, addStats, err := GreedyAdd(ctx, in, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, shrinkStats, err := GreedyShrink(ctx, in, k, StrategyDelta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(addSet) != k {
+			t.Fatalf("k=%d: add set %v", k, addSet)
+		}
+		if math.Abs(addStats.FinalARR-shrinkStats.FinalARR) > 0.05 {
+			t.Fatalf("k=%d: add %v and shrink %v far apart", k, addStats.FinalARR, shrinkStats.FinalARR)
+		}
+	}
+	// k = n: both must select everything and reach arr 0.
+	addSet, addStats, _ := GreedyAdd(ctx, in, 40)
+	if len(addSet) != 40 || addStats.FinalARR != 0 {
+		t.Fatalf("k=n: %d points, arr %v", len(addSet), addStats.FinalARR)
+	}
+}
+
+func TestGreedyAddCancel(t *testing.T) {
+	in := randomInstance(t, 30, 3, 100, 7)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := GreedyAdd(ctx, in, 3); err == nil {
+		t.Fatal("canceled context must error")
+	}
+	if _, err := GreedyAddPlain(ctx, in, 3); err == nil {
+		t.Fatal("plain canceled context must error")
+	}
+}
+
+// GreedyAdd on a weighted instance equals GreedyAdd on the replicated one.
+func TestGreedyAddWeighted(t *testing.T) {
+	ctx := context.Background()
+	for seed := uint64(0); seed < 8; seed++ {
+		weighted, plain := weightedAndReplicated(t, seed+800)
+		k := weighted.NumPoints()/2 + 1
+		sw, _, err := GreedyAdd(ctx, weighted, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sp, _, err := GreedyAdd(ctx, plain, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range sw {
+			if sw[i] != sp[i] {
+				t.Fatalf("seed %d: weighted %v != replicated %v", seed, sw, sp)
+			}
+		}
+	}
+}

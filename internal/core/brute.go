@@ -1,0 +1,106 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// MaxBruteForceSubsets bounds the C(n, k) enumeration of BruteForce; larger
+// instances return ErrTooLarge instead of running for hours.
+const MaxBruteForceSubsets = 20_000_000
+
+// ErrTooLarge is returned when an exact enumeration would exceed
+// MaxBruteForceSubsets subsets.
+var ErrTooLarge = errors.New("core: instance too large for brute force")
+
+// BruteForce finds the exact sampled-arr optimum by enumerating all
+// C(n, k) subsets in lexicographic order (so ties resolve to the
+// lexicographically smallest set). Running per-user best values are
+// maintained incrementally down the recursion, making the leaf cost O(N)
+// rather than O(kN). The context is checked between sibling branches.
+func BruteForce(ctx context.Context, in *Instance, k int) ([]int, float64, error) {
+	if in == nil {
+		return nil, 0, errors.New("core: nil instance")
+	}
+	n, N := in.NumPoints(), in.NumFuncs()
+	if k <= 0 || k > n {
+		return nil, 0, fmt.Errorf("%w: k=%d n=%d", ErrBadK, k, n)
+	}
+	if c := binomial(n, k); c < 0 || c > MaxBruteForceSubsets {
+		return nil, 0, fmt.Errorf("%w: C(%d,%d) subsets", ErrTooLarge, n, k)
+	}
+
+	bestSet := make([]int, k)
+	bestARR := math.Inf(1)
+	chosen := make([]int, 0, k)
+	// bestVals[depth][u] is user u's best utility among chosen[:depth].
+	bestVals := make([][]float64, k+1)
+	for i := range bestVals {
+		bestVals[i] = make([]float64, N)
+	}
+
+	var ctxErr error
+	var rec func(start, depth int)
+	rec = func(start, depth int) {
+		if ctxErr != nil {
+			return
+		}
+		if depth == k {
+			var sum float64
+			vals := bestVals[depth]
+			for u := 0; u < N; u++ {
+				if in.satD[u] <= 0 {
+					continue
+				}
+				sum += in.Weight(u) * (in.satD[u] - vals[u]) / in.satD[u]
+			}
+			arr := sum / in.totalW
+			if arr < bestARR {
+				bestARR = arr
+				copy(bestSet, chosen)
+			}
+			return
+		}
+		if err := ctx.Err(); err != nil {
+			ctxErr = err
+			return
+		}
+		// Leave room for the remaining k-depth-1 picks.
+		for p := start; p <= n-(k-depth); p++ {
+			cur, next := bestVals[depth], bestVals[depth+1]
+			for u := 0; u < N; u++ {
+				v := in.Utility(u, p)
+				if v > cur[u] {
+					next[u] = v
+				} else {
+					next[u] = cur[u]
+				}
+			}
+			chosen = append(chosen, p)
+			rec(p+1, depth+1)
+			chosen = chosen[:depth]
+		}
+	}
+	rec(0, 0)
+	if ctxErr != nil {
+		return nil, 0, ctxErr
+	}
+	return bestSet, bestARR, nil
+}
+
+// binomial returns C(n, k), or -1 on overflow past MaxBruteForceSubsets.
+func binomial(n, k int) int {
+	if k > n-k {
+		k = n - k
+	}
+	c := 1
+	for i := 0; i < k; i++ {
+		c = c * (n - i) / (i + 1)
+		if c > 10*MaxBruteForceSubsets || c < 0 {
+			return -1
+		}
+	}
+	return c
+}

@@ -1,0 +1,289 @@
+// Package core implements the paper's contribution: the sampled
+// average-regret-ratio evaluator (Section III-C, Equation 1) and the
+// GREEDY-SHRINK algorithm (Algorithm 1) in three interchangeable
+// strategies — the naive recomputation baseline, the paper-faithful lazy
+// variant with Improvements 1 and 2 (Appendix C), and a delta variant that
+// additionally tracks each user's second-best point. A brute-force exact
+// solver for small instances and the steepness-based approximation bound
+// (Theorem 3) round out the package.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"github.com/regretlab/fam/internal/point"
+	"github.com/regretlab/fam/internal/utility"
+)
+
+// Instance binds a point set to N sampled utility functions and owns the
+// preprocessing state of Section III-D2: each user's satisfaction over the
+// full database (satD) and best point in the database. Building an
+// Instance is the paper's "preprocessing time"; everything that runs on a
+// built Instance counts as "query time".
+type Instance struct {
+	Points [][]float64
+	Funcs  []utility.Func
+
+	satD  []float64 // satD[u] = max_p f_u(p); 0 for degenerate users
+	bestD []int32   // argmax, -1 for degenerate users
+	degen int       // number of users with satD <= 0 (their rr is defined 0)
+
+	wt     []float64 // per-user probability mass; nil = uniform
+	totalW float64   // Σ wt, or N when uniform
+
+	cache     [][]float64 // optional N x n utility matrix
+	cacheUsed bool
+}
+
+// Options configures instance construction.
+type Options struct {
+	// CacheBudget is the maximum number of float64 utility entries
+	// (N × n) the instance may precompute. Below the budget, all utilities
+	// are materialized once (O(Nn) space, O(1) lookups); above it they are
+	// recomputed on demand (O(d) per lookup), the trade-off of Section
+	// III-D3. Zero applies DefaultCacheBudget; negative disables caching.
+	CacheBudget int64
+	// Weights assigns a probability mass to each utility function
+	// (Appendix A: for a countably finite F the average regret ratio is
+	// the exact weighted sum Σ rr(S,f)·η(f), no sampling needed). Nil
+	// means uniform. Length must equal the number of functions; entries
+	// must be non-negative and finite with a positive total.
+	Weights []float64
+	// Parallelism bounds the worker goroutines used for preprocessing
+	// (utility materialization and best-point indexing — per-user work is
+	// independent, so results are identical at any setting). Zero uses
+	// GOMAXPROCS; one forces serial execution.
+	Parallelism int
+}
+
+// DefaultCacheBudget caps the utility cache at 32M entries (256 MB).
+const DefaultCacheBudget = int64(32 << 20)
+
+// ErrNoFuncs is returned when no utility functions are supplied.
+var ErrNoFuncs = errors.New("core: need at least one sampled utility function")
+
+// NewInstance validates the inputs and runs preprocessing.
+func NewInstance(points [][]float64, funcs []utility.Func, opts Options) (*Instance, error) {
+	if _, err := point.Validate(points); err != nil {
+		return nil, err
+	}
+	if len(funcs) == 0 {
+		return nil, ErrNoFuncs
+	}
+	for i, f := range funcs {
+		if f == nil {
+			return nil, fmt.Errorf("core: utility function %d is nil", i)
+		}
+	}
+	in := &Instance{Points: points, Funcs: funcs, totalW: float64(len(funcs))}
+	if opts.Weights != nil {
+		if len(opts.Weights) != len(funcs) {
+			return nil, fmt.Errorf("core: %d weights for %d utility functions", len(opts.Weights), len(funcs))
+		}
+		var total float64
+		for i, w := range opts.Weights {
+			if w < 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+				return nil, fmt.Errorf("core: weight %d is %v", i, w)
+			}
+			total += w
+		}
+		if total <= 0 {
+			return nil, errors.New("core: weights sum to zero")
+		}
+		in.wt = append([]float64(nil), opts.Weights...)
+		in.totalW = total
+	}
+
+	budget := opts.CacheBudget
+	if budget == 0 {
+		budget = DefaultCacheBudget
+	}
+	n, N := len(points), len(funcs)
+	if budget > 0 && int64(n)*int64(N) <= budget {
+		in.cache = make([][]float64, N)
+		flat := make([]float64, n*N)
+		for u := 0; u < N; u++ {
+			in.cache[u] = flat[u*n : (u+1)*n]
+		}
+		in.cacheUsed = true
+	}
+
+	in.satD = make([]float64, N)
+	in.bestD = make([]int32, N)
+	// Preprocessing is embarrassingly parallel across users: each worker
+	// owns a contiguous user range, fills its cache rows, and indexes best
+	// points. Results are bit-identical at any parallelism level.
+	workers := opts.Parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > N {
+		workers = N
+	}
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * N / workers
+		hi := (w + 1) * N / workers
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			errs[w] = in.preprocessUsers(lo, hi)
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	for u := 0; u < N; u++ {
+		if in.bestD[u] == -1 {
+			in.degen++
+		}
+	}
+	return in, nil
+}
+
+// preprocessUsers fills cache rows and best-point indexes for users in
+// [lo, hi).
+func (in *Instance) preprocessUsers(lo, hi int) error {
+	n := len(in.Points)
+	for u := lo; u < hi; u++ {
+		if in.cacheUsed {
+			row := in.cache[u]
+			f := in.Funcs[u]
+			for p := 0; p < n; p++ {
+				row[p] = f.Value(p, in.Points[p])
+			}
+		}
+		best, bestIdx := 0.0, int32(-1)
+		for p := 0; p < n; p++ {
+			v := in.Utility(u, p)
+			// Definition 1 requires utilities to be non-negative reals;
+			// reject functions that break it rather than silently
+			// corrupting every downstream comparison.
+			if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+				return fmt.Errorf("core: utility function %d returned %v for point %d (must be a non-negative finite value)", u, v, p)
+			}
+			if bestIdx == -1 || v > best {
+				best, bestIdx = v, int32(p)
+			}
+		}
+		if best <= 0 {
+			in.satD[u] = 0
+			in.bestD[u] = -1
+			continue
+		}
+		in.satD[u] = best
+		in.bestD[u] = bestIdx
+	}
+	return nil
+}
+
+// Utility returns f_u(p_j), from the cache when materialized.
+func (in *Instance) Utility(u, j int) float64 {
+	if in.cacheUsed {
+		return in.cache[u][j]
+	}
+	return in.Funcs[u].Value(j, in.Points[j])
+}
+
+// NumPoints returns n.
+func (in *Instance) NumPoints() int { return len(in.Points) }
+
+// NumFuncs returns the sample size N.
+func (in *Instance) NumFuncs() int { return len(in.Funcs) }
+
+// DegenerateUsers returns the number of sampled users whose utility is
+// non-positive on every database point; their regret ratio is defined as 0
+// and they are excluded from averages.
+func (in *Instance) DegenerateUsers() int { return in.degen }
+
+// Cached reports whether the N×n utility matrix was materialized.
+func (in *Instance) Cached() bool { return in.cacheUsed }
+
+// BestInDatabase returns user u's best point index in D (-1 if degenerate)
+// and their satisfaction from the full database.
+func (in *Instance) BestInDatabase(u int) (int, float64) {
+	return int(in.bestD[u]), in.satD[u]
+}
+
+// validateSet checks that set is a non-empty list of valid, distinct point
+// indices.
+func (in *Instance) validateSet(set []int) error {
+	if len(set) == 0 {
+		return errors.New("core: empty selection set")
+	}
+	seen := make(map[int]bool, len(set))
+	for _, p := range set {
+		if p < 0 || p >= len(in.Points) {
+			return fmt.Errorf("core: point index %d out of range [0,%d)", p, len(in.Points))
+		}
+		if seen[p] {
+			return fmt.Errorf("core: duplicate point index %d", p)
+		}
+		seen[p] = true
+	}
+	return nil
+}
+
+// RegretRatios returns the per-user regret ratio of the set (Equation 1's
+// summands): rr[u] = (satD[u] - max_{p∈set} f_u(p)) / satD[u], clamped to
+// [0, 1]; degenerate users score 0.
+func (in *Instance) RegretRatios(set []int) ([]float64, error) {
+	if err := in.validateSet(set); err != nil {
+		return nil, err
+	}
+	out := make([]float64, in.NumFuncs())
+	for u := range in.Funcs {
+		if in.satD[u] <= 0 {
+			continue
+		}
+		var best float64
+		for _, p := range set {
+			if v := in.Utility(u, p); v > best {
+				best = v
+			}
+		}
+		rr := (in.satD[u] - best) / in.satD[u]
+		if rr < 0 {
+			rr = 0
+		}
+		out[u] = rr
+	}
+	return out, nil
+}
+
+// ARR evaluates the average regret ratio of the set: the Monte-Carlo
+// estimator of Equation 1 for sampled instances, or the exact weighted sum
+// of Appendix A when the instance carries weights.
+func (in *Instance) ARR(set []int) (float64, error) {
+	rrs, err := in.RegretRatios(set)
+	if err != nil {
+		return 0, err
+	}
+	var sum float64
+	for u, v := range rrs {
+		sum += in.Weight(u) * v
+	}
+	return sum / in.totalW, nil
+}
+
+// Weight returns user u's probability mass (1 for uniform instances).
+func (in *Instance) Weight(u int) float64 {
+	if in.wt == nil {
+		return 1
+	}
+	return in.wt[u]
+}
+
+// TotalWeight returns the normalization constant Σ_u Weight(u).
+func (in *Instance) TotalWeight() float64 { return in.totalW }
+
+// Weighted reports whether the instance carries explicit user weights.
+func (in *Instance) Weighted() bool { return in.wt != nil }

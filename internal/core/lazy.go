@@ -1,0 +1,160 @@
+package core
+
+import (
+	"container/heap"
+	"context"
+)
+
+// lazyShrink is the paper-faithful GREEDY-SHRINK of Section III-C and
+// Appendix C.
+//
+// Improvement 1 (best-point calculation): each user's best point within the
+// current set S is cached; evaluating arr(S−{p}) only touches the users
+// whose cached best point is p (for everyone else the satisfaction is
+// unchanged), and each touched user rescans S−{p} once.
+//
+// Improvement 2 (computation based on the previous iteration): evaluation
+// values computed in earlier iterations are kept in a min-priority queue.
+// By supermodularity they are lower bounds on the current values (Lemma 2),
+// so the true argmin is found by popping the queue and refreshing entries
+// until a fresh entry surfaces (Lemma 3); candidates whose stale lower
+// bound never reaches the top are skipped entirely.
+func lazyShrink(ctx context.Context, in *Instance, k int) ([]int, ShrinkStats, error) {
+	n, N := in.NumPoints(), in.NumFuncs()
+	var stats ShrinkStats
+	set := newAliveSet(n)
+
+	best := make([]int32, N)
+	bestVal := make([]float64, N)
+	usersByBest := make([][]int32, n)
+	var arrSum float64 // Σ_u rr(S,u), unnormalized by N
+
+	for u := 0; u < N; u++ {
+		if in.satD[u] <= 0 {
+			best[u] = -1
+			continue
+		}
+		bi, bv := int32(-1), -1.0
+		for p := 0; p < n; p++ {
+			if v := in.Utility(u, p); v > bv {
+				bi, bv = int32(p), v
+			}
+		}
+		best[u], bestVal[u] = bi, bv
+		usersByBest[bi] = append(usersByBest[bi], int32(u))
+		arrSum += in.Weight(u) * (in.satD[u] - bv) / in.satD[u]
+	}
+
+	// evaluate returns the unnormalized arr of S−{p}: only users whose
+	// best point is p change satisfaction (Improvement 1).
+	evaluate := func(p int) float64 {
+		v := arrSum
+		for _, u := range usersByBest[p] {
+			stats.UserRescans++
+			nv := -1.0
+			for q := 0; q < n; q++ {
+				if !set.alive[q] || q == p {
+					continue
+				}
+				if w := in.Utility(int(u), q); w > nv {
+					nv = w
+				}
+			}
+			if nv < 0 {
+				nv = 0
+			}
+			v += in.Weight(int(u)) * (bestVal[u] - nv) / in.satD[u]
+		}
+		return v
+	}
+
+	// seq invalidates superseded queue entries; epoch marks the iteration
+	// an entry's value was computed in (fresh == current iteration).
+	seq := make([]int, n)
+	pq := make(evalQueue, 0, n)
+	for p := 0; p < n; p++ {
+		stats.Evaluations++
+		pq = append(pq, evalEntry{point: p, val: evaluate(p), epoch: 0, seq: 0})
+	}
+	heap.Init(&pq)
+
+	for iter := 1; set.count > k; iter++ {
+		if err := ctx.Err(); err != nil {
+			return nil, stats, err
+		}
+		stats.Iterations++
+		stats.CandidateTotal += set.count
+		evalsBefore := stats.Evaluations
+		chosen := -1
+		var chosenVal float64
+		for {
+			e := heap.Pop(&pq).(evalEntry)
+			if !set.alive[e.point] || e.seq != seq[e.point] {
+				continue // superseded or removed
+			}
+			if e.epoch == iter {
+				chosen, chosenVal = e.point, e.val
+				break
+			}
+			// Stale lower bound on top: refresh it (Lemma 3 case 1 rules
+			// out everything beneath it only if the refreshed value stays
+			// on top, which the queue re-check handles).
+			stats.Evaluations++
+			seq[e.point]++
+			heap.Push(&pq, evalEntry{point: e.point, val: evaluate(e.point), epoch: iter, seq: seq[e.point]})
+		}
+		stats.EvalSkipped += set.count - (stats.Evaluations - evalsBefore)
+
+		set.remove(chosen)
+		arrSum = chosenVal
+		for _, u := range usersByBest[chosen] {
+			stats.UserRescans++
+			bi, bv := int32(-1), -1.0
+			for q := 0; q < n; q++ {
+				if !set.alive[q] {
+					continue
+				}
+				if w := in.Utility(int(u), q); w > bv {
+					bi, bv = int32(q), w
+				}
+			}
+			if bv < 0 {
+				bv = 0
+			}
+			best[u], bestVal[u] = bi, bv
+			if bi >= 0 {
+				usersByBest[bi] = append(usersByBest[bi], u)
+			}
+		}
+		usersByBest[chosen] = nil
+	}
+	return set.members(), stats, nil
+}
+
+type evalEntry struct {
+	point int
+	val   float64
+	epoch int // iteration the value was computed in
+	seq   int // entry generation; stale generations are discarded
+}
+
+// evalQueue is a min-heap on (val, point); the point tiebreak keeps the
+// lazy strategy's selections identical to the other strategies.
+type evalQueue []evalEntry
+
+func (q evalQueue) Len() int { return len(q) }
+func (q evalQueue) Less(i, j int) bool {
+	if q[i].val != q[j].val {
+		return q[i].val < q[j].val
+	}
+	return q[i].point < q[j].point
+}
+func (q evalQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *evalQueue) Push(x interface{}) { *q = append(*q, x.(evalEntry)) }
+func (q *evalQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	*q = old[:n-1]
+	return e
+}

@@ -1,0 +1,79 @@
+package core
+
+import (
+	"math"
+
+	"github.com/regretlab/fam/internal/stats"
+)
+
+// Metrics bundles every statistic the evaluation section reports about a
+// selection set.
+type Metrics struct {
+	ARR             float64   // average regret ratio (Definition 4, sampled or exact-weighted)
+	VRR             float64   // variance of regret ratio (Definition 5)
+	StdDev          float64   // sqrt(VRR), the quantity plotted in Figs 3/10
+	Percentiles     []float64 // regret ratio at PercentileLevels
+	PercentileLevel []float64 // the levels requested
+	MaxRR           float64   // maximum regret ratio over users with positive mass
+	DegenerateUsers int
+}
+
+// DefaultPercentiles are the user percentiles of Figures 3 and 11/12.
+var DefaultPercentiles = []float64{70, 80, 90, 95, 99, 100}
+
+// Evaluate computes Metrics for a selection set. Passing nil levels uses
+// DefaultPercentiles. Weighted instances produce probability-weighted
+// statistics (Appendix A).
+func (in *Instance) Evaluate(set []int, levels []float64) (Metrics, error) {
+	if levels == nil {
+		levels = DefaultPercentiles
+	}
+	rrs, err := in.RegretRatios(set)
+	if err != nil {
+		return Metrics{}, err
+	}
+
+	var mean, vrr float64
+	var pct []float64
+	if in.Weighted() {
+		ws := make([]float64, len(rrs))
+		for u := range ws {
+			ws[u] = in.Weight(u)
+		}
+		if mean, err = stats.WeightedMean(rrs, ws); err != nil {
+			return Metrics{}, err
+		}
+		if vrr, err = stats.WeightedVariance(rrs, ws); err != nil {
+			return Metrics{}, err
+		}
+		if pct, err = stats.WeightedPercentiles(rrs, ws, levels); err != nil {
+			return Metrics{}, err
+		}
+	} else {
+		if mean, err = stats.Mean(rrs); err != nil {
+			return Metrics{}, err
+		}
+		if vrr, err = stats.Variance(rrs); err != nil {
+			return Metrics{}, err
+		}
+		if pct, err = stats.Percentiles(rrs, levels); err != nil {
+			return Metrics{}, err
+		}
+	}
+
+	var maxRR float64
+	for u, v := range rrs {
+		if in.Weight(u) > 0 && v > maxRR {
+			maxRR = v
+		}
+	}
+	return Metrics{
+		ARR:             mean,
+		VRR:             vrr,
+		StdDev:          math.Sqrt(vrr),
+		Percentiles:     pct,
+		PercentileLevel: append([]float64(nil), levels...),
+		MaxRR:           maxRR,
+		DegenerateUsers: in.degen,
+	}, nil
+}

@@ -1,0 +1,162 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/regretlab/fam/internal/rng"
+	"github.com/regretlab/fam/internal/utility"
+)
+
+// sampledTableInstance builds a small instance with explicit random
+// utility tables so properties are checked on fully general (not just
+// linear) utility functions.
+func sampledTableInstance(g *rng.RNG, n, N int) *Instance {
+	pts := make([][]float64, n)
+	for i := range pts {
+		pts[i] = []float64{float64(i)} // coordinates unused by Table funcs
+	}
+	funcs := make([]utility.Func, N)
+	for u := 0; u < N; u++ {
+		tu := make([]float64, n)
+		for p := range tu {
+			tu[p] = g.Float64()
+		}
+		funcs[u] = utility.Table{U: tu}
+	}
+	in, err := NewInstance(pts, funcs, Options{})
+	if err != nil {
+		panic(err)
+	}
+	return in
+}
+
+// Property (Lemma 1): arr is monotonically decreasing — adding any point
+// never increases the sampled average regret ratio.
+func TestARRMonotoneDecreasingProperty(t *testing.T) {
+	g := rng.New(101)
+	f := func(seed uint32) bool {
+		n := int(seed%8) + 3
+		N := int(seed/8%16) + 4
+		in := sampledTableInstance(g, n, N)
+		// Random non-empty S ⊊ D and p ∉ S.
+		var S []int
+		for p := 0; p < n-1; p++ {
+			if g.Float64() < 0.5 {
+				S = append(S, p)
+			}
+		}
+		if len(S) == 0 {
+			S = []int{0}
+		}
+		p := n - 1
+		arrS, err1 := in.ARR(S)
+		arrSp, err2 := in.ARR(append(append([]int{}, S...), p))
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return arrSp <= arrS+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property (Theorem 2): arr is supermodular —
+// arr(S∪{p}) − arr(S) ≤ arr(T∪{p}) − arr(T) for S ⊆ T, p ∉ T.
+func TestARRSupermodularProperty(t *testing.T) {
+	g := rng.New(202)
+	f := func(seed uint32) bool {
+		n := int(seed%8) + 3
+		N := int(seed/8%16) + 4
+		in := sampledTableInstance(g, n, N)
+		var S, T []int
+		for p := 0; p < n-1; p++ {
+			r := g.Float64()
+			if r < 0.3 {
+				S = append(S, p)
+				T = append(T, p)
+			} else if r < 0.6 {
+				T = append(T, p)
+			}
+		}
+		if len(S) == 0 {
+			S = append(S, 0)
+			found := false
+			for _, q := range T {
+				if q == 0 {
+					found = true
+				}
+			}
+			if !found {
+				T = append([]int{0}, T...)
+			}
+		}
+		p := n - 1
+		arrS, e1 := in.ARR(S)
+		arrT, e2 := in.ARR(T)
+		arrSp, e3 := in.ARR(append(append([]int{}, S...), p))
+		arrTp, e4 := in.ARR(append(append([]int{}, T...), p))
+		if e1 != nil || e2 != nil || e3 != nil || e4 != nil {
+			return false
+		}
+		return (arrSp - arrS) <= (arrTp-arrT)+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: steepness lies in [0, 1] and the Theorem 3 bound is ≥ 1.
+func TestSteepnessProperty(t *testing.T) {
+	g := rng.New(303)
+	f := func(seed uint32) bool {
+		n := int(seed%8) + 3
+		N := int(seed/8%16) + 4
+		in := sampledTableInstance(g, n, N)
+		s, err := Steepness(in)
+		if err != nil {
+			return false
+		}
+		if s < 0 || s > 1 {
+			return false
+		}
+		return ApproxRatioBound(s) >= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestApproxRatioBoundEdges(t *testing.T) {
+	if got := ApproxRatioBound(0); got != 1 {
+		t.Fatalf("bound(0) = %v", got)
+	}
+	if got := ApproxRatioBound(-0.5); got != 1 {
+		t.Fatalf("bound(-0.5) = %v", got)
+	}
+	if !math.IsInf(ApproxRatioBound(1), 1) {
+		t.Fatal("bound(1) must be +Inf")
+	}
+	// Monotone increasing in s.
+	prev := 1.0
+	for s := 0.05; s < 1; s += 0.05 {
+		b := ApproxRatioBound(s)
+		if b < prev {
+			t.Fatalf("bound not monotone at s=%v", s)
+		}
+		prev = b
+	}
+}
+
+func TestSteepnessErrors(t *testing.T) {
+	if _, err := Steepness(nil); err == nil {
+		t.Fatal("nil instance must error")
+	}
+	g := rng.New(1)
+	in := sampledTableInstance(g, 1, 3)
+	if _, err := Steepness(in); err == nil {
+		t.Fatal("single point must error")
+	}
+}

@@ -1,0 +1,131 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Strategy selects the GREEDY-SHRINK implementation. All strategies run
+// Algorithm 1 — start from the whole database and repeatedly remove the
+// point whose removal increases the average regret ratio the least — and
+// produce identical solutions; they differ only in how the per-candidate
+// evaluation values arr(S−{p}) are obtained.
+type Strategy int
+
+const (
+	// StrategyDelta tracks each user's best and second-best point in the
+	// current set, making every evaluation value available from per-point
+	// accumulators in O(1). This is the default and the fastest variant.
+	StrategyDelta Strategy = iota
+	// StrategyLazy is the paper-faithful variant: Improvement 1 (per-user
+	// best-point caching so only users whose best point is the removed
+	// point are re-evaluated) plus Improvement 2 (previous-iteration
+	// evaluation values kept as lower bounds in a priority queue —
+	// Lemmas 2 and 3 — so most candidates are never re-evaluated).
+	StrategyLazy
+	// StrategyNaive recomputes arr(S−{p}) from scratch for every candidate
+	// in every iteration — the paper's "straightforward implementation"
+	// reference point. Only viable on small instances.
+	StrategyNaive
+)
+
+func (s Strategy) String() string {
+	switch s {
+	case StrategyDelta:
+		return "delta"
+	case StrategyLazy:
+		return "lazy"
+	case StrategyNaive:
+		return "naive"
+	default:
+		return fmt.Sprintf("core.Strategy(%d)", int(s))
+	}
+}
+
+// ShrinkStats reports the work GREEDY-SHRINK performed; the lazy-variant
+// counters mirror the paper's observation that only ≈1% of users and ≈68%
+// of candidate points need reprocessing per iteration.
+type ShrinkStats struct {
+	Iterations     int     // points removed (n - k)
+	Evaluations    int     // arr(S−{p}) evaluations actually computed
+	EvalSkipped    int     // candidate evaluations avoided by lower bounds
+	UserRescans    int     // users whose best/second point was recomputed
+	FinalARR       float64 // sampled arr of the returned set
+	Strategy       Strategy
+	CandidateTotal int // total candidate evaluations a naive run would do
+}
+
+// ErrBadK is returned when k is out of (0, n].
+var ErrBadK = errors.New("core: k must satisfy 0 < k <= n")
+
+// GreedyShrink runs Algorithm 1 with the given strategy and returns the
+// selected point indices in ascending order. The context is checked once
+// per removal iteration, so cancellation latency is one iteration.
+func GreedyShrink(ctx context.Context, in *Instance, k int, strategy Strategy) ([]int, ShrinkStats, error) {
+	if in == nil {
+		return nil, ShrinkStats{}, errors.New("core: nil instance")
+	}
+	n := in.NumPoints()
+	if k <= 0 || k > n {
+		return nil, ShrinkStats{}, fmt.Errorf("%w: k=%d n=%d", ErrBadK, k, n)
+	}
+	var (
+		set   []int
+		stats ShrinkStats
+		err   error
+	)
+	switch strategy {
+	case StrategyDelta:
+		set, stats, err = deltaShrink(ctx, in, k)
+	case StrategyLazy:
+		set, stats, err = lazyShrink(ctx, in, k)
+	case StrategyNaive:
+		set, stats, err = naiveShrink(ctx, in, k)
+	default:
+		return nil, ShrinkStats{}, fmt.Errorf("core: unknown strategy %d", int(strategy))
+	}
+	if err != nil {
+		return nil, stats, err
+	}
+	sort.Ints(set)
+	stats.Strategy = strategy
+	arr, err := in.ARR(set)
+	if err != nil {
+		return nil, stats, err
+	}
+	stats.FinalARR = arr
+	return set, stats, nil
+}
+
+// aliveSet is the shared mutable selection-set representation.
+type aliveSet struct {
+	alive []bool
+	count int
+}
+
+func newAliveSet(n int) *aliveSet {
+	a := &aliveSet{alive: make([]bool, n), count: n}
+	for i := range a.alive {
+		a.alive[i] = true
+	}
+	return a
+}
+
+func (a *aliveSet) remove(p int) {
+	if a.alive[p] {
+		a.alive[p] = false
+		a.count--
+	}
+}
+
+func (a *aliveSet) members() []int {
+	out := make([]int, 0, a.count)
+	for p, ok := range a.alive {
+		if ok {
+			out = append(out, p)
+		}
+	}
+	return out
+}

@@ -1,0 +1,102 @@
+package core
+
+import (
+	"errors"
+	"math"
+)
+
+// Steepness computes the steepness s of the sampled arr(·) function
+// (Definition 8 with U = D):
+//
+//	s = max over x with d(x,{x}) > 0 of (d(x,{x}) − d(x,D)) / d(x,{x})
+//
+// where d(x, X) = arr(X−{x}) − arr(X). Both ingredients have closed forms
+// under the sampled estimator: arr(∅) counts every non-degenerate user at
+// regret ratio 1, arr(D) = 0, and arr(D−{x}) only re-scores users whose
+// database-best point is x.
+func Steepness(in *Instance) (float64, error) {
+	if in == nil {
+		return 0, errors.New("core: nil instance")
+	}
+	n, N := in.NumPoints(), in.NumFuncs()
+	if n < 2 {
+		return 0, errors.New("core: steepness needs at least two points")
+	}
+
+	// arrEmpty = arr(∅), unnormalized: every non-degenerate user carries
+	// their full mass at regret ratio 1.
+	var arrEmpty float64
+	for u := 0; u < N; u++ {
+		if in.satD[u] > 0 {
+			arrEmpty += in.Weight(u)
+		}
+	}
+
+	// Per-user second-best utility in D, for arr(D−{x}).
+	singles := make([]float64, n) // Σ_u w_u·rr({x}, u), unnormalized
+	dropTop := make([]float64, n) // Σ_{u: bestD(u)=x} w_u·(best − second)/satD
+	for u := 0; u < N; u++ {
+		if in.satD[u] <= 0 {
+			continue
+		}
+		w := in.Weight(u)
+		b1, v1, v2 := -1, -1.0, -1.0
+		for p := 0; p < n; p++ {
+			v := in.Utility(u, p)
+			if v > v1 {
+				v2 = v1
+				b1, v1 = p, v
+			} else if v > v2 {
+				v2 = v
+			}
+			singles[p] += w * (in.satD[u] - min0(v)) / in.satD[u]
+		}
+		if v2 < 0 {
+			v2 = 0
+		}
+		dropTop[b1] += w * (v1 - v2) / in.satD[u]
+	}
+
+	s := 0.0
+	for x := 0; x < n; x++ {
+		dSingle := arrEmpty - singles[x] // d(x,{x}) = arr(∅) − arr({x})
+		if dSingle <= 0 {
+			continue
+		}
+		dFull := dropTop[x] // d(x,D) = arr(D−{x}) − arr(D) = arr(D−{x})
+		if v := (dSingle - dFull) / dSingle; v > s {
+			s = v
+		}
+	}
+	if s < 0 {
+		s = 0
+	}
+	if s > 1 {
+		s = 1
+	}
+	return s, nil
+}
+
+func min0(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
+// ApproxRatioBound evaluates Theorem 3's guarantee: GREEDY-SHRINK's arr is
+// within a factor (e^t − 1)/t of optimal, where t = s/(1−s). The bound is
+// 1 at s = 0 (arr would be modular) and diverges as s → 1.
+func ApproxRatioBound(s float64) float64 {
+	if s < 0 {
+		s = 0
+	}
+	if s >= 1 {
+		return math.Inf(1)
+	}
+	t := s / (1 - s)
+	if t < 1e-12 {
+		return 1 // lim_{t→0} (e^t − 1)/t
+	}
+	return (math.Exp(t) - 1) / t
+}

@@ -1,0 +1,214 @@
+package core
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"github.com/regretlab/fam/internal/rng"
+	"github.com/regretlab/fam/internal/utility"
+)
+
+// weightedAndReplicated builds the same user population twice: once as a
+// weighted instance with integer weights, once with each user physically
+// replicated weight-many times. The two must be indistinguishable.
+func weightedAndReplicated(t *testing.T, seed uint64) (*Instance, *Instance) {
+	t.Helper()
+	g := rng.New(seed)
+	n := g.IntN(8) + 4
+	numUsers := g.IntN(6) + 2
+	pts := make([][]float64, n)
+	for i := range pts {
+		pts[i] = []float64{float64(i)}
+	}
+	var funcs []utility.Func
+	var weights []float64
+	var replicated []utility.Func
+	for u := 0; u < numUsers; u++ {
+		tu := make([]float64, n)
+		for p := range tu {
+			tu[p] = g.Float64()
+		}
+		f := utility.Table{U: tu}
+		w := g.IntN(4) + 1
+		funcs = append(funcs, f)
+		weights = append(weights, float64(w))
+		for r := 0; r < w; r++ {
+			replicated = append(replicated, f)
+		}
+	}
+	weighted, err := NewInstance(pts, funcs, Options{Weights: weights})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := NewInstance(pts, replicated, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return weighted, plain
+}
+
+func TestWeightValidation(t *testing.T) {
+	pts := [][]float64{{1}, {2}}
+	funcs := []utility.Func{utility.Table{U: []float64{1, 2}}}
+	if _, err := NewInstance(pts, funcs, Options{Weights: []float64{1, 2}}); err == nil {
+		t.Fatal("weight length mismatch must error")
+	}
+	if _, err := NewInstance(pts, funcs, Options{Weights: []float64{-1}}); err == nil {
+		t.Fatal("negative weight must error")
+	}
+	if _, err := NewInstance(pts, funcs, Options{Weights: []float64{0}}); err == nil {
+		t.Fatal("zero total weight must error")
+	}
+	if _, err := NewInstance(pts, funcs, Options{Weights: []float64{math.NaN()}}); err == nil {
+		t.Fatal("NaN weight must error")
+	}
+	in, err := NewInstance(pts, funcs, Options{Weights: []float64{2.5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !in.Weighted() || in.Weight(0) != 2.5 || in.TotalWeight() != 2.5 {
+		t.Fatal("weight accessors wrong")
+	}
+	plain, _ := NewInstance(pts, funcs, Options{})
+	if plain.Weighted() || plain.Weight(0) != 1 || plain.TotalWeight() != 1 {
+		t.Fatal("uniform accessors wrong")
+	}
+}
+
+// The paper's Appendix A example: Table I users with uniform probability
+// 0.25 each — exact weighted arr must match the hand computation.
+func TestWeightedTableIExact(t *testing.T) {
+	pts := [][]float64{{0}, {1}, {2}, {3}}
+	funcs := []utility.Func{
+		utility.Table{U: []float64{0.9, 0.7, 0.2, 0.4}},
+		utility.Table{U: []float64{0.6, 1, 0.5, 0.2}},
+		utility.Table{U: []float64{0.2, 0.6, 0.3, 1}},
+		utility.Table{U: []float64{0.1, 0.2, 1, 0.9}},
+	}
+	in, err := NewInstance(pts, funcs, Options{Weights: []float64{0.25, 0.25, 0.25, 0.25}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	arr, err := in.ARR([]int{2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 19.0 / 72.0; math.Abs(arr-want) > 1e-12 {
+		t.Fatalf("weighted ARR = %v, want %v", arr, want)
+	}
+	// Non-uniform weights shift the answer toward the heavy user.
+	heavy, _ := NewInstance(pts, funcs, Options{Weights: []float64{10, 0.1, 0.1, 0.1}})
+	arrH, _ := heavy.ARR([]int{2, 3})
+	// Alex (weight 10) has rr 5/9; the average must approach that.
+	if arrH < 0.5 {
+		t.Fatalf("heavy-user ARR = %v, expected > 0.5", arrH)
+	}
+}
+
+// Property: weighted instance == physically replicated instance for ARR,
+// Evaluate, GreedyShrink (all strategies) and BruteForce.
+func TestWeightedEqualsReplicated(t *testing.T) {
+	ctx := context.Background()
+	for seed := uint64(0); seed < 15; seed++ {
+		weighted, plain := weightedAndReplicated(t, seed+600)
+		n := weighted.NumPoints()
+
+		// ARR on a fixed set.
+		set := []int{0, n - 1}
+		aw, err1 := weighted.ARR(set)
+		ap, err2 := plain.ARR(set)
+		if err1 != nil || err2 != nil {
+			t.Fatal(err1, err2)
+		}
+		if math.Abs(aw-ap) > 1e-12 {
+			t.Fatalf("seed %d: weighted ARR %v != replicated %v", seed, aw, ap)
+		}
+
+		// Metrics.
+		mw, err := weighted.Evaluate(set, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mp, err := plain.Evaluate(set, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(mw.ARR-mp.ARR) > 1e-12 || math.Abs(mw.StdDev-mp.StdDev) > 1e-12 {
+			t.Fatalf("seed %d: weighted metrics %+v != replicated %+v", seed, mw, mp)
+		}
+		for i := range mw.Percentiles {
+			if math.Abs(mw.Percentiles[i]-mp.Percentiles[i]) > 1e-12 {
+				t.Fatalf("seed %d: percentile %d differs: %v vs %v", seed, i, mw.Percentiles[i], mp.Percentiles[i])
+			}
+		}
+
+		// GreedyShrink, all strategies.
+		k := n/2 + 1
+		for _, s := range allStrategies() {
+			sw, _, err := GreedyShrink(ctx, weighted, k, s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sp, _, err := GreedyShrink(ctx, plain, k, s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range sw {
+				if sw[i] != sp[i] {
+					t.Fatalf("seed %d %v: weighted set %v != replicated %v", seed, s, sw, sp)
+				}
+			}
+		}
+
+		// BruteForce.
+		bw, arrW, err := BruteForce(ctx, weighted, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bp, arrP, err := BruteForce(ctx, plain, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(arrW-arrP) > 1e-12 {
+			t.Fatalf("seed %d: brute arr %v != %v (%v vs %v)", seed, arrW, arrP, bw, bp)
+		}
+
+		// Steepness.
+		stW, err := Steepness(weighted)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stP, err := Steepness(plain)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(stW-stP) > 1e-12 {
+			t.Fatalf("seed %d: steepness %v != %v", seed, stW, stP)
+		}
+	}
+}
+
+// Zero-weight users must not influence the selection.
+func TestZeroWeightUsersIgnored(t *testing.T) {
+	pts := [][]float64{{0}, {1}, {2}}
+	funcs := []utility.Func{
+		utility.Table{U: []float64{1, 0, 0}},   // wants point 0, weight 0
+		utility.Table{U: []float64{0, 0.2, 1}}, // wants point 2
+	}
+	in, err := NewInstance(pts, funcs, Options{Weights: []float64{0, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, _, err := GreedyShrink(context.Background(), in, 1, StrategyDelta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(set) != 1 || set[0] != 2 {
+		t.Fatalf("selection %v should serve only the weighted user", set)
+	}
+	arr, _ := in.ARR([]int{2})
+	if arr != 0 {
+		t.Fatalf("arr = %v, want 0 (zero-weight user ignored)", arr)
+	}
+}

@@ -1,0 +1,111 @@
+package dataset
+
+import (
+	"encoding/csv"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteCSV writes the dataset with a header row of attribute names. When
+// the dataset has row labels, a leading "label" column is emitted.
+func WriteCSV(w io.Writer, d *Dataset) error {
+	if err := d.Validate(); err != nil {
+		return err
+	}
+	cw := csv.NewWriter(w)
+	hasLabels := d.Labels != nil
+	header := make([]string, 0, d.Dim()+1)
+	if hasLabels {
+		header = append(header, "label")
+	}
+	if d.Attrs != nil {
+		header = append(header, d.Attrs...)
+	} else {
+		header = append(header, genericAttrs(d.Dim())...)
+	}
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("dataset: writing header: %w", err)
+	}
+	row := make([]string, 0, len(header))
+	for i, p := range d.Points {
+		row = row[:0]
+		if hasLabels {
+			row = append(row, d.Labels[i])
+		}
+		for _, v := range p {
+			row = append(row, strconv.FormatFloat(v, 'g', -1, 64))
+		}
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("dataset: writing row %d: %w", i, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a dataset written by WriteCSV (or any CSV whose first row
+// is a header). A leading column named "label" is treated as row labels;
+// all remaining columns must be numeric.
+func ReadCSV(r io.Reader, name string) (*Dataset, error) {
+	cr := csv.NewReader(r)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("dataset: reading header: %w", err)
+	}
+	if len(header) == 0 {
+		return nil, errors.New("dataset: empty header")
+	}
+	hasLabels := header[0] == "label"
+	attrStart := 0
+	if hasLabels {
+		attrStart = 1
+	}
+	if len(header) == attrStart {
+		return nil, errors.New("dataset: no attribute columns")
+	}
+	for i, name := range header[attrStart:] {
+		if name == "" {
+			return nil, fmt.Errorf("dataset: attribute column %d has an empty name", i)
+		}
+	}
+	attrs := append([]string(nil), header[attrStart:]...)
+	d := &Dataset{Name: name, Attrs: attrs}
+	if hasLabels {
+		d.Labels = []string{}
+	}
+	rowNum := 1
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("dataset: reading row %d: %w", rowNum, err)
+		}
+		if len(rec) != len(header) {
+			return nil, fmt.Errorf("dataset: row %d has %d fields, want %d", rowNum, len(rec), len(header))
+		}
+		p := make([]float64, len(attrs))
+		for j, s := range rec[attrStart:] {
+			v, err := strconv.ParseFloat(s, 64)
+			if err != nil {
+				return nil, fmt.Errorf("dataset: row %d column %q: %w", rowNum, attrs[j], err)
+			}
+			p[j] = v
+		}
+		if hasLabels {
+			d.Labels = append(d.Labels, rec[0])
+		}
+		d.Points = append(d.Points, p)
+		rowNum++
+	}
+	if len(d.Points) == 0 {
+		return nil, errors.New("dataset: no data rows")
+	}
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}

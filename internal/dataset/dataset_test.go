@@ -1,0 +1,294 @@
+package dataset
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"github.com/regretlab/fam/internal/skyline"
+)
+
+func TestSyntheticShapes(t *testing.T) {
+	for _, corr := range []Correlation{Independent, Correlated, Anticorrelated, Spherical} {
+		ds, err := Synthetic(200, 4, corr, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ds.N() != 200 || ds.Dim() != 4 {
+			t.Fatalf("%s: shape %dx%d", corr, ds.N(), ds.Dim())
+		}
+		if err := ds.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range ds.Points {
+			for _, v := range p {
+				if v < 0 || v > 1 {
+					t.Fatalf("%s: value %v out of [0,1]", corr, v)
+				}
+			}
+		}
+	}
+	if _, err := Synthetic(0, 3, Independent, 1); err == nil {
+		t.Fatal("n=0 must error")
+	}
+	if _, err := Synthetic(10, 0, Independent, 1); err == nil {
+		t.Fatal("d=0 must error")
+	}
+	if _, err := Synthetic(10, 3, Correlation(99), 1); err == nil {
+		t.Fatal("unknown correlation must error")
+	}
+}
+
+func TestSyntheticDeterminism(t *testing.T) {
+	a, _ := Synthetic(50, 3, Anticorrelated, 42)
+	b, _ := Synthetic(50, 3, Anticorrelated, 42)
+	c, _ := Synthetic(50, 3, Anticorrelated, 43)
+	for i := range a.Points {
+		for j := range a.Points[i] {
+			if a.Points[i][j] != b.Points[i][j] {
+				t.Fatal("same seed must reproduce data")
+			}
+		}
+	}
+	diff := false
+	for i := range a.Points {
+		for j := range a.Points[i] {
+			if a.Points[i][j] != c.Points[i][j] {
+				diff = true
+			}
+		}
+	}
+	if !diff {
+		t.Fatal("different seeds should differ")
+	}
+}
+
+// Skyline sizes must order as anticorrelated > independent > correlated —
+// the defining property of the Börzsönyi generator families.
+func TestSyntheticSkylineOrdering(t *testing.T) {
+	sizes := map[Correlation]int{}
+	for _, corr := range []Correlation{Independent, Correlated, Anticorrelated} {
+		ds, err := Synthetic(2000, 5, corr, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sky, err := skyline.Compute(ds.Points)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sizes[corr] = len(sky)
+	}
+	if !(sizes[Anticorrelated] > sizes[Independent] && sizes[Independent] > sizes[Correlated]) {
+		t.Fatalf("skyline sizes anti=%d indep=%d corr=%d violate expected ordering",
+			sizes[Anticorrelated], sizes[Independent], sizes[Correlated])
+	}
+}
+
+func TestSimulatedRealDatasets(t *testing.T) {
+	cases := []struct {
+		name string
+		gen  func(int, uint64) (*Dataset, error)
+		d    int
+	}{
+		{"nba", SimulatedNBA, 15},
+		{"nba22", SimulatedNBA22, 22},
+		{"household", SimulatedHousehold, 6},
+		{"forest", SimulatedForestCover, 11},
+		{"census", SimulatedUSCensus, 10},
+		{"hotels", Hotels, 5},
+	}
+	for _, c := range cases {
+		ds, err := c.gen(300, 11)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if ds.N() != 300 || ds.Dim() != c.d {
+			t.Fatalf("%s: shape %dx%d, want 300x%d", c.name, ds.N(), ds.Dim(), c.d)
+		}
+		if err := ds.Validate(); err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if _, err := c.gen(0, 1); err == nil {
+			t.Fatalf("%s: n=0 must error", c.name)
+		}
+	}
+	// Labeled datasets expose labels.
+	nba, _ := SimulatedNBA(10, 1)
+	if nba.Labels == nil || nba.Label(3) == "" {
+		t.Fatal("NBA stand-in should carry labels")
+	}
+	house, _ := SimulatedHousehold(10, 1)
+	if got := house.Label(2); got != "row-2" {
+		t.Fatalf("unlabeled fallback = %q", got)
+	}
+}
+
+// The role model must produce specialization: the NBA stand-in's skyline
+// should contain players of different roles, i.e., more than a couple of
+// points even though abilities are scalar.
+func TestSimulatedNBASkylineNotTrivial(t *testing.T) {
+	ds, err := SimulatedNBA(1000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sky, err := skyline.Compute(ds.Points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sky) < 10 {
+		t.Fatalf("NBA skyline suspiciously small: %d", len(sky))
+	}
+	if len(sky) == ds.N() {
+		t.Fatal("NBA skyline should not be the whole dataset")
+	}
+}
+
+func TestSubset(t *testing.T) {
+	ds, _ := SimulatedNBA(20, 1)
+	sub := ds.Subset([]int{3, 5}, "sub")
+	if sub.N() != 2 || sub.Label(0) != ds.Label(3) || sub.Label(1) != ds.Label(5) {
+		t.Fatalf("Subset wrong: %+v", sub.Labels)
+	}
+	if &sub.Points[0][0] != &ds.Points[3][0] {
+		t.Fatal("Subset should share point storage")
+	}
+}
+
+func TestValidateCatchesInconsistency(t *testing.T) {
+	d := &Dataset{Name: "x", Points: [][]float64{{1, 2}}, Attrs: []string{"a"}}
+	if err := d.Validate(); err == nil {
+		t.Fatal("attr count mismatch must error")
+	}
+	d = &Dataset{Name: "x", Points: [][]float64{{1}}, Labels: []string{"a", "b"}}
+	if err := d.Validate(); err == nil {
+		t.Fatal("label count mismatch must error")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	ds, _ := Hotels(25, 9)
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, ds); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf, "hotels-rt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.N() != ds.N() || back.Dim() != ds.Dim() {
+		t.Fatalf("round trip shape %dx%d", back.N(), back.Dim())
+	}
+	for i := range ds.Points {
+		if back.Labels[i] != ds.Labels[i] {
+			t.Fatalf("label %d mismatch", i)
+		}
+		for j := range ds.Points[i] {
+			if back.Points[i][j] != ds.Points[i][j] {
+				t.Fatalf("value (%d,%d) mismatch: %v vs %v", i, j, back.Points[i][j], ds.Points[i][j])
+			}
+		}
+	}
+	for j, a := range ds.Attrs {
+		if back.Attrs[j] != a {
+			t.Fatalf("attr %d mismatch", j)
+		}
+	}
+}
+
+func TestCSVNoLabels(t *testing.T) {
+	ds, _ := Synthetic(5, 2, Independent, 1)
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, ds); err != nil {
+		t.Fatal(err)
+	}
+	if strings.HasPrefix(buf.String(), "label") {
+		t.Fatal("unlabeled dataset should not emit a label column")
+	}
+	back, err := ReadCSV(&buf, "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Labels != nil {
+		t.Fatal("no labels expected")
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := []string{
+		"",                    // no header
+		"label\n",             // no attribute columns
+		"a,b\n1\n",            // short row (csv lib errors on field count)
+		"a,b\n1,notanumber\n", // bad float
+		"a\n",                 // header only, no rows
+		"a,b\n1,NaN\n",        // NaN fails dataset validation
+	}
+	for i, s := range cases {
+		if _, err := ReadCSV(strings.NewReader(s), "bad"); err == nil {
+			t.Errorf("case %d should error: %q", i, s)
+		}
+	}
+}
+
+func TestSimulatedRatings(t *testing.T) {
+	rd, err := SimulatedRatings(50, 30, 4, 3, 0.5, 0.05, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rd.NumUsers != 50 || rd.NumItems != 30 {
+		t.Fatalf("shape %dx%d", rd.NumUsers, rd.NumItems)
+	}
+	exp := 50.0 * 30.0 * 0.5
+	if got := float64(len(rd.Ratings)); math.Abs(got-exp) > exp*0.2 {
+		t.Fatalf("got %v ratings, expected about %v", got, exp)
+	}
+	for _, r := range rd.Ratings {
+		if r.User < 0 || r.User >= 50 || r.Item < 0 || r.Item >= 30 {
+			t.Fatalf("rating out of range: %+v", r)
+		}
+		if r.Score < 0 {
+			t.Fatalf("negative score: %+v", r)
+		}
+	}
+	if len(rd.TrueUserF) != 50 || len(rd.TrueItemF) != 30 || len(rd.TrueUserF[0]) != 4 {
+		t.Fatal("planted factors missing")
+	}
+	// Parameter validation.
+	bad := []struct {
+		u, i, r, a int
+		den, noise float64
+	}{
+		{0, 1, 1, 1, 0.5, 0}, {1, 0, 1, 1, 0.5, 0}, {1, 1, 0, 1, 0.5, 0},
+		{1, 1, 1, 0, 0.5, 0}, {1, 1, 1, 1, 0, 0}, {1, 1, 1, 1, 1.5, 0},
+		{1, 1, 1, 1, 0.5, -1},
+	}
+	for i, c := range bad {
+		if _, err := SimulatedRatings(c.u, c.i, c.r, c.a, c.den, c.noise, 1); err == nil {
+			t.Errorf("bad case %d should error", i)
+		}
+	}
+}
+
+func TestCorrelationString(t *testing.T) {
+	if Independent.String() != "independent" || Correlated.String() != "correlated" ||
+		Anticorrelated.String() != "anticorrelated" || Spherical.String() != "spherical" ||
+		Correlation(9).String() == "" {
+		t.Fatal("Correlation.String broken")
+	}
+}
+
+// The spherical family must produce a convex front: its skyline is large
+// and no single point covers most linear users (unlike correlated data).
+func TestSphericalFrontIsHard(t *testing.T) {
+	ds, err := Synthetic(3000, 2, Spherical, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sky, err := skyline.Compute(ds.Points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sky) < 15 {
+		t.Fatalf("spherical 2-d skyline = %d, expected a wide front", len(sky))
+	}
+}

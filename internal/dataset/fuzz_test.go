@@ -1,0 +1,43 @@
+package dataset
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadCSV hardens the CSV loader against malformed input: whatever the
+// bytes, it must either return a structurally valid dataset or an error —
+// never panic, and never hand back a dataset that fails its own Validate.
+func FuzzReadCSV(f *testing.F) {
+	f.Add("a,b\n1,2\n3,4\n")
+	f.Add("label,a\nx,1\n")
+	f.Add("a\n\n")
+	f.Add("a,b\n1\n")
+	f.Add("a,b\n1,NaN\n")
+	f.Add("label\n")
+	f.Add(",,,\n1,2,3,4\n")
+	f.Add("a,b\n1e308,2e308\n")
+	f.Add("a;b\n1;2\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		ds, err := ReadCSV(strings.NewReader(input), "fuzz")
+		if err != nil {
+			return
+		}
+		if vErr := ds.Validate(); vErr != nil {
+			t.Fatalf("ReadCSV accepted %q but Validate rejects it: %v", input, vErr)
+		}
+		// Accepted datasets must round-trip.
+		var buf bytes.Buffer
+		if wErr := WriteCSV(&buf, ds); wErr != nil {
+			t.Fatalf("round-trip write failed for %q: %v", input, wErr)
+		}
+		back, rErr := ReadCSV(&buf, "fuzz-rt")
+		if rErr != nil {
+			t.Fatalf("round-trip read failed for %q: %v", input, rErr)
+		}
+		if back.N() != ds.N() || back.Dim() != ds.Dim() {
+			t.Fatalf("round trip changed shape for %q", input)
+		}
+	})
+}

@@ -1,0 +1,114 @@
+package dataset
+
+import (
+	"fmt"
+
+	"github.com/regretlab/fam/internal/rng"
+)
+
+// Rating is one observed (user, item, score) triple of a sparse ratings
+// matrix, the input format of the Yahoo!-style pipeline (Section V-B2).
+type Rating struct {
+	User  int
+	Item  int
+	Score float64
+}
+
+// RatingsData is a sparse ratings matrix with planted ground truth. The
+// planted factors are exported so tests can verify that matrix
+// factorization recovers the structure; the pipeline itself never reads
+// them.
+type RatingsData struct {
+	NumUsers int
+	NumItems int
+	Ratings  []Rating
+	// TrueUserF and TrueItemF are the planted latent factors
+	// (NumUsers×rank and NumItems×rank). Score(u,i) before noise is
+	// TrueUserF[u]·TrueItemF[i].
+	TrueUserF [][]float64
+	TrueItemF [][]float64
+}
+
+// SimulatedRatings plants a low-rank preference structure with user
+// archetypes (mirroring genre clusters in music ratings: the learned Θ
+// should be multi-modal, which is why the paper fits a 5-component GMM) and
+// returns a sparse sample of noisy ratings.
+//
+// density is the fraction of (user, item) cells observed; noise is the
+// standard deviation of additive Gaussian rating noise.
+func SimulatedRatings(numUsers, numItems, rank, archetypes int, density, noise float64, seed uint64) (*RatingsData, error) {
+	if numUsers <= 0 || numItems <= 0 || rank <= 0 || archetypes <= 0 {
+		return nil, fmt.Errorf("%w: users=%d items=%d rank=%d archetypes=%d", ErrBadShape, numUsers, numItems, rank, archetypes)
+	}
+	if density <= 0 || density > 1 {
+		return nil, fmt.Errorf("dataset: density must be in (0,1], got %v", density)
+	}
+	if noise < 0 {
+		return nil, fmt.Errorf("dataset: noise must be non-negative, got %v", noise)
+	}
+	g := rng.New(seed)
+
+	// Archetype centers in latent space: well-separated non-negative
+	// directions so the user population is genuinely multi-modal.
+	centers := make([][]float64, archetypes)
+	for a := range centers {
+		c := make([]float64, rank)
+		for j := range c {
+			c[j] = 0.1 + 0.9*g.Float64()
+		}
+		// Emphasize a signature coordinate per archetype.
+		c[a%rank] += 1.5
+		centers[a] = c
+	}
+
+	userF := make([][]float64, numUsers)
+	for u := range userF {
+		a := centers[g.IntN(archetypes)]
+		f := make([]float64, rank)
+		for j := range f {
+			// Wide within-archetype spread keeps the population genuinely
+			// diverse: a handful of items cannot satisfy every listener.
+			f[j] = a[j] + 0.5*g.Normal()
+			if f[j] < 0 {
+				f[j] = 0
+			}
+		}
+		userF[u] = f
+	}
+	itemF := make([][]float64, numItems)
+	for i := range itemF {
+		f := make([]float64, rank)
+		for j := range f {
+			f[j] = g.Float64()
+		}
+		itemF[i] = f
+	}
+
+	var ratings []Rating
+	for u := 0; u < numUsers; u++ {
+		for i := 0; i < numItems; i++ {
+			if g.Float64() >= density {
+				continue
+			}
+			var s float64
+			for j := 0; j < rank; j++ {
+				s += userF[u][j] * itemF[i][j]
+			}
+			s += noise * g.Normal()
+			if s < 0 {
+				s = 0
+			}
+			ratings = append(ratings, Rating{User: u, Item: i, Score: s})
+		}
+	}
+	if len(ratings) == 0 {
+		return nil, fmt.Errorf("dataset: density %v produced no ratings", density)
+	}
+	return &RatingsData{
+		NumUsers:  numUsers,
+		NumItems:  numItems,
+		Ratings:   ratings,
+		TrueUserF: userF,
+		TrueItemF: itemF,
+	}, nil
+}

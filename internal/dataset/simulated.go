@@ -1,0 +1,224 @@
+package dataset
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/regretlab/fam/internal/point"
+	"github.com/regretlab/fam/internal/rng"
+)
+
+// This file builds deterministic stand-ins for the paper's real datasets
+// (Table IV). The originals (basketballreference.com, IPUMS, UCI KDD) are
+// not redistributable here, so each stand-in is a generative model tuned to
+// the structural property that drives the algorithms' behaviour on the real
+// data: performance/price attributes are positively correlated with
+// role-dependent specialization, which yields moderately sized skylines and
+// the regret-ratio decay the paper reports. Sizes and dimensionalities
+// default to the paper's (Table IV) but are parameterized so tests and CI
+// benches can run scaled down.
+
+// nbaStatNames are the per-season statistical categories of the 15-d NBA
+// stand-in.
+var nbaStatNames = []string{
+	"pts", "reb", "ast", "stl", "blk", "fgm", "fga", "ftm", "fta", "tpm",
+	"min", "gp", "oreb", "dreb", "tov_inv",
+}
+
+// nbaRoles capture the specialization pattern of basketball positions:
+// each role boosts a subset of statistics. Index into nbaStatNames.
+var nbaRoles = [][]int{
+	{0, 5, 6, 9},      // scoring guard: points, field goals, threes
+	{2, 3, 0, 10},     // playmaker: assists, steals, minutes
+	{1, 4, 12, 13},    // center: rebounds, blocks
+	{0, 1, 5, 10, 11}, // forward: points+rebounds, durability
+	{3, 4, 14, 13},    // defensive specialist
+}
+
+// SimulatedNBA generates an NBA-style dataset with n players and the
+// paper's 15 statistical dimensions. Player quality follows a heavy-tailed
+// latent ability; each player has a role that concentrates his output on a
+// subset of statistics, which is what makes small representative sets
+// meaningful (guards cannot cover fans who value rebounds).
+func SimulatedNBA(n int, seed uint64) (*Dataset, error) {
+	return simulatedRoleData("nba-sim", n, nbaStatNames, nbaRoles, seed)
+}
+
+// SimulatedNBA22 generates the 22-dimensional variant used by the paper's
+// Section V-A survey experiment (664 players, 22 statistics).
+func SimulatedNBA22(n int, seed uint64) (*Dataset, error) {
+	attrs := make([]string, 22)
+	copy(attrs, nbaStatNames)
+	for i := len(nbaStatNames); i < 22; i++ {
+		attrs[i] = fmt.Sprintf("adv%d", i-len(nbaStatNames))
+	}
+	roles := [][]int{
+		{0, 5, 6, 9, 15}, {2, 3, 10, 16}, {1, 4, 12, 13, 17},
+		{0, 1, 5, 11, 18}, {3, 4, 14, 19}, {0, 2, 20, 21},
+	}
+	ds, err := simulatedRoleData("nba22-sim", n, attrs, roles, seed)
+	if err != nil {
+		return nil, err
+	}
+	return ds, nil
+}
+
+// simulatedRoleData is the shared latent-ability + role model.
+func simulatedRoleData(name string, n int, attrs []string, roles [][]int, seed uint64) (*Dataset, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("%w: n=%d", ErrBadShape, n)
+	}
+	d := len(attrs)
+	g := rng.New(seed)
+	pts := make([][]float64, n)
+	labels := make([]string, n)
+	for i := range pts {
+		// Heavy-tailed ability: a few stars, many journeymen.
+		ability := g.Gamma(2) / 6
+		if ability > 1 {
+			ability = 1
+		}
+		role := roles[g.IntN(len(roles))]
+		boosted := make(map[int]bool, len(role))
+		for _, j := range role {
+			boosted[j] = true
+		}
+		p := make([]float64, d)
+		for j := range p {
+			base := 0.25 * ability
+			if boosted[j] {
+				base = ability
+			}
+			p[j] = clamp01(base * (0.7 + 0.6*g.Float64()))
+		}
+		pts[i] = p
+		labels[i] = fmt.Sprintf("%s-player-%03d", name, i)
+	}
+	norm, err := point.Normalize(pts)
+	if err != nil {
+		return nil, err
+	}
+	return &Dataset{Name: fmt.Sprintf("%s(n=%d,d=%d)", name, n, d), Attrs: attrs, Labels: labels, Points: norm}, nil
+}
+
+// SimulatedHousehold generates the 6-attribute household-economics
+// stand-in (the paper's Household-6d has n = 127,931, d = 6). Households
+// have a latent wealth level; attributes (all oriented larger-is-better)
+// correlate with wealth with attribute-specific noise.
+func SimulatedHousehold(n int, seed uint64) (*Dataset, error) {
+	attrs := []string{"income", "rooms", "vehicles", "education", "insurance", "savings"}
+	return simulatedWealthData("household6d-sim", n, attrs, 0.25, seed)
+}
+
+// SimulatedForestCover generates the 11-attribute Forest-Cover stand-in
+// (paper: n = 100,000, d = 11): terrain attributes with two weakly coupled
+// latent factors (elevation regime and hydrology).
+func SimulatedForestCover(n int, seed uint64) (*Dataset, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("%w: n=%d", ErrBadShape, n)
+	}
+	attrs := []string{
+		"elevation", "aspect", "slope_inv", "h_dist_hydro_inv", "v_dist_hydro_inv",
+		"h_dist_road_inv", "hillshade_9am", "hillshade_noon", "hillshade_3pm",
+		"h_dist_fire_inv", "soil_quality",
+	}
+	g := rng.New(seed)
+	pts := make([][]float64, n)
+	for i := range pts {
+		elev := g.Float64()
+		hydro := g.Float64()
+		p := make([]float64, len(attrs))
+		for j := range p {
+			var mu float64
+			switch {
+			case j < 3 || j >= 6 && j <= 8: // terrain/shade follow elevation
+				mu = elev
+			case j < 6: // distances follow hydrology
+				mu = hydro
+			default: // fire distance and soil mix both
+				mu = 0.5*elev + 0.5*hydro
+			}
+			p[j] = clamp01(mu + 0.2*g.Normal())
+		}
+		pts[i] = p
+	}
+	norm, err := point.Normalize(pts)
+	if err != nil {
+		return nil, err
+	}
+	return &Dataset{Name: fmt.Sprintf("forestcover-sim(n=%d,d=%d)", n, len(attrs)), Attrs: attrs, Points: norm}, nil
+}
+
+// SimulatedUSCensus generates the 10-attribute US-Census stand-in
+// (paper: n = 100,000, d = 10).
+func SimulatedUSCensus(n int, seed uint64) (*Dataset, error) {
+	attrs := []string{
+		"income", "education", "hours", "capital_gain", "age_score",
+		"occupation_rank", "household_size_inv", "commute_inv", "home_value", "benefits",
+	}
+	return simulatedWealthData("uscensus-sim", n, attrs, 0.3, seed)
+}
+
+// simulatedWealthData draws each record around a latent prosperity level
+// combined with a per-record allocation of that prosperity across the
+// attributes (a household trades income against savings, education against
+// hours, …). The wealth term produces the positive correlation typical of
+// economic data; the allocation term produces the attribute trade-offs
+// that give real datasets their non-trivial skylines.
+func simulatedWealthData(name string, n int, attrs []string, noise float64, seed uint64) (*Dataset, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("%w: n=%d", ErrBadShape, n)
+	}
+	d := len(attrs)
+	g := rng.New(seed)
+	pts := make([][]float64, n)
+	for i := range pts {
+		wealth := g.Float64()
+		alloc := g.Dirichlet(1, d)
+		p := make([]float64, d)
+		for j := range p {
+			// sqrt of a Dirichlet draw lies on the unit sphere: the
+			// allocation front is convex, so no single record serves every
+			// preference — the property that makes representative-set
+			// selection on real economic data non-trivial.
+			p[j] = clamp01(0.35*wealth + 0.65*math.Sqrt(alloc[j]) + noise*g.Normal())
+		}
+		pts[i] = p
+	}
+	norm, err := point.Normalize(pts)
+	if err != nil {
+		return nil, err
+	}
+	return &Dataset{Name: fmt.Sprintf("%s(n=%d,d=%d)", name, n, d), Attrs: attrs, Points: norm}, nil
+}
+
+// Hotels generates the hotel-booking scenario of the paper's introduction:
+// n hotels described by price value, rating, location and amenity scores,
+// with realistic trade-offs (central location costs money; luxury hotels
+// rate higher).
+func Hotels(n int, seed uint64) (*Dataset, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("%w: n=%d", ErrBadShape, n)
+	}
+	attrs := []string{"price_value", "rating", "location", "amenities", "quietness"}
+	g := rng.New(seed)
+	pts := make([][]float64, n)
+	labels := make([]string, n)
+	for i := range pts {
+		luxury := g.Float64() // 0 = budget, 1 = luxury
+		central := g.Float64()
+		p := make([]float64, len(attrs))
+		p[0] = clamp01(1 - 0.6*luxury - 0.3*central + 0.15*g.Normal()) // value for money
+		p[1] = clamp01(0.3 + 0.6*luxury + 0.1*g.Normal())              // rating
+		p[2] = clamp01(central + 0.1*g.Normal())                       // location
+		p[3] = clamp01(0.2 + 0.7*luxury + 0.15*g.Normal())             // amenities
+		p[4] = clamp01(1 - 0.7*central + 0.15*g.Normal())              // quietness
+		pts[i] = p
+		labels[i] = fmt.Sprintf("hotel-%03d", i)
+	}
+	norm, err := point.Normalize(pts)
+	if err != nil {
+		return nil, err
+	}
+	return &Dataset{Name: fmt.Sprintf("hotels(n=%d)", n), Attrs: attrs, Labels: labels, Points: norm}, nil
+}

@@ -1,0 +1,230 @@
+// Package dp2d implements the exact dynamic program of Section IV: for a
+// 2-dimensional database under linear utility functions whose weights are
+// uniform on [0,1]², it finds the size-k set minimizing the exact average
+// regret ratio in O(n⁴) (n = skyline size).
+//
+// The recurrence (Theorem 6), written in tangent space t = w2/w1:
+//
+//	arr*(r, i, tl) = min over j ∈ (i, n] with t(i,j) ≥ tl of
+//	                 arr({p_i}, F[tl, t(i,j)]) + arr*(r−1, j, t(i,j))
+//	                 — or arr({p_i}, F[tl, ∞]) to stop at p_i —
+//
+// with base case arr*(0, i, tl) = arr({p_i}, F[tl, ∞]). Skyline points are
+// sorted by strictly descending first attribute, so t(i,j), the tangent
+// where p_j overtakes p_i, is positive and finite for i < j. The term
+// arr({p_i}, F[a,b]) integrates the regret of showing p_i against the
+// database envelope over tangents [a, b] using the closed forms of
+// internal/geom.
+package dp2d
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/regretlab/fam/internal/geom"
+	"github.com/regretlab/fam/internal/skyline"
+)
+
+// Result is the output of Solve.
+type Result struct {
+	// Set holds the selected point indices into the original point set,
+	// ascending.
+	Set []int
+	// ARR is the exact average regret ratio of Set under the uniform-box
+	// linear distribution.
+	ARR float64
+	// SkylineSize is the number of skyline points the DP ran on.
+	SkylineSize int
+}
+
+// ErrBadK is returned when k is not positive.
+var ErrBadK = errors.New("dp2d: k must be positive")
+
+// Solve runs the dynamic program on the (full) 2-d point set. Dominated
+// points are removed first — they are never anyone's best point, so the
+// optimum over the skyline equals the optimum over the database.
+func Solve(ctx context.Context, points [][]float64, k int) (Result, error) {
+	if k <= 0 {
+		return Result{}, fmt.Errorf("%w: k=%d", ErrBadK, k)
+	}
+	sky, err := skyline.Skyline2DSorted(points)
+	if err != nil {
+		return Result{}, err
+	}
+	m := len(sky)
+	// Work points in DP order (descending first attribute).
+	pts := make([][]float64, m)
+	for i, idx := range sky {
+		pts[i] = points[idx]
+	}
+	if k >= m {
+		// Whole skyline fits: exact arr is 0.
+		out := append([]int(nil), sky...)
+		sort.Ints(out)
+		return Result{Set: out, ARR: 0, SkylineSize: m}, nil
+	}
+
+	dbEnv, err := geom.ComputeEnvelope(points)
+	if err != nil {
+		return Result{}, err
+	}
+
+	// single(i, a, b) = arr({p_i}, F[a, b]): regret of showing p_i alone to
+	// the users with tangents in [a, b], against the database envelope.
+	// Implemented as a difference of the cumulative integral
+	// A_i(t) = arr({p_i}, F[0, t]), with per-point prefix sums over the
+	// database envelope segments built lazily (O(E) per point, O(log E)
+	// per query) — the DP issues O(k·n³) single() calls, so per-call cost
+	// dominates the total runtime.
+	envStarts := make([]float64, len(dbEnv.Idx))
+	for s := 1; s < len(dbEnv.Idx); s++ {
+		envStarts[s] = dbEnv.Breaks[s-1]
+	}
+	prefix := make([][]float64, m) // prefix[i][s] = A_i(envStarts[s])
+	cumulative := func(i int, t float64) float64 {
+		if prefix[i] == nil {
+			pre := make([]float64, len(dbEnv.Idx)+1)
+			for s, best := range dbEnv.Idx {
+				hi := dbEnv.Breaks[s]
+				pre[s+1] = pre[s] + geom.RegretIntegral(pts[i], points[best], envStarts[s], hi)
+			}
+			prefix[i] = pre
+		}
+		if t <= 0 {
+			return 0
+		}
+		// Find the segment containing t: the first break >= t.
+		s := sort.SearchFloat64s(dbEnv.Breaks, t)
+		if s >= len(dbEnv.Idx) {
+			return prefix[i][len(dbEnv.Idx)]
+		}
+		best := dbEnv.Idx[s]
+		return prefix[i][s] + geom.RegretIntegral(pts[i], points[best], envStarts[s], t)
+	}
+	single := func(i int, a, b float64) float64 {
+		v := cumulative(i, b) - cumulative(i, a)
+		if v < 0 {
+			return 0 // round-off guard
+		}
+		return v
+	}
+
+	// boundary(i, j) is the tangent where p_j (j > i in DP order) overtakes
+	// p_i: equality of p_i[0] + t p_i[1] = p_j[0] + t p_j[1].
+	boundary := func(i, j int) float64 {
+		if j == m {
+			return math.Inf(1)
+		}
+		return (pts[i][0] - pts[j][0]) / (pts[j][1] - pts[i][1])
+	}
+
+	// memo[r][i][prev+1] with tl = 0 when prev == -1, else boundary(prev, i).
+	const unset = -1.0
+	memo := make([][][]float64, k)
+	parent := make([][][]int, k) // chosen successor j (m means "stop")
+	for r := 0; r < k; r++ {
+		memo[r] = make([][]float64, m)
+		parent[r] = make([][]int, m)
+		for i := 0; i < m; i++ {
+			memo[r][i] = make([]float64, m+1)
+			parent[r][i] = make([]int, m+1)
+			for p := range memo[r][i] {
+				memo[r][i][p] = unset
+			}
+		}
+	}
+
+	var ctxErr error
+	var solve func(r, i, prev int) float64
+	solve = func(r, i, prev int) float64 {
+		if ctxErr != nil {
+			return 0
+		}
+		if v := memo[r][i][prev+1]; v != unset {
+			return v
+		}
+		if err := ctx.Err(); err != nil {
+			ctxErr = err
+			return 0
+		}
+		tl := 0.0
+		if prev >= 0 {
+			tl = boundary(prev, i)
+		}
+		// Option "stop": p_i is the best shown point for all tangents ≥ tl.
+		best := single(i, tl, math.Inf(1))
+		bestJ := m
+		if r > 0 {
+			for j := i + 1; j < m; j++ {
+				tj := boundary(i, j)
+				if tj < tl {
+					continue
+				}
+				v := single(i, tl, tj) + solve(r-1, j, i)
+				if v < best-1e-15 {
+					best, bestJ = v, j
+				}
+			}
+		}
+		memo[r][i][prev+1] = best
+		parent[r][i][prev+1] = bestJ
+		return best
+	}
+
+	bestStart, bestVal := -1, math.Inf(1)
+	for i := 0; i < m; i++ {
+		// p_i can open the solution only if it is the best shown point at
+		// t = 0; any i may be tried (Theorem 6 scans all) — suboptimal
+		// openers are simply never minimal.
+		if v := solve(k-1, i, -1); v < bestVal-1e-15 {
+			bestVal, bestStart = v, i
+		}
+	}
+	if ctxErr != nil {
+		return Result{}, ctxErr
+	}
+
+	// Reconstruct the chain.
+	var chain []int
+	r, i, prev := k-1, bestStart, -1
+	for {
+		chain = append(chain, i)
+		j := parent[r][i][prev+1]
+		if j == m || r == 0 {
+			break
+		}
+		prev, i, r = i, j, r-1
+	}
+	out := make([]int, len(chain))
+	for idx, c := range chain {
+		out[idx] = sky[c]
+	}
+	// The recurrence optimizes over "at most r points", so the chain may be
+	// shorter than k. Padding with unused skyline points cannot increase
+	// arr (Lemma 1) and keeps the value optimal; re-deriving the exact arr
+	// of the padded set keeps the reported number honest.
+	if len(out) < k {
+		used := make(map[int]bool, len(out))
+		for _, p := range out {
+			used[p] = true
+		}
+		for _, p := range sky {
+			if len(out) == k {
+				break
+			}
+			if !used[p] {
+				out = append(out, p)
+			}
+		}
+		arr, err := geom.ExactARR(points, out)
+		if err != nil {
+			return Result{}, err
+		}
+		bestVal = arr
+	}
+	sort.Ints(out)
+	return Result{Set: out, ARR: bestVal, SkylineSize: m}, nil
+}

@@ -1,0 +1,161 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func benchCfg() Config { return Config{Scale: ScaleBench, Seed: 1} }
+
+func TestParseScale(t *testing.T) {
+	for s, want := range map[string]Scale{"bench": ScaleBench, "small": ScaleSmall, "paper": ScalePaper} {
+		got, err := ParseScale(s)
+		if err != nil || got != want {
+			t.Fatalf("ParseScale(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := ParseScale("huge"); err == nil {
+		t.Fatal("unknown scale must error")
+	}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{
+		"fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
+		"fig10", "fig11", "fig12", "table2", "table5",
+		"ablation1", "ablation2", "ablation3", "ablation4", "ablation5",
+	}
+	for _, id := range want {
+		if _, ok := Lookup(id); !ok {
+			t.Errorf("experiment %q not registered", id)
+		}
+	}
+	if len(IDs()) < len(want) {
+		t.Fatalf("registry has %d entries, want at least %d", len(IDs()), len(want))
+	}
+	if _, ok := Lookup("nope"); ok {
+		t.Fatal("Lookup must miss unknown ids")
+	}
+	if _, err := Run(context.Background(), "nope", benchCfg()); err == nil {
+		t.Fatal("Run of unknown id must error")
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tab := &Table{
+		ID: "x", Title: "demo",
+		Header: []string{"a", "long-header"},
+		Rows:   [][]string{{"1", "2"}, {"333333", "4"}},
+	}
+	var buf bytes.Buffer
+	if err := tab.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "== x: demo ==") || !strings.Contains(out, "long-header") {
+		t.Fatalf("render output:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 { // title + header + 2 rows
+		t.Fatalf("unexpected line count %d:\n%s", len(lines), out)
+	}
+}
+
+// Every registered experiment must run to completion at bench scale and
+// produce non-empty tables with rectangular rows.
+func TestAllExperimentsRunAtBenchScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("bench-scale experiment sweep skipped in -short")
+	}
+	ctx := context.Background()
+	for _, r := range All() {
+		r := r
+		t.Run(r.ID, func(t *testing.T) {
+			tables, err := r.Run(ctx, benchCfg())
+			if err != nil {
+				t.Fatalf("%s: %v", r.ID, err)
+			}
+			if len(tables) == 0 {
+				t.Fatalf("%s produced no tables", r.ID)
+			}
+			for _, tab := range tables {
+				if len(tab.Rows) == 0 {
+					t.Fatalf("%s table %s has no rows", r.ID, tab.ID)
+				}
+				for _, row := range tab.Rows {
+					if len(row) != len(tab.Header) {
+						t.Fatalf("%s table %s row %v does not match header %v", r.ID, tab.ID, row, tab.Header)
+					}
+				}
+			}
+		})
+	}
+}
+
+// Spot-check the scientific claims at bench scale: GREEDY-SHRINK's arr is
+// competitive in Fig 8 (close to brute-force optimum) and Table V matches
+// the formula exactly.
+func TestFig8GreedyNearOptimal(t *testing.T) {
+	tables, err := Run(context.Background(), "fig8", benchCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ratio *Table
+	for _, tab := range tables {
+		if tab.ID == "fig8b" {
+			ratio = tab
+		}
+	}
+	if ratio == nil {
+		t.Fatal("fig8b missing")
+	}
+	// Column 1 is Greedy-Shrink; every ratio must be close to 1.
+	for _, row := range ratio.Rows {
+		v, err := strconv.ParseFloat(row[1], 64)
+		if err != nil {
+			t.Fatalf("bad ratio cell %q", row[1])
+		}
+		if v > 1.1 {
+			t.Fatalf("greedy-shrink ratio %v too far above optimal (row %v)", v, row)
+		}
+	}
+}
+
+func TestTable5Exact(t *testing.T) {
+	tables, err := Run(context.Background(), "table5", benchCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 1 || len(tables[0].Rows) != 6 {
+		t.Fatalf("table5 shape: %+v", tables)
+	}
+	if tables[0].Rows[0][2] != "69078" {
+		t.Fatalf("table5 first N = %s, want 69078 (paper prints 69,077 via floor)", tables[0].Rows[0][2])
+	}
+}
+
+// Determinism: the same config renders byte-identical tables (timing
+// columns excluded — compare an arr table).
+func TestExperimentDeterminism(t *testing.T) {
+	run := func() string {
+		tables, err := Run(context.Background(), "fig8", benchCfg())
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		for _, tab := range tables {
+			if tab.ID == "fig8a" || tab.ID == "fig8b" {
+				if err := tab.Render(&buf); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		return buf.String()
+	}
+	if run() != run() {
+		t.Fatal("experiment output must be deterministic for equal seeds")
+	}
+}

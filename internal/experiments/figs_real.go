@@ -1,0 +1,195 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+
+	"github.com/regretlab/fam/internal/core"
+	"github.com/regretlab/fam/internal/dataset"
+	"github.com/regretlab/fam/internal/utility"
+)
+
+func init() {
+	register(Runner{
+		ID:          "fig4",
+		Description: "Query time vs k on the four real-dataset stand-ins (Fig 4)",
+		Run: func(ctx context.Context, cfg Config) ([]*Table, error) {
+			return runRealSweep(ctx, cfg, "fig4", "query time (seconds)",
+				func(r algoRun) string { return secs(r.Query) })
+		},
+	})
+	register(Runner{
+		ID:          "fig6",
+		Description: "Average regret ratio vs k on the four real-dataset stand-ins (Fig 6)",
+		Run: func(ctx context.Context, cfg Config) ([]*Table, error) {
+			return runRealSweep(ctx, cfg, "fig6", "average regret ratio",
+				func(r algoRun) string { return f4(r.Metrics.ARR) })
+		},
+	})
+	register(Runner{
+		ID:          "fig10",
+		Description: "Standard deviation of regret ratio vs k on real-dataset stand-ins (Fig 10)",
+		Run: func(ctx context.Context, cfg Config) ([]*Table, error) {
+			return runRealSweep(ctx, cfg, "fig10", "std dev of regret ratio",
+				func(r algoRun) string { return f4(r.Metrics.StdDev) })
+		},
+	})
+	register(Runner{
+		ID:          "fig11",
+		Description: "Regret ratio distribution across user percentiles, N=10,000 (Fig 11)",
+		Run: func(ctx context.Context, cfg Config) ([]*Table, error) {
+			return runRealPercentiles(ctx, cfg, "fig11", percentileSampleSize(cfg, false))
+		},
+	})
+	register(Runner{
+		ID:          "fig12",
+		Description: "Regret ratio distribution with a large sample, N=1,000,000 at paper scale (Fig 12)",
+		Run: func(ctx context.Context, cfg Config) ([]*Table, error) {
+			return runRealPercentiles(ctx, cfg, "fig12", percentileSampleSize(cfg, true))
+		},
+	})
+}
+
+// realDataset describes one of the paper's Table IV datasets.
+type realDataset struct {
+	name string
+	gen  func(n int, seed uint64) (*dataset.Dataset, error)
+	// paperN is the size from the paper's Table IV.
+	paperN int
+}
+
+func realDatasets() []realDataset {
+	return []realDataset{
+		{"Household-6d", dataset.SimulatedHousehold, 127931},
+		{"ForestCover", dataset.SimulatedForestCover, 100000},
+		{"USCensus", dataset.SimulatedUSCensus, 100000},
+		{"NBA", dataset.SimulatedNBA, 16915},
+	}
+}
+
+// realScale returns (n per dataset, sample size, ks) for the shared
+// real-dataset sweeps.
+func realScale(cfg Config) (func(realDataset) int, int, []int) {
+	switch cfg.Scale {
+	case ScaleBench:
+		return func(realDataset) int { return 600 }, 1000, []int{5, 15, 25}
+	case ScaleSmall:
+		return func(realDataset) int { return 5000 }, 10000, []int{5, 10, 15, 20, 25, 30}
+	default:
+		return func(rd realDataset) int { return rd.paperN }, 10000, []int{5, 10, 15, 20, 25, 30}
+	}
+}
+
+// runRealSweep builds one table per real dataset with algorithms as
+// columns and k as rows, extracting one cell per run — the layout of
+// Figures 4, 6 and 10.
+func runRealSweep(ctx context.Context, cfg Config, id, what string, cell func(algoRun) string) ([]*Table, error) {
+	sizeOf, N, ks := realScale(cfg)
+	var tables []*Table
+	for di, rd := range realDatasets() {
+		ds, err := rd.gen(sizeOf(rd), cfg.Seed+uint64(di))
+		if err != nil {
+			return nil, err
+		}
+		dist, err := utility.NewUniformSimplexLinear(ds.Dim())
+		if err != nil {
+			return nil, err
+		}
+		p, err := newPrep(ds, dist, N, cfg.Seed+1000+uint64(di))
+		if err != nil {
+			return nil, err
+		}
+		res, err := p.sweep(ctx, standardAlgos(), ks)
+		if err != nil {
+			return nil, err
+		}
+		t := seriesTable(fmt.Sprintf("%s-%s", id, rd.name),
+			fmt.Sprintf("%s vs k on %s (n=%d, d=%d)", what, rd.name, ds.N(), ds.Dim()),
+			"k", ks, standardAlgos(), res, cell)
+		tables = append(tables, t)
+	}
+	return tables, nil
+}
+
+// percentileSampleSize picks N for the Fig 11/12 percentile studies.
+func percentileSampleSize(cfg Config, large bool) int {
+	switch cfg.Scale {
+	case ScaleBench:
+		if large {
+			return 20000
+		}
+		return 5000
+	case ScaleSmall:
+		if large {
+			return 100000
+		}
+		return 10000
+	default:
+		if large {
+			return 1000000
+		}
+		return 10000
+	}
+}
+
+// runRealPercentiles reproduces the percentile plots: the regret ratio at
+// the 70/80/90/95/99/100-th user percentiles for each algorithm's k=10
+// selection.
+func runRealPercentiles(ctx context.Context, cfg Config, id string, N int) ([]*Table, error) {
+	sizeOf, selectionN, _ := realScale(cfg)
+	const k = 10
+	var tables []*Table
+	for di, rd := range realDatasets() {
+		ds, err := rd.gen(sizeOf(rd), cfg.Seed+uint64(di))
+		if err != nil {
+			return nil, err
+		}
+		dist, err := utility.NewUniformSimplexLinear(ds.Dim())
+		if err != nil {
+			return nil, err
+		}
+		// Selection uses the default sample size; the percentile
+		// measurement re-evaluates the chosen sets under N users (the
+		// point of Fig 12 is that growing N to 10⁶ does not change the
+		// distribution).
+		p, err := newPrep(ds, dist, selectionN, cfg.Seed+2000+uint64(di))
+		if err != nil {
+			return nil, err
+		}
+		sets := make(map[string][]int, len(standardAlgos()))
+		for _, a := range standardAlgos() {
+			r, err := p.runAlgo(ctx, a, k)
+			if err != nil {
+				return nil, err
+			}
+			sets[a] = r.Set
+		}
+		big, err := newPrep(ds, dist, N, cfg.Seed+3000+uint64(di))
+		if err != nil {
+			return nil, err
+		}
+		t := &Table{
+			ID:     fmt.Sprintf("%s-%s", id, rd.name),
+			Title:  fmt.Sprintf("regret ratio at user percentiles on %s (k=%d, N=%d)", rd.name, k, N),
+			Header: append([]string{"percentile"}, standardAlgos()...),
+		}
+		perAlgo := make(map[string]core.Metrics, len(standardAlgos()))
+		for _, a := range standardAlgos() {
+			local := big.toInstance(sets[a])
+			m, err := big.in.Evaluate(local, nil)
+			if err != nil {
+				return nil, err
+			}
+			perAlgo[a] = m
+		}
+		for li, level := range core.DefaultPercentiles {
+			row := []string{fmt.Sprintf("%.0f", level)}
+			for _, a := range standardAlgos() {
+				row = append(row, f4(perAlgo[a].Percentiles[li]))
+			}
+			t.Rows = append(t.Rows, row)
+		}
+		tables = append(tables, t)
+	}
+	return tables, nil
+}

@@ -1,0 +1,178 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+
+	"github.com/regretlab/fam/internal/dataset"
+	"github.com/regretlab/fam/internal/rng"
+	"github.com/regretlab/fam/internal/sampling"
+	"github.com/regretlab/fam/internal/utility"
+)
+
+func init() {
+	register(Runner{
+		ID:          "fig8",
+		Description: "Comparison with brute force on a small sampled dataset: arr, arr/optimal, query time (Fig 8)",
+		Run:         runFig8,
+	})
+	register(Runner{
+		ID:          "fig9",
+		Description: "Effect of the sampling error parameter ε: arr, arr/optimal, query time (Fig 9)",
+		Run:         runFig9,
+	})
+}
+
+// smallSample draws a small subset of the Household stand-in (the paper
+// samples 100 points of Household-6d for its brute-force studies).
+func smallSample(cfg Config, n int) (*dataset.Dataset, error) {
+	base, err := dataset.SimulatedHousehold(4*n, cfg.Seed+7)
+	if err != nil {
+		return nil, err
+	}
+	idx := rng.New(cfg.Seed+8).Choice(base.N(), n)
+	return base.Subset(idx, fmt.Sprintf("household-sample-%d", n)), nil
+}
+
+// fig8Scale returns (n, N, ks) — the brute-force budget grows as C(n, k),
+// which is exactly why the paper reports 50+ hours at n=100, k=5.
+func fig8Scale(cfg Config) (int, int, []int) {
+	switch cfg.Scale {
+	case ScaleBench:
+		return 30, 500, []int{1, 2, 3}
+	case ScaleSmall:
+		return 50, 2000, []int{1, 2, 3, 4}
+	default:
+		return 100, 10000, []int{1, 2, 3, 4}
+	}
+}
+
+func runFig8(ctx context.Context, cfg Config) ([]*Table, error) {
+	n, N, ks := fig8Scale(cfg)
+	ds, err := smallSample(cfg, n)
+	if err != nil {
+		return nil, err
+	}
+	dist, err := utility.NewUniformSimplexLinear(ds.Dim())
+	if err != nil {
+		return nil, err
+	}
+	p, err := newPrep(ds, dist, N, cfg.Seed+9)
+	if err != nil {
+		return nil, err
+	}
+	algos := append(standardAlgos(), algoBF)
+	res, err := p.sweep(ctx, algos, ks)
+	if err != nil {
+		return nil, err
+	}
+	arrT := seriesTable("fig8a", fmt.Sprintf("average regret ratio vs k (household sample, n=%d)", n),
+		"k", ks, algos, res, func(r algoRun) string { return f4(r.Metrics.ARR) })
+	ratioT := ratioTable("fig8b", "arr / optimal (brute force) vs k", "k", ks, standardAlgos(), res, algoBF)
+	timeT := seriesTable("fig8c", "query time (seconds) vs k", "k", ks, algos, res,
+		func(r algoRun) string { return secs(r.Query) })
+	return []*Table{arrT, ratioT, timeT}, nil
+}
+
+// ratioTable renders each algorithm's metric relative to a reference
+// algorithm's (the optimal one).
+func ratioTable(id, title, xName string, xs []int, algos []string,
+	res map[string]map[int]algoRun, ref string) *Table {
+	t := &Table{ID: id, Title: title, Header: append([]string{xName}, algos...)}
+	for _, x := range xs {
+		opt := res[ref][x].Metrics.ARR
+		row := []string{itoa(x)}
+		for _, a := range algos {
+			v := res[a][x].Metrics.ARR
+			switch {
+			case opt <= 1e-12 && v <= 1e-12:
+				row = append(row, "1.00")
+			case opt <= 1e-12:
+				row = append(row, "inf")
+			default:
+				row = append(row, f2(v/opt))
+			}
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}
+
+// fig9Scale returns (n, k, eps values).
+func fig9Scale(cfg Config) (int, int, []float64) {
+	switch cfg.Scale {
+	case ScaleBench:
+		return 30, 3, []float64{0.1, 0.05}
+	case ScaleSmall:
+		return 50, 3, []float64{0.1, 0.05, 0.01}
+	default:
+		return 100, 4, []float64{0.1, 0.05, 0.01, 0.005}
+	}
+}
+
+func runFig9(ctx context.Context, cfg Config) ([]*Table, error) {
+	n, k, epss := fig9Scale(cfg)
+	ds, err := smallSample(cfg, n)
+	if err != nil {
+		return nil, err
+	}
+	dist, err := utility.NewUniformSimplexLinear(ds.Dim())
+	if err != nil {
+		return nil, err
+	}
+	algos := append(standardAlgos(), algoBF)
+	const sigma = 0.1
+
+	arrT := &Table{ID: "fig9a", Title: fmt.Sprintf("average regret ratio vs ε (household sample, n=%d, k=%d, σ=%.1f)", n, k, sigma),
+		Header: append([]string{"eps", "N"}, algos...)}
+	ratioT := &Table{ID: "fig9b", Title: "arr / optimal (brute force) vs ε",
+		Header: append([]string{"eps", "N"}, standardAlgos()...)}
+	timeT := &Table{ID: "fig9c", Title: "query time (seconds) vs ε",
+		Header: append([]string{"eps", "N"}, algos...)}
+
+	for ei, eps := range epss {
+		N, err := sampling.SampleSize(eps, sigma)
+		if err != nil {
+			return nil, err
+		}
+		p, err := newPrep(ds, dist, N, cfg.Seed+20+uint64(ei))
+		if err != nil {
+			return nil, err
+		}
+		res := make(map[string]algoRun, len(algos))
+		for _, a := range algos {
+			r, err := p.runAlgo(ctx, a, k)
+			if err != nil {
+				return nil, err
+			}
+			res[a] = r
+		}
+		epsLabel := fmt.Sprintf("%g", eps)
+		nLabel := itoa(N)
+
+		arrRow := []string{epsLabel, nLabel}
+		timeRow := []string{epsLabel, nLabel}
+		for _, a := range algos {
+			arrRow = append(arrRow, f4(res[a].Metrics.ARR))
+			timeRow = append(timeRow, secs(res[a].Query))
+		}
+		arrT.Rows = append(arrT.Rows, arrRow)
+		timeT.Rows = append(timeT.Rows, timeRow)
+
+		opt := res[algoBF].Metrics.ARR
+		ratioRow := []string{epsLabel, nLabel}
+		for _, a := range standardAlgos() {
+			v := res[a].Metrics.ARR
+			switch {
+			case opt <= 1e-12 && v <= 1e-12:
+				ratioRow = append(ratioRow, "1.00")
+			case opt <= 1e-12:
+				ratioRow = append(ratioRow, "inf")
+			default:
+				ratioRow = append(ratioRow, f2(v/opt))
+			}
+		}
+		ratioT.Rows = append(ratioT.Rows, ratioRow)
+	}
+	return []*Table{arrT, ratioT, timeT}, nil
+}

@@ -1,0 +1,111 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+
+	"github.com/regretlab/fam/internal/baseline"
+	"github.com/regretlab/fam/internal/dataset"
+	"github.com/regretlab/fam/internal/sampling"
+	"github.com/regretlab/fam/internal/utility"
+)
+
+func init() {
+	register(Runner{
+		ID:          "table2",
+		Description: "The three 5-player NBA sets chosen by ARR, MRR and K-HIT (Table II)",
+		Run:         runTable2,
+	})
+	register(Runner{
+		ID:          "table5",
+		Description: "Sample size N for chosen ε and σ per Theorem 4 (Table V)",
+		Run:         runTable5,
+	})
+}
+
+func runTable2(ctx context.Context, cfg Config) ([]*Table, error) {
+	n, N := 664, 10000 // the paper's Section V-A population
+	if cfg.Scale == ScaleBench {
+		n, N = 200, 2000
+	}
+	ds, err := dataset.SimulatedNBA22(n, cfg.Seed+2016)
+	if err != nil {
+		return nil, err
+	}
+	dist, err := utility.NewUniformSimplexLinear(ds.Dim())
+	if err != nil {
+		return nil, err
+	}
+	p, err := newPrep(ds, dist, N, cfg.Seed+2017)
+	if err != nil {
+		return nil, err
+	}
+	const k = 5
+	algos := []string{algoGS, algoMRR, algoKH}
+	sets := make(map[string]algoRun, len(algos))
+	for _, a := range algos {
+		r, err := p.runAlgo(ctx, a, k)
+		if err != nil {
+			return nil, err
+		}
+		sets[a] = r
+	}
+
+	members := &Table{
+		ID:     "table2",
+		Title:  fmt.Sprintf("the three %d-player sets (S_arr, S_mrr, S_k-hit) on the NBA stand-in (n=%d)", k, n),
+		Header: []string{"S_arr", "S_mrr", "S_k-hit"},
+	}
+	for i := 0; i < k; i++ {
+		members.Rows = append(members.Rows, []string{
+			ds.Label(sets[algoGS].Set[i]),
+			ds.Label(sets[algoMRR].Set[i]),
+			ds.Label(sets[algoKH].Set[i]),
+		})
+	}
+
+	overlap := func(a, b []int) int {
+		in := make(map[int]bool, len(a))
+		for _, x := range a {
+			in[x] = true
+		}
+		c := 0
+		for _, x := range b {
+			if in[x] {
+				c++
+			}
+		}
+		return c
+	}
+	quality := &Table{
+		ID:     "table2-metrics",
+		Title:  "set quality and overlap (the paper observes S_arr ≈ S_k-hit, S_mrr diverging)",
+		Header: []string{"set", "arr", "stddev", "max rr", "hit prob", "|∩ S_arr|"},
+	}
+	for _, a := range algos {
+		r := sets[a]
+		hit, err := baseline.HitProbability(p.in, p.toInstance(r.Set))
+		if err != nil {
+			return nil, err
+		}
+		quality.Rows = append(quality.Rows, []string{
+			a, f4(r.Metrics.ARR), f4(r.Metrics.StdDev), f4(r.Metrics.MaxRR),
+			f4(hit), itoa(overlap(sets[algoGS].Set, r.Set)),
+		})
+	}
+	return []*Table{members, quality}, nil
+}
+
+func runTable5(_ context.Context, _ Config) ([]*Table, error) {
+	t := &Table{
+		ID:     "table5",
+		Title:  "sample size N for chosen ε and σ (N = ⌈3·ln(1/σ)/ε²⌉, Theorem 4)",
+		Header: []string{"eps", "sigma", "N"},
+	}
+	for _, row := range sampling.TableV() {
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%g", row.Eps), fmt.Sprintf("%g", row.Sigma), itoa(row.N),
+		})
+	}
+	return []*Table{t}, nil
+}

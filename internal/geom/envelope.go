@@ -1,0 +1,171 @@
+// Package geom implements the 2-d geometry of Section IV: linear utility
+// functions over 2-d points parameterized by the angle they make with the
+// first axis, the "best point as the angle sweeps" structure, and the
+// closed-form integration of the regret ratio against the uniform measure
+// on the weight square [0,1]² (Section IV-C2).
+//
+// Everything works in tangent space t = w2/w1 ∈ [0, +∞] (t = +∞ encodes
+// θ = π/2): a utility function with tangent t ranks points by the line
+// value L_p(t) = p[0] + t·p[1], so "the best point at angle θ" is the
+// upper envelope of n lines. The uniform measure on the weight square
+// pushes forward to density
+//
+//	m(t) = 1/2           for t ≤ 1,
+//	m(t) = 1/(2t²)       for t > 1,
+//
+// which integrates to 1 over [0, ∞).
+package geom
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Envelope is the upper envelope of the lines L_p(t) = p[0] + t·p[1] of a
+// 2-d point set: which point is best for each tangent range.
+type Envelope struct {
+	// Idx[i] is the point (index into the constructor's slice) that is
+	// best on the tangent interval [start_i, Breaks[i]), where start_0 = 0
+	// and start_i = Breaks[i-1].
+	Idx []int
+	// Breaks[i] is the tangent where segment i ends; Breaks[len-1] = +Inf.
+	Breaks []float64
+
+	points [][]float64
+}
+
+// ErrNeed2D is returned for points that are not two-dimensional.
+var ErrNeed2D = errors.New("geom: points must be 2-dimensional")
+
+// ErrDegenerate is returned when every point is the origin, so no utility
+// function has positive satisfaction anywhere.
+var ErrDegenerate = errors.New("geom: all points are the origin")
+
+// ComputeEnvelope builds the upper envelope of the given 2-d points.
+// Ties prefer the lower point index, matching the tie-breaking of the
+// sampled evaluator.
+func ComputeEnvelope(points [][]float64) (*Envelope, error) {
+	if len(points) == 0 {
+		return nil, errors.New("geom: empty point set")
+	}
+	for i, p := range points {
+		if len(p) != 2 {
+			return nil, fmt.Errorf("%w: point %d has %d attributes", ErrNeed2D, i, len(p))
+		}
+		if p[0] < 0 || p[1] < 0 || math.IsNaN(p[0]) || math.IsNaN(p[1]) ||
+			math.IsInf(p[0], 0) || math.IsInf(p[1], 0) {
+			return nil, fmt.Errorf("geom: point %d = (%v, %v) must be finite and non-negative", i, p[0], p[1])
+		}
+	}
+	nonzero := false
+	for _, p := range points {
+		if p[0] > 0 || p[1] > 0 {
+			nonzero = true
+			break
+		}
+	}
+	if !nonzero {
+		return nil, ErrDegenerate
+	}
+
+	// Sort candidate lines by slope ascending, intercept descending,
+	// index ascending; for equal slopes only the best intercept (lowest
+	// index among equals) can appear on the envelope.
+	order := make([]int, len(points))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		pa, pb := points[order[a]], points[order[b]]
+		if pa[1] != pb[1] {
+			return pa[1] < pb[1]
+		}
+		if pa[0] != pb[0] {
+			return pa[0] > pb[0]
+		}
+		return order[a] < order[b]
+	})
+	// Deduplicate slopes, keeping the dominant line per slope.
+	var lines []int
+	for _, idx := range order {
+		if len(lines) > 0 && points[lines[len(lines)-1]][1] == points[idx][1] {
+			continue // same slope, worse (or equal) intercept
+		}
+		lines = append(lines, idx)
+	}
+
+	// crossing returns the tangent where line b overtakes line a
+	// (slope(b) > slope(a) required).
+	crossing := func(a, b int) float64 {
+		pa, pb := points[a], points[b]
+		return (pa[0] - pb[0]) / (pb[1] - pa[1])
+	}
+
+	// Incremental upper-envelope construction in slope order. stack holds
+	// envelope candidates; breaks[i] is where stack[i+1] overtakes
+	// stack[i].
+	var stack []int
+	var breaks []float64
+	for _, idx := range lines {
+		for len(stack) > 0 {
+			top := stack[len(stack)-1]
+			// If idx's intercept already dominates top at the tangent where
+			// top became best, top never appears.
+			tCross := crossing(top, idx)
+			var tStart float64
+			if len(breaks) > 0 {
+				tStart = breaks[len(breaks)-1]
+			}
+			if tCross <= tStart {
+				stack = stack[:len(stack)-1]
+				if len(breaks) > 0 {
+					breaks = breaks[:len(breaks)-1]
+				}
+				continue
+			}
+			breaks = append(breaks, tCross)
+			break
+		}
+		stack = append(stack, idx)
+	}
+	// Drop leading segments of zero width (can occur when the first line
+	// is overtaken at t = 0).
+	for len(breaks) > 0 && breaks[0] == 0 {
+		stack = stack[1:]
+		breaks = breaks[1:]
+	}
+	breaks = append(breaks, math.Inf(1))
+	return &Envelope{Idx: stack, Breaks: breaks, points: points}, nil
+}
+
+// BestAt returns the envelope point index best at tangent t (ties at
+// breakpoints resolve to the earlier segment).
+func (e *Envelope) BestAt(t float64) int {
+	i := sort.SearchFloat64s(e.Breaks, t)
+	if i == len(e.Breaks) {
+		i = len(e.Breaks) - 1
+	}
+	// SearchFloat64s finds the first break >= t; a break exactly equal to
+	// t closes its segment, so the point is still the segment owner.
+	return e.Idx[i]
+}
+
+// Segments invokes fn for each envelope segment [a, b) with its best point
+// index, restricted to the tangent window [lo, hi]. Empty intersections
+// are skipped.
+func (e *Envelope) Segments(lo, hi float64, fn func(best int, a, b float64)) {
+	start := 0.0
+	for i, idx := range e.Idx {
+		end := e.Breaks[i]
+		a, b := math.Max(start, lo), math.Min(end, hi)
+		if a < b {
+			fn(idx, a, b)
+		}
+		start = end
+		if start >= hi {
+			break
+		}
+	}
+}

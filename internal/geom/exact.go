@@ -1,0 +1,54 @@
+package geom
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ExactARR computes the exact (not sampled) average regret ratio of the
+// selection set under the uniform-box linear distribution over 2-d weight
+// vectors — the quantity the Section IV dynamic program optimizes. The
+// tangent line [0, ∞] is partitioned by the superposition of the
+// database envelope (which fixes each user's best point in D, i.e. the
+// denominator of the regret ratio) and the selection envelope (which fixes
+// the satisfaction from S); each cell contributes one closed-form integral.
+func ExactARR(points [][]float64, set []int) (float64, error) {
+	if len(set) == 0 {
+		return 0, errors.New("geom: empty selection set")
+	}
+	seen := make(map[int]bool, len(set))
+	selPts := make([][]float64, len(set))
+	for i, p := range set {
+		if p < 0 || p >= len(points) {
+			return 0, fmt.Errorf("geom: point index %d out of range [0,%d)", p, len(points))
+		}
+		if seen[p] {
+			return 0, fmt.Errorf("geom: duplicate point index %d", p)
+		}
+		seen[p] = true
+		selPts[i] = points[p]
+	}
+	dbEnv, err := ComputeEnvelope(points)
+	if err != nil {
+		return 0, err
+	}
+	selEnv, err := ComputeEnvelope(selPts)
+	if err != nil {
+		if errors.Is(err, ErrDegenerate) {
+			// A selection of all-origin points satisfies no one: the whole
+			// population keeps regret ratio 1 (unless D is degenerate too,
+			// which ComputeEnvelope above would have rejected).
+			return 1, nil
+		}
+		return 0, err
+	}
+
+	var total float64
+	dbEnv.Segments(0, math.Inf(1), func(best int, a, b float64) {
+		selEnv.Segments(a, b, func(selBest int, lo, hi float64) {
+			total += RegretIntegral(selPts[selBest], points[best], lo, hi)
+		})
+	})
+	return total, nil
+}

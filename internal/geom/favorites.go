@@ -1,0 +1,22 @@
+package geom
+
+import "math"
+
+// FavoriteMasses returns, for each point, the exact probability that it is
+// a random user's favorite under 2-d linear utilities with weights uniform
+// on [0,1]²: the tangent-measure mass of the envelope segments the point
+// owns. Points never on the envelope get 0; the masses sum to 1. This is
+// the quantity the k-hit query of Peng & Wong ranks points by, computed in
+// closed form for the 2-d case (their general algorithm estimates it
+// geometrically in higher dimensions).
+func FavoriteMasses(points [][]float64) ([]float64, error) {
+	env, err := ComputeEnvelope(points)
+	if err != nil {
+		return nil, err
+	}
+	masses := make([]float64, len(points))
+	env.Segments(0, math.Inf(1), func(best int, a, b float64) {
+		masses[best] += Mass(a, b)
+	})
+	return masses, nil
+}

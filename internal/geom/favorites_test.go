@@ -1,0 +1,78 @@
+package geom
+
+import (
+	"math"
+	"testing"
+
+	"github.com/regretlab/fam/internal/rng"
+)
+
+func TestFavoriteMassesSumToOne(t *testing.T) {
+	g := rng.New(53)
+	for trial := 0; trial < 50; trial++ {
+		n := g.IntN(20) + 1
+		pts := make([][]float64, n)
+		for i := range pts {
+			pts[i] = []float64{g.Float64(), g.Float64()}
+		}
+		masses, err := FavoriteMasses(pts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sum float64
+		for _, m := range masses {
+			if m < 0 {
+				t.Fatal("negative mass")
+			}
+			sum += m
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("trial %d: masses sum to %v", trial, sum)
+		}
+	}
+}
+
+func TestFavoriteMassesHandComputed(t *testing.T) {
+	// (1,0) best for t<1, (0,1) for t>1: masses 1/2 each.
+	pts := [][]float64{{1, 0}, {0, 1}, {0.3, 0.3}}
+	masses, err := FavoriteMasses(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(masses[0]-0.5) > 1e-12 || math.Abs(masses[1]-0.5) > 1e-12 {
+		t.Fatalf("masses = %v", masses)
+	}
+	if masses[2] != 0 {
+		t.Fatal("dominated point must have zero mass")
+	}
+}
+
+// Exact masses must match Monte-Carlo favorite counts.
+func TestFavoriteMassesMatchSampling(t *testing.T) {
+	g := rng.New(59)
+	pts := make([][]float64, 8)
+	for i := range pts {
+		pts[i] = []float64{g.Float64(), g.Float64()}
+	}
+	masses, err := FavoriteMasses(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]float64, len(pts))
+	const N = 400000
+	for s := 0; s < N; s++ {
+		w0, w1 := g.Float64(), g.Float64()
+		best, bestVal := 0, -1.0
+		for i, p := range pts {
+			if v := w0*p[0] + w1*p[1]; v > bestVal {
+				best, bestVal = i, v
+			}
+		}
+		counts[best]++
+	}
+	for i := range pts {
+		if math.Abs(masses[i]-counts[i]/N) > 0.005 {
+			t.Fatalf("point %d: exact %v vs sampled %v", i, masses[i], counts[i]/N)
+		}
+	}
+}

@@ -1,0 +1,321 @@
+package geom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/regretlab/fam/internal/rng"
+)
+
+func TestComputeEnvelopeValidation(t *testing.T) {
+	if _, err := ComputeEnvelope(nil); err == nil {
+		t.Fatal("empty must error")
+	}
+	if _, err := ComputeEnvelope([][]float64{{1, 2, 3}}); err == nil {
+		t.Fatal("3-d must error")
+	}
+	if _, err := ComputeEnvelope([][]float64{{-1, 0}}); err == nil {
+		t.Fatal("negative must error")
+	}
+	if _, err := ComputeEnvelope([][]float64{{math.NaN(), 0}}); err == nil {
+		t.Fatal("NaN must error")
+	}
+	if _, err := ComputeEnvelope([][]float64{{0, 0}, {0, 0}}); err == nil {
+		t.Fatal("all-origin must error with ErrDegenerate")
+	}
+}
+
+func TestEnvelopeSimple(t *testing.T) {
+	// Points: (1,0) best at small t, (0,1) best at large t, (0.6,0.6) best
+	// in the middle: crossing of (1,0) and (0.6,0.6): 1 = 0.6 + 0.6t at
+	// t = 2/3; crossing of (0.6,0.6) and (0,1): 0.6+0.6t = t at t = 1.5.
+	pts := [][]float64{{1, 0}, {0, 1}, {0.6, 0.6}}
+	env, err := ComputeEnvelope(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantIdx := []int{0, 2, 1}
+	if len(env.Idx) != 3 {
+		t.Fatalf("envelope = %v breaks %v", env.Idx, env.Breaks)
+	}
+	for i, w := range wantIdx {
+		if env.Idx[i] != w {
+			t.Fatalf("envelope order = %v, want %v", env.Idx, wantIdx)
+		}
+	}
+	if math.Abs(env.Breaks[0]-2.0/3) > 1e-12 || math.Abs(env.Breaks[1]-1.5) > 1e-12 {
+		t.Fatalf("breaks = %v", env.Breaks)
+	}
+	if !math.IsInf(env.Breaks[2], 1) {
+		t.Fatal("last break must be +Inf")
+	}
+	if env.BestAt(0) != 0 || env.BestAt(1) != 2 || env.BestAt(100) != 1 {
+		t.Fatalf("BestAt wrong: %d %d %d", env.BestAt(0), env.BestAt(1), env.BestAt(100))
+	}
+}
+
+func TestEnvelopeSkipsDominated(t *testing.T) {
+	// (0.5, 0.5) is below the chord of (1,0)-(0,1): never best.
+	pts := [][]float64{{1, 0}, {0, 1}, {0.45, 0.45}}
+	env, err := ComputeEnvelope(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, idx := range env.Idx {
+		if idx == 2 {
+			t.Fatalf("dominated point on envelope: %v", env.Idx)
+		}
+	}
+}
+
+func TestEnvelopeDuplicateSlopes(t *testing.T) {
+	// Same slope: only the better intercept may win; ties keep lowest idx.
+	pts := [][]float64{{0.5, 0.5}, {0.8, 0.5}, {0.8, 0.5}}
+	env, err := ComputeEnvelope(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(env.Idx) != 1 || env.Idx[0] != 1 {
+		t.Fatalf("envelope = %v", env.Idx)
+	}
+}
+
+// Property: for random points and random tangents, BestAt matches the
+// brute-force argmax of the line values.
+func TestEnvelopeMatchesBruteForceProperty(t *testing.T) {
+	g := rng.New(11)
+	f := func(nRaw uint8, tRaw uint16) bool {
+		n := int(nRaw%12) + 1
+		pts := make([][]float64, n)
+		for i := range pts {
+			pts[i] = []float64{g.Float64(), g.Float64()}
+		}
+		env, err := ComputeEnvelope(pts)
+		if err != nil {
+			return false
+		}
+		// Tangent grid including large values.
+		tan := float64(tRaw) / 1000
+		bestVal := math.Inf(-1)
+		for _, p := range pts {
+			if v := p[0] + tan*p[1]; v > bestVal {
+				bestVal = v
+			}
+		}
+		got := pts[env.BestAt(tan)]
+		return math.Abs(got[0]+tan*got[1]-bestVal) < 1e-9*(1+bestVal)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSegmentsWindow(t *testing.T) {
+	pts := [][]float64{{1, 0}, {0, 1}, {0.6, 0.6}}
+	env, _ := ComputeEnvelope(pts)
+	var total float64
+	env.Segments(0, math.Inf(1), func(_ int, a, b float64) { total += Mass(a, b) })
+	if math.Abs(total-1) > 1e-12 {
+		t.Fatalf("segments mass = %v, want 1", total)
+	}
+	// Restricted window.
+	var cnt int
+	env.Segments(0.7, 1.4, func(best int, a, b float64) {
+		cnt++
+		if best != 2 {
+			t.Fatalf("window [0.7,1.4] best = %d", best)
+		}
+	})
+	if cnt != 1 {
+		t.Fatalf("window segments = %d", cnt)
+	}
+}
+
+func TestMass(t *testing.T) {
+	if got := Mass(0, math.Inf(1)); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("total mass = %v", got)
+	}
+	if got := Mass(0, 1); got != 0.5 {
+		t.Fatalf("mass below diagonal = %v", got)
+	}
+	if got := Mass(1, math.Inf(1)); got != 0.5 {
+		t.Fatalf("mass above diagonal = %v", got)
+	}
+	if Mass(2, 2) != 0 || Mass(3, 2) != 0 {
+		t.Fatal("empty interval mass must be 0")
+	}
+	if got := Mass(2, 4); math.Abs(got-(0.5/2-0.5/4)) > 1e-12 {
+		t.Fatalf("Mass(2,4) = %v", got)
+	}
+}
+
+func TestRegretIntegralZeroSelection(t *testing.T) {
+	// sel = origin => integrand is exactly 1 => integral = Mass(a,b).
+	best := []float64{1, 1}
+	zero := []float64{0, 0}
+	for _, iv := range [][2]float64{{0, 1}, {0.5, 2}, {1, math.Inf(1)}, {0, math.Inf(1)}} {
+		got := RegretIntegral(zero, best, iv[0], iv[1])
+		want := Mass(iv[0], iv[1])
+		if math.Abs(got-want) > 1e-12 {
+			t.Fatalf("interval %v: %v != mass %v", iv, got, want)
+		}
+	}
+}
+
+func TestRegretIntegralSelfIsZero(t *testing.T) {
+	p := []float64{0.3, 0.7}
+	if got := RegretIntegral(p, p, 0, math.Inf(1)); math.Abs(got) > 1e-12 {
+		t.Fatalf("self-regret = %v", got)
+	}
+}
+
+// Property: the closed form matches adaptive Simpson on random segments
+// where the best line dominates the selected line.
+func TestClosedFormMatchesSimpsonProperty(t *testing.T) {
+	g := rng.New(23)
+	for trial := 0; trial < 400; trial++ {
+		// best dominates sel pointwise => dominates as a line everywhere.
+		best := []float64{0.2 + g.Float64(), 0.2 + g.Float64()}
+		sel := []float64{best[0] * g.Float64(), best[1] * g.Float64()}
+		a := g.Float64() * 3
+		b := a + g.Float64()*3
+		if trial%5 == 0 {
+			b = math.Inf(1)
+		}
+		got := RegretIntegral(sel, best, a, b)
+		want := RegretIntegralSimpson(sel, best, a, b)
+		if math.Abs(got-want) > 1e-8 {
+			t.Fatalf("trial %d: closed %v vs simpson %v (sel=%v best=%v a=%v b=%v)",
+				trial, got, want, sel, best, a, b)
+		}
+	}
+}
+
+// Degenerate best-line shapes (q0 = 0 or q1 = 0) must also match Simpson.
+func TestClosedFormDegenerateLines(t *testing.T) {
+	cases := []struct {
+		sel, best []float64
+		a, b      float64
+	}{
+		{[]float64{0.1, 0}, []float64{1, 0}, 0, 1},           // q1 = 0, finite
+		{[]float64{0.1, 0}, []float64{1, 0}, 0.5, 3},         // q1 = 0 crossing t=1
+		{[]float64{0, 0.3}, []float64{0, 1}, 0.2, 2},         // q0 = 0
+		{[]float64{0, 0.3}, []float64{0, 1}, 1, math.Inf(1)}, // q0 = 0 to Inf
+		{[]float64{0.2, 0.1}, []float64{0.5, 1}, 2, math.Inf(1)},
+	}
+	for i, c := range cases {
+		got := RegretIntegral(c.sel, c.best, c.a, c.b)
+		want := RegretIntegralSimpson(c.sel, c.best, c.a, c.b)
+		if math.Abs(got-want) > 1e-8 {
+			t.Fatalf("case %d: closed %v vs simpson %v", i, got, want)
+		}
+	}
+}
+
+func TestExactARRValidation(t *testing.T) {
+	pts := [][]float64{{1, 0}, {0, 1}}
+	if _, err := ExactARR(pts, nil); err == nil {
+		t.Fatal("empty set must error")
+	}
+	if _, err := ExactARR(pts, []int{0, 0}); err == nil {
+		t.Fatal("duplicate must error")
+	}
+	if _, err := ExactARR(pts, []int{5}); err == nil {
+		t.Fatal("out of range must error")
+	}
+}
+
+func TestExactARRWholeDatabaseIsZero(t *testing.T) {
+	g := rng.New(31)
+	pts := make([][]float64, 12)
+	all := make([]int, 12)
+	for i := range pts {
+		pts[i] = []float64{g.Float64(), g.Float64()}
+		all[i] = i
+	}
+	arr, err := ExactARR(pts, all)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(arr) > 1e-12 {
+		t.Fatalf("arr(D) = %v, want 0", arr)
+	}
+}
+
+func TestExactARRZeroSelection(t *testing.T) {
+	pts := [][]float64{{1, 0}, {0, 1}, {0, 0}}
+	arr, err := ExactARR(pts, []int{2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if arr != 1 {
+		t.Fatalf("arr of origin-only selection = %v, want 1", arr)
+	}
+}
+
+func TestExactARRHandComputed(t *testing.T) {
+	// D = {(1,0), (0,1)}, S = {(1,0)}. Best in D switches at t=1.
+	// For t<1 best=(1,0)=sel: no regret. For t>1 best=(0,1):
+	// rr(t) = 1 − 1/t (sel value 1, best value t).
+	// ∫_1^∞ (1 − 1/t)·1/(2t²) dt = [−1/t + 1/(2t²)]·(1/2)... compute:
+	// ∫ (1/(2t²) − 1/(2t³)) dt from 1 to ∞ = 1/2 − 1/4 = 1/4.
+	pts := [][]float64{{1, 0}, {0, 1}}
+	arr, err := ExactARR(pts, []int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(arr-0.25) > 1e-12 {
+		t.Fatalf("arr = %v, want 0.25", arr)
+	}
+	// Symmetric case.
+	arr2, _ := ExactARR(pts, []int{1})
+	if math.Abs(arr2-0.25) > 1e-12 {
+		t.Fatalf("arr = %v, want 0.25", arr2)
+	}
+}
+
+// Property: ExactARR agrees with a Monte-Carlo estimate over uniform-box
+// weight vectors.
+func TestExactARRMatchesMonteCarlo(t *testing.T) {
+	g := rng.New(47)
+	for trial := 0; trial < 10; trial++ {
+		n := g.IntN(8) + 2
+		pts := make([][]float64, n)
+		for i := range pts {
+			pts[i] = []float64{g.Float64(), g.Float64()}
+		}
+		k := g.IntN(n) + 1
+		set := g.Choice(n, k)
+		exact, err := ExactARR(pts, set)
+		if err != nil {
+			t.Fatal(err)
+		}
+		const N = 200000
+		var sum float64
+		for s := 0; s < N; s++ {
+			w0, w1 := g.Float64(), g.Float64()
+			bestD, bestS := 0.0, 0.0
+			for i, p := range pts {
+				v := w0*p[0] + w1*p[1]
+				if v > bestD {
+					bestD = v
+				}
+				_ = i
+			}
+			for _, i := range set {
+				v := w0*pts[i][0] + w1*pts[i][1]
+				if v > bestS {
+					bestS = v
+				}
+			}
+			if bestD > 0 {
+				sum += (bestD - bestS) / bestD
+			}
+		}
+		mc := sum / N
+		if math.Abs(exact-mc) > 0.01 {
+			t.Fatalf("trial %d: exact %v vs MC %v (n=%d set=%v)", trial, exact, mc, n, set)
+		}
+	}
+}

@@ -1,0 +1,173 @@
+package geom
+
+import (
+	"math"
+)
+
+// RegretIntegral evaluates, in closed form,
+//
+//	∫_a^b (1 − (s0 + t·s1)/(q0 + t·q1)) · m(t) dt
+//
+// where sel = (s0, s1) is the shown point, best = (q0, q1) is the point
+// that maximizes utility on the whole database for tangents in [a, b], and
+// m is the push-forward of the uniform measure on the weight square
+// (m(t) = 1/2 for t ≤ 1, 1/(2t²) for t > 1). b may be +Inf.
+//
+// Precondition (guaranteed when best comes from the database envelope):
+// the best line dominates the sel line on [a, b], so the integrand is
+// non-negative, and the best line is not identically zero on (a, b).
+func RegretIntegral(sel, best []float64, a, b float64) float64 {
+	if a >= b {
+		return 0
+	}
+	var total float64
+	// Piece 1: t in [a, min(b, 1)] with m = 1/2.
+	if a < 1 {
+		hi := math.Min(b, 1)
+		total += 0.5 * (gAntideriv(sel, best, hi) - gAntideriv(sel, best, a))
+	}
+	// Piece 2: t in [max(a, 1), b] with m = 1/(2t²).
+	if b > 1 {
+		lo := math.Max(a, 1)
+		total += 0.5 * (hAntideriv(sel, best, b) - hAntideriv(sel, best, lo))
+	}
+	if total < 0 && total > -1e-12 {
+		total = 0 // clamp tiny negative round-off
+	}
+	return total
+}
+
+// gAntideriv is an antiderivative of g(t) = 1 − (s0 + t·s1)/(q0 + t·q1).
+func gAntideriv(sel, best []float64, t float64) float64 {
+	s0, s1 := sel[0], sel[1]
+	q0, q1 := best[0], best[1]
+	if q1 == 0 {
+		// g = 1 − (s0 + t s1)/q0.
+		return t - (s0*t+s1*t*t/2)/q0
+	}
+	// ∫ (s0 + t s1)/(q0 + t q1) dt = (s1/q1) t + ((s0 q1 − s1 q0)/q1²) ln(q0 + q1 t).
+	c := (s0*q1 - s1*q0) / (q1 * q1)
+	return t - (s1/q1)*t - c*math.Log(q0+q1*t)
+}
+
+// hAntideriv is an antiderivative of h(t) = g(t)/t², valid for t ≥ 1, with
+// a finite limit at t = +Inf.
+func hAntideriv(sel, best []float64, t float64) float64 {
+	s0, s1 := sel[0], sel[1]
+	q0, q1 := best[0], best[1]
+	inf := math.IsInf(t, 1)
+	switch {
+	case q1 == 0:
+		// h = 1/t² − (s0 + s1 t)/(q0 t²)
+		//   = (1 − s0/q0)/t² − (s1/q0)/t.
+		// On the envelope at t → ∞ with slope 0, every slope is 0 (s1 = 0);
+		// the log term then vanishes.
+		if inf {
+			if s1 != 0 {
+				return math.Inf(-1) // documented precondition violation
+			}
+			return 0
+		}
+		return -(1-s0/q0)/t - (s1/q0)*math.Log(t)
+	case q0 == 0:
+		// h = 1/t² − (s0 + s1 t)/(q1 t³)
+		//   = 1/t² − s0/(q1 t³) − s1/(q1 t²).
+		if inf {
+			return 0
+		}
+		return -1/t + s0/(2*q1*t*t) + s1/(q1*t)
+	default:
+		// Partial fractions with B = s0/q0, C/q1 = (s0 q1 − s1 q0)/q0²:
+		// H(t) = (B − 1)/t − (C/q1)·ln(q1 + q0/t).
+		bb := s0 / q0
+		cOverQ1 := (s0*q1 - s1*q0) / (q0 * q0)
+		if inf {
+			return -cOverQ1 * math.Log(q1)
+		}
+		return (bb-1)/t - cOverQ1*math.Log(q1+q0/t)
+	}
+}
+
+// RegretIntegralSimpson evaluates the same integral as RegretIntegral by
+// adaptive Simpson quadrature. It exists to cross-check the closed forms
+// (property-tested to agree) and to support non-uniform tangent densities
+// in the future. b may be +Inf.
+func RegretIntegralSimpson(sel, best []float64, a, b float64) float64 {
+	if a >= b {
+		return 0
+	}
+	g := func(t float64) float64 {
+		den := best[0] + t*best[1]
+		if den <= 0 {
+			return 0
+		}
+		return 1 - (sel[0]+t*sel[1])/den
+	}
+	var total float64
+	if a < 1 {
+		hi := math.Min(b, 1)
+		total += adaptiveSimpson(func(t float64) float64 { return g(t) / 2 }, a, hi, 1e-12, 40)
+	}
+	if b > 1 {
+		// Substitute u = 1/t: ∫_{max(a,1)}^{b} g(t)/(2t²) dt
+		//   = ∫_{1/b}^{1/max(a,1)} g(1/u)/2 du, with g(1/u) rational in u.
+		lo := math.Max(a, 1)
+		uLo := 0.0
+		if !math.IsInf(b, 1) {
+			uLo = 1 / b
+		}
+		uHi := 1 / lo
+		gu := func(u float64) float64 {
+			den := best[0]*u + best[1]
+			if den <= 0 {
+				return 0
+			}
+			return 1 - (sel[0]*u+sel[1])/den
+		}
+		total += adaptiveSimpson(func(u float64) float64 { return gu(u) / 2 }, uLo, uHi, 1e-12, 40)
+	}
+	return total
+}
+
+// adaptiveSimpson integrates f over [a, b] with the classic recursive
+// error estimate.
+func adaptiveSimpson(f func(float64) float64, a, b, tol float64, depth int) float64 {
+	c := (a + b) / 2
+	fa, fb, fc := f(a), f(b), f(c)
+	whole := (b - a) / 6 * (fa + 4*fc + fb)
+	return simpsonAux(f, a, b, tol, whole, fa, fb, fc, depth)
+}
+
+func simpsonAux(f func(float64) float64, a, b, tol, whole, fa, fb, fc float64, depth int) float64 {
+	c := (a + b) / 2
+	l, r := (a+c)/2, (c+b)/2
+	fl, fr := f(l), f(r)
+	left := (c - a) / 6 * (fa + 4*fl + fc)
+	right := (b - c) / 6 * (fc + 4*fr + fb)
+	if depth <= 0 || math.Abs(left+right-whole) <= 15*tol {
+		return left + right + (left+right-whole)/15
+	}
+	return simpsonAux(f, a, c, tol/2, left, fa, fc, fl, depth-1) +
+		simpsonAux(f, c, b, tol/2, right, fc, fb, fr, depth-1)
+}
+
+// Mass returns the measure of the tangent interval [a, b] under m(t); the
+// whole line [0, ∞] has mass 1.
+func Mass(a, b float64) float64 {
+	if a >= b {
+		return 0
+	}
+	var total float64
+	if a < 1 {
+		total += 0.5 * (math.Min(b, 1) - a)
+	}
+	if b > 1 {
+		lo := math.Max(a, 1)
+		if math.IsInf(b, 1) {
+			total += 0.5 / lo
+		} else {
+			total += 0.5 * (1/lo - 1/b)
+		}
+	}
+	return total
+}

@@ -1,0 +1,55 @@
+package geom
+
+import (
+	"math"
+	"testing"
+)
+
+func TestExactMaxRegretRatioBasics(t *testing.T) {
+	pts := [][]float64{{1, 0}, {0, 1}}
+	// Showing only (1,0): worst user is t → ∞ (pure second attribute),
+	// whose regret ratio tends to 1 − 0/1 = 1.
+	mrr, err := ExactMaxRegretRatio(pts, []int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(mrr-1) > 1e-9 {
+		t.Fatalf("mrr = %v, want 1", mrr)
+	}
+	// Showing everything: no regret.
+	mrr, err = ExactMaxRegretRatio(pts, []int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mrr > 1e-12 {
+		t.Fatalf("mrr(D) = %v, want 0", mrr)
+	}
+	// Empty set: total regret.
+	mrr, err = ExactMaxRegretRatio(pts, nil)
+	if err != nil || mrr != 1 {
+		t.Fatalf("mrr(∅) = %v, %v", mrr, err)
+	}
+	if _, err := ExactMaxRegretRatio(pts, []int{7}); err == nil {
+		t.Fatal("out of range must error")
+	}
+	if _, err := ExactMaxRegretRatio(pts, []int{0, 0}); err == nil {
+		t.Fatal("duplicate must error")
+	}
+}
+
+func TestExactMaxRegretRatioHandComputed(t *testing.T) {
+	// D = {(1,0), (0,1), (0.8,0.8)}, S = {(0.8,0.8)}. Worst cases are the
+	// axis extremes: at t=0, rr = 1 − 0.8/1 = 0.2; at t→∞ the same.
+	pts := [][]float64{{1, 0}, {0, 1}, {0.8, 0.8}}
+	mrr, err := ExactMaxRegretRatio(pts, []int{2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(mrr-0.2) > 1e-9 {
+		t.Fatalf("mrr = %v, want 0.2", mrr)
+	}
+}
+
+// The cross-check against the LP-based evaluation lives in
+// internal/baseline's tests (baseline imports geom, so the reverse import
+// here would cycle).

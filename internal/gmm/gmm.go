@@ -1,0 +1,300 @@
+// Package gmm implements a full-covariance Gaussian mixture model fitted
+// with expectation-maximization. It is the second stage of the paper's
+// Yahoo! pipeline (Section V-B2): "a Multivariate Gaussian Mixture Model
+// with 5 mixture models" is fit over user utility representations learned
+// by matrix factorization, and utility functions are then sampled from the
+// mixture when estimating the average regret ratio.
+package gmm
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"github.com/regretlab/fam/internal/rng"
+	"github.com/regretlab/fam/internal/vec"
+)
+
+// Config controls EM fitting.
+type Config struct {
+	Components int     // number of mixture components (the paper uses 5)
+	MaxIters   int     // EM iteration cap
+	Tol        float64 // relative log-likelihood improvement for convergence
+	Jitter     float64 // diagonal regularization added to covariances
+	Seed       uint64  // RNG seed for initialization
+}
+
+// DefaultConfig mirrors the paper's 5-component mixture.
+func DefaultConfig() Config {
+	return Config{Components: 5, MaxIters: 200, Tol: 1e-6, Jitter: 1e-6, Seed: 1}
+}
+
+// Model is a fitted mixture. Covariances are stored via their Cholesky
+// factors, which is what both density evaluation and sampling need.
+type Model struct {
+	Weights []float64     // mixing proportions, sum to 1
+	Means   [][]float64   // component means
+	Chols   []*vec.Matrix // lower Cholesky factors of the covariances
+	Dim     int
+	// LogLik is the final training log-likelihood (monotonically
+	// non-decreasing across EM iterations; verified in tests).
+	LogLik float64
+	Iters  int
+}
+
+// ErrBadInput reports invalid fitting inputs.
+var ErrBadInput = errors.New("gmm: bad input")
+
+// Fit runs EM on the data rows.
+func Fit(data [][]float64, cfg Config) (*Model, error) {
+	if len(data) == 0 {
+		return nil, fmt.Errorf("%w: empty data", ErrBadInput)
+	}
+	dim := len(data[0])
+	if dim == 0 {
+		return nil, fmt.Errorf("%w: zero-dimensional data", ErrBadInput)
+	}
+	for i, row := range data {
+		if len(row) != dim {
+			return nil, fmt.Errorf("%w: row %d has %d columns, want %d", ErrBadInput, i, len(row), dim)
+		}
+	}
+	if cfg.Components <= 0 || cfg.Components > len(data) {
+		return nil, fmt.Errorf("%w: %d components for %d rows", ErrBadInput, cfg.Components, len(data))
+	}
+	if cfg.MaxIters <= 0 || cfg.Tol <= 0 || cfg.Jitter < 0 {
+		return nil, fmt.Errorf("%w: %+v", ErrBadInput, cfg)
+	}
+	g := rng.New(cfg.Seed)
+	k, n := cfg.Components, len(data)
+
+	m := &Model{
+		Weights: make([]float64, k),
+		Means:   make([][]float64, k),
+		Chols:   make([]*vec.Matrix, k),
+		Dim:     dim,
+	}
+	// k-means++-style seeding for the means; shared diagonal covariance.
+	m.Means[0] = vec.Clone(data[g.IntN(n)])
+	dists := make([]float64, n)
+	for c := 1; c < k; c++ {
+		for i, row := range data {
+			best := math.Inf(1)
+			for _, mu := range m.Means[:c] {
+				d := sqDist(row, mu)
+				if d < best {
+					best = d
+				}
+			}
+			dists[i] = best
+		}
+		m.Means[c] = vec.Clone(data[g.Categorical(dists)])
+	}
+	varTotal := dataVariance(data)
+	if varTotal <= 0 {
+		varTotal = 1
+	}
+	for c := 0; c < k; c++ {
+		m.Weights[c] = 1 / float64(k)
+		cov := vec.NewMatrix(dim, dim)
+		cov.AddDiagonal(varTotal + cfg.Jitter)
+		chol, err := cov.Cholesky()
+		if err != nil {
+			return nil, fmt.Errorf("gmm: initial covariance: %w", err)
+		}
+		m.Chols[c] = chol
+	}
+
+	resp := vec.NewMatrix(n, k) // responsibilities
+	prev := math.Inf(-1)
+	for iter := 1; iter <= cfg.MaxIters; iter++ {
+		// E step.
+		var ll float64
+		for i, row := range data {
+			ri := resp.Row(i)
+			maxLog := math.Inf(-1)
+			for c := 0; c < k; c++ {
+				lp := math.Log(m.Weights[c]) + m.logDensity(c, row)
+				ri[c] = lp
+				if lp > maxLog {
+					maxLog = lp
+				}
+			}
+			var sum float64
+			for c := 0; c < k; c++ {
+				ri[c] = math.Exp(ri[c] - maxLog)
+				sum += ri[c]
+			}
+			for c := 0; c < k; c++ {
+				ri[c] /= sum
+			}
+			ll += maxLog + math.Log(sum)
+		}
+		m.LogLik = ll
+		m.Iters = iter
+
+		// M step.
+		for c := 0; c < k; c++ {
+			var nc float64
+			mu := make([]float64, dim)
+			for i, row := range data {
+				r := resp.At(i, c)
+				nc += r
+				vec.AddScaled(mu, r, row)
+			}
+			if nc < 1e-10 {
+				// Dead component: re-seed on the farthest point.
+				worst, wi := -1.0, 0
+				for i, row := range data {
+					d := sqDist(row, m.Means[c])
+					if d > worst {
+						worst, wi = d, i
+					}
+				}
+				m.Means[c] = vec.Clone(data[wi])
+				m.Weights[c] = 1e-6
+				continue
+			}
+			vec.Scale(mu, 1/nc)
+			cov := vec.NewMatrix(dim, dim)
+			diff := make([]float64, dim)
+			for i, row := range data {
+				r := resp.At(i, c)
+				if r == 0 {
+					continue
+				}
+				for j := range diff {
+					diff[j] = row[j] - mu[j]
+				}
+				for a := 0; a < dim; a++ {
+					ca := cov.Row(a)
+					da := r * diff[a]
+					for b := 0; b < dim; b++ {
+						ca[b] += da * diff[b]
+					}
+				}
+			}
+			for i := range cov.Data {
+				cov.Data[i] /= nc
+			}
+			cov.AddDiagonal(cfg.Jitter)
+			chol, err := cov.Cholesky()
+			if err != nil {
+				// Degenerate covariance: inflate the diagonal until SPD.
+				cov.AddDiagonal(1e-3)
+				chol, err = cov.Cholesky()
+				if err != nil {
+					return nil, fmt.Errorf("gmm: component %d covariance: %w", c, err)
+				}
+			}
+			m.Means[c] = mu
+			m.Chols[c] = chol
+			m.Weights[c] = nc / float64(n)
+		}
+		normalize(m.Weights)
+
+		if ll-prev < cfg.Tol*math.Abs(ll) && iter > 1 {
+			break
+		}
+		prev = ll
+	}
+	return m, nil
+}
+
+func sqDist(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}
+
+func dataVariance(data [][]float64) float64 {
+	dim := len(data[0])
+	mean := make([]float64, dim)
+	for _, row := range data {
+		vec.AddScaled(mean, 1, row)
+	}
+	vec.Scale(mean, 1/float64(len(data)))
+	var s float64
+	for _, row := range data {
+		s += sqDist(row, mean)
+	}
+	return s / float64(len(data)*dim)
+}
+
+func normalize(w []float64) {
+	var sum float64
+	for _, v := range w {
+		sum += v
+	}
+	if sum == 0 {
+		for i := range w {
+			w[i] = 1 / float64(len(w))
+		}
+		return
+	}
+	for i := range w {
+		w[i] /= sum
+	}
+}
+
+// logDensity evaluates the log N(x | mean_c, Sigma_c) via the Cholesky
+// factor: solve L y = (x - mu), then logpdf = -1/2 (y·y + logdet + d ln 2π).
+func (m *Model) logDensity(c int, x []float64) float64 {
+	diff := vec.Sub(x, m.Means[c])
+	y, err := m.Chols[c].SolveLower(diff)
+	if err != nil {
+		return math.Inf(-1)
+	}
+	var quad float64
+	for _, v := range y {
+		quad += v * v
+	}
+	return -0.5 * (quad + m.Chols[c].LogDetLower() + float64(m.Dim)*math.Log(2*math.Pi))
+}
+
+// LogDensity evaluates the mixture log-density at x.
+func (m *Model) LogDensity(x []float64) (float64, error) {
+	if len(x) != m.Dim {
+		return 0, fmt.Errorf("%w: point dim %d, model dim %d", ErrBadInput, len(x), m.Dim)
+	}
+	maxLog := math.Inf(-1)
+	logs := make([]float64, len(m.Weights))
+	for c := range m.Weights {
+		logs[c] = math.Log(m.Weights[c]) + m.logDensity(c, x)
+		if logs[c] > maxLog {
+			maxLog = logs[c]
+		}
+	}
+	var sum float64
+	for _, lp := range logs {
+		sum += math.Exp(lp - maxLog)
+	}
+	return maxLog + math.Log(sum), nil
+}
+
+// SampleVector draws one vector from the mixture. It implements
+// utility.VectorSampler so a fitted model can directly serve as the weight
+// distribution of a latent-linear Θ.
+func (m *Model) SampleVector(g *rng.RNG) []float64 {
+	c := g.Categorical(m.Weights)
+	z := make([]float64, m.Dim)
+	g.NormalVec(z)
+	// x = mu + L z.
+	out := vec.Clone(m.Means[c])
+	l := m.Chols[c]
+	for i := 0; i < m.Dim; i++ {
+		row := l.Row(i)
+		var s float64
+		for j := 0; j <= i; j++ {
+			s += row[j] * z[j]
+		}
+		out[i] += s
+	}
+	return out
+}
+
+// VectorDim implements utility.VectorSampler.
+func (m *Model) VectorDim() int { return m.Dim }

@@ -1,0 +1,180 @@
+package gmm
+
+import (
+	"math"
+	"testing"
+
+	"github.com/regretlab/fam/internal/rng"
+)
+
+// twoClusterData builds two well-separated Gaussian blobs.
+func twoClusterData(n int, seed uint64) [][]float64 {
+	g := rng.New(seed)
+	data := make([][]float64, n)
+	for i := range data {
+		var mu []float64
+		if i%2 == 0 {
+			mu = []float64{0, 0}
+		} else {
+			mu = []float64{6, 6}
+		}
+		data[i] = []float64{mu[0] + 0.5*g.Normal(), mu[1] + 0.5*g.Normal()}
+	}
+	return data
+}
+
+func TestFitRecoversTwoClusters(t *testing.T) {
+	data := twoClusterData(400, 1)
+	cfg := DefaultConfig()
+	cfg.Components = 2
+	cfg.Seed = 5
+	m, err := Fit(data, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Means should land near (0,0) and (6,6) in some order.
+	near := func(mu []float64, x, y float64) bool {
+		return math.Abs(mu[0]-x) < 0.5 && math.Abs(mu[1]-y) < 0.5
+	}
+	ok := (near(m.Means[0], 0, 0) && near(m.Means[1], 6, 6)) ||
+		(near(m.Means[0], 6, 6) && near(m.Means[1], 0, 0))
+	if !ok {
+		t.Fatalf("means = %v", m.Means)
+	}
+	for _, w := range m.Weights {
+		if math.Abs(w-0.5) > 0.1 {
+			t.Fatalf("weights = %v", m.Weights)
+		}
+	}
+}
+
+func TestFitValidation(t *testing.T) {
+	data := twoClusterData(20, 2)
+	bad := []Config{
+		{Components: 0, MaxIters: 10, Tol: 1e-6, Jitter: 1e-6},
+		{Components: 21, MaxIters: 10, Tol: 1e-6, Jitter: 1e-6},
+		{Components: 2, MaxIters: 0, Tol: 1e-6, Jitter: 1e-6},
+		{Components: 2, MaxIters: 10, Tol: 0, Jitter: 1e-6},
+		{Components: 2, MaxIters: 10, Tol: 1e-6, Jitter: -1},
+	}
+	for i, cfg := range bad {
+		if _, err := Fit(data, cfg); err == nil {
+			t.Errorf("bad config %d should error", i)
+		}
+	}
+	if _, err := Fit(nil, DefaultConfig()); err == nil {
+		t.Fatal("empty data must error")
+	}
+	if _, err := Fit([][]float64{{}}, DefaultConfig()); err == nil {
+		t.Fatal("zero-dim data must error")
+	}
+	if _, err := Fit([][]float64{{1, 2}, {1}}, Config{Components: 1, MaxIters: 5, Tol: 1e-6, Jitter: 1e-6}); err == nil {
+		t.Fatal("ragged data must error")
+	}
+}
+
+// EM's defining property: the log-likelihood never decreases. We re-run
+// Fit with increasing iteration caps and check the trajectory.
+func TestLogLikelihoodMonotone(t *testing.T) {
+	data := twoClusterData(200, 3)
+	prev := math.Inf(-1)
+	for _, iters := range []int{1, 2, 3, 5, 8, 13, 21} {
+		cfg := Config{Components: 3, MaxIters: iters, Tol: 1e-12, Jitter: 1e-6, Seed: 9}
+		m, err := Fit(data, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.LogLik < prev-1e-6 {
+			t.Fatalf("log-likelihood decreased: %v -> %v at iters=%d", prev, m.LogLik, iters)
+		}
+		prev = m.LogLik
+	}
+}
+
+func TestLogDensity(t *testing.T) {
+	data := twoClusterData(300, 4)
+	cfg := DefaultConfig()
+	cfg.Components = 2
+	m, err := Fit(data, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nearCluster, _ := m.LogDensity([]float64{0, 0})
+	farAway, _ := m.LogDensity([]float64{30, -30})
+	if nearCluster <= farAway {
+		t.Fatalf("density at cluster %v should exceed density far away %v", nearCluster, farAway)
+	}
+	if _, err := m.LogDensity([]float64{1}); err == nil {
+		t.Fatal("dimension mismatch must error")
+	}
+}
+
+func TestSampleVectorDistribution(t *testing.T) {
+	data := twoClusterData(400, 5)
+	cfg := DefaultConfig()
+	cfg.Components = 2
+	cfg.Seed = 6
+	m, err := Fit(data, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.VectorDim() != 2 {
+		t.Fatalf("VectorDim = %d", m.VectorDim())
+	}
+	g := rng.New(7)
+	const n = 4000
+	nearA, nearB := 0, 0
+	for i := 0; i < n; i++ {
+		v := m.SampleVector(g)
+		da := math.Hypot(v[0], v[1])
+		db := math.Hypot(v[0]-6, v[1]-6)
+		if da < db {
+			nearA++
+		} else {
+			nearB++
+		}
+	}
+	// Samples should split roughly evenly across the two modes.
+	if math.Abs(float64(nearA)/n-0.5) > 0.08 {
+		t.Fatalf("mode split %d/%d", nearA, nearB)
+	}
+}
+
+func TestSingleComponentMatchesMoments(t *testing.T) {
+	g := rng.New(8)
+	const n = 2000
+	data := make([][]float64, n)
+	for i := range data {
+		data[i] = []float64{2 + g.Normal(), -1 + 2*g.Normal()}
+	}
+	cfg := Config{Components: 1, MaxIters: 50, Tol: 1e-9, Jitter: 1e-9, Seed: 1}
+	m, err := Fit(data, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.Means[0][0]-2) > 0.1 || math.Abs(m.Means[0][1]+1) > 0.15 {
+		t.Fatalf("mean = %v", m.Means[0])
+	}
+	// Covariance diagonal ~ [1, 4]: check via Cholesky reconstruction.
+	l := m.Chols[0]
+	var c00, c11 float64
+	c00 = l.At(0, 0) * l.At(0, 0)
+	c11 = l.At(1, 0)*l.At(1, 0) + l.At(1, 1)*l.At(1, 1)
+	if math.Abs(c00-1) > 0.2 || math.Abs(c11-4) > 0.6 {
+		t.Fatalf("covariance diag = %v %v", c00, c11)
+	}
+}
+
+func TestFitDeterminism(t *testing.T) {
+	data := twoClusterData(100, 9)
+	cfg := DefaultConfig()
+	cfg.Components = 2
+	m1, err1 := Fit(data, cfg)
+	m2, err2 := Fit(data, cfg)
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
+	if m1.LogLik != m2.LogLik {
+		t.Fatal("same seed must reproduce the fit")
+	}
+}

@@ -1,0 +1,299 @@
+// Package lp implements a dense two-phase primal simplex solver for small
+// linear programs. It exists so the MRR-GREEDY baseline can evaluate the
+// exact maximum regret ratio of a set under linear utility functions
+// (Nanongkai et al., VLDB 2010 formulate that evaluation as one LP per
+// candidate point); the LPs involved have d+1 variables and |S|+1
+// constraints, so a simple dense tableau with Bland's anti-cycling rule is
+// both adequate and robust.
+//
+// The solver handles problems of the form
+//
+//	minimize    c·x
+//	subject to  A_i·x (<=|=|>=) b_i   for each row i
+//	            x >= 0
+package lp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Relation is the sense of one linear constraint.
+type Relation int
+
+// Constraint senses.
+const (
+	LE Relation = iota // A_i·x <= b_i
+	EQ                 // A_i·x == b_i
+	GE                 // A_i·x >= b_i
+)
+
+// Status reports the outcome of Solve.
+type Status int
+
+// Solver outcomes.
+const (
+	Optimal Status = iota
+	Infeasible
+	Unbounded
+)
+
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	default:
+		return fmt.Sprintf("lp.Status(%d)", int(s))
+	}
+}
+
+// Problem is a linear program in the form documented on the package.
+type Problem struct {
+	C   []float64   // objective coefficients, minimized
+	A   [][]float64 // constraint matrix, one row per constraint
+	B   []float64   // right-hand sides
+	Rel []Relation  // sense of each constraint
+}
+
+// Solution is the result of Solve.
+type Solution struct {
+	Status Status
+	X      []float64 // primal solution (valid when Status == Optimal)
+	Value  float64   // objective value c·x (valid when Status == Optimal)
+}
+
+// ErrBadProblem is returned when the problem shape is inconsistent.
+var ErrBadProblem = errors.New("lp: malformed problem")
+
+const eps = 1e-9
+
+// Solve runs two-phase simplex on the problem.
+func Solve(p Problem) (Solution, error) {
+	n := len(p.C)
+	m := len(p.A)
+	if len(p.B) != m || len(p.Rel) != m {
+		return Solution{}, fmt.Errorf("%w: %d rows, %d rhs, %d relations", ErrBadProblem, m, len(p.B), len(p.Rel))
+	}
+	for i, row := range p.A {
+		if len(row) != n {
+			return Solution{}, fmt.Errorf("%w: row %d has %d coefficients, want %d", ErrBadProblem, i, len(row), n)
+		}
+	}
+
+	// Standardize: ensure b >= 0 by flipping rows; add slack variables for
+	// LE (+1) and GE (-1, then needing an artificial), artificials for EQ
+	// and GE. Column layout: [x (n)] [slacks] [artificials].
+	type rowSpec struct {
+		a   []float64
+		b   float64
+		rel Relation
+	}
+	rows := make([]rowSpec, m)
+	for i := range p.A {
+		a := make([]float64, n)
+		copy(a, p.A[i])
+		b := p.B[i]
+		rel := p.Rel[i]
+		if b < 0 {
+			for j := range a {
+				a[j] = -a[j]
+			}
+			b = -b
+			switch rel {
+			case LE:
+				rel = GE
+			case GE:
+				rel = LE
+			}
+		}
+		rows[i] = rowSpec{a, b, rel}
+	}
+
+	numSlack := 0
+	for _, r := range rows {
+		if r.rel != EQ {
+			numSlack++
+		}
+	}
+	numArt := 0
+	for _, r := range rows {
+		if r.rel != LE {
+			numArt++
+		}
+	}
+	total := n + numSlack + numArt
+	// Tableau: m rows x (total+1) columns (last column = rhs).
+	t := make([][]float64, m)
+	basis := make([]int, m)
+	slackAt, artAt := n, n+numSlack
+	for i, r := range rows {
+		row := make([]float64, total+1)
+		copy(row, r.a)
+		row[total] = r.b
+		switch r.rel {
+		case LE:
+			row[slackAt] = 1
+			basis[i] = slackAt
+			slackAt++
+		case GE:
+			row[slackAt] = -1
+			slackAt++
+			row[artAt] = 1
+			basis[i] = artAt
+			artAt++
+		case EQ:
+			row[artAt] = 1
+			basis[i] = artAt
+			artAt++
+		}
+		t[i] = row
+	}
+
+	// Phase 1: minimize the sum of artificials.
+	if numArt > 0 {
+		obj := make([]float64, total+1)
+		for j := n + numSlack; j < total; j++ {
+			obj[j] = 1
+		}
+		// Express objective in terms of non-basic variables.
+		for i, b := range basis {
+			if b >= n+numSlack {
+				for j := 0; j <= total; j++ {
+					obj[j] -= t[i][j]
+				}
+			}
+		}
+		if status := pivotLoop(t, obj, basis, total); status == Unbounded {
+			// Phase 1 objective is bounded below by 0; unbounded means a
+			// numerical breakdown.
+			return Solution{Status: Infeasible}, nil
+		}
+		if -obj[total] > 1e-7 {
+			return Solution{Status: Infeasible}, nil
+		}
+		// Drive any artificial still in the basis out (degenerate case).
+		for i, b := range basis {
+			if b < n+numSlack {
+				continue
+			}
+			pivoted := false
+			for j := 0; j < n+numSlack; j++ {
+				if math.Abs(t[i][j]) > eps {
+					pivot(t, basis, i, j)
+					pivoted = true
+					break
+				}
+			}
+			if !pivoted {
+				// Row is all zeros over real variables: redundant
+				// constraint; leave it, the artificial stays at zero.
+				_ = i
+			}
+		}
+	}
+
+	// Phase 2: original objective over [x, slacks]; artificial columns are
+	// frozen by giving them a prohibitive reduced cost.
+	obj := make([]float64, total+1)
+	copy(obj, p.C)
+	for i, b := range basis {
+		if math.Abs(obj[b]) > 0 {
+			c := obj[b]
+			for j := 0; j <= total; j++ {
+				obj[j] -= c * t[i][j]
+			}
+		}
+	}
+	// Forbid artificials from re-entering.
+	for j := n + numSlack; j < total; j++ {
+		if obj[j] < 0 {
+			obj[j] = 0
+		}
+	}
+	if status := pivotLoop(t, obj, basis, n+numSlack); status == Unbounded {
+		return Solution{Status: Unbounded}, nil
+	}
+
+	x := make([]float64, n)
+	for i, b := range basis {
+		if b < n {
+			x[b] = t[i][total]
+		}
+	}
+	var val float64
+	for j := range p.C {
+		val += p.C[j] * x[j]
+	}
+	return Solution{Status: Optimal, X: x, Value: val}, nil
+}
+
+// pivotLoop runs simplex iterations until optimality or unboundedness.
+// Entering columns are restricted to [0, allowedCols). Bland's rule
+// (smallest eligible index) guarantees termination.
+func pivotLoop(t [][]float64, obj []float64, basis []int, allowedCols int) Status {
+	m := len(t)
+	total := len(obj) - 1
+	for iter := 0; iter < 10000; iter++ {
+		enter := -1
+		for j := 0; j < allowedCols; j++ {
+			if obj[j] < -eps {
+				enter = j
+				break
+			}
+		}
+		if enter == -1 {
+			return Optimal
+		}
+		leave := -1
+		best := math.Inf(1)
+		for i := 0; i < m; i++ {
+			a := t[i][enter]
+			if a > eps {
+				ratio := t[i][total] / a
+				if ratio < best-eps || (math.Abs(ratio-best) <= eps && (leave == -1 || basis[i] < basis[leave])) {
+					best = ratio
+					leave = i
+				}
+			}
+		}
+		if leave == -1 {
+			return Unbounded
+		}
+		pivot(t, basis, leave, enter)
+		// Update objective row.
+		c := obj[enter]
+		if c != 0 {
+			for j := 0; j <= total; j++ {
+				obj[j] -= c * t[leave][j]
+			}
+		}
+	}
+	return Optimal // iteration cap: return current basis (defensive)
+}
+
+// pivot performs a Gauss-Jordan pivot on t[row][col] and updates the basis.
+func pivot(t [][]float64, basis []int, row, col int) {
+	pr := t[row]
+	pv := pr[col]
+	for j := range pr {
+		pr[j] /= pv
+	}
+	for i := range t {
+		if i == row {
+			continue
+		}
+		f := t[i][col]
+		if f == 0 {
+			continue
+		}
+		for j := range t[i] {
+			t[i][j] -= f * pr[j]
+		}
+	}
+	basis[row] = col
+}

@@ -1,0 +1,140 @@
+// Package skyline computes skylines (Pareto-optimal subsets) and dominance
+// statistics. GREEDY-SHRINK's preprocessing step restricts the candidate
+// set to the skyline (for monotone utility distributions, every user's best
+// point is a skyline point), and the SKY-DOM baseline operates directly on
+// skyline points and their dominance sets.
+//
+// Two algorithms are provided: a block-nested-loop scan (the reference
+// implementation, quadratic) and a sort-first filter (sort by descending
+// attribute sum before the scan), which is the classic SFS optimization —
+// after sorting, a point can only be dominated by points earlier in the
+// order, so the inner loop shrinks drastically on correlated data.
+package skyline
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/regretlab/fam/internal/bitset"
+	"github.com/regretlab/fam/internal/point"
+)
+
+// Compute returns the indices (in increasing order) of the skyline points
+// of the input set using the sort-filter-skyline algorithm. Duplicate
+// points are all kept if they are on the skyline (none dominates another).
+func Compute(points [][]float64) ([]int, error) {
+	if _, err := point.Validate(points); err != nil {
+		return nil, err
+	}
+	n := len(points)
+	order := make([]int, n)
+	sums := make([]float64, n)
+	for i, p := range points {
+		order[i] = i
+		var s float64
+		for _, v := range p {
+			s += v
+		}
+		sums[i] = s
+	}
+	// Descending attribute sum: a dominating point always has a strictly
+	// larger sum, so dominators precede dominated points in this order.
+	sort.SliceStable(order, func(a, b int) bool { return sums[order[a]] > sums[order[b]] })
+
+	var window []int // indices into points, all mutually non-dominated
+	for _, idx := range order {
+		dominated := false
+		for _, w := range window {
+			if point.Dominates(points[w], points[idx]) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			window = append(window, idx)
+		}
+	}
+	sort.Ints(window)
+	return window, nil
+}
+
+// ComputeBNL returns the skyline via the block-nested-loop reference
+// algorithm. It is used to cross-check Compute in tests and kept exported
+// for the ablation benches.
+func ComputeBNL(points [][]float64) ([]int, error) {
+	if _, err := point.Validate(points); err != nil {
+		return nil, err
+	}
+	var out []int
+	for i, p := range points {
+		dominated := false
+		for j, q := range points {
+			if i != j && point.Dominates(q, p) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			out = append(out, i)
+		}
+	}
+	return out, nil
+}
+
+// DominanceSets returns, for each of the given candidate indices, the set
+// of point indices (over the full point set) that the candidate dominates.
+// Used by the SKY-DOM baseline's max-coverage greedy.
+func DominanceSets(points [][]float64, candidates []int) []*bitset.Set {
+	n := len(points)
+	out := make([]*bitset.Set, len(candidates))
+	for ci, c := range candidates {
+		s := bitset.New(n)
+		for j, q := range points {
+			if j != c && point.Dominates(points[c], q) {
+				s.Add(j)
+			}
+		}
+		out[ci] = s
+	}
+	return out
+}
+
+// Skyline2DSorted returns the 2-d skyline points sorted by strictly
+// descending first attribute (and therefore strictly ascending second
+// attribute), which is the input convention of the Section IV dynamic
+// program. Points that tie on both attributes are collapsed to one.
+// The returned indices refer to the input set.
+func Skyline2DSorted(points [][]float64) ([]int, error) {
+	d, err := point.Validate(points)
+	if err != nil {
+		return nil, err
+	}
+	if d != 2 {
+		return nil, fmt.Errorf("skyline: Skyline2DSorted requires 2-d points, got dimension %d", d)
+	}
+	idx, err := Compute(points)
+	if err != nil {
+		return nil, err
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		pa, pb := points[idx[a]], points[idx[b]]
+		if pa[0] != pb[0] {
+			return pa[0] > pb[0]
+		}
+		return pa[1] > pb[1]
+	})
+	// Collapse exact duplicates; skyline guarantees no dominance between
+	// members, so after sorting, consecutive equal points are duplicates.
+	out := idx[:0]
+	for i, id := range idx {
+		if i > 0 {
+			prev := points[out[len(out)-1]]
+			cur := points[id]
+			if prev[0] == cur[0] && prev[1] == cur[1] {
+				continue
+			}
+		}
+		out = append(out, id)
+	}
+	return out, nil
+}

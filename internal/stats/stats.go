@@ -1,0 +1,222 @@
+// Package stats provides the summary statistics the evaluation section
+// reports: mean, standard deviation, and the regret-ratio-at-percentile
+// curves of Figures 3 and 10–12.
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// ErrEmpty is returned when a statistic of an empty sample is requested.
+var ErrEmpty = errors.New("stats: empty sample")
+
+// Mean returns the arithmetic mean of xs.
+func Mean(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	var s float64
+	for _, v := range xs {
+		s += v
+	}
+	return s / float64(len(xs)), nil
+}
+
+// Variance returns the population variance of xs (the paper's Definition 5
+// is a population quantity over the sampled users, not an n-1 estimator).
+func Variance(xs []float64) (float64, error) {
+	m, err := Mean(xs)
+	if err != nil {
+		return 0, err
+	}
+	var s float64
+	for _, v := range xs {
+		d := v - m
+		s += d * d
+	}
+	return s / float64(len(xs)), nil
+}
+
+// StdDev returns the population standard deviation of xs.
+func StdDev(xs []float64) (float64, error) {
+	v, err := Variance(xs)
+	if err != nil {
+		return 0, err
+	}
+	return math.Sqrt(v), nil
+}
+
+// Percentile returns the p-th percentile (p in [0, 100]) of xs using the
+// nearest-rank method on a sorted copy, matching "the regret ratio at the
+// q-th percentile of users" in the paper: the value v such that q percent
+// of users have regret ratio at most v.
+func Percentile(xs []float64, p float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	if p < 0 || p > 100 {
+		return 0, errors.New("stats: percentile out of [0,100]")
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	if p == 0 {
+		return sorted[0], nil
+	}
+	rank := int(math.Ceil(p / 100 * float64(len(sorted))))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1], nil
+}
+
+// Percentiles evaluates several percentiles with one sort.
+func Percentiles(xs []float64, ps []float64) ([]float64, error) {
+	if len(xs) == 0 {
+		return nil, ErrEmpty
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	out := make([]float64, len(ps))
+	for i, p := range ps {
+		if p < 0 || p > 100 {
+			return nil, errors.New("stats: percentile out of [0,100]")
+		}
+		if p == 0 {
+			out[i] = sorted[0]
+			continue
+		}
+		rank := int(math.Ceil(p / 100 * float64(len(sorted))))
+		if rank < 1 {
+			rank = 1
+		}
+		if rank > len(sorted) {
+			rank = len(sorted)
+		}
+		out[i] = sorted[rank-1]
+	}
+	return out, nil
+}
+
+// WeightedMean returns Σ w_i·x_i / Σ w_i. Weights must be non-negative
+// with positive total.
+func WeightedMean(xs, ws []float64) (float64, error) {
+	if err := checkWeights(xs, ws); err != nil {
+		return 0, err
+	}
+	var num, den float64
+	for i, x := range xs {
+		num += ws[i] * x
+		den += ws[i]
+	}
+	return num / den, nil
+}
+
+// WeightedVariance returns the weighted population variance
+// Σ w_i·(x_i − μ)² / Σ w_i with μ the weighted mean.
+func WeightedVariance(xs, ws []float64) (float64, error) {
+	m, err := WeightedMean(xs, ws)
+	if err != nil {
+		return 0, err
+	}
+	var num, den float64
+	for i, x := range xs {
+		d := x - m
+		num += ws[i] * d * d
+		den += ws[i]
+	}
+	return num / den, nil
+}
+
+// WeightedPercentiles generalizes Percentiles by nearest-rank on the
+// cumulative weight: the p-th percentile is the smallest value v with
+// cumulative weight(x ≤ v) ≥ p% of the total weight.
+func WeightedPercentiles(xs, ws []float64, ps []float64) ([]float64, error) {
+	if err := checkWeights(xs, ws); err != nil {
+		return nil, err
+	}
+	type pair struct{ x, w float64 }
+	pairs := make([]pair, len(xs))
+	var total float64
+	for i := range xs {
+		pairs[i] = pair{xs[i], ws[i]}
+		total += ws[i]
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].x < pairs[j].x })
+	out := make([]float64, len(ps))
+	for pi, p := range ps {
+		if p < 0 || p > 100 {
+			return nil, errors.New("stats: percentile out of [0,100]")
+		}
+		target := p / 100 * total
+		var cum float64
+		val := pairs[len(pairs)-1].x
+		for _, pr := range pairs {
+			cum += pr.w
+			if cum >= target {
+				val = pr.x
+				break
+			}
+		}
+		if p == 0 {
+			val = pairs[0].x
+		}
+		out[pi] = val
+	}
+	return out, nil
+}
+
+func checkWeights(xs, ws []float64) error {
+	if len(xs) == 0 {
+		return ErrEmpty
+	}
+	if len(ws) != len(xs) {
+		return errors.New("stats: weights length mismatch")
+	}
+	var total float64
+	for _, w := range ws {
+		if w < 0 || math.IsNaN(w) {
+			return errors.New("stats: weights must be non-negative")
+		}
+		total += w
+	}
+	if total <= 0 {
+		return errors.New("stats: total weight must be positive")
+	}
+	return nil
+}
+
+// Summary bundles the statistics every experiment reports for a sample of
+// per-user regret ratios.
+type Summary struct {
+	N      int
+	Mean   float64
+	StdDev float64
+	Min    float64
+	Max    float64
+}
+
+// Summarize computes a Summary of xs.
+func Summarize(xs []float64) (Summary, error) {
+	if len(xs) == 0 {
+		return Summary{}, ErrEmpty
+	}
+	m, _ := Mean(xs)
+	sd, _ := StdDev(xs)
+	mn, mx := math.Inf(1), math.Inf(-1)
+	for _, v := range xs {
+		if v < mn {
+			mn = v
+		}
+		if v > mx {
+			mx = v
+		}
+	}
+	return Summary{N: len(xs), Mean: m, StdDev: sd, Min: mn, Max: mx}, nil
+}

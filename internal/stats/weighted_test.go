@@ -1,0 +1,143 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestWeightedMeanBasics(t *testing.T) {
+	m, err := WeightedMean([]float64{1, 3}, []float64{1, 3})
+	if err != nil || m != 2.5 {
+		t.Fatalf("WeightedMean = %v, %v", m, err)
+	}
+	if _, err := WeightedMean(nil, nil); err == nil {
+		t.Fatal("empty must error")
+	}
+	if _, err := WeightedMean([]float64{1}, []float64{1, 2}); err == nil {
+		t.Fatal("length mismatch must error")
+	}
+	if _, err := WeightedMean([]float64{1}, []float64{-1}); err == nil {
+		t.Fatal("negative weight must error")
+	}
+	if _, err := WeightedMean([]float64{1}, []float64{0}); err == nil {
+		t.Fatal("zero total must error")
+	}
+	if _, err := WeightedMean([]float64{1}, []float64{math.NaN()}); err == nil {
+		t.Fatal("NaN weight must error")
+	}
+}
+
+func TestWeightedVariance(t *testing.T) {
+	// Equal weights reduce to the population variance.
+	v, err := WeightedVariance([]float64{1, 2, 3, 4}, []float64{1, 1, 1, 1})
+	if err != nil || math.Abs(v-1.25) > 1e-12 {
+		t.Fatalf("WeightedVariance = %v, %v", v, err)
+	}
+	// All mass on one point: zero variance.
+	v, err = WeightedVariance([]float64{1, 100}, []float64{1, 0})
+	if err != nil || v != 0 {
+		t.Fatalf("point-mass variance = %v, %v", v, err)
+	}
+}
+
+func TestWeightedPercentiles(t *testing.T) {
+	xs := []float64{1, 2, 3}
+	ws := []float64{1, 1, 2} // cumulative: 1, 2, 4
+	got, err := WeightedPercentiles(xs, ws, []float64{0, 25, 50, 75, 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1, 1, 2, 3, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("WeightedPercentiles = %v, want %v", got, want)
+		}
+	}
+	if _, err := WeightedPercentiles(xs, ws, []float64{120}); err == nil {
+		t.Fatal("bad percentile must error")
+	}
+}
+
+// Property: with unit weights, weighted statistics equal the unweighted
+// ones.
+func TestWeightedReducesToUnweighted(t *testing.T) {
+	f := func(raw []uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		ws := make([]float64, len(raw))
+		for i, v := range raw {
+			xs[i] = float64(v)
+			ws[i] = 1
+		}
+		wm, e1 := WeightedMean(xs, ws)
+		m, e2 := Mean(xs)
+		if e1 != nil || e2 != nil || math.Abs(wm-m) > 1e-12 {
+			return false
+		}
+		wv, e1 := WeightedVariance(xs, ws)
+		v, e2 := Variance(xs)
+		if e1 != nil || e2 != nil || math.Abs(wv-v) > 1e-9 {
+			return false
+		}
+		levels := []float64{0, 30, 60, 90, 100}
+		wp, e1 := WeightedPercentiles(xs, ws, levels)
+		p, e2 := Percentiles(xs, levels)
+		if e1 != nil || e2 != nil {
+			return false
+		}
+		for i := range p {
+			if wp[i] != p[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: integer weights equal physical replication.
+func TestWeightedEqualsReplication(t *testing.T) {
+	f := func(raw []uint8, wraw []uint8) bool {
+		if len(raw) == 0 || len(wraw) < len(raw) {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		ws := make([]float64, len(raw))
+		var rep []float64
+		var totalW float64
+		for i, v := range raw {
+			xs[i] = float64(v)
+			w := int(wraw[i]%3) + 1
+			ws[i] = float64(w)
+			totalW += float64(w)
+			for r := 0; r < w; r++ {
+				rep = append(rep, xs[i])
+			}
+		}
+		wm, e1 := WeightedMean(xs, ws)
+		m, e2 := Mean(rep)
+		if e1 != nil || e2 != nil || math.Abs(wm-m) > 1e-9 {
+			return false
+		}
+		levels := []float64{25, 50, 75, 100}
+		wp, e1 := WeightedPercentiles(xs, ws, levels)
+		p, e2 := Percentiles(rep, levels)
+		if e1 != nil || e2 != nil {
+			return false
+		}
+		for i := range p {
+			if wp[i] != p[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

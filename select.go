@@ -1,0 +1,350 @@
+package fam
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"github.com/regretlab/fam/internal/baseline"
+	"github.com/regretlab/fam/internal/core"
+	"github.com/regretlab/fam/internal/dp2d"
+	"github.com/regretlab/fam/internal/rng"
+	"github.com/regretlab/fam/internal/sampling"
+	"github.com/regretlab/fam/internal/skyline"
+	"github.com/regretlab/fam/internal/utility"
+)
+
+// SelectOptions configures Select.
+type SelectOptions struct {
+	// K is the number of points to select. Required.
+	K int
+	// Algorithm picks the solver; the zero value is GreedyShrink.
+	Algorithm Algorithm
+	// Epsilon and Sigma set the Monte-Carlo error and confidence of
+	// Theorem 4; the sample size is then N = ceil(3·ln(1/σ)/ε²). Both
+	// default to 0.1 (N = 691). SampleSize overrides them when positive.
+	Epsilon float64
+	Sigma   float64
+	// SampleSize fixes the number of sampled utility functions directly.
+	SampleSize int
+	// Seed drives all sampling; equal seeds give identical results.
+	Seed uint64
+	// DisableSkyline turns off the skyline preprocessing that is applied
+	// automatically for monotone distributions.
+	DisableSkyline bool
+	// CacheBudget caps the materialized utility matrix (entries); zero
+	// uses the default, negative disables caching.
+	CacheBudget int64
+	// ExactDiscrete switches from Monte-Carlo sampling to the exact
+	// weighted evaluation of the paper's Appendix A. It requires a
+	// discrete distribution (e.g. one built with TableUsers): each member
+	// utility function enters the instance once, weighted by its
+	// probability, so the average regret ratio is computed exactly.
+	ExactDiscrete bool
+}
+
+// Result is the outcome of Select.
+type Result struct {
+	// Indices of the selected points in the dataset, ascending.
+	Indices []int
+	// Labels of the selected points (row labels or synthesized).
+	Labels []string
+	// Metrics of the selection measured on the sampled users.
+	Metrics Metrics
+	// ExactARR is the exact average regret ratio when the algorithm
+	// computes one (DP2D); negative otherwise.
+	ExactARR float64
+	// SkylineSize is the candidate count after skyline preprocessing
+	// (equal to the dataset size when preprocessing is off).
+	SkylineSize int
+	// Preprocess covers skyline computation, utility sampling and
+	// best-point indexing; Query covers the selection algorithm itself —
+	// the paper's two timing columns.
+	Preprocess time.Duration
+	Query      time.Duration
+	// Stats carries GREEDY-SHRINK work counters when applicable.
+	Stats ShrinkStats
+}
+
+// ErrNilArgument is returned when the dataset or distribution is nil.
+var ErrNilArgument = errors.New("fam: dataset and distribution must be non-nil")
+
+// Select chooses K points from the dataset minimizing (approximately,
+// except for DP2D/BruteForce) the average regret ratio under dist.
+func Select(ctx context.Context, ds *Dataset, dist Distribution, opts SelectOptions) (*Result, error) {
+	if ds == nil || dist == nil {
+		return nil, ErrNilArgument
+	}
+	if err := ds.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.K <= 0 || opts.K > ds.N() {
+		return nil, fmt.Errorf("fam: K must satisfy 0 < K <= %d, got %d", ds.N(), opts.K)
+	}
+	if d := dist.Dim(); d != 0 && d != ds.Dim() {
+		return nil, fmt.Errorf("fam: distribution dimension %d != dataset dimension %d", d, ds.Dim())
+	}
+	var discrete *utility.Discrete
+	if opts.ExactDiscrete {
+		var ok bool
+		discrete, ok = dist.(*utility.Discrete)
+		if !ok {
+			return nil, fmt.Errorf("fam: ExactDiscrete requires a discrete distribution, got %s", dist.Name())
+		}
+	}
+	n := 0
+	if discrete == nil {
+		var err error
+		n, err = sampleSize(opts)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	preStart := time.Now()
+
+	// Preprocessing step 1: skyline restriction for monotone Θ (every
+	// user's favorite is a skyline point, so arr over the skyline equals
+	// arr over the database). Index-based (Table) distributions are
+	// excluded: their scores are tied to database positions.
+	candidates := identity(ds.N())
+	useSkyline := dist.Monotone() && !opts.DisableSkyline && dist.Dim() != 0 &&
+		opts.Algorithm != DP2D && opts.Algorithm != SkyDom
+	if useSkyline {
+		sky, err := skyline.Compute(ds.Points)
+		if err != nil {
+			return nil, err
+		}
+		if len(sky) > opts.K {
+			candidates = sky
+		}
+	}
+	points := ds.Points
+	if len(candidates) != ds.N() {
+		points = make([][]float64, len(candidates))
+		for i, c := range candidates {
+			points[i] = ds.Points[c]
+		}
+	}
+
+	// Preprocessing step 2: sample Θ (or take the discrete support
+	// verbatim with its probabilities — Appendix A) and index best points.
+	var funcs []UtilityFunc
+	var weights []float64
+	if discrete != nil {
+		funcs = discrete.Funcs
+		weights = discrete.Probs
+	} else {
+		g := rng.New(opts.Seed)
+		var err error
+		funcs, err = sampleFuncs(dist, n, g, candidates, ds.N())
+		if err != nil {
+			return nil, err
+		}
+	}
+	in, err := core.NewInstance(points, funcs, core.Options{CacheBudget: opts.CacheBudget, Weights: weights})
+	if err != nil {
+		return nil, err
+	}
+	preprocess := time.Since(preStart)
+
+	res := &Result{ExactARR: -1, SkylineSize: len(candidates), Preprocess: preprocess}
+	queryStart := time.Now()
+	var local []int
+	switch opts.Algorithm {
+	case GreedyShrink, GreedyShrinkLazy, GreedyShrinkNaive:
+		strategy := core.StrategyDelta
+		if opts.Algorithm == GreedyShrinkLazy {
+			strategy = core.StrategyLazy
+		} else if opts.Algorithm == GreedyShrinkNaive {
+			strategy = core.StrategyNaive
+		}
+		set, stats, err := core.GreedyShrink(ctx, in, opts.K, strategy)
+		if err != nil {
+			return nil, err
+		}
+		local, res.Stats = set, stats
+	case DP2D:
+		out, err := dp2d.Solve(ctx, ds.Points, opts.K)
+		if err != nil {
+			return nil, err
+		}
+		local = out.Set // already dataset indices
+		res.ExactARR = out.ARR
+		res.SkylineSize = out.SkylineSize
+	case BruteForce:
+		set, _, err := core.BruteForce(ctx, in, opts.K)
+		if err != nil {
+			return nil, err
+		}
+		local = set
+	case MRRGreedy:
+		if dist.Monotone() && isLinearDist(dist) {
+			set, err := baseline.MRRGreedyLP(ctx, points, opts.K)
+			if err != nil {
+				return nil, err
+			}
+			local = set
+		} else {
+			set, err := baseline.MRRGreedySampled(ctx, in, opts.K)
+			if err != nil {
+				return nil, err
+			}
+			local = set
+		}
+	case SkyDom:
+		set, err := baseline.SkyDom(ctx, ds.Points, opts.K)
+		if err != nil {
+			return nil, err
+		}
+		local = set // dataset indices (SkyDom sees the full dataset)
+	case KHit:
+		set, err := baseline.KHit(ctx, in, opts.K)
+		if err != nil {
+			return nil, err
+		}
+		local = set
+	case GreedyAdd:
+		set, stats, err := core.GreedyAdd(ctx, in, opts.K)
+		if err != nil {
+			return nil, err
+		}
+		local, res.Stats = set, stats
+	default:
+		return nil, fmt.Errorf("fam: unknown algorithm %d", int(opts.Algorithm))
+	}
+	res.Query = time.Since(queryStart)
+
+	// Map candidate-local indices back to dataset indices.
+	res.Indices = make([]int, len(local))
+	for i, p := range local {
+		if opts.Algorithm == DP2D || opts.Algorithm == SkyDom {
+			res.Indices[i] = p
+		} else {
+			res.Indices[i] = candidates[p]
+		}
+	}
+	res.Labels = make([]string, len(res.Indices))
+	for i, idx := range res.Indices {
+		res.Labels[i] = ds.Label(idx)
+	}
+
+	// Metrics are measured against the candidate instance; for monotone
+	// distributions satisfaction over the skyline equals satisfaction over
+	// the database, so the numbers are the database-level quantities. For
+	// DP2D/SkyDom the selected points may fall outside the candidate set,
+	// so evaluate on a full instance.
+	evalIn := in
+	evalSet := local
+	if opts.Algorithm == DP2D || opts.Algorithm == SkyDom {
+		if len(candidates) != ds.N() {
+			full, err := core.NewInstance(ds.Points, funcs, core.Options{CacheBudget: opts.CacheBudget, Weights: weights})
+			if err != nil {
+				return nil, err
+			}
+			evalIn = full
+		}
+		evalSet = res.Indices
+	}
+	m, err := evalIn.Evaluate(evalSet, nil)
+	if err != nil {
+		return nil, err
+	}
+	res.Metrics = m
+	return res, nil
+}
+
+// Evaluate measures the Metrics of an explicit selection (dataset row
+// indices) under dist with the given sampling parameters.
+func Evaluate(ctx context.Context, ds *Dataset, dist Distribution, set []int, opts SelectOptions) (Metrics, error) {
+	if ds == nil || dist == nil {
+		return Metrics{}, ErrNilArgument
+	}
+	if err := ds.Validate(); err != nil {
+		return Metrics{}, err
+	}
+	if err := ctx.Err(); err != nil {
+		return Metrics{}, err
+	}
+	var funcs []UtilityFunc
+	var weights []float64
+	if opts.ExactDiscrete {
+		disc, ok := dist.(*utility.Discrete)
+		if !ok {
+			return Metrics{}, fmt.Errorf("fam: ExactDiscrete requires a discrete distribution, got %s", dist.Name())
+		}
+		funcs, weights = disc.Funcs, disc.Probs
+	} else {
+		n, err := sampleSize(opts)
+		if err != nil {
+			return Metrics{}, err
+		}
+		funcs, err = sampling.Sample(dist, n, rng.New(opts.Seed))
+		if err != nil {
+			return Metrics{}, err
+		}
+	}
+	in, err := core.NewInstance(ds.Points, funcs, core.Options{CacheBudget: opts.CacheBudget, Weights: weights})
+	if err != nil {
+		return Metrics{}, err
+	}
+	return in.Evaluate(set, nil)
+}
+
+// SampleSize exposes Theorem 4's bound: the number of sampled utility
+// functions needed for error eps at confidence 1-sigma.
+func SampleSize(eps, sigma float64) (int, error) { return sampling.SampleSize(eps, sigma) }
+
+func sampleSize(opts SelectOptions) (int, error) {
+	if opts.SampleSize > 0 {
+		return opts.SampleSize, nil
+	}
+	eps, sigma := opts.Epsilon, opts.Sigma
+	if eps == 0 {
+		eps = 0.1
+	}
+	if sigma == 0 {
+		sigma = 0.1
+	}
+	return sampling.SampleSize(eps, sigma)
+}
+
+// sampleFuncs draws n utility functions. When the candidate set is a
+// proper subset (skyline restriction), index-based utility functions would
+// be misaligned; callers exclude that case via the useSkyline guard, but
+// Table functions sampled from a vector distribution do not occur, so a
+// direct sample suffices.
+func sampleFuncs(dist Distribution, n int, g *rng.RNG, candidates []int, fullN int) ([]UtilityFunc, error) {
+	funcs, err := sampling.Sample(dist, n, g)
+	if err != nil {
+		return nil, err
+	}
+	if len(candidates) != fullN {
+		for _, f := range funcs {
+			if _, ok := f.(utility.Table); ok {
+				return nil, errors.New("fam: index-based utility functions cannot be combined with skyline preprocessing")
+			}
+		}
+	}
+	return funcs, nil
+}
+
+// isLinearDist reports whether the distribution samples plain linear
+// functions (enabling the LP-exact MRR-GREEDY).
+func isLinearDist(dist Distribution) bool {
+	switch dist.(type) {
+	case utility.UniformSimplexLinear, utility.UniformBoxLinear, utility.UniformSphereLinear:
+		return true
+	default:
+		return false
+	}
+}
+
+func identity(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
