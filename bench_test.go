@@ -9,6 +9,7 @@ package fam
 import (
 	"context"
 	"fmt"
+	"sync"
 	"testing"
 
 	"github.com/regretlab/fam/internal/core"
@@ -128,6 +129,92 @@ func BenchmarkGreedyAdd(b *testing.B) {
 		if _, _, err := core.GreedyAdd(context.Background(), in, 10); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// Parallel query-engine benchmarks: paper-scale instances (n ≥ 10k points,
+// N = 691 sampled users — the Theorem 4 sample size at ε = σ = 0.1) swept
+// across worker counts. The instance is built once; only the query phase
+// (the solver) is timed, so the workers=1 row is the serial baseline the
+// speedup is measured against. Selections are bit-identical across rows.
+
+// parallelBenchInstance builds the shared n=10k instance once per process.
+func parallelBenchInstance(b *testing.B) *core.Instance {
+	b.Helper()
+	parallelBenchOnce.Do(func() {
+		parallelBenchIn = benchInstance(b, 10_000, 6, 691)
+	})
+	if parallelBenchIn == nil {
+		b.Fatal("parallel bench instance failed to build")
+	}
+	return parallelBenchIn
+}
+
+var (
+	parallelBenchOnce sync.Once
+	parallelBenchIn   *core.Instance
+)
+
+func benchWorkerSweep(b *testing.B, run func(b *testing.B, in *core.Instance)) {
+	b.Helper()
+	in := parallelBenchInstance(b)
+	for _, workers := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			in.SetParallelism(workers)
+			defer in.SetParallelism(0)
+			b.ReportAllocs()
+			b.ResetTimer()
+			run(b, in)
+		})
+	}
+}
+
+func BenchmarkGreedyShrinkDeltaParallel(b *testing.B) {
+	benchWorkerSweep(b, func(b *testing.B, in *core.Instance) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := core.GreedyShrink(context.Background(), in, 9500, core.StrategyDelta); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkGreedyShrinkLazyParallel(b *testing.B) {
+	benchWorkerSweep(b, func(b *testing.B, in *core.Instance) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := core.GreedyShrink(context.Background(), in, 9500, core.StrategyLazy); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkGreedyAddParallelWorkers(b *testing.B) {
+	benchWorkerSweep(b, func(b *testing.B, in *core.Instance) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := core.GreedyAdd(context.Background(), in, 10); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// The naive strategy is quadratic per iteration, so its sweep runs on a
+// smaller instance (still the full worker fan-out per candidate).
+func BenchmarkGreedyShrinkNaiveParallel(b *testing.B) {
+	in := benchInstance(b, 400, 6, 691)
+	for _, workers := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			in.SetParallelism(workers)
+			defer in.SetParallelism(0)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := core.GreedyShrink(context.Background(), in, 395, core.StrategyNaive); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

@@ -44,6 +44,7 @@ func run(args []string, out io.Writer) error {
 		samples  = fs.Int("N", 0, "override sample size directly (0 = derive from eps/sigma)")
 		seed     = fs.Uint64("seed", 1, "random seed")
 		ces      = fs.Float64("ces", 0, "use CES utilities with this rho (0 = linear)")
+		workers  = fs.Int("workers", 0, "worker goroutines for preprocessing and query evaluation (0 = all CPUs, 1 = serial; results are identical at any setting)")
 		jsonOut  = fs.Bool("json", false, "emit the result as JSON instead of a table")
 	)
 	fs.SetOutput(io.Discard)
@@ -71,7 +72,7 @@ func run(args []string, out io.Writer) error {
 
 	res, err := fam.Select(context.Background(), ds, dist, fam.SelectOptions{
 		K: *k, Algorithm: algorithm, Epsilon: *eps, Sigma: *sigma,
-		SampleSize: *samples, Seed: *seed,
+		SampleSize: *samples, Seed: *seed, Parallelism: *workers,
 	})
 	if err != nil {
 		return err

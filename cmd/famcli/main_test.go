@@ -139,3 +139,32 @@ func TestParseAlgoRoundTrip(t *testing.T) {
 		}
 	}
 }
+
+// -workers must change throughput only: the JSON selection (indices,
+// labels, and every quality metric) is identical at any worker bound.
+func TestRunWorkersDeterministic(t *testing.T) {
+	outputs := make([]map[string]interface{}, 0, 3)
+	for _, workers := range []string{"1", "4", "0"} {
+		var out bytes.Buffer
+		err := run([]string{"-gen", "synthetic", "-n", "120", "-d", "4", "-k", "4",
+			"-N", "400", "-seed", "5", "-workers", workers, "-json"}, &out)
+		if err != nil {
+			t.Fatalf("workers=%s: %v", workers, err)
+		}
+		var res map[string]interface{}
+		if err := json.Unmarshal(out.Bytes(), &res); err != nil {
+			t.Fatalf("workers=%s: %v", workers, err)
+		}
+		// Timing fields are the only legitimate difference between runs.
+		delete(res, "preprocess_seconds")
+		delete(res, "query_seconds")
+		outputs = append(outputs, res)
+	}
+	for i := 1; i < len(outputs); i++ {
+		a, _ := json.Marshal(outputs[0])
+		b, _ := json.Marshal(outputs[i])
+		if string(a) != string(b) {
+			t.Fatalf("worker bounds produced different selections:\n%s\n%s", a, b)
+		}
+	}
+}

@@ -29,10 +29,11 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("famexp", flag.ContinueOnError)
 	var (
-		exp   = fs.String("exp", "", "experiment id (see -list), or 'all'")
-		scale = fs.String("scale", "small", "bench|small|paper")
-		seed  = fs.Uint64("seed", 1, "random seed")
-		list  = fs.Bool("list", false, "list experiments and exit")
+		exp     = fs.String("exp", "", "experiment id (see -list), or 'all'")
+		scale   = fs.String("scale", "small", "bench|small|paper")
+		seed    = fs.Uint64("seed", 1, "random seed")
+		workers = fs.Int("workers", 0, "worker goroutines per instance (0 = all CPUs, 1 = serial; tables are identical, timings change)")
+		list    = fs.Bool("list", false, "list experiments and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -50,7 +51,7 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	cfg := experiments.Config{Scale: sc, Seed: *seed}
+	cfg := experiments.Config{Scale: sc, Seed: *seed, Parallelism: *workers}
 	ctx := context.Background()
 
 	runners := experiments.All()

@@ -1,0 +1,3 @@
+module github.com/regretlab/fam
+
+go 1.22

@@ -42,13 +42,13 @@ func linearInstance(t *testing.T, pts [][]float64, N int, seed uint64) *core.Ins
 func TestMRRGreedyLPValidation(t *testing.T) {
 	ctx := context.Background()
 	pts := [][]float64{{1, 0}, {0, 1}}
-	if _, err := MRRGreedyLP(ctx, nil, 1); err == nil {
+	if _, err := MRRGreedyLP(ctx, nil, 1, 1); err == nil {
 		t.Fatal("empty points must error")
 	}
-	if _, err := MRRGreedyLP(ctx, pts, 0); err == nil {
+	if _, err := MRRGreedyLP(ctx, pts, 0, 1); err == nil {
 		t.Fatal("k=0 must error")
 	}
-	if _, err := MRRGreedyLP(ctx, pts, 3); err == nil {
+	if _, err := MRRGreedyLP(ctx, pts, 3, 1); err == nil {
 		t.Fatal("k>n must error")
 	}
 }
@@ -57,7 +57,7 @@ func TestMRRGreedyLPSimple(t *testing.T) {
 	// Extremes plus a midpoint: first pick = max first attribute (index 0);
 	// the point realizing the max regret then is (0,1).
 	pts := [][]float64{{1, 0}, {0, 1}, {0.5, 0.5}}
-	set, err := MRRGreedyLP(context.Background(), pts, 2)
+	set, err := MRRGreedyLP(context.Background(), pts, 2, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -72,7 +72,7 @@ func TestMaxRegretRatioLPDecreases(t *testing.T) {
 	ctx := context.Background()
 	prev := 2.0
 	for k := 1; k <= 6; k++ {
-		set, err := MRRGreedyLP(ctx, pts, k)
+		set, err := MRRGreedyLP(ctx, pts, k, 1)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -149,7 +149,7 @@ func TestMRRGreedyLPCancel(t *testing.T) {
 	pts := randPoints(g, 50, 3)
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	if _, err := MRRGreedyLP(ctx, pts, 5); err == nil {
+	if _, err := MRRGreedyLP(ctx, pts, 5, 1); err == nil {
 		t.Fatal("canceled context must error")
 	}
 }
@@ -158,7 +158,7 @@ func TestMRRGreedyLPFillsWhenSaturated(t *testing.T) {
 	// One point dominates everything: regret hits 0 after the first pick,
 	// but the result must still have k members.
 	pts := [][]float64{{1, 1}, {0.5, 0.5}, {0.2, 0.2}}
-	set, err := MRRGreedyLP(context.Background(), pts, 3)
+	set, err := MRRGreedyLP(context.Background(), pts, 3, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -329,7 +329,7 @@ func TestShrinkBeatsBaselinesOnARR(t *testing.T) {
 	gsARR, _ := in.ARR(gsSet)
 
 	others := map[string][]int{}
-	if s, err := MRRGreedyLP(ctx, pts, k); err == nil {
+	if s, err := MRRGreedyLP(ctx, pts, k, 1); err == nil {
 		others["mrr"] = s
 	} else {
 		t.Fatal(err)

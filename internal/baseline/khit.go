@@ -8,6 +8,7 @@ import (
 
 	"github.com/regretlab/fam/internal/core"
 	"github.com/regretlab/fam/internal/geom"
+	"github.com/regretlab/fam/internal/par"
 )
 
 // KHit implements the k-hit query of Peng and Wong (SIGMOD 2015) under the
@@ -30,10 +31,33 @@ func KHit(ctx context.Context, in *core.Instance, k int) ([]int, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	// Tally favorite points with one count array per worker; integer
+	// merges are order-independent, so the histogram — and the selection —
+	// is identical at any worker bound.
+	N := in.NumFuncs()
+	nw := par.Bounded(in.Parallelism(), N) // per-user work is one lookup; shed workers on small N
+	local := make([][]int, nw)
+	if err := par.Shards(ctx, nw, N, func(w, lo, hi int) {
+		counts := make([]int, n)
+		for u := lo; u < hi; u++ {
+			if ctx.Err() != nil {
+				return
+			}
+			if b, _ := in.BestInDatabase(u); b >= 0 {
+				counts[b]++
+			}
+		}
+		local[w] = counts
+	}); err != nil {
+		return nil, err
+	}
 	counts := make([]int, n)
-	for u := 0; u < in.NumFuncs(); u++ {
-		if b, _ := in.BestInDatabase(u); b >= 0 {
-			counts[b]++
+	for _, lc := range local {
+		if lc == nil {
+			continue
+		}
+		for p, c := range lc {
+			counts[p] += c
 		}
 	}
 	order := make([]int, n)

@@ -20,6 +20,7 @@ import (
 
 	"github.com/regretlab/fam/internal/core"
 	"github.com/regretlab/fam/internal/lp"
+	"github.com/regretlab/fam/internal/par"
 	"github.com/regretlab/fam/internal/point"
 )
 
@@ -35,7 +36,13 @@ var ErrBadK = errors.New("baseline: k must satisfy 0 < k <= n")
 //	minimize  z   subject to   w·q ≤ z (q ∈ S),  w·p = 1,  w ≥ 0,
 //
 // whose optimum z* gives regret ratio 1 − z*.
-func MRRGreedyLP(ctx context.Context, points [][]float64, k int) ([]int, error) {
+//
+// The per-candidate LPs of one greedy step are independent, so they are
+// sharded across `workers` goroutines (0 = all CPUs, 1 = serial); each
+// worker tracks the strict maximum of its contiguous candidate block and
+// the blocks are merged in index order, reproducing the serial
+// lowest-index tie-break exactly.
+func MRRGreedyLP(ctx context.Context, points [][]float64, k, workers int) ([]int, error) {
 	d, err := point.Validate(points)
 	if err != nil {
 		return nil, err
@@ -56,21 +63,45 @@ func MRRGreedyLP(ctx context.Context, points [][]float64, k int) ([]int, error) 
 	inSet := make([]bool, n)
 	inSet[first] = true
 
+	// Each item is a full LP solve — expensive enough that fan-out pays
+	// even for a handful of candidates, so no grain bound (par.Workers,
+	// not par.Bounded).
+	nw := par.Workers(workers, n)
+	worsts := make([]int, nw)
+	worstRRs := make([]float64, nw)
+	errs := make([]error, nw)
 	for len(selected) < k {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
+		if err := par.Shards(ctx, nw, n, func(w, lo, hi int) {
+			worsts[w], worstRRs[w], errs[w] = -1, -1.0, nil
+			for p := lo; p < hi; p++ {
+				if ctx.Err() != nil {
+					return
+				}
+				if inSet[p] {
+					continue
+				}
+				rr, err := regretRatioLP(points, selected, p, d)
+				if err != nil {
+					errs[w] = err
+					return
+				}
+				if rr > worstRRs[w] {
+					worsts[w], worstRRs[w] = p, rr
+				}
+			}
+		}); err != nil {
+			return nil, err
+		}
 		worst, worstRR := -1, -1.0
-		for p := 0; p < n; p++ {
-			if inSet[p] {
-				continue
+		for w := 0; w < nw; w++ {
+			if errs[w] != nil {
+				return nil, errs[w]
 			}
-			rr, err := regretRatioLP(points, selected, p, d)
-			if err != nil {
-				return nil, err
-			}
-			if rr > worstRR {
-				worst, worstRR = p, rr
+			if worsts[w] >= 0 && worstRRs[w] > worstRR {
+				worst, worstRR = worsts[w], worstRRs[w]
 			}
 		}
 		if worst == -1 || worstRR <= 1e-12 {
@@ -168,6 +199,10 @@ func regretRatioLP(points [][]float64, set []int, p, d int) (float64, error) {
 // are not linear (e.g. the learned Θ of the Yahoo! pipeline): the max
 // regret ratio is taken over the instance's sampled utility functions, and
 // each greedy step adds the point realizing the current sampled maximum.
+//
+// The per-user scans (worst-regret search and best-value refresh) are
+// sharded across the instance's worker bound with the lowest-index merge,
+// so the selection is bit-identical to a serial run.
 func MRRGreedySampled(ctx context.Context, in *core.Instance, k int) ([]int, error) {
 	if in == nil {
 		return nil, errors.New("baseline: nil instance")
@@ -176,6 +211,9 @@ func MRRGreedySampled(ctx context.Context, in *core.Instance, k int) ([]int, err
 	if k <= 0 || k > n {
 		return nil, fmt.Errorf("%w: k=%d n=%d", ErrBadK, k, n)
 	}
+	// Per-user work here is a handful of lookups, so small user samples
+	// shed workers (par.Bounded) instead of paying dispatch for nothing.
+	nw := par.Bounded(in.Parallelism(), N)
 
 	// bestVal[u] = user u's best utility within the selected set.
 	bestVal := make([]float64, N)
@@ -190,34 +228,58 @@ func MRRGreedySampled(ctx context.Context, in *core.Instance, k int) ([]int, err
 			first = p
 		}
 	}
-	add := func(p int) {
+	add := func(p int) error {
 		inSet[p] = true
-		for u := 0; u < N; u++ {
-			if v := in.Utility(u, p); v > bestVal[u] {
-				bestVal[u] = v
+		return par.Shards(ctx, nw, N, func(w, lo, hi int) {
+			for u := lo; u < hi; u++ {
+				if ctx.Err() != nil {
+					return
+				}
+				if v := in.Utility(u, p); v > bestVal[u] {
+					bestVal[u] = v
+				}
 			}
-		}
+		})
 	}
-	add(first)
+	if err := add(first); err != nil {
+		return nil, err
+	}
 	selected := []int{first}
 
+	worstUs := make([]int, nw)
+	worstRRs := make([]float64, nw)
 	for len(selected) < k {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
 		// The user with the worst current regret ratio identifies the
-		// point to add (their favorite).
-		worstU, worstRR := -1, -1.0
-		for u := 0; u < N; u++ {
-			satD := 0.0
-			if b, s := in.BestInDatabase(u); b >= 0 {
-				satD = s
-			} else {
-				continue
+		// point to add (their favorite). Each worker keeps the strict
+		// maximum of its contiguous user block; merging blocks in order
+		// preserves the serial lowest-user tie-break.
+		if err := par.Shards(ctx, nw, N, func(w, lo, hi int) {
+			worstUs[w], worstRRs[w] = -1, -1.0
+			for u := lo; u < hi; u++ {
+				if ctx.Err() != nil {
+					return
+				}
+				satD := 0.0
+				if b, s := in.BestInDatabase(u); b >= 0 {
+					satD = s
+				} else {
+					continue
+				}
+				rr := (satD - bestVal[u]) / satD
+				if rr > worstRRs[w] {
+					worstUs[w], worstRRs[w] = u, rr
+				}
 			}
-			rr := (satD - bestVal[u]) / satD
-			if rr > worstRR {
-				worstU, worstRR = u, rr
+		}); err != nil {
+			return nil, err
+		}
+		worstU, worstRR := -1, -1.0
+		for w := 0; w < nw; w++ {
+			if worstUs[w] >= 0 && worstRRs[w] > worstRR {
+				worstU, worstRR = worstUs[w], worstRRs[w]
 			}
 		}
 		if worstU == -1 || worstRR <= 1e-12 {
@@ -247,7 +309,9 @@ func MRRGreedySampled(ctx context.Context, in *core.Instance, k int) ([]int, err
 				break
 			}
 		}
-		add(b)
+		if err := add(b); err != nil {
+			return nil, err
+		}
 		selected = append(selected, b)
 	}
 	sort.Ints(selected)

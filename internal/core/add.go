@@ -19,6 +19,11 @@ import (
 // For k ≪ n, GreedyAdd runs k iterations instead of GREEDY-SHRINK's n−k,
 // at the price of losing Theorem 3's approximation guarantee (which is
 // stated for greedy removal). The ablation6 experiment compares both.
+//
+// The initial gain sweep over all n candidates and the per-iteration
+// best-value refresh over all N users are sharded across the instance's
+// worker pool; both are per-item independent, so the run is bit-identical
+// to serial at any worker count.
 func GreedyAdd(ctx context.Context, in *Instance, k int) ([]int, ShrinkStats, error) {
 	if in == nil {
 		return nil, ShrinkStats{}, errors.New("core: nil instance")
@@ -28,6 +33,7 @@ func GreedyAdd(ctx context.Context, in *Instance, k int) ([]int, ShrinkStats, er
 		return nil, ShrinkStats{}, fmt.Errorf("%w: k=%d n=%d", ErrBadK, k, n)
 	}
 	var stats ShrinkStats
+	pool := newEvalPool(in, &stats)
 
 	// bestVal[u] = user u's best utility within the selected set.
 	bestVal := make([]float64, N)
@@ -48,14 +54,27 @@ func GreedyAdd(ctx context.Context, in *Instance, k int) ([]int, ShrinkStats, er
 		return g
 	}
 
+	// Initial gains, computed in parallel and heapified in index order.
+	gains := make([]float64, n)
+	if err := pool.run(ctx, n, func(w, lo, hi int) {
+		for p := lo; p < hi; p++ {
+			if ctx.Err() != nil {
+				return
+			}
+			gains[p] = gain(p)
+		}
+	}); err != nil {
+		return nil, stats, err
+	}
 	seq := make([]int, n)
 	pq := make(gainQueue, 0, n)
 	for p := 0; p < n; p++ {
 		stats.Evaluations++
-		pq = append(pq, gainEntry{point: p, gain: gain(p), epoch: 0, seq: 0})
+		pq = append(pq, gainEntry{point: p, gain: gains[p], epoch: 0, seq: 0})
 	}
 	heap.Init(&pq)
 
+	improved := make([]int, pool.workers)
 	var selected []int
 	for iter := 1; len(selected) < k; iter++ {
 		if err := ctx.Err(); err != nil {
@@ -84,14 +103,30 @@ func GreedyAdd(ctx context.Context, in *Instance, k int) ([]int, ShrinkStats, er
 
 		inSet[chosen] = true
 		selected = append(selected, chosen)
-		for u := 0; u < N; u++ {
-			if in.satD[u] <= 0 {
-				continue
+		// Refresh every user's in-set best value; each user's slot is
+		// written only by its own shard, so this is race-free and order-
+		// independent (plain assignments, no accumulation).
+		for w := range improved {
+			improved[w] = 0
+		}
+		if err := pool.run(ctx, N, func(w, lo, hi int) {
+			for u := lo; u < hi; u++ {
+				if ctx.Err() != nil {
+					return
+				}
+				if in.satD[u] <= 0 {
+					continue
+				}
+				if v := in.Utility(u, chosen); v > bestVal[u] {
+					bestVal[u] = v
+					improved[w]++
+				}
 			}
-			if v := in.Utility(u, chosen); v > bestVal[u] {
-				bestVal[u] = v
-				stats.UserRescans++
-			}
+		}); err != nil {
+			return nil, stats, err
+		}
+		for _, c := range improved {
+			stats.UserRescans += c
 		}
 	}
 	sort.Ints(selected)
@@ -132,7 +167,8 @@ func (q *gainQueue) Pop() interface{} {
 }
 
 // GreedyAddPlain is the unaccelerated reference: every iteration evaluates
-// every remaining candidate. Used to validate the lazy version.
+// every remaining candidate, sharded across the worker pool with the
+// serial lowest-index argmax reduction. Used to validate the lazy version.
 func GreedyAddPlain(ctx context.Context, in *Instance, k int) ([]int, error) {
 	if in == nil {
 		return nil, errors.New("core: nil instance")
@@ -141,11 +177,35 @@ func GreedyAddPlain(ctx context.Context, in *Instance, k int) ([]int, error) {
 	if k <= 0 || k > n {
 		return nil, fmt.Errorf("%w: k=%d n=%d", ErrBadK, k, n)
 	}
+	pool := newEvalPool(in, nil)
 	bestVal := make([]float64, N)
 	inSet := make([]bool, n)
+	gains := make([]float64, n)
 	var selected []int
 	for len(selected) < k {
 		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if err := pool.run(ctx, n, func(w, lo, hi int) {
+			for p := lo; p < hi; p++ {
+				if ctx.Err() != nil {
+					return
+				}
+				if inSet[p] {
+					continue
+				}
+				var g float64
+				for u := 0; u < N; u++ {
+					if in.satD[u] <= 0 {
+						continue
+					}
+					if v := in.Utility(u, p); v > bestVal[u] {
+						g += in.Weight(u) * (v - bestVal[u]) / in.satD[u]
+					}
+				}
+				gains[p] = g
+			}
+		}); err != nil {
 			return nil, err
 		}
 		chosen, chosenGain := -1, -1.0
@@ -153,17 +213,8 @@ func GreedyAddPlain(ctx context.Context, in *Instance, k int) ([]int, error) {
 			if inSet[p] {
 				continue
 			}
-			var g float64
-			for u := 0; u < N; u++ {
-				if in.satD[u] <= 0 {
-					continue
-				}
-				if v := in.Utility(u, p); v > bestVal[u] {
-					g += in.Weight(u) * (v - bestVal[u]) / in.satD[u]
-				}
-			}
-			if g > chosenGain {
-				chosen, chosenGain = p, g
+			if gains[p] > chosenGain {
+				chosen, chosenGain = p, gains[p]
 			}
 		}
 		inSet[chosen] = true

@@ -5,6 +5,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
+
+	"github.com/regretlab/fam/internal/par"
 )
 
 // MaxBruteForceSubsets bounds the C(n, k) enumeration of BruteForce; larger
@@ -20,6 +22,17 @@ var ErrTooLarge = errors.New("core: instance too large for brute force")
 // lexicographically smallest set). Running per-user best values are
 // maintained incrementally down the recursion, making the leaf cost O(N)
 // rather than O(kN). The context is checked between sibling branches.
+//
+// The enumeration is sharded across the worker pool by first element.
+// Subtree sizes decay polynomially in the first element (C(n−1−p, k−1)
+// subsets start at p), so contiguous blocks would leave the first worker
+// with most of the work; instead first elements are dealt round-robin
+// (worker w takes p ≡ w mod workers), which balances the load. Each
+// worker keeps the first strict minimum of its own lexicographically
+// ordered subsequence, so its local optimum is the lexicographically
+// smallest among its ties; the merge compares (arr, set) with an explicit
+// lexicographic set tie-break, which reproduces the serial
+// smallest-set-wins answer exactly at any worker count.
 func BruteForce(ctx context.Context, in *Instance, k int) ([]int, float64, error) {
 	if in == nil {
 		return nil, 0, errors.New("core: nil instance")
@@ -32,44 +45,74 @@ func BruteForce(ctx context.Context, in *Instance, k int) ([]int, float64, error
 		return nil, 0, fmt.Errorf("%w: C(%d,%d) subsets", ErrTooLarge, n, k)
 	}
 
-	bestSet := make([]int, k)
-	bestARR := math.Inf(1)
-	chosen := make([]int, 0, k)
-	// bestVals[depth][u] is user u's best utility among chosen[:depth].
-	bestVals := make([][]float64, k+1)
-	for i := range bestVals {
-		bestVals[i] = make([]float64, N)
-	}
+	firsts := n - k + 1 // valid smallest elements: 0 .. n-k
+	workers := par.Workers(in.Parallelism(), firsts)
+	results := make([]struct {
+		set []int
+		arr float64
+		ok  bool
+	}, workers)
 
-	var ctxErr error
-	var rec func(start, depth int)
-	rec = func(start, depth int) {
-		if ctxErr != nil {
-			return
+	if err := par.Shards(ctx, workers, firsts, func(w, _, _ int) {
+		bestSet := make([]int, k)
+		bestARR := math.Inf(1)
+		found := false
+		chosen := make([]int, 0, k)
+		// bestVals[depth][u] is user u's best utility among chosen[:depth].
+		bestVals := make([][]float64, k+1)
+		for i := range bestVals {
+			bestVals[i] = make([]float64, N)
 		}
-		if depth == k {
-			var sum float64
-			vals := bestVals[depth]
-			for u := 0; u < N; u++ {
-				if in.satD[u] <= 0 {
-					continue
+
+		var canceled bool
+		var rec func(start, depth int)
+		rec = func(start, depth int) {
+			if canceled {
+				return
+			}
+			if depth == k {
+				var sum float64
+				vals := bestVals[depth]
+				for u := 0; u < N; u++ {
+					if in.satD[u] <= 0 {
+						continue
+					}
+					sum += in.Weight(u) * (in.satD[u] - vals[u]) / in.satD[u]
 				}
-				sum += in.Weight(u) * (in.satD[u] - vals[u]) / in.satD[u]
+				arr := sum / in.totalW
+				if arr < bestARR {
+					bestARR = arr
+					found = true
+					copy(bestSet, chosen)
+				}
+				return
 			}
-			arr := sum / in.totalW
-			if arr < bestARR {
-				bestARR = arr
-				copy(bestSet, chosen)
+			if ctx.Err() != nil {
+				canceled = true
+				return
 			}
-			return
+			// Leave room for the remaining k-depth-1 picks.
+			for p := start; p <= n-(k-depth); p++ {
+				cur, next := bestVals[depth], bestVals[depth+1]
+				for u := 0; u < N; u++ {
+					v := in.Utility(u, p)
+					if v > cur[u] {
+						next[u] = v
+					} else {
+						next[u] = cur[u]
+					}
+				}
+				chosen = append(chosen, p)
+				rec(p+1, depth+1)
+				chosen = chosen[:depth]
+			}
 		}
-		if err := ctx.Err(); err != nil {
-			ctxErr = err
-			return
-		}
-		// Leave room for the remaining k-depth-1 picks.
-		for p := start; p <= n-(k-depth); p++ {
-			cur, next := bestVals[depth], bestVals[depth+1]
+		// Round-robin over first elements; the contiguous block Shards
+		// hands out is ignored in favor of the stride — together the
+		// workers still cover every first element exactly once.
+		for p := w; p < firsts && !canceled; p += workers {
+			chosen = append(chosen[:0], p)
+			cur, next := bestVals[0], bestVals[1]
 			for u := 0; u < N; u++ {
 				v := in.Utility(u, p)
 				if v > cur[u] {
@@ -78,16 +121,44 @@ func BruteForce(ctx context.Context, in *Instance, k int) ([]int, float64, error
 					next[u] = cur[u]
 				}
 			}
-			chosen = append(chosen, p)
-			rec(p+1, depth+1)
-			chosen = chosen[:depth]
+			rec(p+1, 1)
+		}
+		if !canceled && found {
+			results[w].set, results[w].arr, results[w].ok = bestSet, bestARR, true
+		}
+	}); err != nil {
+		return nil, 0, err
+	}
+
+	bestSet, bestARR, found := []int(nil), math.Inf(1), false
+	for _, r := range results {
+		if !r.ok {
+			continue
+		}
+		if r.arr < bestARR || (r.arr == bestARR && lexLess(r.set, bestSet)) {
+			bestSet, bestARR, found = r.set, r.arr, true
 		}
 	}
-	rec(0, 0)
-	if ctxErr != nil {
-		return nil, 0, ctxErr
+	if !found {
+		// All workers bailed without a leaf — only possible on
+		// cancellation races not caught by the post-join check.
+		if err := ctx.Err(); err != nil {
+			return nil, 0, err
+		}
+		return nil, 0, errors.New("core: brute force found no subset")
 	}
 	return bestSet, bestARR, nil
+}
+
+// lexLess reports whether set a is lexicographically before b; both are
+// ascending index lists of equal length.
+func lexLess(a, b []int) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
 }
 
 // binomial returns C(n, k), or -1 on overflow past MaxBruteForceSubsets.

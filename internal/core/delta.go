@@ -16,9 +16,18 @@ import (
 // when their best or second-best point is removed. Each iteration is
 // O(|S|) to pick the argmin plus O(|S|) per affected user to rescan,
 // and the paper observes only ≈1% of users are affected per iteration.
+//
+// Parallelism: the per-user scans (initialization and the per-iteration
+// rescans) are pure reads of the utility matrix and the alive set, so they
+// are sharded across the worker pool into position-indexed buffers; the
+// accumulator updates they feed are then applied serially in the original
+// user order. Floating-point accumulation order is therefore identical to
+// the serial run, keeping rc — and every selection — bit-identical at any
+// worker count.
 func deltaShrink(ctx context.Context, in *Instance, k int) ([]int, ShrinkStats, error) {
 	n, N := in.NumPoints(), in.NumFuncs()
 	var stats ShrinkStats
+	pool := newEvalPool(in, &stats)
 	set := newAliveSet(n)
 
 	best := make([]int32, N)
@@ -74,24 +83,49 @@ func deltaShrink(ctx context.Context, in *Instance, k int) ([]int, ShrinkStats, 
 		return idx, val
 	}
 
-	// Initialization: one full scan per user. Contributions are scaled by
-	// the user's probability mass so weighted (Appendix A) instances are
+	// pairBuf holds parallel-computed (best, second) pairs, indexed by the
+	// position of the user in the batch being rescanned.
+	type pair struct {
+		b1, b2 int32
+		v1, v2 float64
+	}
+	pairs := make([]pair, 0, N)
+
+	// Initialization: one full scan per user, computed in parallel and
+	// accumulated serially in user order. Contributions are scaled by the
+	// user's probability mass so weighted (Appendix A) instances are
 	// optimized exactly.
+	pairs = pairs[:N]
+	if err := pool.run(ctx, N, func(w, lo, hi int) {
+		for u := lo; u < hi; u++ {
+			if ctx.Err() != nil {
+				return
+			}
+			if in.satD[u] <= 0 {
+				continue
+			}
+			b1, v1, b2, v2 := twoMax(u)
+			pairs[u] = pair{b1: b1, b2: b2, v1: v1, v2: v2}
+		}
+	}); err != nil {
+		return nil, stats, err
+	}
 	for u := 0; u < N; u++ {
 		if in.satD[u] <= 0 {
 			best[u], second[u] = -1, -1
 			continue
 		}
-		b1, v1, b2, v2 := twoMax(u)
-		best[u], bestVal[u] = b1, v1
-		second[u], secondVal[u] = b2, v2
-		rc[b1] += in.Weight(u) * (v1 - v2) / in.satD[u]
-		usersByBest[b1] = append(usersByBest[b1], int32(u))
-		if b2 >= 0 {
-			usersBySecond[b2] = append(usersBySecond[b2], int32(u))
+		p := pairs[u]
+		best[u], bestVal[u] = p.b1, p.v1
+		second[u], secondVal[u] = p.b2, p.v2
+		rc[p.b1] += in.Weight(u) * (p.v1 - p.v2) / in.satD[u]
+		usersByBest[p.b1] = append(usersByBest[p.b1], int32(u))
+		if p.b2 >= 0 {
+			usersBySecond[p.b2] = append(usersBySecond[p.b2], int32(u))
 		}
 	}
 
+	rescan := make([]int32, 0, N) // users needing a second-best refresh
 	for set.count > k {
 		if err := ctx.Err(); err != nil {
 			return nil, stats, err
@@ -111,33 +145,70 @@ func deltaShrink(ctx context.Context, in *Instance, k int) ([]int, ShrinkStats, 
 		set.remove(chosen)
 
 		// Users whose best point was removed: promote their second-best,
-		// rescan for a fresh pair, and move their rc contribution.
-		for _, u := range usersByBest[chosen] {
-			stats.UserRescans++
-			b1, v1, b2, v2 := twoMax(int(u))
-			best[u], bestVal[u] = b1, v1
-			second[u], secondVal[u] = b2, v2
-			if b1 >= 0 {
-				rc[b1] += in.Weight(int(u)) * (v1 - v2) / in.satD[u]
-				usersByBest[b1] = append(usersByBest[b1], u)
-				if b2 >= 0 {
-					usersBySecond[b2] = append(usersBySecond[b2], u)
+		// rescan for a fresh pair, and move their rc contribution. The
+		// rescans only read alive/utility state, so they run in parallel;
+		// the rc and index-list updates are applied serially in list order.
+		affected := usersByBest[chosen]
+		stats.UserRescans += len(affected)
+		pairs = pairs[:len(affected)]
+		if err := pool.run(ctx, len(affected), func(w, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				if ctx.Err() != nil {
+					return
+				}
+				b1, v1, b2, v2 := twoMax(int(affected[i]))
+				pairs[i] = pair{b1: b1, b2: b2, v1: v1, v2: v2}
+			}
+		}); err != nil {
+			return nil, stats, err
+		}
+		for i, u := range affected {
+			p := pairs[i]
+			best[u], bestVal[u] = p.b1, p.v1
+			second[u], secondVal[u] = p.b2, p.v2
+			if p.b1 >= 0 {
+				rc[p.b1] += in.Weight(int(u)) * (p.v1 - p.v2) / in.satD[u]
+				usersByBest[p.b1] = append(usersByBest[p.b1], u)
+				if p.b2 >= 0 {
+					usersBySecond[p.b2] = append(usersBySecond[p.b2], u)
 				}
 			}
 		}
+
 		// Users whose second-best point was removed (best unchanged):
-		// their removal cost for the best point grows.
+		// their removal cost for the best point grows. The queue may hold
+		// stale or duplicate entries; serially, processing a user updates
+		// second[u] so later duplicates fail the filter — keeping only the
+		// first passing occurrence reproduces that exactly.
+		rescan = rescan[:0]
 		for _, u := range usersBySecond[chosen] {
 			if best[u] == int32(chosen) || second[u] != int32(chosen) {
 				continue // handled above, or a stale queue entry
 			}
-			stats.UserRescans++
+			second[u] = -2 // mark claimed so duplicates are skipped
+			rescan = append(rescan, u)
+		}
+		stats.UserRescans += len(rescan)
+		pairs = pairs[:len(rescan)]
+		if err := pool.run(ctx, len(rescan), func(w, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				if ctx.Err() != nil {
+					return
+				}
+				u := rescan[i]
+				b2, v2 := secondMax(int(u), best[u])
+				pairs[i] = pair{b2: b2, v2: v2}
+			}
+		}); err != nil {
+			return nil, stats, err
+		}
+		for i, u := range rescan {
+			p := pairs[i]
 			oldV2 := secondVal[u]
-			b2, v2 := secondMax(int(u), best[u])
-			second[u], secondVal[u] = b2, v2
-			rc[best[u]] += in.Weight(int(u)) * (oldV2 - v2) / in.satD[u]
-			if b2 >= 0 {
-				usersBySecond[b2] = append(usersBySecond[b2], u)
+			second[u], secondVal[u] = p.b2, p.v2
+			rc[best[u]] += in.Weight(int(u)) * (oldV2 - p.v2) / in.satD[u]
+			if p.b2 >= 0 {
+				usersBySecond[p.b2] = append(usersBySecond[p.b2], u)
 			}
 		}
 		usersByBest[chosen] = nil

@@ -9,12 +9,12 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
-	"runtime"
-	"sync"
 
+	"github.com/regretlab/fam/internal/par"
 	"github.com/regretlab/fam/internal/point"
 	"github.com/regretlab/fam/internal/utility"
 )
@@ -37,6 +37,8 @@ type Instance struct {
 
 	cache     [][]float64 // optional N x n utility matrix
 	cacheUsed bool
+
+	par int // requested worker bound for preprocessing and query (0 = all CPUs)
 }
 
 // Options configures instance construction.
@@ -54,9 +56,11 @@ type Options struct {
 	// must be non-negative and finite with a positive total.
 	Weights []float64
 	// Parallelism bounds the worker goroutines used for preprocessing
-	// (utility materialization and best-point indexing — per-user work is
-	// independent, so results are identical at any setting). Zero uses
-	// GOMAXPROCS; one forces serial execution.
+	// (utility materialization and best-point indexing) and for the
+	// query-phase candidate evaluations of every solver that takes this
+	// instance. Per-item work is independent and all reductions break
+	// ties to the lowest index, so results are bit-identical at any
+	// setting. Zero uses GOMAXPROCS; one forces serial execution.
 	Parallelism int
 }
 
@@ -112,30 +116,21 @@ func NewInstance(points [][]float64, funcs []utility.Func, opts Options) (*Insta
 		in.cacheUsed = true
 	}
 
+	in.par = opts.Parallelism
 	in.satD = make([]float64, N)
 	in.bestD = make([]int32, N)
 	// Preprocessing is embarrassingly parallel across users: each worker
 	// owns a contiguous user range, fills its cache rows, and indexes best
-	// points. Results are bit-identical at any parallelism level.
-	workers := opts.Parallelism
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > N {
-		workers = N
-	}
+	// points. Results are bit-identical at any parallelism level. Errors
+	// are reported per worker and merged in worker order so the same
+	// invalid utility is always the one surfaced.
+	workers := par.Workers(opts.Parallelism, N)
 	errs := make([]error, workers)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		lo := w * N / workers
-		hi := (w + 1) * N / workers
-		wg.Add(1)
-		go func(w, lo, hi int) {
-			defer wg.Done()
-			errs[w] = in.preprocessUsers(lo, hi)
-		}(w, lo, hi)
+	if err := par.Shards(context.Background(), workers, N, func(w, lo, hi int) {
+		errs[w] = in.preprocessUsers(lo, hi)
+	}); err != nil {
+		return nil, err
 	}
-	wg.Wait()
 	for _, err := range errs {
 		if err != nil {
 			return nil, err

@@ -19,9 +19,18 @@ import (
 // so the true argmin is found by popping the queue and refreshing entries
 // until a fresh entry surfaces (Lemma 3); candidates whose stale lower
 // bound never reaches the top are skipped entirely.
+//
+// Parallelism: the initial n candidate evaluations and the per-iteration
+// best-point rescans are independent reads, so they are sharded across
+// the worker pool; their mutations (heap construction, best-point moves)
+// are applied serially in index order, keeping the run bit-identical to
+// serial. The pop-refresh loop itself is inherently sequential — each
+// refresh decides whether the next pop happens — and stays serial, which
+// also keeps the Evaluations/EvalSkipped counters exact.
 func lazyShrink(ctx context.Context, in *Instance, k int) ([]int, ShrinkStats, error) {
 	n, N := in.NumPoints(), in.NumFuncs()
 	var stats ShrinkStats
+	pool := newEvalPool(in, &stats)
 	set := newAliveSet(n)
 
 	best := make([]int32, N)
@@ -45,12 +54,15 @@ func lazyShrink(ctx context.Context, in *Instance, k int) ([]int, ShrinkStats, e
 		arrSum += in.Weight(u) * (in.satD[u] - bv) / in.satD[u]
 	}
 
-	// evaluate returns the unnormalized arr of S−{p}: only users whose
-	// best point is p change satisfaction (Improvement 1).
-	evaluate := func(p int) float64 {
+	// evaluate returns the unnormalized arr of S−{p} and the number of
+	// user rescans it performed: only users whose best point is p change
+	// satisfaction (Improvement 1). Pure reads — safe to run for several
+	// candidates concurrently.
+	evaluate := func(p int) (float64, int) {
 		v := arrSum
+		rescans := 0
 		for _, u := range usersByBest[p] {
-			stats.UserRescans++
+			rescans++
 			nv := -1.0
 			for q := 0; q < n; q++ {
 				if !set.alive[q] || q == p {
@@ -65,7 +77,27 @@ func lazyShrink(ctx context.Context, in *Instance, k int) ([]int, ShrinkStats, e
 			}
 			v += in.Weight(int(u)) * (bestVal[u] - nv) / in.satD[u]
 		}
-		return v
+		return v, rescans
+	}
+
+	// Initial evaluation of every candidate, sharded across workers; the
+	// heap is built serially from the index-ordered buffer.
+	vals := make([]float64, n)
+	rescanCount := make([]int, pool.workers)
+	if err := pool.run(ctx, n, func(w, lo, hi int) {
+		for p := lo; p < hi; p++ {
+			if ctx.Err() != nil {
+				return
+			}
+			v, r := evaluate(p)
+			vals[p] = v
+			rescanCount[w] += r
+		}
+	}); err != nil {
+		return nil, stats, err
+	}
+	for _, r := range rescanCount {
+		stats.UserRescans += r
 	}
 
 	// seq invalidates superseded queue entries; epoch marks the iteration
@@ -74,10 +106,15 @@ func lazyShrink(ctx context.Context, in *Instance, k int) ([]int, ShrinkStats, e
 	pq := make(evalQueue, 0, n)
 	for p := 0; p < n; p++ {
 		stats.Evaluations++
-		pq = append(pq, evalEntry{point: p, val: evaluate(p), epoch: 0, seq: 0})
+		pq = append(pq, evalEntry{point: p, val: vals[p], epoch: 0, seq: 0})
 	}
 	heap.Init(&pq)
 
+	type move struct {
+		bi int32
+		bv float64
+	}
+	moves := make([]move, 0, N)
 	for iter := 1; set.count > k; iter++ {
 		if err := ctx.Err(); err != nil {
 			return nil, stats, err
@@ -101,29 +138,46 @@ func lazyShrink(ctx context.Context, in *Instance, k int) ([]int, ShrinkStats, e
 			// on top, which the queue re-check handles).
 			stats.Evaluations++
 			seq[e.point]++
-			heap.Push(&pq, evalEntry{point: e.point, val: evaluate(e.point), epoch: iter, seq: seq[e.point]})
+			v, r := evaluate(e.point)
+			stats.UserRescans += r
+			heap.Push(&pq, evalEntry{point: e.point, val: v, epoch: iter, seq: seq[e.point]})
 		}
 		stats.EvalSkipped += set.count - (stats.Evaluations - evalsBefore)
 
 		set.remove(chosen)
 		arrSum = chosenVal
-		for _, u := range usersByBest[chosen] {
-			stats.UserRescans++
-			bi, bv := int32(-1), -1.0
-			for q := 0; q < n; q++ {
-				if !set.alive[q] {
-					continue
+		// Refresh the best point of every user who lost theirs: parallel
+		// scans into a position-indexed buffer, serial application.
+		affected := usersByBest[chosen]
+		stats.UserRescans += len(affected)
+		moves = moves[:len(affected)]
+		if err := pool.run(ctx, len(affected), func(w, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				if ctx.Err() != nil {
+					return
 				}
-				if w := in.Utility(int(u), q); w > bv {
-					bi, bv = int32(q), w
+				u := affected[i]
+				bi, bv := int32(-1), -1.0
+				for q := 0; q < n; q++ {
+					if !set.alive[q] {
+						continue
+					}
+					if w := in.Utility(int(u), q); w > bv {
+						bi, bv = int32(q), w
+					}
 				}
+				if bv < 0 {
+					bv = 0
+				}
+				moves[i] = move{bi: bi, bv: bv}
 			}
-			if bv < 0 {
-				bv = 0
-			}
-			best[u], bestVal[u] = bi, bv
-			if bi >= 0 {
-				usersByBest[bi] = append(usersByBest[bi], u)
+		}); err != nil {
+			return nil, stats, err
+		}
+		for i, u := range affected {
+			best[u], bestVal[u] = moves[i].bi, moves[i].bv
+			if moves[i].bi >= 0 {
+				usersByBest[moves[i].bi] = append(usersByBest[moves[i].bi], u)
 			}
 		}
 		usersByBest[chosen] = nil

@@ -9,9 +9,15 @@ import (
 // One iteration costs O(|S|² · N) utility evaluations; the paper reports
 // this baseline needing 50+ hours to pick 5 of 100 points at N = 10,000.
 // It exists as the correctness reference and the ablation baseline.
+//
+// The candidate evaluations are independent, so each iteration fans them
+// out across the instance's worker pool; the argmin reduction scans the
+// evaluation buffer in index order with a strict comparison, which keeps
+// the selection identical to the serial lowest-index tie-break.
 func naiveShrink(ctx context.Context, in *Instance, k int) ([]int, ShrinkStats, error) {
 	n, N := in.NumPoints(), in.NumFuncs()
 	var stats ShrinkStats
+	pool := newEvalPool(in, &stats)
 	set := newAliveSet(n)
 
 	// arrWithout computes the unnormalized arr of S−{p} by full scans.
@@ -38,20 +44,32 @@ func naiveShrink(ctx context.Context, in *Instance, k int) ([]int, ShrinkStats, 
 		return sum
 	}
 
+	vals := make([]float64, n)
 	for set.count > k {
 		if err := ctx.Err(); err != nil {
 			return nil, stats, err
 		}
 		stats.Iterations++
 		stats.CandidateTotal += set.count
-		chosen, chosenVal := -1, 0.0
-		for p := 0; p < n; p++ {
-			if !set.alive[p] {
-				continue
+		stats.Evaluations += set.count
+		// Each candidate costs a full O(|S|·N) scan, so fan out even for
+		// small candidate sets (no grain bound).
+		if err := pool.runWide(ctx, n, func(w, lo, hi int) {
+			for p := lo; p < hi; p++ {
+				if ctx.Err() != nil {
+					return
+				}
+				if set.alive[p] {
+					vals[p] = arrWithout(p)
+				}
 			}
-			stats.Evaluations++
-			if v := arrWithout(p); chosen == -1 || v < chosenVal {
-				chosen, chosenVal = p, v
+		}); err != nil {
+			return nil, stats, err
+		}
+		chosen := -1
+		for p := 0; p < n; p++ {
+			if set.alive[p] && (chosen == -1 || vals[p] < vals[chosen]) {
+				chosen = p
 			}
 		}
 		set.remove(chosen)

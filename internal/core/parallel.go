@@ -1,0 +1,71 @@
+package core
+
+import (
+	"context"
+
+	"github.com/regretlab/fam/internal/par"
+)
+
+// Parallelism returns the worker bound configured for this instance:
+// the effective goroutine count used by preprocessing and by every
+// solver's query-phase evaluation (1 means serial).
+func (in *Instance) Parallelism() int {
+	return par.Workers(in.par, 1<<30)
+}
+
+// SetParallelism changes the instance's worker bound (0 = all CPUs,
+// 1 = serial). Solver output is bit-identical at any setting, so this is
+// safe to vary between runs on a shared instance; it must not be called
+// concurrently with a running solver.
+func (in *Instance) SetParallelism(p int) { in.par = p }
+
+// evalPool shards the query phase's independent per-item evaluations
+// (candidates or users) across the instance's worker bound and keeps the
+// worker/contention counters reported in ShrinkStats. The zero batch
+// count distinguishes "solver ran serially" from "pool never used".
+type evalPool struct {
+	workers int
+	stats   *ShrinkStats
+}
+
+// newEvalPool derives the solver's pool from the instance. The stats
+// pointer may be nil for solvers that report no counters (BruteForce).
+func newEvalPool(in *Instance, stats *ShrinkStats) *evalPool {
+	p := &evalPool{workers: in.Parallelism(), stats: stats}
+	if stats != nil {
+		stats.Workers = p.workers
+	}
+	return p
+}
+
+// run executes fn over contiguous shards of [0, n). As batches shrink,
+// workers are shed (par.Bounded's grain) rather than jumping straight to
+// serial, and batches too small for any fan-out run inline; both outcomes
+// are counted. fn must poll ctx per item (every caller in this package
+// does) so that cancellation inside the pool is prompt; run reports the
+// context error after the join.
+func (e *evalPool) run(ctx context.Context, n int, fn func(w, lo, hi int)) error {
+	return e.dispatch(ctx, par.Bounded(e.workers, n), n, fn)
+}
+
+// runWide is run without the grain bound, for batches whose items are
+// individually expensive (a full candidate evaluation) and pay for
+// fan-out even when there are only a handful of them.
+func (e *evalPool) runWide(ctx context.Context, n int, fn func(w, lo, hi int)) error {
+	return e.dispatch(ctx, par.Workers(e.workers, n), n, fn)
+}
+
+func (e *evalPool) dispatch(ctx context.Context, workers, n int, fn func(w, lo, hi int)) error {
+	if n <= 0 {
+		// Nothing to evaluate; not a batch — keep the counters honest.
+		return ctx.Err()
+	}
+	if e.stats != nil {
+		if workers > 1 {
+			e.stats.ParallelBatches++
+		} else {
+			e.stats.SerialBatches++
+		}
+	}
+	return par.Shards(ctx, workers, n, fn)
+}

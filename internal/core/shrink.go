@@ -46,7 +46,13 @@ func (s Strategy) String() string {
 
 // ShrinkStats reports the work GREEDY-SHRINK performed; the lazy-variant
 // counters mirror the paper's observation that only ≈1% of users and ≈68%
-// of candidate points need reprocessing per iteration.
+// of candidate points need reprocessing per iteration. The worker
+// counters describe the parallel query engine's behavior: how many
+// evaluation batches were sharded across workers and how many were too
+// small to pay for goroutine dispatch (the contention guard) and ran
+// inline. Work counters (Evaluations, UserRescans, …) and the selected
+// set are identical at every worker count; only the batch counters
+// depend on Workers.
 type ShrinkStats struct {
 	Iterations     int     // points removed (n - k)
 	Evaluations    int     // arr(S−{p}) evaluations actually computed
@@ -55,6 +61,10 @@ type ShrinkStats struct {
 	FinalARR       float64 // sampled arr of the returned set
 	Strategy       Strategy
 	CandidateTotal int // total candidate evaluations a naive run would do
+
+	Workers         int // worker goroutines available to the query phase (1 = serial)
+	ParallelBatches int // evaluation batches sharded across workers
+	SerialBatches   int // batches run inline to avoid dispatch contention
 }
 
 // ErrBadK is returned when k is out of (0, n].

@@ -63,7 +63,7 @@ func ablationPrep(cfg Config) (*prep, error) {
 	if err != nil {
 		return nil, err
 	}
-	return newPrep(ds, dist, N, cfg.Seed+42)
+	return newPrep(ds, dist, N, cfg.Seed+42, cfg.Parallelism)
 }
 
 func runAblation1(ctx context.Context, cfg Config) ([]*Table, error) {
@@ -207,7 +207,7 @@ func runAblation4(ctx context.Context, cfg Config) ([]*Table, error) {
 
 	// Without skyline: shrink starts from all n points.
 	fullStart := timeNow()
-	inFull, err := core.NewInstance(ds.Points, funcs, core.Options{})
+	inFull, err := core.NewInstance(ds.Points, funcs, core.Options{Parallelism: cfg.Parallelism})
 	if err != nil {
 		return nil, err
 	}
@@ -230,7 +230,7 @@ func runAblation4(ctx context.Context, cfg Config) ([]*Table, error) {
 	for i, s := range sky {
 		pts[i] = ds.Points[s]
 	}
-	inSky, err := core.NewInstance(pts, funcs, core.Options{})
+	inSky, err := core.NewInstance(pts, funcs, core.Options{Parallelism: cfg.Parallelism})
 	if err != nil {
 		return nil, err
 	}

@@ -59,6 +59,10 @@ func ParseScale(s string) (Scale, error) {
 type Config struct {
 	Scale Scale
 	Seed  uint64
+	// Parallelism bounds the worker goroutines of every instance built by
+	// the experiments (0 = all CPUs, 1 = serial). Results are identical
+	// at any setting; only the timing columns change.
+	Parallelism int
 }
 
 // Table is one rendered experiment artifact.
@@ -153,7 +157,7 @@ type prep struct {
 }
 
 // newPrep builds the shared setup.
-func newPrep(ds *dataset.Dataset, dist utility.Distribution, n int, seed uint64) (*prep, error) {
+func newPrep(ds *dataset.Dataset, dist utility.Distribution, n int, seed uint64, workers int) (*prep, error) {
 	start := time.Now()
 	candidates := make([]int, ds.N())
 	for i := range candidates {
@@ -179,7 +183,7 @@ func newPrep(ds *dataset.Dataset, dist utility.Distribution, n int, seed uint64)
 	if err != nil {
 		return nil, err
 	}
-	in, err := core.NewInstance(points, funcs, core.Options{})
+	in, err := core.NewInstance(points, funcs, core.Options{Parallelism: workers})
 	if err != nil {
 		return nil, err
 	}
@@ -255,7 +259,7 @@ func (p *prep) runAlgo(ctx context.Context, algo string, k int) (algoRun, error)
 		local, _, err = core.GreedyShrink(ctx, p.in, k, core.StrategyNaive)
 	case algoMRR:
 		if p.linear {
-			local, err = baseline.MRRGreedyLP(ctx, instancePoints(p), k)
+			local, err = baseline.MRRGreedyLP(ctx, instancePoints(p), k, p.in.Parallelism())
 		} else {
 			local, err = baseline.MRRGreedySampled(ctx, p.in, k)
 		}

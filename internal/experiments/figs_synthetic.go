@@ -53,7 +53,7 @@ func runFig1(ctx context.Context, cfg Config) ([]*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	p, err := newPrep(ds, dist, N, cfg.Seed+1)
+	p, err := newPrep(ds, dist, N, cfg.Seed+1, cfg.Parallelism)
 	if err != nil {
 		return nil, err
 	}
@@ -195,7 +195,7 @@ func runFig5(ctx context.Context, cfg Config) ([]*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		p, err := newPrep(ds, dist, N, cfg.Seed+100+uint64(d))
+		p, err := newPrep(ds, dist, N, cfg.Seed+100+uint64(d), cfg.Parallelism)
 		if err != nil {
 			return nil, err
 		}
@@ -240,7 +240,7 @@ func runFig7(ctx context.Context, cfg Config) ([]*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		p, err := newPrep(ds, dist, N, cfg.Seed+200+uint64(n))
+		p, err := newPrep(ds, dist, N, cfg.Seed+200+uint64(n), cfg.Parallelism)
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,90 @@
+// Package par is the bounded worker pool shared by the query engine
+// (internal/core) and the baselines (internal/baseline). It shards an
+// index range [0, n) into one contiguous block per worker, which is the
+// property every deterministic reduction in this repository relies on:
+// per-item results are independent, blocks are ordered by index, so a
+// merge that visits workers in ascending order with a strict comparison
+// reproduces the serial lowest-index tie-break bit for bit.
+package par
+
+import (
+	"context"
+	"runtime"
+	"sync"
+)
+
+// Workers resolves a requested parallelism level against the number of
+// independent items. Zero or negative requests mean "use every CPU"
+// (GOMAXPROCS); the result is clamped to items so no worker starts empty,
+// and is at least 1.
+func Workers(requested, items int) int {
+	w := requested
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > items {
+		w = items
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// Grain is the minimum number of cheap items per worker before a fan-out
+// pays for its goroutine dispatch.
+const Grain = 16
+
+// Bounded resolves a worker count like Workers but additionally requires
+// every worker to hold at least Grain items, shedding workers (rather
+// than collapsing straight to serial) as batches shrink. Use it for
+// cheap per-item work — O(n) scans and the like; callers whose items are
+// individually expensive (an LP solve, a full candidate evaluation)
+// should use Workers directly.
+func Bounded(requested, items int) int {
+	w := Workers(requested, items)
+	if max := items / Grain; w > max {
+		w = max
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// Shards partitions [0, n) into `workers` contiguous blocks and runs
+// fn(w, lo, hi) for block w on its own goroutine. With workers <= 1 (or
+// nothing to do) fn runs inline on the caller's goroutine, so serial
+// execution has zero scheduling overhead and identical semantics.
+//
+// fn is responsible for polling ctx inside its block when items are
+// expensive (every solver in this repository checks once per item);
+// Shards itself checks before dispatch and after the join, so a
+// pre-canceled context never starts work and a mid-run cancellation is
+// always reported. The returned error is ctx.Err() or nil — worker
+// results travel through caller-owned slices indexed by item or worker.
+func Shards(ctx context.Context, workers, n int, fn func(w, lo, hi int)) error {
+	if n <= 0 {
+		return ctx.Err()
+	}
+	workers = Workers(workers, n)
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if workers == 1 {
+		fn(0, 0, n)
+		return ctx.Err()
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * n / workers
+		hi := (w + 1) * n / workers
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			fn(w, lo, hi)
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	return ctx.Err()
+}

@@ -1,0 +1,135 @@
+package par
+
+import (
+	"context"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkers(t *testing.T) {
+	cases := []struct {
+		requested, items, want int
+	}{
+		{1, 100, 1},
+		{4, 100, 4},
+		{8, 3, 3},
+		{-2, 5, min(runtime.GOMAXPROCS(0), 5)},
+		{0, 1 << 30, runtime.GOMAXPROCS(0)},
+		{3, 0, 1},
+	}
+	for _, c := range cases {
+		if got := Workers(c.requested, c.items); got != c.want {
+			t.Errorf("Workers(%d, %d) = %d, want %d", c.requested, c.items, got, c.want)
+		}
+	}
+}
+
+// Every index must be visited exactly once, whatever the worker count.
+func TestShardsCoverage(t *testing.T) {
+	ctx := context.Background()
+	for _, workers := range []int{1, 2, 3, 7, 16, 0} {
+		for _, n := range []int{1, 2, 5, 97, 1000} {
+			hits := make([]int32, n)
+			err := Shards(ctx, workers, n, func(w, lo, hi int) {
+				for i := lo; i < hi; i++ {
+					atomic.AddInt32(&hits[i], 1)
+				}
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, h := range hits {
+				if h != 1 {
+					t.Fatalf("workers=%d n=%d: index %d visited %d times", workers, n, i, h)
+				}
+			}
+		}
+	}
+}
+
+// Blocks must be contiguous and ordered by worker id — the property the
+// deterministic argmin/argmax merges depend on.
+func TestShardsContiguousOrdered(t *testing.T) {
+	const n = 103
+	los := make([]int, 8)
+	his := make([]int, 8)
+	seen := make([]bool, 8)
+	err := Shards(context.Background(), 8, n, func(w, lo, hi int) {
+		los[w], his[w], seen[w] = lo, hi, true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := 0
+	for w := 0; w < 8; w++ {
+		if !seen[w] {
+			t.Fatalf("worker %d never ran", w)
+		}
+		if los[w] != prev || his[w] < los[w] {
+			t.Fatalf("worker %d got [%d,%d), want lo=%d", w, los[w], his[w], prev)
+		}
+		prev = his[w]
+	}
+	if prev != n {
+		t.Fatalf("blocks end at %d, want %d", prev, n)
+	}
+}
+
+// A pre-canceled context must not run any work.
+func TestShardsPreCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran atomic.Bool
+	err := Shards(ctx, 4, 100, func(w, lo, hi int) { ran.Store(true) })
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if ran.Load() {
+		t.Fatal("worker body ran under a pre-canceled context")
+	}
+}
+
+// A cancellation during the run must surface as ctx.Err() after the join.
+func TestShardsMidRunCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	err := Shards(ctx, 4, 64, func(w, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if i == lo {
+				cancel()
+			}
+			if ctx.Err() != nil {
+				return // what solver loops do per item
+			}
+		}
+	})
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestShardsEmpty(t *testing.T) {
+	if err := Shards(context.Background(), 4, 0, func(w, lo, hi int) {
+		t.Fatal("fn must not run for n=0")
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBounded(t *testing.T) {
+	cases := []struct {
+		requested, items, want int
+	}{
+		{8, 1000, 8},          // plenty of items: untouched
+		{8, 100, 100 / Grain}, // shed workers, don't serialize
+		{8, 2 * Grain, 2},     // exactly two grains: two workers
+		{8, Grain, 1},         // one grain: serial
+		{8, 3, 1},             // tiny: serial
+		{1, 1000, 1},          // explicit serial stays serial
+	}
+	for _, c := range cases {
+		if got := Bounded(c.requested, c.items); got != c.want {
+			t.Errorf("Bounded(%d, %d) = %d, want %d", c.requested, c.items, got, c.want)
+		}
+	}
+}

@@ -42,6 +42,13 @@ type SelectOptions struct {
 	// utility function enters the instance once, weighted by its
 	// probability, so the average regret ratio is computed exactly.
 	ExactDiscrete bool
+	// Parallelism bounds the worker goroutines used for preprocessing
+	// (utility materialization, best-point indexing) and for the query
+	// phase (the per-candidate evaluations inside every solver). All
+	// parallel reductions break ties to the lowest index, so results are
+	// bit-identical at any setting. Zero uses every CPU (GOMAXPROCS);
+	// one forces serial execution.
+	Parallelism int
 }
 
 // Result is the outcome of Select.
@@ -143,7 +150,7 @@ func Select(ctx context.Context, ds *Dataset, dist Distribution, opts SelectOpti
 			return nil, err
 		}
 	}
-	in, err := core.NewInstance(points, funcs, core.Options{CacheBudget: opts.CacheBudget, Weights: weights})
+	in, err := core.NewInstance(points, funcs, core.Options{CacheBudget: opts.CacheBudget, Weights: weights, Parallelism: opts.Parallelism})
 	if err != nil {
 		return nil, err
 	}
@@ -181,7 +188,7 @@ func Select(ctx context.Context, ds *Dataset, dist Distribution, opts SelectOpti
 		local = set
 	case MRRGreedy:
 		if dist.Monotone() && isLinearDist(dist) {
-			set, err := baseline.MRRGreedyLP(ctx, points, opts.K)
+			set, err := baseline.MRRGreedyLP(ctx, points, opts.K, opts.Parallelism)
 			if err != nil {
 				return nil, err
 			}
@@ -239,7 +246,7 @@ func Select(ctx context.Context, ds *Dataset, dist Distribution, opts SelectOpti
 	evalSet := local
 	if opts.Algorithm == DP2D || opts.Algorithm == SkyDom {
 		if len(candidates) != ds.N() {
-			full, err := core.NewInstance(ds.Points, funcs, core.Options{CacheBudget: opts.CacheBudget, Weights: weights})
+			full, err := core.NewInstance(ds.Points, funcs, core.Options{CacheBudget: opts.CacheBudget, Weights: weights, Parallelism: opts.Parallelism})
 			if err != nil {
 				return nil, err
 			}
@@ -285,7 +292,7 @@ func Evaluate(ctx context.Context, ds *Dataset, dist Distribution, set []int, op
 			return Metrics{}, err
 		}
 	}
-	in, err := core.NewInstance(ds.Points, funcs, core.Options{CacheBudget: opts.CacheBudget, Weights: weights})
+	in, err := core.NewInstance(ds.Points, funcs, core.Options{CacheBudget: opts.CacheBudget, Weights: weights, Parallelism: opts.Parallelism})
 	if err != nil {
 		return Metrics{}, err
 	}
