@@ -9,10 +9,13 @@ package fam
 import (
 	"context"
 	"fmt"
+	"math"
 	"sync"
 	"testing"
 
+	"github.com/regretlab/fam/internal/baseline"
 	"github.com/regretlab/fam/internal/core"
+	"github.com/regretlab/fam/internal/dp2d"
 	"github.com/regretlab/fam/internal/dataset"
 	"github.com/regretlab/fam/internal/experiments"
 	"github.com/regretlab/fam/internal/geom"
@@ -211,6 +214,88 @@ func BenchmarkGreedyShrinkNaiveParallel(b *testing.B) {
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if _, _, err := core.GreedyShrink(context.Background(), in, 395, core.StrategyNaive); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// The exact DP and the SKY-DOM baseline complete the parallel story: both
+// sweeps run on n=10k datasets. The DP instance pins its skyline size with
+// a quarter-circle front (the DP is O(k·m³) in the skyline size m, so an
+// uncontrolled anticorrelated skyline would blow the budget) over 9840
+// dominated fill points; SKY-DOM runs on an independent 6-d cloud whose
+// ~500-point skyline drives both sharded loops. Selections are
+// bit-identical across worker counts — only the wall clock moves.
+
+// dp2dBenchPoints builds n 2-d points whose skyline is exactly the m
+// front points on a quarter circle.
+func dp2dBenchPoints(n, m int) [][]float64 {
+	g := rng.New(17)
+	pts := make([][]float64, 0, n)
+	lo, hi := 0.05, 1.5207 // keep tangents finite and positive
+	for i := 0; i < m; i++ {
+		th := lo + (hi-lo)*float64(i)/float64(m-1)
+		pts = append(pts, []float64{math.Cos(th), math.Sin(th)})
+	}
+	for len(pts) < n {
+		th := lo + (hi-lo)*g.Float64()
+		s := 0.5 + 0.2*g.Float64() // well inside the front: always dominated
+		pts = append(pts, []float64{s * math.Cos(th), s * math.Sin(th)})
+	}
+	return pts
+}
+
+func BenchmarkDP2DParallel(b *testing.B) {
+	pts := dp2dBenchPoints(10_000, 160)
+	const k = 6
+	for _, workers := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := dp2d.SolveOpts(context.Background(), pts, k, dp2d.Options{Parallelism: workers}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkSkyDomParallel(b *testing.B) {
+	ds, err := dataset.Synthetic(10_000, 6, dataset.Independent, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const k = 10
+	for _, workers := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := baseline.SkyDom(context.Background(), ds.Points, k, workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// The batched lazy refresh changes work counts, not selections; sweep the
+// batch size at a fixed worker count to expose the trade-off.
+func BenchmarkGreedyShrinkLazyBatch(b *testing.B) {
+	in := parallelBenchInstance(b)
+	for _, batch := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("batch=%d", batch), func(b *testing.B) {
+			in.SetParallelism(8)
+			in.SetLazyBatch(batch)
+			defer func() {
+				in.SetParallelism(0)
+				in.SetLazyBatch(0)
+			}()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := core.GreedyShrink(context.Background(), in, 9500, core.StrategyLazy); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -45,6 +45,7 @@ func run(args []string, out io.Writer) error {
 		seed     = fs.Uint64("seed", 1, "random seed")
 		ces      = fs.Float64("ces", 0, "use CES utilities with this rho (0 = linear)")
 		workers  = fs.Int("workers", 0, "worker goroutines for preprocessing and query evaluation (0 = all CPUs, 1 = serial; results are identical at any setting)")
+		lazyB    = fs.Int("lazy-batch", 0, "greedy-shrink-lazy refresh batch size (<=1 = serial pop-refresh; selections are identical at any setting, only work counters change)")
 		jsonOut  = fs.Bool("json", false, "emit the result as JSON instead of a table")
 	)
 	fs.SetOutput(io.Discard)
@@ -72,7 +73,7 @@ func run(args []string, out io.Writer) error {
 
 	res, err := fam.Select(context.Background(), ds, dist, fam.SelectOptions{
 		K: *k, Algorithm: algorithm, Epsilon: *eps, Sigma: *sigma,
-		SampleSize: *samples, Seed: *seed, Parallelism: *workers,
+		SampleSize: *samples, Seed: *seed, Parallelism: *workers, LazyBatch: *lazyB,
 	})
 	if err != nil {
 		return err

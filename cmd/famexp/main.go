@@ -33,6 +33,7 @@ func run(args []string) error {
 		scale   = fs.String("scale", "small", "bench|small|paper")
 		seed    = fs.Uint64("seed", 1, "random seed")
 		workers = fs.Int("workers", 0, "worker goroutines per instance (0 = all CPUs, 1 = serial; tables are identical, timings change)")
+		lazyB   = fs.Int("lazy-batch", 0, "lazy strategy refresh batch size (<=1 = serial pop-refresh; tables are identical, lazy work counters change)")
 		list    = fs.Bool("list", false, "list experiments and exit")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -51,7 +52,7 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	cfg := experiments.Config{Scale: sc, Seed: *seed, Parallelism: *workers}
+	cfg := experiments.Config{Scale: sc, Seed: *seed, Parallelism: *workers, LazyBatch: *lazyB}
 	ctx := context.Background()
 
 	runners := experiments.All()

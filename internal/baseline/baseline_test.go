@@ -210,7 +210,7 @@ func TestSkyDom(t *testing.T) {
 		{0.5, 0.5},
 		{0.1, 0.1},
 	}
-	set, err := SkyDom(ctx, pts, 2)
+	set, err := SkyDom(ctx, pts, 2, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -238,15 +238,15 @@ func TestSkyDom(t *testing.T) {
 
 func TestSkyDomValidationAndPadding(t *testing.T) {
 	ctx := context.Background()
-	if _, err := SkyDom(ctx, nil, 1); err == nil {
+	if _, err := SkyDom(ctx, nil, 1, 1); err == nil {
 		t.Fatal("empty must error")
 	}
 	pts := [][]float64{{1, 1}, {0.5, 0.5}, {0.4, 0.4}}
-	if _, err := SkyDom(ctx, pts, 0); err == nil {
+	if _, err := SkyDom(ctx, pts, 0, 1); err == nil {
 		t.Fatal("k=0 must error")
 	}
 	// Skyline has 1 point; k=2 must pad.
-	set, err := SkyDom(ctx, pts, 2)
+	set, err := SkyDom(ctx, pts, 2, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -255,7 +255,7 @@ func TestSkyDomValidationAndPadding(t *testing.T) {
 	}
 	ctxC, cancel := context.WithCancel(ctx)
 	cancel()
-	if _, err := SkyDom(ctxC, pts, 2); err == nil {
+	if _, err := SkyDom(ctxC, pts, 2, 1); err == nil {
 		t.Fatal("canceled context must error")
 	}
 }
@@ -334,7 +334,7 @@ func TestShrinkBeatsBaselinesOnARR(t *testing.T) {
 	} else {
 		t.Fatal(err)
 	}
-	if s, err := SkyDom(ctx, pts, k); err == nil {
+	if s, err := SkyDom(ctx, pts, k, 1); err == nil {
 		others["skydom"] = s
 	} else {
 		t.Fatal(err)

@@ -113,16 +113,17 @@ func KHitExact2D(ctx context.Context, points [][]float64, k int) ([]int, float64
 }
 
 // HitProbability estimates the k-hit objective of a set: the fraction of
-// sampled users whose favorite database point is in the set.
+// sampled users whose favorite database point is in the set. The set must
+// be non-empty with valid, distinct indices (ErrInvalidSet otherwise).
 func HitProbability(in *core.Instance, set []int) (float64, error) {
 	if in == nil {
 		return 0, errors.New("baseline: nil instance")
 	}
+	if err := core.ValidateSet(set, in.NumPoints()); err != nil {
+		return 0, err
+	}
 	inSet := make(map[int]bool, len(set))
 	for _, p := range set {
-		if p < 0 || p >= in.NumPoints() {
-			return 0, fmt.Errorf("baseline: point index %d out of range", p)
-		}
 		inSet[p] = true
 	}
 	hits := 0

@@ -1,0 +1,120 @@
+package baseline
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+
+	"github.com/regretlab/fam/internal/rng"
+	"github.com/regretlab/fam/internal/skyline"
+)
+
+// skyDomPoints generates a mildly anticorrelated cloud so the skyline is
+// large enough that both sharded loops (dominance sets and per-round
+// gains) actually fan out.
+func skyDomPoints(g *rng.RNG, n, d int) [][]float64 {
+	pts := make([][]float64, n)
+	for i := range pts {
+		p := make([]float64, d)
+		base := g.Float64()
+		for j := range p {
+			p[j] = 0.7*(1-base) + 0.3*g.Float64()
+		}
+		p[0] = base
+		pts[i] = p
+	}
+	return pts
+}
+
+// SkyDom's sharded dominance sets and gain reductions must reproduce the
+// serial lowest-index greedy bit for bit at any worker count.
+func TestSkyDomParallelMatchesSerial(t *testing.T) {
+	ctx := context.Background()
+	g := rng.New(47)
+	pts := skyDomPoints(g, 600, 4)
+	for _, k := range []int{1, 5, 12} {
+		ref, err := SkyDom(ctx, pts, k, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{2, 4, 8, 0} {
+			got, err := SkyDom(ctx, pts, k, workers)
+			if err != nil {
+				t.Fatalf("k=%d workers=%d: %v", k, workers, err)
+			}
+			if !reflect.DeepEqual(got, ref) {
+				t.Fatalf("k=%d workers=%d: %v != %v", k, workers, got, ref)
+			}
+		}
+	}
+}
+
+// DominanceSets must build identical bitsets at any worker count.
+func TestDominanceSetsParallelMatchesSerial(t *testing.T) {
+	g := rng.New(53)
+	pts := skyDomPoints(g, 400, 3)
+	sky, err := skyline.Compute(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := skyline.DominanceSets(nil, pts, sky, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 8, 0} {
+		got, err := skyline.DominanceSets(nil, pts, sky, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(ref) {
+			t.Fatalf("workers=%d: %d sets, want %d", workers, len(got), len(ref))
+		}
+		for i := range got {
+			if !reflect.DeepEqual(got[i], ref[i]) {
+				t.Fatalf("workers=%d: dominance set %d diverged", workers, i)
+			}
+		}
+	}
+}
+
+// Cancellation must be honored from inside the sharded loops.
+func TestSkyDomParallelPreCanceled(t *testing.T) {
+	g := rng.New(59)
+	pts := skyDomPoints(g, 300, 3)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := SkyDom(ctx, pts, 4, 4); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// The coverage/hit helpers must reject malformed sets with the typed
+// ErrInvalidSet: empty, duplicate, and out-of-range indices.
+func TestBaselineSetValidation(t *testing.T) {
+	pts := [][]float64{{1, 0}, {0, 1}, {0.5, 0.5}}
+	cases := []struct {
+		name string
+		set  []int
+	}{
+		{"empty", nil},
+		{"duplicate", []int{0, 0}},
+		{"negative", []int{-1}},
+		{"out of range", []int{3}},
+		{"larger than db", []int{0, 1, 2, 2}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := DominanceCoverage(pts, tc.set); !errors.Is(err, ErrInvalidSet) {
+				t.Fatalf("DominanceCoverage(%v): err = %v, want ErrInvalidSet", tc.set, err)
+			}
+		})
+	}
+	// Valid set sanity: neither extreme point dominates (0.5, 0.5).
+	if cov, err := DominanceCoverage(pts, []int{0, 1}); err != nil || cov != 0 {
+		t.Fatalf("valid set: cov=%d err=%v", cov, err)
+	}
+	if cov, err := DominanceCoverage([][]float64{{1, 1}, {0, 1}, {0.5, 0.5}}, []int{0}); err != nil || cov != 2 {
+		t.Fatalf("dominating set: cov=%d err=%v", cov, err)
+	}
+}

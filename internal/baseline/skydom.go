@@ -6,9 +6,17 @@ import (
 	"sort"
 
 	"github.com/regretlab/fam/internal/bitset"
+	"github.com/regretlab/fam/internal/core"
+	"github.com/regretlab/fam/internal/par"
 	"github.com/regretlab/fam/internal/point"
 	"github.com/regretlab/fam/internal/skyline"
 )
+
+// ErrInvalidSet is returned when an explicit selection set is empty,
+// larger than the database, contains an out-of-range index, or repeats an
+// index. It is core.ErrInvalidSet, so one errors.Is target matches the
+// whole library; validation goes through core.ValidateSet.
+var ErrInvalidSet = core.ErrInvalidSet
 
 // SkyDom implements the representative-skyline selection of Lin et al.
 // (ICDE 2007): choose k skyline points that together dominate the largest
@@ -16,7 +24,15 @@ import (
 // instance, solved greedily (the classic (1−1/e) heuristic, which is also
 // what makes SKY-DOM expensive on large skylines — visible in the paper's
 // query-time plots).
-func SkyDom(ctx context.Context, points [][]float64, k int) ([]int, error) {
+//
+// Both hot loops are sharded across `workers` goroutines (0 = all CPUs,
+// 1 = serial): the per-candidate dominance sets are built concurrently,
+// and each greedy round fans the per-candidate coverage gains out across
+// the pool. Every worker keeps the first strict maximum of its ascending
+// index block and the merge visits workers in ascending order with a
+// strict comparison, so the selected set is bit-identical to the serial
+// lowest-index tie-break at any worker count.
+func SkyDom(ctx context.Context, points [][]float64, k, workers int) ([]int, error) {
 	if _, err := point.Validate(points); err != nil {
 		return nil, err
 	}
@@ -28,23 +44,50 @@ func SkyDom(ctx context.Context, points [][]float64, k int) ([]int, error) {
 	if err != nil {
 		return nil, err
 	}
-	domSets := skyline.DominanceSets(points, sky)
+	domSets, err := skyline.DominanceSets(ctx, points, sky, workers)
+	if err != nil {
+		return nil, err
+	}
 
 	covered := bitset.New(n)
 	used := make([]bool, len(sky))
+	// Gain scans cost O(n/64) each — cheap items, so workers shed on small
+	// skylines rather than paying dispatch for nothing.
+	nw := par.Bounded(workers, len(sky))
+	type best struct {
+		idx, gain int
+	}
+	locals := make([]best, nw)
 	var selected []int
 	for len(selected) < k && len(selected) < len(sky) {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		bestIdx, bestGain := -1, -1
-		for i := range sky {
-			if used[i] {
-				continue
+		for w := range locals {
+			locals[w] = best{idx: -1, gain: -1}
+		}
+		if err := par.Shards(ctx, nw, len(sky), func(w, lo, hi int) {
+			b := best{idx: -1, gain: -1}
+			for i := lo; i < hi; i++ {
+				if ctx.Err() != nil {
+					return
+				}
+				if used[i] {
+					continue
+				}
+				if gain := covered.AndNotCount(domSets[i]); gain > b.gain {
+					b = best{idx: i, gain: gain}
+				}
 			}
-			gain := covered.AndNotCount(domSets[i])
-			if gain > bestGain {
-				bestIdx, bestGain = i, gain
+			locals[w] = b
+		}); err != nil {
+			return nil, err
+		}
+		// Ascending worker blocks + strict comparison = serial first-max.
+		bestIdx, bestGain := -1, -1
+		for _, b := range locals {
+			if b.idx >= 0 && b.gain > bestGain {
+				bestIdx, bestGain = b.idx, b.gain
 			}
 		}
 		if bestIdx == -1 {
@@ -72,16 +115,18 @@ func SkyDom(ctx context.Context, points [][]float64, k int) ([]int, error) {
 }
 
 // DominanceCoverage returns how many points of the database are dominated
-// by at least one member of the set — the objective SkyDom maximizes.
+// by at least one member of the set — the objective SkyDom maximizes. The
+// set must be non-empty with valid, distinct indices (ErrInvalidSet
+// otherwise).
 func DominanceCoverage(points [][]float64, set []int) (int, error) {
 	if _, err := point.Validate(points); err != nil {
 		return 0, err
 	}
+	if err := core.ValidateSet(set, len(points)); err != nil {
+		return 0, err
+	}
 	covered := bitset.New(len(points))
 	for _, s := range set {
-		if s < 0 || s >= len(points) {
-			return 0, fmt.Errorf("baseline: point index %d out of range", s)
-		}
 		for j := range points {
 			if j != s && point.Dominates(points[s], points[j]) {
 				covered.Add(j)

@@ -38,7 +38,8 @@ type Instance struct {
 	cache     [][]float64 // optional N x n utility matrix
 	cacheUsed bool
 
-	par int // requested worker bound for preprocessing and query (0 = all CPUs)
+	par       int // requested worker bound for preprocessing and query (0 = all CPUs)
+	lazyBatch int // lazy-strategy refresh batch size (<=1 = serial refresh)
 }
 
 // Options configures instance construction.
@@ -62,6 +63,17 @@ type Options struct {
 	// ties to the lowest index, so results are bit-identical at any
 	// setting. Zero uses GOMAXPROCS; one forces serial execution.
 	Parallelism int
+	// LazyBatch sets the refresh batch size of the lazy GREEDY-SHRINK
+	// strategy: when a stale lower bound surfaces on the priority queue,
+	// up to LazyBatch stale entries are popped and re-evaluated
+	// concurrently instead of one at a time. The selected set and the
+	// final average regret ratio are identical at any batch size — the
+	// queue still converges to the lowest-index argmin — but the
+	// evaluation-count statistics (Evaluations, EvalSkipped, UserRescans
+	// and the speculative counters) may differ, because entries beyond
+	// the queue head are refreshed speculatively. Zero or one keeps the
+	// paper's serial pop-refresh loop with exact counters.
+	LazyBatch int
 }
 
 // DefaultCacheBudget caps the utility cache at 32M entries (256 MB).
@@ -117,6 +129,7 @@ func NewInstance(points [][]float64, funcs []utility.Func, opts Options) (*Insta
 	}
 
 	in.par = opts.Parallelism
+	in.lazyBatch = opts.LazyBatch
 	in.satD = make([]float64, N)
 	in.bestD = make([]int32, N)
 	// Preprocessing is embarrassingly parallel across users: each worker
@@ -208,23 +221,39 @@ func (in *Instance) BestInDatabase(u int) (int, float64) {
 	return int(in.bestD[u]), in.satD[u]
 }
 
-// validateSet checks that set is a non-empty list of valid, distinct point
-// indices.
-func (in *Instance) validateSet(set []int) error {
+// ErrInvalidSet is returned when a selection set is empty, larger than the
+// database, contains an out-of-range index, or repeats an index. Callers
+// can match it with errors.Is to distinguish bad input from solver
+// failures.
+var ErrInvalidSet = errors.New("core: invalid selection set")
+
+// ValidateSet checks that set is a non-empty list of valid, distinct
+// indices into [0, n). Every violation is reported as a wrapped
+// ErrInvalidSet.
+func ValidateSet(set []int, n int) error {
 	if len(set) == 0 {
-		return errors.New("core: empty selection set")
+		return fmt.Errorf("%w: empty", ErrInvalidSet)
+	}
+	if len(set) > n {
+		return fmt.Errorf("%w: %d indices for %d points", ErrInvalidSet, len(set), n)
 	}
 	seen := make(map[int]bool, len(set))
 	for _, p := range set {
-		if p < 0 || p >= len(in.Points) {
-			return fmt.Errorf("core: point index %d out of range [0,%d)", p, len(in.Points))
+		if p < 0 || p >= n {
+			return fmt.Errorf("%w: point index %d out of range [0,%d)", ErrInvalidSet, p, n)
 		}
 		if seen[p] {
-			return fmt.Errorf("core: duplicate point index %d", p)
+			return fmt.Errorf("%w: duplicate point index %d", ErrInvalidSet, p)
 		}
 		seen[p] = true
 	}
 	return nil
+}
+
+// validateSet checks that set is a non-empty list of valid, distinct point
+// indices.
+func (in *Instance) validateSet(set []int) error {
+	return ValidateSet(set, len(in.Points))
 }
 
 // RegretRatios returns the per-user regret ratio of the set (Equation 1's

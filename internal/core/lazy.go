@@ -24,9 +24,20 @@ import (
 // best-point rescans are independent reads, so they are sharded across
 // the worker pool; their mutations (heap construction, best-point moves)
 // are applied serially in index order, keeping the run bit-identical to
-// serial. The pop-refresh loop itself is inherently sequential — each
-// refresh decides whether the next pop happens — and stays serial, which
-// also keeps the Evaluations/EvalSkipped counters exact.
+// serial. The pop-refresh loop is sequential by default — each refresh
+// decides whether the next pop happens — which keeps the
+// Evaluations/EvalSkipped counters exact.
+//
+// Batched refresh (LazyBatch > 1): instead of refreshing the single stale
+// entry at the queue head, up to LazyBatch stale entries are popped and
+// re-evaluated concurrently, betting that the head's refreshed value will
+// not stay on top. The selected set is unchanged at any batch size: every
+// queue key is a lower bound on its entry's current value (Lemma 2), so
+// the loop still terminates exactly when the fresh minimum — the
+// lowest-index argmin of the true evaluation values — surfaces. Only the
+// work counters move: entries below the head might never have been
+// refreshed serially, so Evaluations/EvalSkipped/UserRescans become
+// batch-size dependent, tracked by the Speculative* counters.
 func lazyShrink(ctx context.Context, in *Instance, k int) ([]int, ShrinkStats, error) {
 	n, N := in.NumPoints(), in.NumFuncs()
 	var stats ShrinkStats
@@ -115,6 +126,15 @@ func lazyShrink(ctx context.Context, in *Instance, k int) ([]int, ShrinkStats, e
 		bv float64
 	}
 	moves := make([]move, 0, N)
+	lazyB := in.LazyBatch()
+	stats.LazyBatch = lazyB
+	batch := make([]evalEntry, 0, lazyB)
+	type refresh struct {
+		val     float64
+		rescans int
+	}
+	refreshed := make([]refresh, lazyB)
+	spec := make([]int, 0, lazyB) // points refreshed speculatively this iteration
 	for iter := 1; set.count > k; iter++ {
 		if err := ctx.Err(); err != nil {
 			return nil, stats, err
@@ -124,25 +144,76 @@ func lazyShrink(ctx context.Context, in *Instance, k int) ([]int, ShrinkStats, e
 		evalsBefore := stats.Evaluations
 		chosen := -1
 		var chosenVal float64
-		for {
-			e := heap.Pop(&pq).(evalEntry)
-			if !set.alive[e.point] || e.seq != seq[e.point] {
-				continue // superseded or removed
+		spec = spec[:0]
+		for chosen == -1 {
+			// Collect up to lazyB stale entries off the top; a fresh entry
+			// ends the sweep early (everything beneath it is ruled out by
+			// its lower bound once the collected entries are refreshed).
+			batch = batch[:0]
+			fresh := evalEntry{point: -1}
+			for len(batch) < lazyB && pq.Len() > 0 {
+				e := heap.Pop(&pq).(evalEntry)
+				if !set.alive[e.point] || e.seq != seq[e.point] {
+					continue // superseded or removed
+				}
+				if e.epoch == iter {
+					fresh = e
+					break
+				}
+				batch = append(batch, e)
 			}
-			if e.epoch == iter {
-				chosen, chosenVal = e.point, e.val
+			if len(batch) == 0 {
+				// Fresh value on top: it is the lowest-index argmin
+				// (Lemma 3 case 1 — every remaining key is a lower bound
+				// at or above it).
+				chosen, chosenVal = fresh.point, fresh.val
 				break
 			}
-			// Stale lower bound on top: refresh it (Lemma 3 case 1 rules
-			// out everything beneath it only if the refreshed value stays
-			// on top, which the queue re-check handles).
-			stats.Evaluations++
-			seq[e.point]++
-			v, r := evaluate(e.point)
-			stats.UserRescans += r
-			heap.Push(&pq, evalEntry{point: e.point, val: v, epoch: iter, seq: seq[e.point]})
+			stats.Evaluations += len(batch)
+			stats.SpeculativeEvals += len(batch) - 1
+			for i := range batch {
+				seq[batch[i].point]++
+				if i > 0 {
+					spec = append(spec, batch[i].point)
+				}
+			}
+			if len(batch) == 1 {
+				// The head entry alone: refresh inline, exactly the serial
+				// pop-refresh step.
+				v, r := evaluate(batch[0].point)
+				stats.UserRescans += r
+				heap.Push(&pq, evalEntry{point: batch[0].point, val: v, epoch: iter, seq: seq[batch[0].point]})
+			} else {
+				out := refreshed[:len(batch)]
+				ents := batch
+				if err := pool.runWide(ctx, len(ents), func(w, lo, hi int) {
+					for i := lo; i < hi; i++ {
+						if ctx.Err() != nil {
+							return
+						}
+						v, r := evaluate(ents[i].point)
+						out[i] = refresh{val: v, rescans: r}
+					}
+				}); err != nil {
+					return nil, stats, err
+				}
+				for i := range ents {
+					stats.UserRescans += out[i].rescans
+					heap.Push(&pq, evalEntry{point: ents[i].point, val: out[i].val, epoch: iter, seq: seq[ents[i].point]})
+				}
+			}
+			if fresh.point >= 0 {
+				heap.Push(&pq, fresh)
+			}
 		}
 		stats.EvalSkipped += set.count - (stats.Evaluations - evalsBefore)
+		for _, p := range spec {
+			if p == chosen {
+				stats.SpeculativeHits++
+			} else {
+				stats.SpeculativeWaste++
+			}
+		}
 
 		set.remove(chosen)
 		arrSum = chosenVal

@@ -1,0 +1,117 @@
+package core
+
+import (
+	"context"
+	"testing"
+)
+
+// lazyBatchInstance builds a seeded instance with the given worker bound
+// and lazy refresh batch size.
+func lazyBatchInstance(t testing.TB, seed uint64, n, d, N, workers, batch int) *Instance {
+	t.Helper()
+	in := workerInstance(t, seed, n, d, N, workers)
+	in.SetLazyBatch(batch)
+	return in
+}
+
+// The batched lazy refresh is stats-tolerant equivalent to the serial
+// pop-refresh loop: for every batch size B and worker bound, the selected
+// set, FinalARR (the ARR metric of the selection), Iterations, and
+// CandidateTotal are bit-identical to the serial lazy run; only the
+// evaluation-count statistics (Evaluations, EvalSkipped, UserRescans, the
+// speculative counters, and the batch/dispatch counters) may differ,
+// because entries below the queue head are refreshed speculatively.
+func TestLazyBatchStatsTolerantEquivalence(t *testing.T) {
+	ctx := context.Background()
+	const n, d, N, k = 90, 4, 400, 12
+	for _, seed := range []uint64{3, 19, 57} {
+		ref, refStats, err := GreedyShrink(ctx, lazyBatchInstance(t, seed, n, d, N, 1, 0), k, StrategyLazy)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, batch := range []int{1, 4, 16} {
+			for _, workers := range []int{1, 4, 8} {
+				in := lazyBatchInstance(t, seed, n, d, N, workers, batch)
+				set, stats, err := GreedyShrink(ctx, in, k, StrategyLazy)
+				if err != nil {
+					t.Fatalf("seed=%d B=%d workers=%d: %v", seed, batch, workers, err)
+				}
+				label := "lazy-batch"
+				sameSet(t, label, set, ref)
+				if stats.FinalARR != refStats.FinalARR {
+					t.Fatalf("seed=%d B=%d workers=%d: FinalARR %v != %v",
+						seed, batch, workers, stats.FinalARR, refStats.FinalARR)
+				}
+				if stats.Iterations != refStats.Iterations || stats.CandidateTotal != refStats.CandidateTotal {
+					t.Fatalf("seed=%d B=%d workers=%d: iteration counters diverged: %+v vs %+v",
+						seed, batch, workers, stats, refStats)
+				}
+				if stats.LazyBatch != batch {
+					t.Fatalf("seed=%d B=%d: stats.LazyBatch = %d", seed, batch, stats.LazyBatch)
+				}
+				if batch <= 1 {
+					// B = 1 is exactly the serial pop-refresh loop: even the
+					// evaluation counts must match, and nothing is
+					// speculative.
+					if stats.Evaluations != refStats.Evaluations ||
+						stats.EvalSkipped != refStats.EvalSkipped ||
+						stats.UserRescans != refStats.UserRescans {
+						t.Fatalf("seed=%d workers=%d: B=1 work counters diverged: %+v vs %+v",
+							seed, workers, stats, refStats)
+					}
+					if stats.SpeculativeEvals != 0 || stats.SpeculativeHits != 0 || stats.SpeculativeWaste != 0 {
+						t.Fatalf("seed=%d workers=%d: B=1 recorded speculative work: %+v", seed, workers, stats)
+					}
+					continue
+				}
+				// B > 1: speculative accounting must be internally
+				// consistent, and every refresh is still bounded by one per
+				// candidate per iteration.
+				if stats.SpeculativeHits+stats.SpeculativeWaste != stats.SpeculativeEvals {
+					t.Fatalf("seed=%d B=%d workers=%d: hits %d + waste %d != evals %d",
+						seed, batch, workers, stats.SpeculativeHits, stats.SpeculativeWaste, stats.SpeculativeEvals)
+				}
+				if stats.Evaluations < refStats.Evaluations {
+					t.Fatalf("seed=%d B=%d: batched run evaluated less than serial (%d < %d)",
+						seed, batch, stats.Evaluations, refStats.Evaluations)
+				}
+				if stats.Evaluations+stats.EvalSkipped != refStats.Evaluations+refStats.EvalSkipped {
+					t.Fatalf("seed=%d B=%d: evaluations+skips changed: %d+%d vs %d+%d",
+						seed, batch, stats.Evaluations, stats.EvalSkipped,
+						refStats.Evaluations, refStats.EvalSkipped)
+				}
+			}
+		}
+	}
+}
+
+// A batch size far larger than the candidate pool must degrade gracefully
+// (refresh everything alive, never drain the queue into a panic) and still
+// return the serial selection.
+func TestLazyBatchLargerThanCandidates(t *testing.T) {
+	ctx := context.Background()
+	const n, d, N, k = 24, 3, 150, 4
+	ref, _, err := GreedyShrink(ctx, lazyBatchInstance(t, 7, n, d, N, 1, 0), k, StrategyLazy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := lazyBatchInstance(t, 7, n, d, N, 4, 1024)
+	set, stats, err := GreedyShrink(ctx, in, k, StrategyLazy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameSet(t, "huge-batch", set, ref)
+	if stats.LazyBatch != 1024 {
+		t.Fatalf("LazyBatch = %d", stats.LazyBatch)
+	}
+}
+
+// The batched refresh path must honor cancellation from inside the pool.
+func TestLazyBatchPreCanceled(t *testing.T) {
+	in := lazyBatchInstance(t, 5, 60, 3, 200, 4, 8)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := GreedyShrink(ctx, in, 5, StrategyLazy); err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}

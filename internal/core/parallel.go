@@ -19,6 +19,22 @@ func (in *Instance) Parallelism() int {
 // concurrently with a running solver.
 func (in *Instance) SetParallelism(p int) { in.par = p }
 
+// LazyBatch returns the effective refresh batch size of the lazy
+// GREEDY-SHRINK strategy (at least 1; 1 means the serial pop-refresh
+// loop).
+func (in *Instance) LazyBatch() int {
+	if in.lazyBatch < 1 {
+		return 1
+	}
+	return in.lazyBatch
+}
+
+// SetLazyBatch changes the lazy strategy's refresh batch size (<=1 =
+// serial refresh). Selected sets and FinalARR are identical at any
+// setting; evaluation-count statistics may differ. It must not be called
+// concurrently with a running solver.
+func (in *Instance) SetLazyBatch(b int) { in.lazyBatch = b }
+
 // evalPool shards the query phase's independent per-item evaluations
 // (candidates or users) across the instance's worker bound and keeps the
 // worker/contention counters reported in ShrinkStats. The zero batch

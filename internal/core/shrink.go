@@ -65,6 +65,18 @@ type ShrinkStats struct {
 	Workers         int // worker goroutines available to the query phase (1 = serial)
 	ParallelBatches int // evaluation batches sharded across workers
 	SerialBatches   int // batches run inline to avoid dispatch contention
+
+	// Batched-lazy counters (StrategyLazy with LazyBatch > 1). A
+	// speculative refresh re-evaluates a stale queue entry below the
+	// queue head, work the serial pop-refresh loop might have skipped.
+	// A hit means the speculatively refreshed entry became the removed
+	// point of its iteration; a waste means it did not (its exact value
+	// still tightens the entry's lower bound for later iterations).
+	// All three are zero when LazyBatch <= 1.
+	LazyBatch        int // effective refresh batch size (1 = serial refresh)
+	SpeculativeEvals int // stale entries refreshed below the queue head
+	SpeculativeHits  int // speculative refreshes that resolved their iteration
+	SpeculativeWaste int // speculative refreshes that did not (Evals - Hits)
 }
 
 // ErrBadK is returned when k is out of (0, n].

@@ -15,6 +15,14 @@
 // arr({p_i}, F[a,b]) integrates the regret of showing p_i against the
 // database envelope over tangents [a, b] using the closed forms of
 // internal/geom.
+//
+// The DP is evaluated bottom-up, one layer r at a time: every cell of
+// layer r reads only layer r−1, so the cells within a layer are
+// independent and are sharded across a worker pool (internal/par). Each
+// cell's transition minimum is still taken by one worker scanning its
+// successors in ascending order with a strict comparison, so the chosen
+// parent — and therefore the reconstructed set, its exact arr, and the
+// full DP tables — are bit-identical at any worker count.
 package dp2d
 
 import (
@@ -25,6 +33,7 @@ import (
 	"sort"
 
 	"github.com/regretlab/fam/internal/geom"
+	"github.com/regretlab/fam/internal/par"
 	"github.com/regretlab/fam/internal/skyline"
 )
 
@@ -40,19 +49,46 @@ type Result struct {
 	SkylineSize int
 }
 
+// Options configures Solve.
+type Options struct {
+	// Parallelism bounds the worker goroutines sharding each DP layer
+	// (and the per-point envelope prefix sums). Zero uses every CPU
+	// (GOMAXPROCS); one forces serial execution. Results are
+	// bit-identical at any setting.
+	Parallelism int
+}
+
 // ErrBadK is returned when k is not positive.
 var ErrBadK = errors.New("dp2d: k must be positive")
 
-// Solve runs the dynamic program on the (full) 2-d point set. Dominated
-// points are removed first — they are never anyone's best point, so the
-// optimum over the skyline equals the optimum over the database.
+// Solve runs the dynamic program on the (full) 2-d point set with default
+// options (all CPUs). Dominated points are removed first — they are never
+// anyone's best point, so the optimum over the skyline equals the optimum
+// over the database.
 func Solve(ctx context.Context, points [][]float64, k int) (Result, error) {
+	return SolveOpts(ctx, points, k, Options{})
+}
+
+// SolveOpts runs the dynamic program with explicit options.
+func SolveOpts(ctx context.Context, points [][]float64, k int, opts Options) (Result, error) {
+	res, _, err := solve(ctx, points, k, opts)
+	return res, err
+}
+
+// tables is the DP state exposed to in-package determinism tests: the
+// value and parent tables, indexed [r][i][prev+1].
+type tables struct {
+	memo   [][][]float64
+	parent [][][]int
+}
+
+func solve(ctx context.Context, points [][]float64, k int, opts Options) (Result, tables, error) {
 	if k <= 0 {
-		return Result{}, fmt.Errorf("%w: k=%d", ErrBadK, k)
+		return Result{}, tables{}, fmt.Errorf("%w: k=%d", ErrBadK, k)
 	}
 	sky, err := skyline.Skyline2DSorted(points)
 	if err != nil {
-		return Result{}, err
+		return Result{}, tables{}, err
 	}
 	m := len(sky)
 	// Work points in DP order (descending first attribute).
@@ -64,35 +100,45 @@ func Solve(ctx context.Context, points [][]float64, k int) (Result, error) {
 		// Whole skyline fits: exact arr is 0.
 		out := append([]int(nil), sky...)
 		sort.Ints(out)
-		return Result{Set: out, ARR: 0, SkylineSize: m}, nil
+		return Result{Set: out, ARR: 0, SkylineSize: m}, tables{}, nil
 	}
 
 	dbEnv, err := geom.ComputeEnvelope(points)
 	if err != nil {
-		return Result{}, err
+		return Result{}, tables{}, err
 	}
 
 	// single(i, a, b) = arr({p_i}, F[a, b]): regret of showing p_i alone to
 	// the users with tangents in [a, b], against the database envelope.
 	// Implemented as a difference of the cumulative integral
 	// A_i(t) = arr({p_i}, F[0, t]), with per-point prefix sums over the
-	// database envelope segments built lazily (O(E) per point, O(log E)
-	// per query) — the DP issues O(k·n³) single() calls, so per-call cost
-	// dominates the total runtime.
+	// database envelope segments (O(E) per point, O(log E) per query) —
+	// the DP issues O(k·n³) single() calls, so per-call cost dominates the
+	// total runtime. Every point is evaluated by the bottom-up DP, so all
+	// prefix rows are built up front — sharded across workers, each row
+	// independently and deterministically, which also makes single() a
+	// pure read during the parallel layer sweeps.
 	envStarts := make([]float64, len(dbEnv.Idx))
 	for s := 1; s < len(dbEnv.Idx); s++ {
 		envStarts[s] = dbEnv.Breaks[s-1]
 	}
 	prefix := make([][]float64, m) // prefix[i][s] = A_i(envStarts[s])
-	cumulative := func(i int, t float64) float64 {
-		if prefix[i] == nil {
+	workers := par.Workers(opts.Parallelism, m)
+	if err := par.Shards(ctx, workers, m, func(w, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if ctx.Err() != nil {
+				return
+			}
 			pre := make([]float64, len(dbEnv.Idx)+1)
 			for s, best := range dbEnv.Idx {
-				hi := dbEnv.Breaks[s]
-				pre[s+1] = pre[s] + geom.RegretIntegral(pts[i], points[best], envStarts[s], hi)
+				pre[s+1] = pre[s] + geom.RegretIntegral(pts[i], points[best], envStarts[s], dbEnv.Breaks[s])
 			}
 			prefix[i] = pre
 		}
+	}); err != nil {
+		return Result{}, tables{}, err
+	}
+	cumulative := func(i int, t float64) float64 {
 		if t <= 0 {
 			return 0
 		}
@@ -122,7 +168,11 @@ func Solve(ctx context.Context, points [][]float64, k int) (Result, error) {
 	}
 
 	// memo[r][i][prev+1] with tl = 0 when prev == -1, else boundary(prev, i).
-	const unset = -1.0
+	// Layer r answers "minimum arr over the tangents ≥ tl when p_i is shown
+	// from tl and at most r more points may follow". Reachable cells: the
+	// recurrence only ever queries prev ∈ [0, i) at layers below the top
+	// and prev = -1 at the top layer (the openers), so those are the cells
+	// each sweep computes.
 	memo := make([][][]float64, k)
 	parent := make([][][]int, k) // chosen successor j (m means "stop")
 	for r := 0; r < k; r++ {
@@ -131,30 +181,18 @@ func Solve(ctx context.Context, points [][]float64, k int) (Result, error) {
 		for i := 0; i < m; i++ {
 			memo[r][i] = make([]float64, m+1)
 			parent[r][i] = make([]int, m+1)
-			for p := range memo[r][i] {
-				memo[r][i][p] = unset
-			}
 		}
 	}
 
-	var ctxErr error
-	var solve func(r, i, prev int) float64
-	solve = func(r, i, prev int) float64 {
-		if ctxErr != nil {
-			return 0
-		}
-		if v := memo[r][i][prev+1]; v != unset {
-			return v
-		}
-		if err := ctx.Err(); err != nil {
-			ctxErr = err
-			return 0
-		}
+	// cell computes one (r, i, prev) state from layer r-1: the "stop"
+	// option against every legal successor, scanned in ascending order
+	// with a strict tolerance comparison — the same order and arithmetic
+	// at any worker count.
+	cell := func(r, i, prev int) {
 		tl := 0.0
 		if prev >= 0 {
 			tl = boundary(prev, i)
 		}
-		// Option "stop": p_i is the best shown point for all tangents ≥ tl.
 		best := single(i, tl, math.Inf(1))
 		bestJ := m
 		if r > 0 {
@@ -163,7 +201,7 @@ func Solve(ctx context.Context, points [][]float64, k int) (Result, error) {
 				if tj < tl {
 					continue
 				}
-				v := single(i, tl, tj) + solve(r-1, j, i)
+				v := single(i, tl, tj) + memo[r-1][j][i+1]
 				if v < best-1e-15 {
 					best, bestJ = v, j
 				}
@@ -171,20 +209,41 @@ func Solve(ctx context.Context, points [][]float64, k int) (Result, error) {
 		}
 		memo[r][i][prev+1] = best
 		parent[r][i][prev+1] = bestJ
-		return best
 	}
+
+	// Bottom-up layer sweeps: rows of a layer are sharded across workers;
+	// every cell only reads the completed layer r-1 (and the immutable
+	// prefix sums), so there is no cross-worker communication inside a
+	// layer and the join between layers is the only synchronization.
+	for r := 0; r < k; r++ {
+		if err := par.Shards(ctx, workers, m, func(w, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				if ctx.Err() != nil {
+					return
+				}
+				if r == k-1 {
+					cell(r, i, -1) // openers: only tl = 0 is ever queried
+					continue
+				}
+				for prev := 0; prev < i; prev++ {
+					cell(r, i, prev)
+				}
+			}
+		}); err != nil {
+			return Result{}, tables{}, err
+		}
+	}
+	// k == 1 has a single layer serving as both base case and opener row;
+	// the r == k-1 branch above already handled it.
 
 	bestStart, bestVal := -1, math.Inf(1)
 	for i := 0; i < m; i++ {
 		// p_i can open the solution only if it is the best shown point at
 		// t = 0; any i may be tried (Theorem 6 scans all) — suboptimal
 		// openers are simply never minimal.
-		if v := solve(k-1, i, -1); v < bestVal-1e-15 {
+		if v := memo[k-1][i][0]; v < bestVal-1e-15 {
 			bestVal, bestStart = v, i
 		}
-	}
-	if ctxErr != nil {
-		return Result{}, ctxErr
 	}
 
 	// Reconstruct the chain.
@@ -221,10 +280,10 @@ func Solve(ctx context.Context, points [][]float64, k int) (Result, error) {
 		}
 		arr, err := geom.ExactARR(points, out)
 		if err != nil {
-			return Result{}, err
+			return Result{}, tables{}, err
 		}
 		bestVal = arr
 	}
 	sort.Ints(out)
-	return Result{Set: out, ARR: bestVal, SkylineSize: m}, nil
+	return Result{Set: out, ARR: bestVal, SkylineSize: m}, tables{memo: memo, parent: parent}, nil
 }

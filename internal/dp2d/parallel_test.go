@@ -1,0 +1,97 @@
+package dp2d
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"github.com/regretlab/fam/internal/rng"
+)
+
+// bandPoints generates points near the anti-diagonal so the skyline — and
+// therefore the DP state space — is large enough for the layer sweeps to
+// actually shard.
+func bandPoints(g *rng.RNG, n int) [][]float64 {
+	pts := make([][]float64, n)
+	for i := range pts {
+		x := g.Float64()
+		pts[i] = []float64{x, 1 - x + 0.05*g.Float64()}
+	}
+	return pts
+}
+
+// The parallel layer sweeps must be bit-identical to the serial run:
+// same selected set, same exact ARR, and the same value/parent tables in
+// every cell the DP computes — at any worker count.
+func TestSolveParallelMatchesSerialTables(t *testing.T) {
+	ctx := context.Background()
+	g := rng.New(101)
+	pts := bandPoints(g, 150)
+	const k = 4
+	refRes, refTab, err := solve(ctx, pts, k, Options{Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if refRes.SkylineSize < 20 {
+		t.Fatalf("degenerate instance: skyline %d", refRes.SkylineSize)
+	}
+	for _, workers := range []int{2, 4, 8, 0} {
+		res, tab, err := solve(ctx, pts, k, Options{Parallelism: workers})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if !reflect.DeepEqual(res.Set, refRes.Set) {
+			t.Fatalf("workers=%d: set %v != %v", workers, res.Set, refRes.Set)
+		}
+		if res.ARR != refRes.ARR {
+			t.Fatalf("workers=%d: ARR %v != %v (must be bit-identical)", workers, res.ARR, refRes.ARR)
+		}
+		if res.SkylineSize != refRes.SkylineSize {
+			t.Fatalf("workers=%d: skyline %d != %d", workers, res.SkylineSize, refRes.SkylineSize)
+		}
+		if !reflect.DeepEqual(tab.memo, refTab.memo) {
+			t.Fatalf("workers=%d: DP value tables diverged", workers)
+		}
+		if !reflect.DeepEqual(tab.parent, refTab.parent) {
+			t.Fatalf("workers=%d: DP parent tables diverged", workers)
+		}
+	}
+}
+
+// Randomized sweep: the public SolveOpts result is identical across worker
+// counts on many small instances (varied n and k, including k larger than
+// the skyline).
+func TestSolveOptsParallelRandomized(t *testing.T) {
+	ctx := context.Background()
+	g := rng.New(211)
+	for trial := 0; trial < 20; trial++ {
+		n := g.IntN(60) + 5
+		k := g.IntN(5) + 1
+		pts := bandPoints(g, n)
+		ref, err := SolveOpts(ctx, pts, k, Options{Parallelism: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{3, 0} {
+			res, err := SolveOpts(ctx, pts, k, Options{Parallelism: workers})
+			if err != nil {
+				t.Fatalf("trial %d workers=%d: %v", trial, workers, err)
+			}
+			if !reflect.DeepEqual(res.Set, ref.Set) || res.ARR != ref.ARR {
+				t.Fatalf("trial %d workers=%d: (%v, %v) != (%v, %v)",
+					trial, workers, res.Set, res.ARR, ref.Set, ref.ARR)
+			}
+		}
+	}
+}
+
+// Cancellation must be honored from inside the sharded layer sweeps.
+func TestSolveParallelPreCanceled(t *testing.T) {
+	g := rng.New(307)
+	pts := bandPoints(g, 200)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := SolveOpts(ctx, pts, 5, Options{Parallelism: 4}); err == nil {
+		t.Fatal("canceled context must error")
+	}
+}

@@ -63,7 +63,7 @@ func ablationPrep(cfg Config) (*prep, error) {
 	if err != nil {
 		return nil, err
 	}
-	return newPrep(ds, dist, N, cfg.Seed+42, cfg.Parallelism)
+	return newPrep(ds, dist, N, cfg.Seed+42, cfg)
 }
 
 func runAblation1(ctx context.Context, cfg Config) ([]*Table, error) {

@@ -63,6 +63,11 @@ type Config struct {
 	// the experiments (0 = all CPUs, 1 = serial). Results are identical
 	// at any setting; only the timing columns change.
 	Parallelism int
+	// LazyBatch sets the lazy strategy's refresh batch size on every
+	// instance (<=1 = the paper's serial pop-refresh loop). Tables are
+	// identical at any setting; only the lazy work counters and timings
+	// change.
+	LazyBatch int
 }
 
 // Table is one rendered experiment artifact.
@@ -156,8 +161,9 @@ type prep struct {
 	preprocess time.Duration
 }
 
-// newPrep builds the shared setup.
-func newPrep(ds *dataset.Dataset, dist utility.Distribution, n int, seed uint64, workers int) (*prep, error) {
+// newPrep builds the shared setup; cfg supplies the worker bound and the
+// lazy refresh batch size for the instance.
+func newPrep(ds *dataset.Dataset, dist utility.Distribution, n int, seed uint64, cfg Config) (*prep, error) {
 	start := time.Now()
 	candidates := make([]int, ds.N())
 	for i := range candidates {
@@ -183,7 +189,7 @@ func newPrep(ds *dataset.Dataset, dist utility.Distribution, n int, seed uint64,
 	if err != nil {
 		return nil, err
 	}
-	in, err := core.NewInstance(points, funcs, core.Options{Parallelism: workers})
+	in, err := core.NewInstance(points, funcs, core.Options{Parallelism: cfg.Parallelism, LazyBatch: cfg.LazyBatch})
 	if err != nil {
 		return nil, err
 	}
@@ -231,7 +237,7 @@ func (p *prep) runAlgo(ctx context.Context, algo string, k int) (algoRun, error)
 	}
 	if algo == algoSD {
 		start := time.Now()
-		dsSet, err := baseline.SkyDom(ctx, p.ds.Points, k)
+		dsSet, err := baseline.SkyDom(ctx, p.ds.Points, k, p.in.Parallelism())
 		if err != nil {
 			return algoRun{}, fmt.Errorf("experiments: %s(k=%d): %w", algo, k, err)
 		}

@@ -95,7 +95,7 @@ func runRealSweep(ctx context.Context, cfg Config, id, what string, cell func(al
 		if err != nil {
 			return nil, err
 		}
-		p, err := newPrep(ds, dist, N, cfg.Seed+1000+uint64(di), cfg.Parallelism)
+		p, err := newPrep(ds, dist, N, cfg.Seed+1000+uint64(di), cfg)
 		if err != nil {
 			return nil, err
 		}
@@ -152,7 +152,7 @@ func runRealPercentiles(ctx context.Context, cfg Config, id string, N int) ([]*T
 		// measurement re-evaluates the chosen sets under N users (the
 		// point of Fig 12 is that growing N to 10⁶ does not change the
 		// distribution).
-		p, err := newPrep(ds, dist, selectionN, cfg.Seed+2000+uint64(di), cfg.Parallelism)
+		p, err := newPrep(ds, dist, selectionN, cfg.Seed+2000+uint64(di), cfg)
 		if err != nil {
 			return nil, err
 		}
@@ -164,7 +164,7 @@ func runRealPercentiles(ctx context.Context, cfg Config, id string, N int) ([]*T
 			}
 			sets[a] = r.Set
 		}
-		big, err := newPrep(ds, dist, N, cfg.Seed+3000+uint64(di), cfg.Parallelism)
+		big, err := newPrep(ds, dist, N, cfg.Seed+3000+uint64(di), cfg)
 		if err != nil {
 			return nil, err
 		}

@@ -57,7 +57,7 @@ func runFig8(ctx context.Context, cfg Config) ([]*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	p, err := newPrep(ds, dist, N, cfg.Seed+9, cfg.Parallelism)
+	p, err := newPrep(ds, dist, N, cfg.Seed+9, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -135,7 +135,7 @@ func runFig9(ctx context.Context, cfg Config) ([]*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		p, err := newPrep(ds, dist, N, cfg.Seed+20+uint64(ei), cfg.Parallelism)
+		p, err := newPrep(ds, dist, N, cfg.Seed+20+uint64(ei), cfg)
 		if err != nil {
 			return nil, err
 		}

@@ -53,7 +53,7 @@ func runFig1(ctx context.Context, cfg Config) ([]*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	p, err := newPrep(ds, dist, N, cfg.Seed+1, cfg.Parallelism)
+	p, err := newPrep(ds, dist, N, cfg.Seed+1, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -125,7 +125,7 @@ type dpOutcome struct {
 // sampled instance for comparability with the other algorithms.
 func timedDP(ctx context.Context, points [][]float64, k int, p *prep) (dpOutcome, error) {
 	start := timeNow()
-	out, err := dp2d.Solve(ctx, points, k)
+	out, err := dp2d.SolveOpts(ctx, points, k, dp2d.Options{Parallelism: p.in.Parallelism()})
 	if err != nil {
 		return dpOutcome{}, err
 	}
@@ -195,7 +195,7 @@ func runFig5(ctx context.Context, cfg Config) ([]*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		p, err := newPrep(ds, dist, N, cfg.Seed+100+uint64(d), cfg.Parallelism)
+		p, err := newPrep(ds, dist, N, cfg.Seed+100+uint64(d), cfg)
 		if err != nil {
 			return nil, err
 		}
@@ -240,7 +240,7 @@ func runFig7(ctx context.Context, cfg Config) ([]*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		p, err := newPrep(ds, dist, N, cfg.Seed+200+uint64(n), cfg.Parallelism)
+		p, err := newPrep(ds, dist, N, cfg.Seed+200+uint64(n), cfg)
 		if err != nil {
 			return nil, err
 		}

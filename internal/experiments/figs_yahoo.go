@@ -62,7 +62,7 @@ func yahooPrep(cfg Config, N int) (*prep, error) {
 		return nil, err
 	}
 	ds := &dataset.Dataset{Name: "yahoo-sim", Points: model.ItemPoints()}
-	return newPrep(ds, dist, N, cfg.Seed+14, cfg.Parallelism)
+	return newPrep(ds, dist, N, cfg.Seed+14, cfg)
 }
 
 // yahooSampler adapts GMM user-vector samples to the item-point layout.

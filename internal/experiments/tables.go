@@ -36,7 +36,7 @@ func runTable2(ctx context.Context, cfg Config) ([]*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	p, err := newPrep(ds, dist, N, cfg.Seed+2017, cfg.Parallelism)
+	p, err := newPrep(ds, dist, N, cfg.Seed+2017, cfg)
 	if err != nil {
 		return nil, err
 	}

@@ -12,10 +12,12 @@
 package skyline
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
 	"github.com/regretlab/fam/internal/bitset"
+	"github.com/regretlab/fam/internal/par"
 	"github.com/regretlab/fam/internal/point"
 )
 
@@ -83,20 +85,36 @@ func ComputeBNL(points [][]float64) ([]int, error) {
 
 // DominanceSets returns, for each of the given candidate indices, the set
 // of point indices (over the full point set) that the candidate dominates.
-// Used by the SKY-DOM baseline's max-coverage greedy.
-func DominanceSets(points [][]float64, candidates []int) []*bitset.Set {
+// Used by the SKY-DOM baseline's max-coverage greedy. Each candidate's
+// dominance scan is independent, so the candidates are sharded across
+// `workers` goroutines (0 = all CPUs, 1 = serial); set membership is a
+// pure predicate, so the result is identical at any worker count. A nil
+// context is treated as background.
+func DominanceSets(ctx context.Context, points [][]float64, candidates []int, workers int) ([]*bitset.Set, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	n := len(points)
 	out := make([]*bitset.Set, len(candidates))
-	for ci, c := range candidates {
-		s := bitset.New(n)
-		for j, q := range points {
-			if j != c && point.Dominates(points[c], q) {
-				s.Add(j)
+	nw := par.Workers(workers, len(candidates))
+	if err := par.Shards(ctx, nw, len(candidates), func(w, lo, hi int) {
+		for ci := lo; ci < hi; ci++ {
+			if ctx.Err() != nil {
+				return
 			}
+			c := candidates[ci]
+			s := bitset.New(n)
+			for j, q := range points {
+				if j != c && point.Dominates(points[c], q) {
+					s.Add(j)
+				}
+			}
+			out[ci] = s
 		}
-		out[ci] = s
+	}); err != nil {
+		return nil, err
 	}
-	return out
+	return out, nil
 }
 
 // Skyline2DSorted returns the 2-d skyline points sorted by strictly

@@ -123,7 +123,10 @@ func TestDominanceSets(t *testing.T) {
 		{2, 0},
 		{0, 0},
 	}
-	sets := DominanceSets(pts, []int{0, 1})
+	sets, err := DominanceSets(nil, pts, []int{0, 1}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if got := sets[0].Count(); got != 3 {
 		t.Fatalf("point 0 dominates %d, want 3", got)
 	}

@@ -49,6 +49,15 @@ type SelectOptions struct {
 	// bit-identical at any setting. Zero uses every CPU (GOMAXPROCS);
 	// one forces serial execution.
 	Parallelism int
+	// LazyBatch sets the refresh batch size of GreedyShrinkLazy: when a
+	// stale lower bound surfaces on the evaluation queue, up to LazyBatch
+	// stale entries are re-evaluated concurrently instead of one at a
+	// time. Selected sets and all quality metrics are identical at any
+	// batch size; only the evaluation-count statistics in Stats
+	// (Evaluations, EvalSkipped, UserRescans, Speculative*) depend on it.
+	// Zero or one keeps the paper's serial pop-refresh loop. Ignored by
+	// every other algorithm.
+	LazyBatch int
 }
 
 // Result is the outcome of Select.
@@ -76,6 +85,12 @@ type Result struct {
 
 // ErrNilArgument is returned when the dataset or distribution is nil.
 var ErrNilArgument = errors.New("fam: dataset and distribution must be non-nil")
+
+// ErrInvalidSet is returned by Evaluate (and by Metrics evaluation inside
+// Select) when an explicit selection set is empty, larger than the
+// dataset, contains an out-of-range index, or repeats an index. Match it
+// with errors.Is.
+var ErrInvalidSet = core.ErrInvalidSet
 
 // Select chooses K points from the dataset minimizing (approximately,
 // except for DP2D/BruteForce) the average regret ratio under dist.
@@ -150,7 +165,7 @@ func Select(ctx context.Context, ds *Dataset, dist Distribution, opts SelectOpti
 			return nil, err
 		}
 	}
-	in, err := core.NewInstance(points, funcs, core.Options{CacheBudget: opts.CacheBudget, Weights: weights, Parallelism: opts.Parallelism})
+	in, err := core.NewInstance(points, funcs, core.Options{CacheBudget: opts.CacheBudget, Weights: weights, Parallelism: opts.Parallelism, LazyBatch: opts.LazyBatch})
 	if err != nil {
 		return nil, err
 	}
@@ -173,7 +188,7 @@ func Select(ctx context.Context, ds *Dataset, dist Distribution, opts SelectOpti
 		}
 		local, res.Stats = set, stats
 	case DP2D:
-		out, err := dp2d.Solve(ctx, ds.Points, opts.K)
+		out, err := dp2d.SolveOpts(ctx, ds.Points, opts.K, dp2d.Options{Parallelism: opts.Parallelism})
 		if err != nil {
 			return nil, err
 		}
@@ -201,7 +216,7 @@ func Select(ctx context.Context, ds *Dataset, dist Distribution, opts SelectOpti
 			local = set
 		}
 	case SkyDom:
-		set, err := baseline.SkyDom(ctx, ds.Points, opts.K)
+		set, err := baseline.SkyDom(ctx, ds.Points, opts.K, opts.Parallelism)
 		if err != nil {
 			return nil, err
 		}
@@ -269,6 +284,10 @@ func Evaluate(ctx context.Context, ds *Dataset, dist Distribution, set []int, op
 		return Metrics{}, ErrNilArgument
 	}
 	if err := ds.Validate(); err != nil {
+		return Metrics{}, err
+	}
+	// Reject malformed sets before paying for sampling and preprocessing.
+	if err := core.ValidateSet(set, ds.N()); err != nil {
 		return Metrics{}, err
 	}
 	if err := ctx.Err(); err != nil {
