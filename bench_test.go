@@ -15,8 +15,8 @@ import (
 
 	"github.com/regretlab/fam/internal/baseline"
 	"github.com/regretlab/fam/internal/core"
-	"github.com/regretlab/fam/internal/dp2d"
 	"github.com/regretlab/fam/internal/dataset"
+	"github.com/regretlab/fam/internal/dp2d"
 	"github.com/regretlab/fam/internal/experiments"
 	"github.com/regretlab/fam/internal/geom"
 	"github.com/regretlab/fam/internal/rng"
@@ -272,7 +272,7 @@ func BenchmarkSkyDomParallel(b *testing.B) {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				if _, err := baseline.SkyDom(context.Background(), ds.Points, k, workers); err != nil {
+				if _, err := baseline.SkyDom(context.Background(), ds.Points, k, workers, nil); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -208,16 +208,7 @@ func parseCorr(s string) (fam.Correlation, error) {
 }
 
 func parseAlgo(s string) (fam.Algorithm, error) {
-	for _, a := range []fam.Algorithm{
-		fam.GreedyShrink, fam.GreedyShrinkLazy, fam.GreedyShrinkNaive,
-		fam.DP2D, fam.BruteForce, fam.MRRGreedy, fam.SkyDom, fam.KHit,
-		fam.GreedyAdd,
-	} {
-		if a.String() == strings.ToLower(s) {
-			return a, nil
-		}
-	}
-	return 0, fmt.Errorf("unknown algorithm %q", s)
+	return fam.ParseAlgorithm(strings.ToLower(s))
 }
 
 func attrsOf(ds *fam.Dataset) []string {

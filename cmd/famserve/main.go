@@ -1,0 +1,232 @@
+// Command famserve is the long-lived serving front end of the fam
+// library: it loads a set of datasets into a fam.Engine (shared worker
+// pool, preprocessing cache, result cache) and serves selection and
+// evaluation queries over JSON/HTTP.
+//
+// Usage:
+//
+//	famserve -addr :8080 -datasets hotels:200
+//	famserve -datasets "hotels:500,catalog=synthetic:10000:6:anticorrelated:3" -workers 8
+//
+// Endpoints: GET /v1/datasets, POST /v1/select, POST /v1/evaluate,
+// GET /v1/stats. The server shuts down gracefully on SIGINT/SIGTERM:
+// in-flight requests get -shutdown-grace to finish before the listener
+// and the engine close.
+//
+//	curl -s localhost:8080/v1/select -d '{"dataset":"hotels","k":5,"seed":7}'
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	fam "github.com/regretlab/fam"
+	"github.com/regretlab/fam/serve"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "famserve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("famserve", flag.ContinueOnError)
+	var (
+		addr    = fs.String("addr", ":8080", "listen address")
+		workers = fs.Int("workers", 0, "shared worker-pool size multiplexed across all queries (0 = all CPUs)")
+		prepCap = fs.Int("prep-cache", 0, "preprocessing cache capacity in entries (0 = default, negative = unbounded)")
+		resCap  = fs.Int("result-cache", 0, "result cache capacity in entries (0 = default, negative = unbounded)")
+		specs   = fs.String("datasets", "hotels:200", "comma-separated dataset specs: [name=]kind[:n[:seed]] or [name=]synthetic[:n[:d[:corr[:seed]]]]")
+		ces     = fs.Float64("ces", 0, "use CES utilities with this rho for every dataset (0 = uniform linear)")
+		grace   = fs.Duration("shutdown-grace", 10*time.Second, "graceful-shutdown window for in-flight requests")
+		logDest = log.New(out, "famserve: ", log.LstdFlags)
+	)
+	fs.SetOutput(io.Discard)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	engine, infos, err := buildEngine(fam.EngineConfig{
+		Workers:         *workers,
+		PrepCacheSize:   *prepCap,
+		ResultCacheSize: *resCap,
+	}, *specs, *ces)
+	if err != nil {
+		return err
+	}
+	defer engine.Close()
+	for _, info := range infos {
+		logDest.Printf("dataset %q: n=%d dim=%d dist=%s", info.Name, info.N, info.Dim, info.Distribution)
+	}
+
+	srv := &http.Server{Addr: *addr, Handler: serve.NewHandler(engine)}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		logDest.Printf("listening on %s (%d pool workers)", *addr, engine.Stats().PoolWorkers)
+		errc <- srv.ListenAndServe()
+	}()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	logDest.Printf("shutting down (grace %v)", *grace)
+	shutCtx, cancel := context.WithTimeout(context.Background(), *grace)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}
+
+// buildEngine constructs an engine and registers every dataset of the
+// spec string under a uniform-linear (or CES) distribution.
+func buildEngine(cfg fam.EngineConfig, specs string, ces float64) (*fam.Engine, []fam.DatasetInfo, error) {
+	regs, err := parseSpecs(specs)
+	if err != nil {
+		return nil, nil, err
+	}
+	engine := fam.NewEngine(cfg)
+	for _, reg := range regs {
+		var dist fam.Distribution
+		if ces > 0 {
+			dist, err = fam.CESUniform(reg.ds.Dim(), ces)
+		} else {
+			dist, err = fam.UniformLinear(reg.ds.Dim())
+		}
+		if err != nil {
+			engine.Close()
+			return nil, nil, err
+		}
+		if err := engine.Register(reg.name, reg.ds, dist); err != nil {
+			engine.Close()
+			return nil, nil, fmt.Errorf("registering %q: %w", reg.name, err)
+		}
+	}
+	return engine, engine.Datasets(), nil
+}
+
+// spec is one parsed dataset registration.
+type spec struct {
+	name string
+	ds   *fam.Dataset
+}
+
+// parseSpecs parses the -datasets flag: comma-separated entries of the
+// form [name=]kind[:n[:seed]], with synthetic additionally taking
+// [:d[:corr]] between n and seed: synthetic:n:d:corr:seed.
+func parseSpecs(s string) ([]spec, error) {
+	var out []spec
+	seen := map[string]bool{}
+	for _, item := range strings.Split(s, ",") {
+		item = strings.TrimSpace(item)
+		if item == "" {
+			continue
+		}
+		name := ""
+		if eq := strings.IndexByte(item, '='); eq >= 0 {
+			name, item = item[:eq], item[eq+1:]
+		}
+		parts := strings.Split(item, ":")
+		kind := parts[0]
+		if name == "" {
+			name = kind
+		}
+		if seen[name] {
+			return nil, fmt.Errorf("duplicate dataset name %q (use name=kind:... to disambiguate)", name)
+		}
+		seen[name] = true
+		ds, err := buildDataset(kind, parts[1:])
+		if err != nil {
+			return nil, fmt.Errorf("dataset spec %q: %w", item, err)
+		}
+		out = append(out, spec{name: name, ds: ds})
+	}
+	if len(out) == 0 {
+		return nil, errors.New("no datasets configured")
+	}
+	return out, nil
+}
+
+func buildDataset(kind string, args []string) (*fam.Dataset, error) {
+	num := func(i, def int) (int, error) {
+		if i >= len(args) || args[i] == "" {
+			return def, nil
+		}
+		return strconv.Atoi(args[i])
+	}
+	if kind == "synthetic" {
+		n, err := num(0, 1000)
+		if err != nil {
+			return nil, err
+		}
+		d, err := num(1, 6)
+		if err != nil {
+			return nil, err
+		}
+		corr := fam.Independent
+		if len(args) > 2 && args[2] != "" {
+			switch args[2] {
+			case "independent":
+				corr = fam.Independent
+			case "correlated":
+				corr = fam.Correlated
+			case "anticorrelated":
+				corr = fam.Anticorrelated
+			case "spherical":
+				corr = fam.Spherical
+			default:
+				return nil, fmt.Errorf("unknown correlation %q", args[2])
+			}
+		}
+		seed, err := num(3, 1)
+		if err != nil {
+			return nil, err
+		}
+		return fam.Synthetic(n, d, corr, uint64(seed))
+	}
+
+	n, err := num(0, 1000)
+	if err != nil {
+		return nil, err
+	}
+	seed, err := num(1, 1)
+	if err != nil {
+		return nil, err
+	}
+	switch kind {
+	case "hotels":
+		return fam.Hotels(n, uint64(seed))
+	case "nba":
+		return fam.SimulatedNBA(n, uint64(seed))
+	case "nba22":
+		return fam.SimulatedNBA22(n, uint64(seed))
+	case "household":
+		return fam.SimulatedHousehold(n, uint64(seed))
+	case "forestcover":
+		return fam.SimulatedForestCover(n, uint64(seed))
+	case "uscensus":
+		return fam.SimulatedUSCensus(n, uint64(seed))
+	default:
+		return nil, fmt.Errorf("unknown dataset kind %q (want hotels|nba|nba22|household|forestcover|uscensus|synthetic)", kind)
+	}
+}

@@ -1,0 +1,89 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	fam "github.com/regretlab/fam"
+)
+
+func TestParseSpecs(t *testing.T) {
+	cases := []struct {
+		spec      string
+		wantNames []string
+		wantN     []int
+		wantDim   []int
+		wantErr   bool
+	}{
+		{spec: "hotels:200", wantNames: []string{"hotels"}, wantN: []int{200}, wantDim: []int{5}},
+		{spec: "hotels", wantNames: []string{"hotels"}, wantN: []int{1000}, wantDim: []int{5}},
+		{
+			spec:      "hotels:100, catalog=synthetic:50:4:anticorrelated:9",
+			wantNames: []string{"hotels", "catalog"},
+			wantN:     []int{100, 50},
+			wantDim:   []int{5, 4},
+		},
+		{spec: "a=hotels:50,b=hotels:60", wantNames: []string{"a", "b"}, wantN: []int{50, 60}, wantDim: []int{5, 5}},
+		{spec: "synthetic:30:2", wantNames: []string{"synthetic"}, wantN: []int{30}, wantDim: []int{2}},
+		{spec: "nba:64:2", wantNames: []string{"nba"}, wantN: []int{64}, wantDim: []int{15}},
+		{spec: "", wantErr: true},
+		{spec: "martian:10", wantErr: true},
+		{spec: "hotels:notanumber", wantErr: true},
+		{spec: "synthetic:10:3:sideways", wantErr: true},
+		{spec: "hotels:10,hotels:20", wantErr: true}, // duplicate name
+	}
+	for _, tc := range cases {
+		got, err := parseSpecs(tc.spec)
+		if tc.wantErr {
+			if err == nil {
+				t.Errorf("parseSpecs(%q) succeeded, want error", tc.spec)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("parseSpecs(%q): %v", tc.spec, err)
+			continue
+		}
+		if len(got) != len(tc.wantNames) {
+			t.Errorf("parseSpecs(%q) = %d specs, want %d", tc.spec, len(got), len(tc.wantNames))
+			continue
+		}
+		for i := range got {
+			if got[i].name != tc.wantNames[i] {
+				t.Errorf("parseSpecs(%q)[%d].name = %q, want %q", tc.spec, i, got[i].name, tc.wantNames[i])
+			}
+			if got[i].ds.N() != tc.wantN[i] {
+				t.Errorf("parseSpecs(%q)[%d].N = %d, want %d", tc.spec, i, got[i].ds.N(), tc.wantN[i])
+			}
+			if got[i].ds.Dim() != tc.wantDim[i] {
+				t.Errorf("parseSpecs(%q)[%d].Dim = %d, want %d", tc.spec, i, got[i].ds.Dim(), tc.wantDim[i])
+			}
+		}
+	}
+}
+
+func TestBuildEngine(t *testing.T) {
+	engine, infos, err := buildEngine(fam.EngineConfig{Workers: 2}, "hotels:80,tiny=synthetic:30:3", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer engine.Close()
+	if len(infos) != 2 {
+		t.Fatalf("infos = %+v", infos)
+	}
+	names := []string{infos[0].Name, infos[1].Name}
+	if strings.Join(names, ",") != "hotels,tiny" {
+		t.Fatalf("names = %v", names)
+	}
+	for _, info := range infos {
+		if info.Distribution == "" {
+			t.Fatalf("missing distribution for %+v", info)
+		}
+	}
+}
+
+func TestBuildEngineBadSpec(t *testing.T) {
+	if _, _, err := buildEngine(fam.EngineConfig{}, "bogus:1", 0); err == nil {
+		t.Fatal("bad spec must error")
+	}
+}

@@ -1,0 +1,429 @@
+package fam
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/regretlab/fam/internal/core"
+	ecache "github.com/regretlab/fam/internal/engine"
+	"github.com/regretlab/fam/internal/par"
+	"github.com/regretlab/fam/internal/skyline"
+)
+
+// Engine is the long-lived serving counterpart of the one-shot Select: a
+// process-wide worker pool multiplexed across all concurrent queries, a
+// registry of named datasets, a preprocessing cache that builds each
+// expensive per-dataset artifact exactly once (the skyline index, the
+// sampled utility functions, and the materialized utility matrix — each
+// under singleflight deduplication, so a thundering herd of identical
+// cold queries triggers one build), and a bounded result cache for whole
+// query answers.
+//
+// Determinism: an Engine-served result is bit-identical to a fresh
+// one-shot Select with the same options at any concurrency — same
+// Indices, Labels, Metrics, ExactARR, SkylineSize, and Stats counters.
+// Only the timing fields differ (cached work is not re-done) and Cached
+// marks answers served from the result cache. This holds because every
+// cached artifact is deterministic in its key (dataset, distribution
+// config, seed), instances are immutable after construction, and each
+// query runs the solvers on its own zero-copy instance clone carrying
+// the per-request Parallelism/LazyBatch.
+//
+// All methods are safe for concurrent use. Close releases the pool;
+// queries issued after Close return ErrEngineClosed.
+type Engine struct {
+	pool    *par.Pool
+	prep    *ecache.Cache
+	results *ecache.Cache
+
+	mu       sync.RWMutex
+	datasets map[string]*registration
+
+	selects   atomic.Uint64
+	evaluates atomic.Uint64
+	closed    atomic.Bool
+	start     time.Time
+}
+
+// registration binds a registered dataset to its distribution Θ. Both
+// are fixed at registration time: the pair is what preprocessing is
+// keyed on.
+type registration struct {
+	name string
+	ds   *Dataset
+	dist Distribution
+}
+
+// EngineConfig configures NewEngine. The zero value is serviceable:
+// GOMAXPROCS pool workers and default cache capacities.
+type EngineConfig struct {
+	// Workers sizes the shared worker pool every query's shard fan-outs
+	// are multiplexed over (0 = GOMAXPROCS). Individual queries still
+	// bound their own shard width with SelectOptions.Parallelism; the
+	// pool bounds the helper goroutines of the whole process.
+	Workers int
+	// PrepCacheSize bounds the preprocessing cache in entries — each
+	// entry is one skyline index, one sampled function set, or one built
+	// instance (the utility matrix dominates). 0 = default (256),
+	// negative = unbounded.
+	PrepCacheSize int
+	// ResultCacheSize bounds the result cache in entries. 0 = default
+	// (1024), negative = unbounded.
+	ResultCacheSize int
+}
+
+// DefaultPrepCacheSize and DefaultResultCacheSize are the zero-value
+// capacities of EngineConfig.
+const (
+	DefaultPrepCacheSize   = 256
+	DefaultResultCacheSize = 1024
+)
+
+// ErrUnknownDataset is returned by Engine queries naming an unregistered
+// dataset.
+var ErrUnknownDataset = errors.New("fam: unknown dataset")
+
+// ErrDuplicateDataset is returned by Register when the name is taken.
+var ErrDuplicateDataset = errors.New("fam: dataset already registered")
+
+// ErrEngineClosed is returned by queries against a closed Engine.
+var ErrEngineClosed = errors.New("fam: engine is closed")
+
+// NewEngine starts an Engine. Callers own its lifecycle: Close it when
+// the serving process shuts down.
+func NewEngine(cfg EngineConfig) *Engine {
+	return &Engine{
+		pool:     par.NewPool(cfg.Workers),
+		prep:     ecache.NewCache(capacity(cfg.PrepCacheSize, DefaultPrepCacheSize)),
+		results:  ecache.NewCache(capacity(cfg.ResultCacheSize, DefaultResultCacheSize)),
+		datasets: make(map[string]*registration),
+		start:    time.Now(),
+	}
+}
+
+func capacity(configured, def int) int {
+	switch {
+	case configured == 0:
+		return def
+	case configured < 0:
+		return 0 // unbounded
+	default:
+		return configured
+	}
+}
+
+// Close releases the worker pool. In-flight queries finish (their
+// remaining shard work runs inline); later queries fail with
+// ErrEngineClosed. Idempotent.
+func (e *Engine) Close() {
+	e.closed.Store(true)
+	e.pool.Close()
+}
+
+// Register adds a named dataset with its utility distribution Θ. The
+// pair is immutable once registered — preprocessing artifacts are cached
+// under the name, so re-registering a name is an error rather than a
+// silent cache poisoning.
+func (e *Engine) Register(name string, ds *Dataset, dist Distribution) error {
+	if e.closed.Load() {
+		return ErrEngineClosed
+	}
+	if name == "" {
+		return fmt.Errorf("%w: dataset name must be non-empty", ErrBadOptions)
+	}
+	if ds == nil || dist == nil {
+		return ErrNilArgument
+	}
+	if err := ds.Validate(); err != nil {
+		return err
+	}
+	if d := dist.Dim(); d != 0 && d != ds.Dim() {
+		return fmt.Errorf("%w: distribution dimension %d != dataset dimension %d", ErrBadOptions, d, ds.Dim())
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if _, ok := e.datasets[name]; ok {
+		return fmt.Errorf("%w: %q", ErrDuplicateDataset, name)
+	}
+	e.datasets[name] = &registration{name: name, ds: ds, dist: dist}
+	return nil
+}
+
+// DatasetInfo describes one registered dataset.
+type DatasetInfo struct {
+	Name         string `json:"name"`
+	N            int    `json:"n"`
+	Dim          int    `json:"dim"`
+	Distribution string `json:"distribution"`
+}
+
+// Datasets lists the registered datasets sorted by name.
+func (e *Engine) Datasets() []DatasetInfo {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	out := make([]DatasetInfo, 0, len(e.datasets))
+	for _, reg := range e.datasets {
+		out = append(out, DatasetInfo{
+			Name:         reg.name,
+			N:            reg.ds.N(),
+			Dim:          reg.ds.Dim(),
+			Distribution: reg.dist.Name(),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+func (e *Engine) lookup(name string) (*registration, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	reg, ok := e.datasets[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownDataset, name)
+	}
+	return reg, nil
+}
+
+// Select answers a selection query against a registered dataset. Cold
+// queries build (and cache) the preprocessing artifacts and the result;
+// warm queries with the same options are answered from the result cache
+// (Result.Cached = true, timings reporting the original computation),
+// and queries that share preprocessing but differ in (K, Algorithm, …)
+// skip straight to the query phase on the cached instance.
+func (e *Engine) Select(ctx context.Context, dataset string, opts SelectOptions) (*Result, error) {
+	if e.closed.Load() {
+		return nil, ErrEngineClosed
+	}
+	reg, err := e.lookup(dataset)
+	if err != nil {
+		return nil, err
+	}
+	norm, err := normalizeOptions(reg.ds, reg.dist, opts, true)
+	if err != nil {
+		return nil, err
+	}
+	e.selects.Add(1)
+
+	key := resultKey(reg.name, opts, norm)
+	v, hit, err := e.results.Do(ctx, key, func(fillCtx context.Context) (any, error) {
+		prepStart := time.Now()
+		prep, err := e.prepare(fillCtx, reg, opts, norm)
+		if err != nil {
+			return nil, err
+		}
+		preprocess := time.Since(prepStart)
+		res, err := solve(fillCtx, reg.ds, reg.dist, prep, opts)
+		if err != nil {
+			return nil, err
+		}
+		// On a fully warm preprocessing cache this is near zero: the
+		// expensive artifacts were reused, not rebuilt.
+		res.Preprocess = preprocess
+		return res, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := copyResult(v.(*Result))
+	res.Cached = hit
+	return res, nil
+}
+
+// Evaluate measures the Metrics of an explicit selection against a
+// registered dataset, reusing the cached sampled functions and utility
+// matrix. It is bit-identical to the one-shot Evaluate with the same
+// options.
+func (e *Engine) Evaluate(ctx context.Context, dataset string, set []int, opts SelectOptions) (Metrics, error) {
+	if e.closed.Load() {
+		return Metrics{}, ErrEngineClosed
+	}
+	reg, err := e.lookup(dataset)
+	if err != nil {
+		return Metrics{}, err
+	}
+	norm, err := normalizeOptions(reg.ds, reg.dist, opts, false)
+	if err != nil {
+		return Metrics{}, err
+	}
+	// Reject malformed sets before touching the caches.
+	if err := core.ValidateSet(set, reg.ds.N()); err != nil {
+		return Metrics{}, err
+	}
+	if err := ctx.Err(); err != nil {
+		return Metrics{}, err
+	}
+	e.evaluates.Add(1)
+	prep, err := e.prepare(ctx, reg, opts, norm)
+	if err != nil {
+		return Metrics{}, err
+	}
+	return prep.in.Evaluate(set, nil)
+}
+
+// prepare assembles the prepared state for one query from the
+// preprocessing cache, filling missing artifacts exactly once each:
+//
+//	sky|<dataset>                      the skyline index
+//	funcs|<dataset>|<seed>|<N>         the sampled utility functions
+//	inst|<dataset>|<class>|…           the built instance (utility
+//	                                   matrix + best-point index)
+//
+// The returned prepared carries a zero-copy clone of the cached instance
+// with this query's Parallelism/LazyBatch and the shared pool.
+func (e *Engine) prepare(ctx context.Context, reg *registration, opts SelectOptions, norm normalized) (*prepared, error) {
+	candidates, class, err := e.candidates(ctx, reg, opts, norm)
+	if err != nil {
+		return nil, err
+	}
+	instKey := fmt.Sprintf("inst|%s|%s|seed=%d|N=%d|exact=%t|budget=%d",
+		reg.name, class, opts.Seed, norm.sampleSize, norm.discrete != nil, effectiveBudget(opts.CacheBudget))
+	v, _, err := e.prep.Do(ctx, instKey, func(fillCtx context.Context) (any, error) {
+		funcs, weights, err := e.funcs(fillCtx, reg, opts, norm)
+		if err != nil {
+			return nil, err
+		}
+		// Shared artifacts are built at full pool width regardless of the
+		// triggering request's Parallelism: the first requester's knob
+		// must not throttle a dataset-wide build that every coalesced and
+		// future query shares. Preprocessing output is bit-identical at
+		// any width, and per-query execution settings are applied to the
+		// clone below, so this affects fill latency only.
+		fillOpts := opts
+		fillOpts.Parallelism = 0
+		return assemble(reg.ds, candidates, funcs, weights, fillOpts, e.pool)
+	})
+	if err != nil {
+		return nil, err
+	}
+	master := v.(*prepared)
+	return &prepared{
+		candidates: master.candidates,
+		funcs:      master.funcs,
+		weights:    master.weights,
+		in:         master.in.WithExecution(opts.Parallelism, opts.LazyBatch, e.pool),
+	}, nil
+}
+
+// candidates resolves the query's candidate set: the cached skyline when
+// the skyline restriction applies and is larger than K, the full dataset
+// otherwise. class names the variant for the instance cache key.
+func (e *Engine) candidates(ctx context.Context, reg *registration, opts SelectOptions, norm normalized) ([]int, string, error) {
+	if !norm.useSkyline {
+		return identity(reg.ds.N()), "full", nil
+	}
+	// Workers 0 (full width): see the instance fill — shared builds do
+	// not inherit one request's Parallelism.
+	v, _, err := e.prep.Do(ctx, "sky|"+reg.name, func(fillCtx context.Context) (any, error) {
+		return skyline.ComputeOpts(fillCtx, reg.ds.Points, skyline.ComputeOptions{Pool: e.pool})
+	})
+	if err != nil {
+		return nil, "", err
+	}
+	sky := v.([]int)
+	if len(sky) > opts.K {
+		return sky, "sky", nil
+	}
+	return identity(reg.ds.N()), "full", nil
+}
+
+// funcs returns the sampled utility functions for (dataset, seed, N)
+// from the cache. Exact-discrete distributions carry their own support —
+// nothing to build, nothing to cache.
+func (e *Engine) funcs(ctx context.Context, reg *registration, opts SelectOptions, norm normalized) ([]UtilityFunc, []float64, error) {
+	if norm.discrete != nil {
+		return norm.discrete.Funcs, norm.discrete.Probs, nil
+	}
+	key := fmt.Sprintf("funcs|%s|seed=%d|N=%d", reg.name, opts.Seed, norm.sampleSize)
+	v, _, err := e.prep.Do(ctx, key, func(context.Context) (any, error) {
+		funcs, _, err := buildFuncs(reg.dist, norm, opts.Seed)
+		if err != nil {
+			return nil, err
+		}
+		return funcs, nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return v.([]UtilityFunc), nil, nil
+}
+
+// resultKey folds every Result-affecting option into the result cache
+// key. Parallelism is included because the dispatch counters in
+// ShrinkStats report it; LazyBatch only matters for the lazy strategy.
+func resultKey(name string, opts SelectOptions, norm normalized) string {
+	lazy := 0
+	if opts.Algorithm == GreedyShrinkLazy {
+		lazy = opts.LazyBatch
+	}
+	return fmt.Sprintf("res|%s|algo=%s|k=%d|seed=%d|N=%d|exact=%t|sky=%t|budget=%d|par=%d|lazy=%d",
+		name, opts.Algorithm, opts.K, opts.Seed, norm.sampleSize, norm.discrete != nil,
+		norm.useSkyline, effectiveBudget(opts.CacheBudget), opts.Parallelism, lazy)
+}
+
+// effectiveBudget normalizes CacheBudget for cache keys: zero means the
+// default, every negative value means "disabled".
+func effectiveBudget(budget int64) int64 {
+	if budget == 0 {
+		return core.DefaultCacheBudget
+	}
+	if budget < 0 {
+		return -1
+	}
+	return budget
+}
+
+// copyResult returns a deep copy so cache-stored results can never be
+// mutated through a returned pointer.
+func copyResult(r *Result) *Result {
+	cp := *r
+	cp.Indices = append([]int(nil), r.Indices...)
+	cp.Labels = append([]string(nil), r.Labels...)
+	cp.Metrics.Percentiles = append([]float64(nil), r.Metrics.Percentiles...)
+	cp.Metrics.PercentileLevel = append([]float64(nil), r.Metrics.PercentileLevel...)
+	return &cp
+}
+
+// EngineStats is a point-in-time snapshot of an Engine's serving
+// counters.
+type EngineStats struct {
+	// Datasets is the number of registered datasets.
+	Datasets int `json:"datasets"`
+	// PoolWorkers is the shared pool's helper goroutine count.
+	PoolWorkers int `json:"pool_workers"`
+	// Selects and Evaluates count queries accepted (after validation),
+	// including ones answered from the result cache.
+	Selects   uint64 `json:"selects"`
+	Evaluates uint64 `json:"evaluates"`
+	// PrepCache tracks the preprocessing artifacts (skyline indexes,
+	// sampled function sets, built instances); ResultCache tracks whole
+	// query answers. Coalesced counts the singleflight savings: queries
+	// that waited on an in-flight build instead of duplicating it.
+	PrepCache   CacheStats `json:"prep_cache"`
+	ResultCache CacheStats `json:"result_cache"`
+	// Uptime is the time since NewEngine.
+	Uptime time.Duration `json:"uptime_ns"`
+}
+
+// CacheStats re-exports the cache counter snapshot used in EngineStats.
+type CacheStats = ecache.CacheStats
+
+// Stats returns a snapshot of the Engine's counters.
+func (e *Engine) Stats() EngineStats {
+	e.mu.RLock()
+	n := len(e.datasets)
+	e.mu.RUnlock()
+	return EngineStats{
+		Datasets:    n,
+		PoolWorkers: e.pool.Size(),
+		Selects:     e.selects.Load(),
+		Evaluates:   e.evaluates.Load(),
+		PrepCache:   e.prep.Stats(),
+		ResultCache: e.results.Stats(),
+		Uptime:      time.Since(e.start),
+	}
+}

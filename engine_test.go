@@ -1,0 +1,384 @@
+package fam
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// engineFixtures builds the three datasets the engine suites query:
+// hotels (5-d, skyline-restricted algorithms), an anticorrelated 2-d set
+// (DP2D), and a tiny 3-d set (BruteForce).
+type engineFixture struct {
+	name string
+	ds   *Dataset
+	dist Distribution
+}
+
+func engineFixtures(t testing.TB) []engineFixture {
+	t.Helper()
+	hotels, err := Hotels(120, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hotelDist, err := UniformLinear(hotels.Dim())
+	if err != nil {
+		t.Fatal(err)
+	}
+	grid, err := Synthetic(80, 2, Anticorrelated, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gridDist, err := UniformBoxLinear(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tiny, err := Synthetic(25, 3, Independent, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tinyDist, err := UniformLinear(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []engineFixture{
+		{"hotels", hotels, hotelDist},
+		{"grid2d", grid, gridDist},
+		{"tiny", tiny, tinyDist},
+	}
+}
+
+// engineQuery is one (dataset, options) Select combo.
+type engineQuery struct {
+	dataset string
+	opts    SelectOptions
+}
+
+func engineQueries() []engineQuery {
+	base := SelectOptions{Seed: 9, SampleSize: 120}
+	with := func(ds string, mod func(*SelectOptions)) engineQuery {
+		o := base
+		mod(&o)
+		return engineQuery{dataset: ds, opts: o}
+	}
+	return []engineQuery{
+		with("hotels", func(o *SelectOptions) { o.K = 5 }),
+		with("hotels", func(o *SelectOptions) { o.K = 5; o.Algorithm = GreedyShrinkLazy; o.LazyBatch = 4 }),
+		with("hotels", func(o *SelectOptions) { o.K = 3; o.Algorithm = GreedyShrinkNaive }),
+		with("hotels", func(o *SelectOptions) { o.K = 7; o.Algorithm = GreedyAdd }),
+		with("hotels", func(o *SelectOptions) { o.K = 5; o.Algorithm = KHit }),
+		with("hotels", func(o *SelectOptions) { o.K = 4; o.Algorithm = MRRGreedy }),
+		with("hotels", func(o *SelectOptions) { o.K = 4; o.Algorithm = SkyDom }),
+		with("grid2d", func(o *SelectOptions) { o.K = 3; o.Algorithm = DP2D }),
+		with("grid2d", func(o *SelectOptions) { o.K = 4 }),
+		with("tiny", func(o *SelectOptions) { o.K = 3; o.Algorithm = BruteForce }),
+	}
+}
+
+// evalQuery is one (dataset, set) Evaluate combo.
+var engineEvalQueries = []struct {
+	dataset string
+	set     []int
+}{
+	{"hotels", []int{1, 2, 3, 4, 5}},
+	{"grid2d", []int{0, 1, 2}},
+	{"tiny", []int{0, 1}},
+}
+
+func newTestEngine(t testing.TB, fixtures []engineFixture) *Engine {
+	t.Helper()
+	e := NewEngine(EngineConfig{})
+	t.Cleanup(e.Close)
+	for _, f := range fixtures {
+		if err := e.Register(f.name, f.ds, f.dist); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return e
+}
+
+// assertResultEqual checks the bit-identity contract: everything except
+// the timing fields and the Cached marker must match a one-shot Select.
+func assertResultEqual(t testing.TB, label string, got, want *Result) {
+	t.Helper()
+	if len(got.Indices) != len(want.Indices) {
+		t.Fatalf("%s: %d indices, want %d", label, len(got.Indices), len(want.Indices))
+	}
+	for i := range want.Indices {
+		if got.Indices[i] != want.Indices[i] {
+			t.Fatalf("%s: indices %v, want %v", label, got.Indices, want.Indices)
+		}
+		if got.Labels[i] != want.Labels[i] {
+			t.Fatalf("%s: labels %v, want %v", label, got.Labels, want.Labels)
+		}
+	}
+	if got.ExactARR != want.ExactARR || got.SkylineSize != want.SkylineSize {
+		t.Fatalf("%s: (ExactARR, SkylineSize) = (%v, %d), want (%v, %d)",
+			label, got.ExactARR, got.SkylineSize, want.ExactARR, want.SkylineSize)
+	}
+	if got.Stats != want.Stats {
+		t.Fatalf("%s: stats %+v, want %+v", label, got.Stats, want.Stats)
+	}
+	assertMetricsEqual(t, label, got.Metrics, want.Metrics)
+}
+
+func assertMetricsEqual(t testing.TB, label string, got, want Metrics) {
+	t.Helper()
+	if got.ARR != want.ARR || got.VRR != want.VRR || got.StdDev != want.StdDev ||
+		got.MaxRR != want.MaxRR || got.DegenerateUsers != want.DegenerateUsers {
+		t.Fatalf("%s: metrics %+v, want %+v", label, got, want)
+	}
+	if len(got.Percentiles) != len(want.Percentiles) {
+		t.Fatalf("%s: %d percentiles, want %d", label, len(got.Percentiles), len(want.Percentiles))
+	}
+	for i := range want.Percentiles {
+		if got.Percentiles[i] != want.Percentiles[i] {
+			t.Fatalf("%s: percentiles %v, want %v", label, got.Percentiles, want.Percentiles)
+		}
+	}
+}
+
+// TestEngineMatchesOneShot drives every algorithm through a warm and a
+// cold Engine path and pins bit-identity against fresh one-shot calls.
+func TestEngineMatchesOneShot(t *testing.T) {
+	fixtures := engineFixtures(t)
+	e := newTestEngine(t, fixtures)
+	ctx := context.Background()
+	byName := map[string]engineFixture{}
+	for _, f := range fixtures {
+		byName[f.name] = f
+	}
+
+	for _, q := range engineQueries() {
+		label := fmt.Sprintf("%s/%s/k=%d", q.dataset, q.opts.Algorithm, q.opts.K)
+		f := byName[q.dataset]
+		want, err := Select(ctx, f.ds, f.dist, q.opts)
+		if err != nil {
+			t.Fatalf("%s one-shot: %v", label, err)
+		}
+		cold, err := e.Select(ctx, q.dataset, q.opts)
+		if err != nil {
+			t.Fatalf("%s cold: %v", label, err)
+		}
+		if cold.Cached {
+			t.Fatalf("%s: cold query reported Cached", label)
+		}
+		assertResultEqual(t, label+" cold", cold, want)
+		warm, err := e.Select(ctx, q.dataset, q.opts)
+		if err != nil {
+			t.Fatalf("%s warm: %v", label, err)
+		}
+		if !warm.Cached {
+			t.Fatalf("%s: warm query not served from result cache", label)
+		}
+		assertResultEqual(t, label+" warm", warm, want)
+	}
+
+	for _, q := range engineEvalQueries {
+		f := byName[q.dataset]
+		opts := SelectOptions{Seed: 9, SampleSize: 120}
+		want, err := Evaluate(ctx, f.ds, f.dist, q.set, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := e.Evaluate(ctx, q.dataset, q.set, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertMetricsEqual(t, q.dataset+" evaluate", got, want)
+	}
+
+	s := e.Stats()
+	if s.ResultCache.Hits == 0 || s.ResultCache.Misses == 0 || s.PrepCache.Misses == 0 {
+		t.Fatalf("caches never exercised: %+v", s)
+	}
+}
+
+// TestEngineConcurrentStress is the serving-path race test: one Engine,
+// mixed Select/Evaluate traffic across datasets and k values from many
+// goroutines, every answer bit-identical to a fresh one-shot call. Run
+// under -race in CI. It also pins the cache contracts: each distinct
+// result is computed exactly once (singleflight dedup) no matter how
+// many goroutines race for it cold, and a second concurrent sweep does
+// no preprocessing work at all.
+func TestEngineConcurrentStress(t *testing.T) {
+	fixtures := engineFixtures(t)
+	byName := map[string]engineFixture{}
+	for _, f := range fixtures {
+		byName[f.name] = f
+	}
+	queries := engineQueries()
+	ctx := context.Background()
+
+	// Ground truth from fresh one-shot calls.
+	wantSelect := make([]*Result, len(queries))
+	for i, q := range queries {
+		f := byName[q.dataset]
+		res, err := Select(ctx, f.ds, f.dist, q.opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantSelect[i] = res
+	}
+	evalOpts := SelectOptions{Seed: 9, SampleSize: 120}
+	wantEval := make([]Metrics, len(engineEvalQueries))
+	for i, q := range engineEvalQueries {
+		f := byName[q.dataset]
+		m, err := Evaluate(ctx, f.ds, f.dist, q.set, evalOpts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantEval[i] = m
+	}
+
+	e := newTestEngine(t, fixtures)
+	const goroutines = 6
+	sweep := func() {
+		var start, wg sync.WaitGroup
+		start.Add(1)
+		for g := 0; g < goroutines; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				start.Wait() // maximize cold-cache collisions
+				for i := range queries {
+					q := queries[(i+g)%len(queries)] // interleave differently per goroutine
+					want := wantSelect[(i+g)%len(queries)]
+					label := fmt.Sprintf("g%d %s/%s/k=%d", g, q.dataset, q.opts.Algorithm, q.opts.K)
+					got, err := e.Select(ctx, q.dataset, q.opts)
+					if err != nil {
+						t.Errorf("%s: %v", label, err)
+						return
+					}
+					assertResultEqual(t, label, got, want)
+				}
+				for i, q := range engineEvalQueries {
+					m, err := e.Evaluate(ctx, q.dataset, q.set, evalOpts)
+					if err != nil {
+						t.Errorf("g%d evaluate %s: %v", g, q.dataset, err)
+						return
+					}
+					assertMetricsEqual(t, fmt.Sprintf("g%d evaluate %s", g, q.dataset), m, wantEval[i])
+				}
+			}(g)
+		}
+		start.Done()
+		wg.Wait()
+	}
+
+	sweep()
+	cold := e.Stats()
+	// Singleflight dedup: every distinct result was computed exactly once
+	// even though 6 goroutines raced for it from a cold cache; everyone
+	// else either coalesced onto the in-flight computation or hit the
+	// stored entry.
+	if got, want := cold.ResultCache.Misses, uint64(len(queries)); got != want {
+		t.Fatalf("result fills = %d, want exactly %d (singleflight dedup)", got, want)
+	}
+	totalSelects := uint64(goroutines * len(queries))
+	if got := cold.ResultCache.Hits + cold.ResultCache.Coalesced + cold.ResultCache.Misses; got != totalSelects {
+		t.Fatalf("hits(%d) + coalesced(%d) + misses(%d) = %d, want %d",
+			cold.ResultCache.Hits, cold.ResultCache.Coalesced, cold.ResultCache.Misses, got, totalSelects)
+	}
+	if cold.PrepCache.Misses == 0 {
+		t.Fatal("no preprocessing artifacts were built")
+	}
+	if cold.Selects != totalSelects || cold.Evaluates != uint64(goroutines*len(engineEvalQueries)) {
+		t.Fatalf("query counters %+v", cold)
+	}
+
+	sweep()
+	warm := e.Stats()
+	// Warm sweep: zero new fills anywhere — no preprocessing re-run, no
+	// re-materialized matrices, every Select answered from the result
+	// cache.
+	if warm.PrepCache.Misses != cold.PrepCache.Misses {
+		t.Fatalf("warm sweep rebuilt preprocessing: %d fills vs %d", warm.PrepCache.Misses, cold.PrepCache.Misses)
+	}
+	if warm.ResultCache.Misses != cold.ResultCache.Misses {
+		t.Fatalf("warm sweep recomputed results: %d fills vs %d", warm.ResultCache.Misses, cold.ResultCache.Misses)
+	}
+	if warm.ResultCache.Hits <= cold.ResultCache.Hits {
+		t.Fatalf("warm sweep produced no result-cache hits: %+v", warm.ResultCache)
+	}
+}
+
+// TestEngineFailFast: invalid requests are rejected by the shared
+// normalization before any cache or preprocessing work happens.
+func TestEngineFailFast(t *testing.T) {
+	fixtures := engineFixtures(t)
+	e := newTestEngine(t, fixtures)
+	ctx := context.Background()
+
+	cases := []struct {
+		name string
+		opts SelectOptions
+	}{
+		{"k zero", SelectOptions{K: 0}},
+		{"k too large", SelectOptions{K: 10_000}},
+		{"bad epsilon", SelectOptions{K: 3, Epsilon: 2}},
+		{"bad sigma", SelectOptions{K: 3, Sigma: -0.5}},
+		{"negative sample size", SelectOptions{K: 3, SampleSize: -1}},
+		{"unknown algorithm", SelectOptions{K: 3, Algorithm: Algorithm(99)}},
+		{"exact discrete on continuous", SelectOptions{K: 3, ExactDiscrete: true}},
+	}
+	for _, tc := range cases {
+		if _, err := e.Select(ctx, "hotels", tc.opts); !errors.Is(err, ErrBadOptions) {
+			t.Fatalf("%s: err = %v, want ErrBadOptions", tc.name, err)
+		}
+	}
+	if _, err := e.Select(ctx, "nope", SelectOptions{K: 3}); !errors.Is(err, ErrUnknownDataset) {
+		t.Fatalf("unknown dataset: %v", err)
+	}
+	if _, err := e.Evaluate(ctx, "hotels", []int{1, 1}, SelectOptions{SampleSize: 50}); !errors.Is(err, ErrInvalidSet) {
+		t.Fatalf("invalid set: %v", err)
+	}
+	s := e.Stats()
+	if s.PrepCache.Misses != 0 || s.ResultCache.Misses != 0 {
+		t.Fatalf("bad requests reached the caches: %+v", s)
+	}
+
+	if err := e.Register("hotels", fixtures[0].ds, fixtures[0].dist); !errors.Is(err, ErrDuplicateDataset) {
+		t.Fatalf("duplicate register: %v", err)
+	}
+	e.Close()
+	if _, err := e.Select(ctx, "hotels", SelectOptions{K: 3}); !errors.Is(err, ErrEngineClosed) {
+		t.Fatalf("closed engine select: %v", err)
+	}
+	if _, err := e.Evaluate(ctx, "hotels", []int{0}, SelectOptions{}); !errors.Is(err, ErrEngineClosed) {
+		t.Fatalf("closed engine evaluate: %v", err)
+	}
+	if err := e.Register("x", fixtures[0].ds, fixtures[0].dist); !errors.Is(err, ErrEngineClosed) {
+		t.Fatalf("closed engine register: %v", err)
+	}
+}
+
+// TestEngineResultIsolation: mutating a returned Result must not corrupt
+// the cache.
+func TestEngineResultIsolation(t *testing.T) {
+	e := newTestEngine(t, engineFixtures(t))
+	ctx := context.Background()
+	opts := SelectOptions{K: 5, Seed: 9, SampleSize: 120}
+	first, err := e.Select(ctx, "hotels", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := append([]int(nil), first.Indices...)
+	first.Indices[0] = -999
+	first.Labels[0] = "corrupted"
+	first.Metrics.Percentiles[0] = -1
+	second, err := e.Select(ctx, "hotels", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if second.Indices[i] != want[i] {
+			t.Fatalf("cache corrupted through returned pointer: %v, want %v", second.Indices, want)
+		}
+	}
+	if second.Metrics.Percentiles[0] < 0 {
+		t.Fatal("metrics corrupted through returned pointer")
+	}
+}

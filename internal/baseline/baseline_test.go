@@ -42,13 +42,13 @@ func linearInstance(t *testing.T, pts [][]float64, N int, seed uint64) *core.Ins
 func TestMRRGreedyLPValidation(t *testing.T) {
 	ctx := context.Background()
 	pts := [][]float64{{1, 0}, {0, 1}}
-	if _, err := MRRGreedyLP(ctx, nil, 1, 1); err == nil {
+	if _, err := MRRGreedyLP(ctx, nil, 1, 1, nil); err == nil {
 		t.Fatal("empty points must error")
 	}
-	if _, err := MRRGreedyLP(ctx, pts, 0, 1); err == nil {
+	if _, err := MRRGreedyLP(ctx, pts, 0, 1, nil); err == nil {
 		t.Fatal("k=0 must error")
 	}
-	if _, err := MRRGreedyLP(ctx, pts, 3, 1); err == nil {
+	if _, err := MRRGreedyLP(ctx, pts, 3, 1, nil); err == nil {
 		t.Fatal("k>n must error")
 	}
 }
@@ -57,7 +57,7 @@ func TestMRRGreedyLPSimple(t *testing.T) {
 	// Extremes plus a midpoint: first pick = max first attribute (index 0);
 	// the point realizing the max regret then is (0,1).
 	pts := [][]float64{{1, 0}, {0, 1}, {0.5, 0.5}}
-	set, err := MRRGreedyLP(context.Background(), pts, 2, 1)
+	set, err := MRRGreedyLP(context.Background(), pts, 2, 1, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -72,7 +72,7 @@ func TestMaxRegretRatioLPDecreases(t *testing.T) {
 	ctx := context.Background()
 	prev := 2.0
 	for k := 1; k <= 6; k++ {
-		set, err := MRRGreedyLP(ctx, pts, k, 1)
+		set, err := MRRGreedyLP(ctx, pts, k, 1, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -149,7 +149,7 @@ func TestMRRGreedyLPCancel(t *testing.T) {
 	pts := randPoints(g, 50, 3)
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	if _, err := MRRGreedyLP(ctx, pts, 5, 1); err == nil {
+	if _, err := MRRGreedyLP(ctx, pts, 5, 1, nil); err == nil {
 		t.Fatal("canceled context must error")
 	}
 }
@@ -158,7 +158,7 @@ func TestMRRGreedyLPFillsWhenSaturated(t *testing.T) {
 	// One point dominates everything: regret hits 0 after the first pick,
 	// but the result must still have k members.
 	pts := [][]float64{{1, 1}, {0.5, 0.5}, {0.2, 0.2}}
-	set, err := MRRGreedyLP(context.Background(), pts, 3, 1)
+	set, err := MRRGreedyLP(context.Background(), pts, 3, 1, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -210,7 +210,7 @@ func TestSkyDom(t *testing.T) {
 		{0.5, 0.5},
 		{0.1, 0.1},
 	}
-	set, err := SkyDom(ctx, pts, 2, 1)
+	set, err := SkyDom(ctx, pts, 2, 1, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -238,15 +238,15 @@ func TestSkyDom(t *testing.T) {
 
 func TestSkyDomValidationAndPadding(t *testing.T) {
 	ctx := context.Background()
-	if _, err := SkyDom(ctx, nil, 1, 1); err == nil {
+	if _, err := SkyDom(ctx, nil, 1, 1, nil); err == nil {
 		t.Fatal("empty must error")
 	}
 	pts := [][]float64{{1, 1}, {0.5, 0.5}, {0.4, 0.4}}
-	if _, err := SkyDom(ctx, pts, 0, 1); err == nil {
+	if _, err := SkyDom(ctx, pts, 0, 1, nil); err == nil {
 		t.Fatal("k=0 must error")
 	}
 	// Skyline has 1 point; k=2 must pad.
-	set, err := SkyDom(ctx, pts, 2, 1)
+	set, err := SkyDom(ctx, pts, 2, 1, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -255,7 +255,7 @@ func TestSkyDomValidationAndPadding(t *testing.T) {
 	}
 	ctxC, cancel := context.WithCancel(ctx)
 	cancel()
-	if _, err := SkyDom(ctxC, pts, 2, 1); err == nil {
+	if _, err := SkyDom(ctxC, pts, 2, 1, nil); err == nil {
 		t.Fatal("canceled context must error")
 	}
 }
@@ -329,12 +329,12 @@ func TestShrinkBeatsBaselinesOnARR(t *testing.T) {
 	gsARR, _ := in.ARR(gsSet)
 
 	others := map[string][]int{}
-	if s, err := MRRGreedyLP(ctx, pts, k, 1); err == nil {
+	if s, err := MRRGreedyLP(ctx, pts, k, 1, nil); err == nil {
 		others["mrr"] = s
 	} else {
 		t.Fatal(err)
 	}
-	if s, err := SkyDom(ctx, pts, k, 1); err == nil {
+	if s, err := SkyDom(ctx, pts, k, 1, nil); err == nil {
 		others["skydom"] = s
 	} else {
 		t.Fatal(err)

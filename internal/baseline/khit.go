@@ -37,7 +37,7 @@ func KHit(ctx context.Context, in *core.Instance, k int) ([]int, error) {
 	N := in.NumFuncs()
 	nw := par.Bounded(in.Parallelism(), N) // per-user work is one lookup; shed workers on small N
 	local := make([][]int, nw)
-	if err := par.Shards(ctx, nw, N, func(w, lo, hi int) {
+	if err := in.Pool().Shards(ctx, nw, N, func(w, lo, hi int) {
 		counts := make([]int, n)
 		for u := lo; u < hi; u++ {
 			if ctx.Err() != nil {

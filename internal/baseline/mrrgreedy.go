@@ -38,11 +38,12 @@ var ErrBadK = errors.New("baseline: k must satisfy 0 < k <= n")
 // whose optimum z* gives regret ratio 1 − z*.
 //
 // The per-candidate LPs of one greedy step are independent, so they are
-// sharded across `workers` goroutines (0 = all CPUs, 1 = serial); each
-// worker tracks the strict maximum of its contiguous candidate block and
-// the blocks are merged in index order, reproducing the serial
-// lowest-index tie-break exactly.
-func MRRGreedyLP(ctx context.Context, points [][]float64, k, workers int) ([]int, error) {
+// sharded across `workers` goroutines (0 = all CPUs, 1 = serial),
+// dispatched on the optional externally owned pool (nil spawns per-call
+// goroutines); each worker tracks the strict maximum of its contiguous
+// candidate block and the blocks are merged in index order, reproducing
+// the serial lowest-index tie-break exactly.
+func MRRGreedyLP(ctx context.Context, points [][]float64, k, workers int, pool *par.Pool) ([]int, error) {
 	d, err := point.Validate(points)
 	if err != nil {
 		return nil, err
@@ -74,7 +75,7 @@ func MRRGreedyLP(ctx context.Context, points [][]float64, k, workers int) ([]int
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		if err := par.Shards(ctx, nw, n, func(w, lo, hi int) {
+		if err := pool.Shards(ctx, nw, n, func(w, lo, hi int) {
 			worsts[w], worstRRs[w], errs[w] = -1, -1.0, nil
 			for p := lo; p < hi; p++ {
 				if ctx.Err() != nil {
@@ -230,7 +231,7 @@ func MRRGreedySampled(ctx context.Context, in *core.Instance, k int) ([]int, err
 	}
 	add := func(p int) error {
 		inSet[p] = true
-		return par.Shards(ctx, nw, N, func(w, lo, hi int) {
+		return in.Pool().Shards(ctx, nw, N, func(w, lo, hi int) {
 			for u := lo; u < hi; u++ {
 				if ctx.Err() != nil {
 					return
@@ -256,7 +257,7 @@ func MRRGreedySampled(ctx context.Context, in *core.Instance, k int) ([]int, err
 		// point to add (their favorite). Each worker keeps the strict
 		// maximum of its contiguous user block; merging blocks in order
 		// preserves the serial lowest-user tie-break.
-		if err := par.Shards(ctx, nw, N, func(w, lo, hi int) {
+		if err := in.Pool().Shards(ctx, nw, N, func(w, lo, hi int) {
 			worstUs[w], worstRRs[w] = -1, -1.0
 			for u := lo; u < hi; u++ {
 				if ctx.Err() != nil {

@@ -34,12 +34,12 @@ func TestSkyDomParallelMatchesSerial(t *testing.T) {
 	g := rng.New(47)
 	pts := skyDomPoints(g, 600, 4)
 	for _, k := range []int{1, 5, 12} {
-		ref, err := SkyDom(ctx, pts, k, 1)
+		ref, err := SkyDom(ctx, pts, k, 1, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
 		for _, workers := range []int{2, 4, 8, 0} {
-			got, err := SkyDom(ctx, pts, k, workers)
+			got, err := SkyDom(ctx, pts, k, workers, nil)
 			if err != nil {
 				t.Fatalf("k=%d workers=%d: %v", k, workers, err)
 			}
@@ -58,12 +58,12 @@ func TestDominanceSetsParallelMatchesSerial(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ref, err := skyline.DominanceSets(nil, pts, sky, 1)
+	ref, err := skyline.DominanceSets(nil, pts, sky, 1, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, workers := range []int{2, 8, 0} {
-		got, err := skyline.DominanceSets(nil, pts, sky, workers)
+		got, err := skyline.DominanceSets(nil, pts, sky, workers, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -84,7 +84,7 @@ func TestSkyDomParallelPreCanceled(t *testing.T) {
 	pts := skyDomPoints(g, 300, 3)
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	if _, err := SkyDom(ctx, pts, 4, 4); !errors.Is(err, context.Canceled) {
+	if _, err := SkyDom(ctx, pts, 4, 4, nil); !errors.Is(err, context.Canceled) {
 		t.Fatalf("err = %v, want context.Canceled", err)
 	}
 }

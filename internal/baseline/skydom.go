@@ -26,13 +26,14 @@ var ErrInvalidSet = core.ErrInvalidSet
 // query-time plots).
 //
 // Both hot loops are sharded across `workers` goroutines (0 = all CPUs,
-// 1 = serial): the per-candidate dominance sets are built concurrently,
-// and each greedy round fans the per-candidate coverage gains out across
-// the pool. Every worker keeps the first strict maximum of its ascending
-// index block and the merge visits workers in ascending order with a
-// strict comparison, so the selected set is bit-identical to the serial
-// lowest-index tie-break at any worker count.
-func SkyDom(ctx context.Context, points [][]float64, k, workers int) ([]int, error) {
+// 1 = serial), dispatched on the optional externally owned pool (nil
+// spawns per-call goroutines): the per-candidate dominance sets are built
+// concurrently, and each greedy round fans the per-candidate coverage
+// gains out across the workers. Every worker keeps the first strict
+// maximum of its ascending index block and the merge visits workers in
+// ascending order with a strict comparison, so the selected set is
+// bit-identical to the serial lowest-index tie-break at any worker count.
+func SkyDom(ctx context.Context, points [][]float64, k, workers int, pool *par.Pool) ([]int, error) {
 	if _, err := point.Validate(points); err != nil {
 		return nil, err
 	}
@@ -40,11 +41,11 @@ func SkyDom(ctx context.Context, points [][]float64, k, workers int) ([]int, err
 	if k <= 0 || k > n {
 		return nil, fmt.Errorf("%w: k=%d n=%d", ErrBadK, k, n)
 	}
-	sky, err := skyline.Compute(points)
+	sky, err := skyline.ComputeOpts(ctx, points, skyline.ComputeOptions{Workers: workers, Pool: pool})
 	if err != nil {
 		return nil, err
 	}
-	domSets, err := skyline.DominanceSets(ctx, points, sky, workers)
+	domSets, err := skyline.DominanceSets(ctx, points, sky, workers, pool)
 	if err != nil {
 		return nil, err
 	}
@@ -66,7 +67,7 @@ func SkyDom(ctx context.Context, points [][]float64, k, workers int) ([]int, err
 		for w := range locals {
 			locals[w] = best{idx: -1, gain: -1}
 		}
-		if err := par.Shards(ctx, nw, len(sky), func(w, lo, hi int) {
+		if err := pool.Shards(ctx, nw, len(sky), func(w, lo, hi int) {
 			b := best{idx: -1, gain: -1}
 			for i := lo; i < hi; i++ {
 				if ctx.Err() != nil {

@@ -53,7 +53,7 @@ func BruteForce(ctx context.Context, in *Instance, k int) ([]int, float64, error
 		ok  bool
 	}, workers)
 
-	if err := par.Shards(ctx, workers, firsts, func(w, _, _ int) {
+	if err := in.pool.Shards(ctx, workers, firsts, func(w, _, _ int) {
 		bestSet := make([]int, k)
 		bestARR := math.Inf(1)
 		found := false

@@ -38,8 +38,9 @@ type Instance struct {
 	cache     [][]float64 // optional N x n utility matrix
 	cacheUsed bool
 
-	par       int // requested worker bound for preprocessing and query (0 = all CPUs)
-	lazyBatch int // lazy-strategy refresh batch size (<=1 = serial refresh)
+	par       int       // requested worker bound for preprocessing and query (0 = all CPUs)
+	lazyBatch int       // lazy-strategy refresh batch size (<=1 = serial refresh)
+	pool      *par.Pool // externally owned worker pool; nil spawns per-call goroutines
 }
 
 // Options configures instance construction.
@@ -74,6 +75,14 @@ type Options struct {
 	// the queue head are refreshed speculatively. Zero or one keeps the
 	// paper's serial pop-refresh loop with exact counters.
 	LazyBatch int
+	// Pool is an externally owned worker pool (par.NewPool) shared with
+	// other concurrent queries of a long-lived serving process. When set,
+	// preprocessing and every solver's query-phase fan-out runs on the
+	// pool's helpers (plus the calling goroutine) instead of spawning
+	// fresh goroutines per call; Parallelism still bounds the shard count
+	// of each fan-out, so results remain bit-identical with or without a
+	// pool. Nil keeps the one-shot spawn-per-call behavior.
+	Pool *par.Pool
 }
 
 // DefaultCacheBudget caps the utility cache at 32M entries (256 MB).
@@ -130,6 +139,7 @@ func NewInstance(points [][]float64, funcs []utility.Func, opts Options) (*Insta
 
 	in.par = opts.Parallelism
 	in.lazyBatch = opts.LazyBatch
+	in.pool = opts.Pool
 	in.satD = make([]float64, N)
 	in.bestD = make([]int32, N)
 	// Preprocessing is embarrassingly parallel across users: each worker
@@ -139,7 +149,7 @@ func NewInstance(points [][]float64, funcs []utility.Func, opts Options) (*Insta
 	// invalid utility is always the one surfaced.
 	workers := par.Workers(opts.Parallelism, N)
 	errs := make([]error, workers)
-	if err := par.Shards(context.Background(), workers, N, func(w, lo, hi int) {
+	if err := in.pool.Shards(context.Background(), workers, N, func(w, lo, hi int) {
 		errs[w] = in.preprocessUsers(lo, hi)
 	}); err != nil {
 		return nil, err

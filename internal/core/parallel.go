@@ -35,6 +35,25 @@ func (in *Instance) LazyBatch() int {
 // concurrently with a running solver.
 func (in *Instance) SetLazyBatch(b int) { in.lazyBatch = b }
 
+// Pool returns the externally owned worker pool the instance dispatches
+// on (nil = spawn goroutines per call).
+func (in *Instance) Pool() *par.Pool { return in.pool }
+
+// WithExecution returns a shallow clone of the instance with different
+// execution knobs: worker bound, lazy refresh batch, and worker pool. The
+// clone shares every preprocessing artifact (points, utility functions,
+// the materialized utility matrix, best-point indexes) with the receiver
+// — an Instance is immutable after construction, so a serving engine can
+// cache one preprocessed Instance per dataset and hand each concurrent
+// query its own clone with per-request settings at zero copy cost.
+func (in *Instance) WithExecution(parallelism, lazyBatch int, pool *par.Pool) *Instance {
+	cp := *in
+	cp.par = parallelism
+	cp.lazyBatch = lazyBatch
+	cp.pool = pool
+	return &cp
+}
+
 // evalPool shards the query phase's independent per-item evaluations
 // (candidates or users) across the instance's worker bound and keeps the
 // worker/contention counters reported in ShrinkStats. The zero batch
@@ -42,12 +61,13 @@ func (in *Instance) SetLazyBatch(b int) { in.lazyBatch = b }
 type evalPool struct {
 	workers int
 	stats   *ShrinkStats
+	pool    *par.Pool
 }
 
 // newEvalPool derives the solver's pool from the instance. The stats
 // pointer may be nil for solvers that report no counters (BruteForce).
 func newEvalPool(in *Instance, stats *ShrinkStats) *evalPool {
-	p := &evalPool{workers: in.Parallelism(), stats: stats}
+	p := &evalPool{workers: in.Parallelism(), stats: stats, pool: in.pool}
 	if stats != nil {
 		stats.Workers = p.workers
 	}
@@ -83,5 +103,7 @@ func (e *evalPool) dispatch(ctx context.Context, workers, n int, fn func(w, lo, 
 			e.stats.SerialBatches++
 		}
 	}
-	return par.Shards(ctx, workers, n, fn)
+	// A nil pool spawns per-call goroutines (one-shot Select); a shared
+	// pool multiplexes the same blocks over long-lived helpers.
+	return e.pool.Shards(ctx, workers, n, fn)
 }

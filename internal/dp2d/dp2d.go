@@ -56,6 +56,9 @@ type Options struct {
 	// (GOMAXPROCS); one forces serial execution. Results are
 	// bit-identical at any setting.
 	Parallelism int
+	// Pool is an optional externally owned worker pool the layer sweeps
+	// dispatch on; nil spawns per-call goroutines.
+	Pool *par.Pool
 }
 
 // ErrBadK is returned when k is not positive.
@@ -124,7 +127,7 @@ func solve(ctx context.Context, points [][]float64, k int, opts Options) (Result
 	}
 	prefix := make([][]float64, m) // prefix[i][s] = A_i(envStarts[s])
 	workers := par.Workers(opts.Parallelism, m)
-	if err := par.Shards(ctx, workers, m, func(w, lo, hi int) {
+	if err := opts.Pool.Shards(ctx, workers, m, func(w, lo, hi int) {
 		for i := lo; i < hi; i++ {
 			if ctx.Err() != nil {
 				return
@@ -216,7 +219,7 @@ func solve(ctx context.Context, points [][]float64, k int, opts Options) (Result
 	// prefix sums), so there is no cross-worker communication inside a
 	// layer and the join between layers is the only synchronization.
 	for r := 0; r < k; r++ {
-		if err := par.Shards(ctx, workers, m, func(w, lo, hi int) {
+		if err := opts.Pool.Shards(ctx, workers, m, func(w, lo, hi int) {
 			for i := lo; i < hi; i++ {
 				if ctx.Err() != nil {
 					return

@@ -1,0 +1,178 @@
+// Package engine holds the serving-side machinery behind fam.Engine: a
+// bounded LRU cache with singleflight fill deduplication and hit/miss/
+// in-flight statistics. The public fam.Engine composes two of these
+// caches — one for preprocessing artifacts (skyline indexes, sampled
+// utility functions, materialized utility matrices), one for whole query
+// results — over the shared worker pool of internal/par.
+package engine
+
+import (
+	"container/list"
+	"context"
+	"sync"
+)
+
+// CacheStats is a point-in-time snapshot of a cache's counters.
+type CacheStats struct {
+	// Hits counts lookups answered from a stored entry.
+	Hits uint64 `json:"hits"`
+	// Misses counts lookups that started a fill (each successful fill
+	// stores exactly one entry, so Misses also counts fills begun).
+	Misses uint64 `json:"misses"`
+	// Coalesced counts lookups that found a fill already in flight for
+	// their key and waited for it instead of duplicating the work — the
+	// singleflight savings.
+	Coalesced uint64 `json:"coalesced"`
+	// Evictions counts entries dropped to keep the cache within
+	// capacity.
+	Evictions uint64 `json:"evictions"`
+	// Errors counts fills that failed; failed fills are never stored.
+	Errors uint64 `json:"errors"`
+	// Entries and Capacity describe the current occupancy (Capacity 0 =
+	// unbounded).
+	Entries  int `json:"entries"`
+	Capacity int `json:"capacity"`
+}
+
+// call is one in-flight fill that later arrivals for the same key wait
+// on.
+type call struct {
+	done chan struct{}
+	val  any
+	err  error
+}
+
+// Cache is a bounded LRU keyed by string with singleflight fill
+// deduplication: concurrent Do calls for the same absent key run the
+// fill once and share the outcome. All methods are safe for concurrent
+// use.
+type Cache struct {
+	mu       sync.Mutex
+	capacity int
+	ll       *list.List               // front = most recently used
+	entries  map[string]*list.Element // value: *entry
+	inflight map[string]*call
+	stats    CacheStats
+}
+
+type entry struct {
+	key string
+	val any
+}
+
+// NewCache returns a cache holding at most capacity entries (0 or
+// negative = unbounded).
+func NewCache(capacity int) *Cache {
+	if capacity < 0 {
+		capacity = 0
+	}
+	return &Cache{
+		capacity: capacity,
+		ll:       list.New(),
+		entries:  make(map[string]*list.Element),
+		inflight: make(map[string]*call),
+	}
+}
+
+// Do returns the cached value for key, filling it with fill on a miss.
+// The fill runs detached from ctx (context.WithoutCancel): a canceled
+// requester abandons its wait — Do returns ctx.Err() — but the fill
+// completes and is stored for the next arrival, since cached artifacts
+// are shared infrastructure, not per-request work. Concurrent Do calls
+// for the same absent key coalesce onto one fill. hit reports whether
+// the value came from the store (false for the filler and for
+// coalesced waiters). Failed fills are not stored and their error goes
+// to every coalesced waiter of that round.
+func (c *Cache) Do(ctx context.Context, key string, fill func(ctx context.Context) (any, error)) (val any, hit bool, err error) {
+	c.mu.Lock()
+	if el, ok := c.entries[key]; ok {
+		c.ll.MoveToFront(el)
+		c.stats.Hits++
+		v := el.Value.(*entry).val
+		c.mu.Unlock()
+		return v, true, nil
+	}
+	if cl, ok := c.inflight[key]; ok {
+		c.stats.Coalesced++
+		c.mu.Unlock()
+		select {
+		case <-cl.done:
+			return cl.val, false, cl.err
+		case <-ctx.Done():
+			return nil, false, ctx.Err()
+		}
+	}
+	cl := &call{done: make(chan struct{})}
+	c.inflight[key] = cl
+	c.stats.Misses++
+	c.mu.Unlock()
+
+	go func() {
+		v, ferr := fill(context.WithoutCancel(ctx))
+		cl.val, cl.err = v, ferr
+		c.mu.Lock()
+		delete(c.inflight, key)
+		if ferr != nil {
+			c.stats.Errors++
+		} else {
+			c.store(key, v)
+		}
+		c.mu.Unlock()
+		close(cl.done)
+	}()
+
+	select {
+	case <-cl.done:
+		return cl.val, false, cl.err
+	case <-ctx.Done():
+		return nil, false, ctx.Err()
+	}
+}
+
+// store inserts under the lock and evicts the least recently used
+// entries beyond capacity.
+func (c *Cache) store(key string, val any) {
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*entry).val = val
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.ll.PushFront(&entry{key: key, val: val})
+	for c.capacity > 0 && c.ll.Len() > c.capacity {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.entries, oldest.Value.(*entry).key)
+		c.stats.Evictions++
+	}
+}
+
+// Get returns the cached value without filling (and without disturbing
+// the stats beyond a hit), primarily for tests.
+func (c *Cache) Get(key string) (any, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	c.stats.Hits++
+	return el.Value.(*entry).val, true
+}
+
+// Len returns the number of stored entries.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Stats returns a snapshot of the counters.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := c.stats
+	s.Entries = c.ll.Len()
+	s.Capacity = c.capacity
+	return s
+}

@@ -1,0 +1,189 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestCacheHitMissLRU(t *testing.T) {
+	c := NewCache(2)
+	ctx := context.Background()
+	fill := func(v string) func(context.Context) (any, error) {
+		return func(context.Context) (any, error) { return v, nil }
+	}
+
+	v, hit, err := c.Do(ctx, "a", fill("A"))
+	if err != nil || hit || v.(string) != "A" {
+		t.Fatalf("first Do = (%v, %v, %v)", v, hit, err)
+	}
+	v, hit, err = c.Do(ctx, "a", fill("ignored"))
+	if err != nil || !hit || v.(string) != "A" {
+		t.Fatalf("second Do = (%v, %v, %v), want cached A", v, hit, err)
+	}
+
+	// Fill b, touch a, fill c -> b is the LRU victim.
+	if _, _, err := c.Do(ctx, "b", fill("B")); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.Do(ctx, "a", fill("ignored")); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.Do(ctx, "c", fill("C")); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("b should have been evicted as LRU")
+	}
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("a should have survived eviction")
+	}
+	s := c.Stats()
+	if s.Evictions != 1 || s.Entries != 2 || s.Capacity != 2 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+// TestCacheSingleflight: concurrent Do calls for one absent key must run
+// the fill exactly once, with every other caller coalescing onto it. The
+// fill blocks until all callers have arrived, so the coalesced count is
+// deterministic.
+func TestCacheSingleflight(t *testing.T) {
+	c := NewCache(0)
+	const callers = 8
+	var fills atomic.Int64
+	arrived := make(chan struct{})
+	var once sync.Once
+
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v, _, err := c.Do(context.Background(), "k", func(context.Context) (any, error) {
+				fills.Add(1)
+				<-arrived // hold the fill open until every caller has called Do
+				return 42, nil
+			})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if v.(int) != 42 {
+				t.Errorf("v = %v", v)
+			}
+		}()
+	}
+	// Wait until all callers are either the filler or coalesced waiters,
+	// then release the fill.
+	for {
+		s := c.Stats()
+		if s.Misses+s.Coalesced == callers {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	once.Do(func() { close(arrived) })
+	wg.Wait()
+
+	if got := fills.Load(); got != 1 {
+		t.Fatalf("fill ran %d times, want 1", got)
+	}
+	s := c.Stats()
+	if s.Misses != 1 || s.Coalesced != callers-1 {
+		t.Fatalf("stats = %+v, want 1 miss and %d coalesced", s, callers-1)
+	}
+}
+
+// TestCacheErrorNotStored: a failed fill must not poison the cache; the
+// next Do retries.
+func TestCacheErrorNotStored(t *testing.T) {
+	c := NewCache(0)
+	ctx := context.Background()
+	boom := errors.New("boom")
+	if _, _, err := c.Do(ctx, "k", func(context.Context) (any, error) { return nil, boom }); !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	v, hit, err := c.Do(ctx, "k", func(context.Context) (any, error) { return "ok", nil })
+	if err != nil || hit || v.(string) != "ok" {
+		t.Fatalf("retry = (%v, %v, %v)", v, hit, err)
+	}
+	s := c.Stats()
+	if s.Errors != 1 || s.Misses != 2 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+// TestCacheCanceledWaiterFillSurvives: a requester that gives up waiting
+// gets its context error, but the detached fill still completes and is
+// stored for the next arrival.
+func TestCacheCanceledWaiterFillSurvives(t *testing.T) {
+	c := NewCache(0)
+	release := make(chan struct{})
+	ctx, cancel := context.WithCancel(context.Background())
+
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := c.Do(ctx, "k", func(context.Context) (any, error) {
+			<-release
+			return "late", nil
+		})
+		done <- err
+	}()
+	// Let the fill start, abandon the wait, then release the fill.
+	for c.Stats().Misses == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("waiter err = %v", err)
+	}
+	close(release)
+
+	// The fill was detached: it must land in the cache.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if v, ok := c.Get("k"); ok {
+			if v.(string) != "late" {
+				t.Fatalf("v = %v", v)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("detached fill never stored its value")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestCacheConcurrentDistinctKeys: hammer the cache with overlapping keys
+// under -race.
+func TestCacheConcurrentDistinctKeys(t *testing.T) {
+	c := NewCache(16)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				key := fmt.Sprintf("k%d", i%32)
+				v, _, err := c.Do(context.Background(), key, func(context.Context) (any, error) {
+					return key, nil
+				})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if v.(string) != key {
+					t.Errorf("key %s got %v", key, v)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

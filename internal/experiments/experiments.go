@@ -237,7 +237,7 @@ func (p *prep) runAlgo(ctx context.Context, algo string, k int) (algoRun, error)
 	}
 	if algo == algoSD {
 		start := time.Now()
-		dsSet, err := baseline.SkyDom(ctx, p.ds.Points, k, p.in.Parallelism())
+		dsSet, err := baseline.SkyDom(ctx, p.ds.Points, k, p.in.Parallelism(), p.in.Pool())
 		if err != nil {
 			return algoRun{}, fmt.Errorf("experiments: %s(k=%d): %w", algo, k, err)
 		}
@@ -265,7 +265,7 @@ func (p *prep) runAlgo(ctx context.Context, algo string, k int) (algoRun, error)
 		local, _, err = core.GreedyShrink(ctx, p.in, k, core.StrategyNaive)
 	case algoMRR:
 		if p.linear {
-			local, err = baseline.MRRGreedyLP(ctx, instancePoints(p), k, p.in.Parallelism())
+			local, err = baseline.MRRGreedyLP(ctx, instancePoints(p), k, p.in.Parallelism(), p.in.Pool())
 		} else {
 			local, err = baseline.MRRGreedySampled(ctx, p.in, k)
 		}

@@ -1,0 +1,149 @@
+package par
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Pool is a long-lived, bounded set of helper goroutines shared by every
+// concurrent query of a serving process. A one-shot Select spawns its
+// shard goroutines per call (package-level Shards); a server handling
+// many concurrent queries instead multiplexes them over one Pool so the
+// process never runs more than Size helper goroutines regardless of how
+// many queries are in flight.
+//
+// Scheduling is caller-participating: Pool.Shards enqueues up to
+// workers−1 helper requests and then works through the shard blocks on
+// the calling goroutine itself, with helpers claiming further blocks as
+// they arrive. The caller always makes progress, so a saturated pool
+// degrades a query toward inline execution instead of deadlocking, and a
+// closed (or nil) pool behaves exactly like the plain goroutine-per-shard
+// Shards. Helper requests drain in FIFO order, so concurrent queries
+// receive helpers fairly in arrival order.
+//
+// Block boundaries are computed exactly as in package-level Shards, and
+// every block is claimed by exactly one runner, so the deterministic
+// lowest-index reductions built on Shards are unaffected by which
+// goroutine happens to execute a block.
+type Pool struct {
+	size      int
+	helpers   chan func()
+	done      chan struct{}
+	closeOnce sync.Once
+}
+
+// NewPool starts a pool of `size` helper goroutines (0 or negative =
+// GOMAXPROCS). Close releases them.
+func NewPool(size int) *Pool {
+	if size <= 0 {
+		size = runtime.GOMAXPROCS(0)
+	}
+	p := &Pool{
+		size: size,
+		// The buffer lets a query queue its helper requests without
+		// blocking even when all helpers are busy; queued requests are
+		// picked up FIFO as helpers free up. A stale request (its blocks
+		// all claimed by then) costs one atomic load.
+		helpers: make(chan func(), size),
+		done:    make(chan struct{}),
+	}
+	for i := 0; i < size; i++ {
+		go p.helperLoop()
+	}
+	return p
+}
+
+func (p *Pool) helperLoop() {
+	for {
+		select {
+		case fn := <-p.helpers:
+			fn()
+		case <-p.done:
+			return
+		}
+	}
+}
+
+// Size returns the number of helper goroutines (0 for a nil pool).
+func (p *Pool) Size() int {
+	if p == nil {
+		return 0
+	}
+	return p.size
+}
+
+// Close stops the helper goroutines. Shards calls that are in flight
+// finish normally (their callers run any unclaimed blocks), and later
+// Shards calls still work — they just run without helpers. Close is
+// idempotent and safe on a nil pool.
+func (p *Pool) Close() {
+	if p == nil {
+		return
+	}
+	p.closeOnce.Do(func() { close(p.done) })
+}
+
+// Shards partitions [0, n) into contiguous blocks exactly like the
+// package-level Shards and runs fn(w, lo, hi) once per block, using pool
+// helpers plus the calling goroutine instead of spawning fresh
+// goroutines. A nil receiver delegates to the package-level Shards, so
+// code threaded with an optional pool needs no branching. All block
+// writes happen-before Shards returns.
+func (p *Pool) Shards(ctx context.Context, workers, n int, fn func(w, lo, hi int)) error {
+	if p == nil {
+		return Shards(ctx, workers, n, fn)
+	}
+	if n <= 0 {
+		return ctx.Err()
+	}
+	workers = Workers(workers, n)
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if workers == 1 {
+		fn(0, 0, n)
+		return ctx.Err()
+	}
+
+	// Blocks are claimed through an atomic cursor: the caller and every
+	// helper loop "claim next block, run it" until all blocks are taken.
+	// A helper that arrives after the caller finished everything finds
+	// the cursor exhausted and returns immediately.
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	run := func() {
+		for {
+			w := int(next.Add(1)) - 1
+			if w >= workers {
+				return
+			}
+			fn(w, w*n/workers, (w+1)*n/workers)
+			wg.Done()
+		}
+	}
+	p.requestHelpers(workers-1, run)
+	run()
+	wg.Wait()
+	return ctx.Err()
+}
+
+// requestHelpers enqueues up to count helper requests without ever
+// blocking: a full queue or a closed pool simply means fewer (or no)
+// helpers, and the caller-participating loop picks up the slack.
+func (p *Pool) requestHelpers(count int, run func()) {
+	for h := 0; h < count; h++ {
+		select {
+		case <-p.done:
+			return
+		default:
+		}
+		select {
+		case p.helpers <- run:
+		default:
+			return
+		}
+	}
+}

@@ -1,0 +1,149 @@
+package par
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// blocksOf records the (w, lo, hi) triples a Shards run hands out.
+func blocksOf(t *testing.T, run func(fn func(w, lo, hi int)) error) map[[3]int]bool {
+	t.Helper()
+	var mu sync.Mutex
+	got := map[[3]int]bool{}
+	if err := run(func(w, lo, hi int) {
+		mu.Lock()
+		defer mu.Unlock()
+		key := [3]int{w, lo, hi}
+		if got[key] {
+			t.Errorf("block %v dispatched twice", key)
+		}
+		got[key] = true
+	}); err != nil {
+		t.Fatalf("Shards: %v", err)
+	}
+	return got
+}
+
+// TestPoolShardsMatchesPlainShards pins the determinism contract: the
+// pool hands out exactly the block decomposition of package-level Shards.
+func TestPoolShardsMatchesPlainShards(t *testing.T) {
+	pool := NewPool(4)
+	defer pool.Close()
+	ctx := context.Background()
+	for _, n := range []int{1, 2, 7, 64, 1000} {
+		for _, workers := range []int{1, 2, 3, 4, 8} {
+			plain := blocksOf(t, func(fn func(w, lo, hi int)) error {
+				return Shards(ctx, workers, n, fn)
+			})
+			pooled := blocksOf(t, func(fn func(w, lo, hi int)) error {
+				return pool.Shards(ctx, workers, n, fn)
+			})
+			if len(plain) != len(pooled) {
+				t.Fatalf("n=%d workers=%d: %d plain blocks vs %d pooled", n, workers, len(plain), len(pooled))
+			}
+			for b := range plain {
+				if !pooled[b] {
+					t.Fatalf("n=%d workers=%d: block %v missing from pooled run", n, workers, b)
+				}
+			}
+		}
+	}
+}
+
+// TestPoolNilFallsBackToShards: a nil pool must behave exactly like the
+// plain Shards so optional threading needs no branches.
+func TestPoolNilFallsBackToShards(t *testing.T) {
+	var p *Pool
+	var ran atomic.Int64
+	if err := p.Shards(context.Background(), 4, 100, func(w, lo, hi int) {
+		ran.Add(int64(hi - lo))
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if ran.Load() != 100 {
+		t.Fatalf("nil pool covered %d of 100 items", ran.Load())
+	}
+	if p.Size() != 0 {
+		t.Fatalf("nil pool Size = %d", p.Size())
+	}
+	p.Close() // must not panic
+}
+
+// TestPoolSaturationNoDeadlock: many concurrent queries on a tiny pool
+// must all complete because callers participate in their own work.
+func TestPoolSaturationNoDeadlock(t *testing.T) {
+	pool := NewPool(1)
+	defer pool.Close()
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	var covered atomic.Int64
+	const queries, items = 32, 257
+	for q := 0; q < queries; q++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := pool.Shards(ctx, 8, items, func(w, lo, hi int) {
+				covered.Add(int64(hi - lo))
+			}); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	if covered.Load() != queries*items {
+		t.Fatalf("covered %d of %d items", covered.Load(), queries*items)
+	}
+}
+
+// TestPoolHelpersParticipate: with an idle pool, all blocks of one call
+// run concurrently (caller + helpers), proven by a barrier that only
+// opens when every block has started.
+func TestPoolHelpersParticipate(t *testing.T) {
+	const workers = 4
+	pool := NewPool(workers)
+	defer pool.Close()
+	var barrier sync.WaitGroup
+	barrier.Add(workers)
+	if err := pool.Shards(context.Background(), workers, workers*Grain*100, func(w, lo, hi int) {
+		barrier.Done()
+		barrier.Wait() // deadlocks unless all blocks run concurrently
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPoolClosedStillServes: Shards after Close falls back to running all
+// blocks on the caller.
+func TestPoolClosedStillServes(t *testing.T) {
+	pool := NewPool(2)
+	pool.Close()
+	pool.Close() // idempotent
+	var covered atomic.Int64
+	if err := pool.Shards(context.Background(), 4, 100, func(w, lo, hi int) {
+		covered.Add(int64(hi - lo))
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if covered.Load() != 100 {
+		t.Fatalf("covered %d of 100 items after Close", covered.Load())
+	}
+}
+
+// TestPoolPreCanceledContext: a canceled context stops the call before
+// any block runs, mirroring the plain Shards contract.
+func TestPoolPreCanceledContext(t *testing.T) {
+	pool := NewPool(2)
+	defer pool.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ran := false
+	err := pool.Shards(ctx, 4, 100, func(w, lo, hi int) { ran = true })
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if ran {
+		t.Fatal("block ran despite pre-canceled context")
+	}
+}

@@ -1,0 +1,92 @@
+package skyline
+
+import (
+	"context"
+	"testing"
+
+	"github.com/regretlab/fam/internal/par"
+	"github.com/regretlab/fam/internal/rng"
+)
+
+// antiPoints generates an anticorrelated-ish cloud with a large skyline:
+// points near the simplex plane Σx = 1, so most are mutually
+// non-dominated — the worst case for the SFS window scan.
+func antiPoints(n, d int, seed uint64) [][]float64 {
+	g := rng.New(seed)
+	pts := make([][]float64, n)
+	for i := range pts {
+		p := make([]float64, d)
+		var sum float64
+		for j := range p {
+			p[j] = g.Float64()
+			sum += p[j]
+		}
+		scale := (0.8 + 0.4*g.Float64()) / sum
+		for j := range p {
+			p[j] *= scale
+		}
+		pts[i] = p
+	}
+	return pts
+}
+
+// TestComputeOptsMatchesSerial pins the satellite guarantee: the sharded
+// SFS window scan returns exactly the serial skyline at any worker
+// count, with and without an externally owned pool, on inputs larger
+// than one parallel block.
+func TestComputeOptsMatchesSerial(t *testing.T) {
+	pool := par.NewPool(4)
+	defer pool.Close()
+	cases := [][][]float64{
+		antiPoints(37, 3, 1),              // sub-block
+		antiPoints(computeBlock+13, 4, 2), // crosses one block boundary
+		antiPoints(3*computeBlock+5, 2, 3),
+	}
+	for ci, pts := range cases {
+		want, err := Compute(pts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bnl, err := ComputeBNL(pts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !equalInts(want, bnl) {
+			t.Fatalf("case %d: SFS %d points vs BNL %d points", ci, len(want), len(bnl))
+		}
+		for _, workers := range []int{1, 2, 4, 8} {
+			for _, p := range []*par.Pool{nil, pool} {
+				got, err := ComputeOpts(context.Background(), pts, ComputeOptions{Workers: workers, Pool: p})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !equalInts(got, want) {
+					t.Fatalf("case %d workers=%d pool=%v: parallel skyline %d points differs from serial %d",
+						ci, workers, p != nil, len(got), len(want))
+				}
+			}
+		}
+	}
+}
+
+// TestComputeOptsPreCanceled: a canceled context must stop before the
+// scan emits anything.
+func TestComputeOptsPreCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := ComputeOpts(ctx, antiPoints(600, 3, 4), ComputeOptions{Workers: 4}); err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -24,7 +24,41 @@ import (
 // Compute returns the indices (in increasing order) of the skyline points
 // of the input set using the sort-filter-skyline algorithm. Duplicate
 // points are all kept if they are on the skyline (none dominates another).
+// Compute runs serially; ComputeOpts shards the dominance tests.
 func Compute(points [][]float64) ([]int, error) {
+	return ComputeOpts(nil, points, ComputeOptions{Workers: 1})
+}
+
+// ComputeOptions configures ComputeOpts.
+type ComputeOptions struct {
+	// Workers bounds the goroutines sharding the dominance tests (0 = all
+	// CPUs, 1 = serial). The result is identical at any setting.
+	Workers int
+	// Pool is an optional externally owned worker pool; nil spawns
+	// per-call goroutines.
+	Pool *par.Pool
+}
+
+// computeBlock bounds the number of sorted points filtered per parallel
+// round. Larger blocks amortize dispatch; smaller blocks keep the window
+// (the only data the parallel phase reads) growing frequently so later
+// tests prune against a fuller skyline.
+const computeBlock = 512
+
+// ComputeOpts is Compute with the SFS window scan parallelized — the
+// preprocessing bottleneck on large anticorrelated datasets, where the
+// skyline (and therefore the window every point is tested against) is
+// huge. The sorted order is processed in blocks: each block's points are
+// tested against the current window concurrently (sharded across the
+// workers with contiguous blocks), then the survivors are resolved
+// against each other serially in sorted order and appended. Dominance is
+// a pure transitive predicate and survivors are appended in the same
+// order the serial scan would, so the result is bit-identical to Compute
+// at any worker count. A nil context is treated as background.
+func ComputeOpts(ctx context.Context, points [][]float64, opts ComputeOptions) ([]int, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if _, err := point.Validate(points); err != nil {
 		return nil, err
 	}
@@ -44,16 +78,54 @@ func Compute(points [][]float64) ([]int, error) {
 	sort.SliceStable(order, func(a, b int) bool { return sums[order[a]] > sums[order[b]] })
 
 	var window []int // indices into points, all mutually non-dominated
-	for _, idx := range order {
-		dominated := false
-		for _, w := range window {
-			if point.Dominates(points[w], points[idx]) {
-				dominated = true
-				break
-			}
+	survives := make([]bool, computeBlock)
+	for start := 0; start < n; start += computeBlock {
+		end := start + computeBlock
+		if end > n {
+			end = n
 		}
-		if !dominated {
-			window = append(window, idx)
+		block := order[start:end]
+		// Parallel phase: test each block member against the frozen
+		// window. Per-item work is one dominance scan — cheap — so small
+		// blocks shed workers (par.Bounded).
+		nw := par.Bounded(opts.Workers, len(block))
+		if err := opts.Pool.Shards(ctx, nw, len(block), func(w, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				if ctx.Err() != nil {
+					return
+				}
+				dominated := false
+				for _, wi := range window {
+					if point.Dominates(points[wi], points[block[i]]) {
+						dominated = true
+						break
+					}
+				}
+				survives[i] = !dominated
+			}
+		}); err != nil {
+			return nil, err
+		}
+		// Serial phase: a survivor can still be dominated by an earlier
+		// member of its own block. Only window-surviving earlier members
+		// need checking — if the dominator was itself dominated, then by
+		// transitivity a window point dominates this one too, and the
+		// parallel phase already caught it.
+		windowLen := len(window)
+		for i, idx := range block {
+			if !survives[i] {
+				continue
+			}
+			dominated := false
+			for _, wi := range window[windowLen:] {
+				if point.Dominates(points[wi], points[idx]) {
+					dominated = true
+					break
+				}
+			}
+			if !dominated {
+				window = append(window, idx)
+			}
 		}
 	}
 	sort.Ints(window)
@@ -87,17 +159,18 @@ func ComputeBNL(points [][]float64) ([]int, error) {
 // of point indices (over the full point set) that the candidate dominates.
 // Used by the SKY-DOM baseline's max-coverage greedy. Each candidate's
 // dominance scan is independent, so the candidates are sharded across
-// `workers` goroutines (0 = all CPUs, 1 = serial); set membership is a
+// `workers` goroutines (0 = all CPUs, 1 = serial), dispatched on the
+// optional pool (nil spawns per-call goroutines); set membership is a
 // pure predicate, so the result is identical at any worker count. A nil
 // context is treated as background.
-func DominanceSets(ctx context.Context, points [][]float64, candidates []int, workers int) ([]*bitset.Set, error) {
+func DominanceSets(ctx context.Context, points [][]float64, candidates []int, workers int, pool *par.Pool) ([]*bitset.Set, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
 	n := len(points)
 	out := make([]*bitset.Set, len(candidates))
 	nw := par.Workers(workers, len(candidates))
-	if err := par.Shards(ctx, nw, len(candidates), func(w, lo, hi int) {
+	if err := pool.Shards(ctx, nw, len(candidates), func(w, lo, hi int) {
 		for ci := lo; ci < hi; ci++ {
 			if ctx.Err() != nil {
 				return

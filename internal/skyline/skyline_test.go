@@ -123,7 +123,7 @@ func TestDominanceSets(t *testing.T) {
 		{2, 0},
 		{0, 0},
 	}
-	sets, err := DominanceSets(nil, pts, []int{0, 1}, 1)
+	sets, err := DominanceSets(nil, pts, []int{0, 1}, 1, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

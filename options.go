@@ -1,0 +1,117 @@
+package fam
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"github.com/regretlab/fam/internal/sampling"
+	"github.com/regretlab/fam/internal/utility"
+)
+
+// ErrBadOptions is returned when SelectOptions are invalid: K out of
+// bounds, Epsilon or Sigma outside (0, 1), a negative SampleSize, an
+// unknown Algorithm, a distribution whose dimension does not match the
+// dataset, or ExactDiscrete with a non-discrete distribution. Match it
+// with errors.Is; the wrapped message names the offending field. Bad
+// requests fail here — before any sampling, preprocessing, or cache
+// traffic.
+var ErrBadOptions = errors.New("fam: bad options")
+
+// normalized is the validated, resolved form of SelectOptions that
+// Select, Evaluate, and the Engine all work from: sample sizes are
+// derived, the exact-discrete distribution is unwrapped, and the skyline
+// decision is made once.
+type normalized struct {
+	// sampleSize is the resolved number of utility functions to draw
+	// (0 when the instance is exact-discrete).
+	sampleSize int
+	// discrete is the unwrapped distribution when ExactDiscrete is set.
+	discrete *utility.Discrete
+	// useSkyline reports whether preprocessing restricts candidates to
+	// the skyline (monotone Θ, not disabled, not an index-based or
+	// skyline-operating algorithm).
+	useSkyline bool
+}
+
+// normalizeOptions validates opts against the dataset and distribution
+// and resolves the derived quantities. needK distinguishes Select-style
+// calls (K and Algorithm must be valid) from Evaluate-style calls (both
+// ignored). Every rejection wraps ErrBadOptions except nil arguments
+// (ErrNilArgument) and dataset corruption (the dataset's own error).
+func normalizeOptions(ds *Dataset, dist Distribution, opts SelectOptions, needK bool) (normalized, error) {
+	var norm normalized
+	if ds == nil || dist == nil {
+		return norm, ErrNilArgument
+	}
+	if err := ds.Validate(); err != nil {
+		return norm, err
+	}
+	if needK {
+		if opts.K <= 0 || opts.K > ds.N() {
+			return norm, fmt.Errorf("%w: K must satisfy 0 < K <= %d, got %d", ErrBadOptions, ds.N(), opts.K)
+		}
+		if opts.Algorithm < GreedyShrink || opts.Algorithm > GreedyAdd {
+			return norm, fmt.Errorf("%w: unknown algorithm %d", ErrBadOptions, int(opts.Algorithm))
+		}
+	}
+	if d := dist.Dim(); d != 0 && d != ds.Dim() {
+		return norm, fmt.Errorf("%w: distribution dimension %d != dataset dimension %d", ErrBadOptions, d, ds.Dim())
+	}
+	if opts.ExactDiscrete {
+		disc, ok := dist.(*utility.Discrete)
+		if !ok {
+			return norm, fmt.Errorf("%w: ExactDiscrete requires a discrete distribution, got %s", ErrBadOptions, dist.Name())
+		}
+		norm.discrete = disc
+	} else {
+		n, err := resolveSampleSize(opts)
+		if err != nil {
+			return norm, err
+		}
+		norm.sampleSize = n
+	}
+	if needK {
+		norm.useSkyline = dist.Monotone() && !opts.DisableSkyline && dist.Dim() != 0 &&
+			opts.Algorithm != DP2D && opts.Algorithm != SkyDom
+	}
+	return norm, nil
+}
+
+// resolveSampleSize applies Theorem 4's bound to the sampling fields: an
+// explicit positive SampleSize wins, otherwise N = ceil(3·ln(1/σ)/ε²)
+// with both parameters defaulting to 0.1 (N = 691).
+func resolveSampleSize(opts SelectOptions) (int, error) {
+	if opts.SampleSize > 0 {
+		return opts.SampleSize, nil
+	}
+	if opts.SampleSize < 0 {
+		return 0, fmt.Errorf("%w: SampleSize must be non-negative, got %d", ErrBadOptions, opts.SampleSize)
+	}
+	eps, sigma := opts.Epsilon, opts.Sigma
+	if eps == 0 {
+		eps = 0.1
+	}
+	if sigma == 0 {
+		sigma = 0.1
+	}
+	n, err := sampling.SampleSize(eps, sigma)
+	if err != nil {
+		return 0, fmt.Errorf("%w: %v", ErrBadOptions, err)
+	}
+	return n, nil
+}
+
+// ParseAlgorithm maps an algorithm's short name (as printed by
+// Algorithm.String and used in experiment tables, CLI flags, and the
+// famserve API) back to the enum, case-insensitively. Unknown names wrap
+// ErrBadOptions.
+func ParseAlgorithm(s string) (Algorithm, error) {
+	name := strings.ToLower(s)
+	for a := GreedyShrink; a <= GreedyAdd; a++ {
+		if a.String() == name {
+			return a, nil
+		}
+	}
+	return 0, fmt.Errorf("%w: unknown algorithm %q", ErrBadOptions, s)
+}

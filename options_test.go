@@ -1,0 +1,103 @@
+package fam
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+// TestSelectBadOptionsTyped: every validation failure of Select and
+// Evaluate must match ErrBadOptions, so servers can map them to 400s
+// without string matching.
+func TestSelectBadOptionsTyped(t *testing.T) {
+	ctx := context.Background()
+	ds, dist := hotelSetup(t)
+	cases := []struct {
+		name string
+		opts SelectOptions
+	}{
+		{"k zero", SelectOptions{K: 0}},
+		{"k negative", SelectOptions{K: -3}},
+		{"k beyond n", SelectOptions{K: ds.N() + 1}},
+		{"unknown algorithm", SelectOptions{K: 3, Algorithm: Algorithm(42)}},
+		{"negative algorithm", SelectOptions{K: 3, Algorithm: Algorithm(-1)}},
+		{"epsilon too large", SelectOptions{K: 3, Epsilon: 1}},
+		{"epsilon negative", SelectOptions{K: 3, Epsilon: -0.1}},
+		{"sigma too large", SelectOptions{K: 3, Sigma: 2}},
+		{"negative sample size", SelectOptions{K: 3, SampleSize: -10}},
+		{"exact discrete on continuous dist", SelectOptions{K: 3, ExactDiscrete: true}},
+	}
+	for _, tc := range cases {
+		if _, err := Select(ctx, ds, dist, tc.opts); !errors.Is(err, ErrBadOptions) {
+			t.Errorf("Select %s: err = %v, want ErrBadOptions", tc.name, err)
+		}
+	}
+
+	// Evaluate shares the normalization but ignores K and Algorithm.
+	if _, err := Evaluate(ctx, ds, dist, []int{0, 1}, SelectOptions{Epsilon: 3}); !errors.Is(err, ErrBadOptions) {
+		t.Errorf("Evaluate bad epsilon: want ErrBadOptions")
+	}
+	if _, err := Evaluate(ctx, ds, dist, []int{0, 1}, SelectOptions{K: -5, SampleSize: 50}); err != nil {
+		t.Errorf("Evaluate must ignore K: %v", err)
+	}
+
+	// Dimension mismatch is an options-level failure too.
+	wrongDim, err := UniformLinear(ds.Dim() + 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Select(ctx, ds, wrongDim, SelectOptions{K: 3}); !errors.Is(err, ErrBadOptions) {
+		t.Errorf("dimension mismatch: want ErrBadOptions, got %v", err)
+	}
+
+	// Nil arguments keep their own sentinel.
+	if _, err := Select(ctx, nil, dist, SelectOptions{K: 3}); !errors.Is(err, ErrNilArgument) {
+		t.Errorf("nil dataset: want ErrNilArgument, got %v", err)
+	}
+}
+
+func TestParseAlgorithmRoundTrip(t *testing.T) {
+	for a := GreedyShrink; a <= GreedyAdd; a++ {
+		got, err := ParseAlgorithm(a.String())
+		if err != nil {
+			t.Fatalf("ParseAlgorithm(%q): %v", a.String(), err)
+		}
+		if got != a {
+			t.Fatalf("ParseAlgorithm(%q) = %v, want %v", a.String(), got, a)
+		}
+	}
+	// Case-insensitive: the CLI and the HTTP API accept the same names.
+	if got, err := ParseAlgorithm("GREEDY-Shrink"); err != nil || got != GreedyShrink {
+		t.Fatalf("ParseAlgorithm(GREEDY-Shrink) = (%v, %v)", got, err)
+	}
+	if _, err := ParseAlgorithm("nope"); !errors.Is(err, ErrBadOptions) {
+		t.Fatalf("unknown name: err = %v, want ErrBadOptions", err)
+	}
+	if _, err := ParseAlgorithm("unknown"); err == nil {
+		t.Fatal("the String() fallback name must not parse")
+	}
+}
+
+// TestSampleSizeDefaults pins the resolved sample sizes the caches key
+// on: defaults (ε = σ = 0.1 → 691) and explicit overrides.
+func TestSampleSizeDefaults(t *testing.T) {
+	ds, dist := hotelSetup(t)
+	norm, err := normalizeOptions(ds, dist, SelectOptions{K: 3}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if norm.sampleSize != 691 {
+		t.Fatalf("default sample size = %d, want 691", norm.sampleSize)
+	}
+	norm, err = normalizeOptions(ds, dist, SelectOptions{K: 3, SampleSize: 77}, true)
+	if err != nil || norm.sampleSize != 77 {
+		t.Fatalf("explicit sample size = %d (%v), want 77", norm.sampleSize, err)
+	}
+	if !norm.useSkyline {
+		t.Fatal("monotone linear Θ must enable the skyline restriction")
+	}
+	norm, err = normalizeOptions(ds, dist, SelectOptions{K: 3, Algorithm: SkyDom}, true)
+	if err != nil || norm.useSkyline {
+		t.Fatalf("SkyDom must bypass the skyline restriction (%v)", err)
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"github.com/regretlab/fam/internal/baseline"
 	"github.com/regretlab/fam/internal/core"
 	"github.com/regretlab/fam/internal/dp2d"
+	"github.com/regretlab/fam/internal/par"
 	"github.com/regretlab/fam/internal/rng"
 	"github.com/regretlab/fam/internal/sampling"
 	"github.com/regretlab/fam/internal/skyline"
@@ -76,9 +77,15 @@ type Result struct {
 	SkylineSize int
 	// Preprocess covers skyline computation, utility sampling and
 	// best-point indexing; Query covers the selection algorithm itself —
-	// the paper's two timing columns.
+	// the paper's two timing columns. An Engine reports the time its
+	// caches actually spent: Preprocess is near zero when the artifacts
+	// were already built, and a result-cache hit (Cached true) carries
+	// the timings of the original computation it replays.
 	Preprocess time.Duration
 	Query      time.Duration
+	// Cached reports that the whole Result was answered from an Engine's
+	// result cache; always false for one-shot Select.
+	Cached bool
 	// Stats carries GREEDY-SHRINK work counters when applicable.
 	Stats ShrinkStats
 }
@@ -95,46 +102,49 @@ var ErrInvalidSet = core.ErrInvalidSet
 // Select chooses K points from the dataset minimizing (approximately,
 // except for DP2D/BruteForce) the average regret ratio under dist.
 func Select(ctx context.Context, ds *Dataset, dist Distribution, opts SelectOptions) (*Result, error) {
-	if ds == nil || dist == nil {
-		return nil, ErrNilArgument
-	}
-	if err := ds.Validate(); err != nil {
+	norm, err := normalizeOptions(ds, dist, opts, true)
+	if err != nil {
 		return nil, err
 	}
-	if opts.K <= 0 || opts.K > ds.N() {
-		return nil, fmt.Errorf("fam: K must satisfy 0 < K <= %d, got %d", ds.N(), opts.K)
-	}
-	if d := dist.Dim(); d != 0 && d != ds.Dim() {
-		return nil, fmt.Errorf("fam: distribution dimension %d != dataset dimension %d", d, ds.Dim())
-	}
-	var discrete *utility.Discrete
-	if opts.ExactDiscrete {
-		var ok bool
-		discrete, ok = dist.(*utility.Discrete)
-		if !ok {
-			return nil, fmt.Errorf("fam: ExactDiscrete requires a discrete distribution, got %s", dist.Name())
-		}
-	}
-	n := 0
-	if discrete == nil {
-		var err error
-		n, err = sampleSize(opts)
-		if err != nil {
-			return nil, err
-		}
-	}
-
 	preStart := time.Now()
+	prep, err := prepare(ctx, ds, dist, opts, norm, nil)
+	if err != nil {
+		return nil, err
+	}
+	preprocess := time.Since(preStart)
+	res, err := solve(ctx, ds, dist, prep, opts)
+	if err != nil {
+		return nil, err
+	}
+	res.Preprocess = preprocess
+	return res, nil
+}
 
+// prepared is the per-(dataset, distribution, seed) preprocessing state a
+// query runs against: the candidate set (skyline-restricted when the
+// distribution allows it), the sampled utility functions, and the built
+// core.Instance with its materialized utility matrix. One-shot Select
+// builds it per call; an Engine builds each artifact once per dataset and
+// shares it across every subsequent query.
+type prepared struct {
+	candidates []int
+	funcs      []UtilityFunc
+	weights    []float64
+	in         *core.Instance
+}
+
+// prepare runs the preprocessing pipeline of Section III-D2. The pool, when
+// non-nil, carries the shard fan-outs (skyline dominance tests, utility
+// materialization, best-point indexing); results are bit-identical with
+// or without one.
+func prepare(ctx context.Context, ds *Dataset, dist Distribution, opts SelectOptions, norm normalized, pool *par.Pool) (*prepared, error) {
 	// Preprocessing step 1: skyline restriction for monotone Θ (every
 	// user's favorite is a skyline point, so arr over the skyline equals
 	// arr over the database). Index-based (Table) distributions are
 	// excluded: their scores are tied to database positions.
 	candidates := identity(ds.N())
-	useSkyline := dist.Monotone() && !opts.DisableSkyline && dist.Dim() != 0 &&
-		opts.Algorithm != DP2D && opts.Algorithm != SkyDom
-	if useSkyline {
-		sky, err := skyline.Compute(ds.Points)
+	if norm.useSkyline {
+		sky, err := skyline.ComputeOpts(ctx, ds.Points, skyline.ComputeOptions{Workers: opts.Parallelism, Pool: pool})
 		if err != nil {
 			return nil, err
 		}
@@ -142,36 +152,69 @@ func Select(ctx context.Context, ds *Dataset, dist Distribution, opts SelectOpti
 			candidates = sky
 		}
 	}
+
+	// Preprocessing step 2: sample Θ (or take the discrete support
+	// verbatim with its probabilities — Appendix A) and index best points.
+	funcs, weights, err := buildFuncs(dist, norm, opts.Seed)
+	if err != nil {
+		return nil, err
+	}
+	return assemble(ds, candidates, funcs, weights, opts, pool)
+}
+
+// buildFuncs draws the instance's utility functions: the discrete support
+// with its probabilities in exact mode, or norm.sampleSize draws seeded
+// by opts.Seed.
+func buildFuncs(dist Distribution, norm normalized, seed uint64) ([]UtilityFunc, []float64, error) {
+	if norm.discrete != nil {
+		return norm.discrete.Funcs, norm.discrete.Probs, nil
+	}
+	funcs, err := sampling.Sample(dist, norm.sampleSize, rng.New(seed))
+	if err != nil {
+		return nil, nil, err
+	}
+	return funcs, nil, nil
+}
+
+// assemble restricts the point set to the candidates and builds the
+// core.Instance (utility materialization + best-point indexing).
+func assemble(ds *Dataset, candidates []int, funcs []UtilityFunc, weights []float64, opts SelectOptions, pool *par.Pool) (*prepared, error) {
 	points := ds.Points
 	if len(candidates) != ds.N() {
+		// Index-based utility functions would be misaligned on a
+		// restricted candidate set; monotone vector distributions never
+		// sample them, but guard against a mismatched registration.
+		for _, f := range funcs {
+			if _, ok := f.(utility.Table); ok {
+				return nil, errors.New("fam: index-based utility functions cannot be combined with skyline preprocessing")
+			}
+		}
 		points = make([][]float64, len(candidates))
 		for i, c := range candidates {
 			points[i] = ds.Points[c]
 		}
 	}
-
-	// Preprocessing step 2: sample Θ (or take the discrete support
-	// verbatim with its probabilities — Appendix A) and index best points.
-	var funcs []UtilityFunc
-	var weights []float64
-	if discrete != nil {
-		funcs = discrete.Funcs
-		weights = discrete.Probs
-	} else {
-		g := rng.New(opts.Seed)
-		var err error
-		funcs, err = sampleFuncs(dist, n, g, candidates, ds.N())
-		if err != nil {
-			return nil, err
-		}
-	}
-	in, err := core.NewInstance(points, funcs, core.Options{CacheBudget: opts.CacheBudget, Weights: weights, Parallelism: opts.Parallelism, LazyBatch: opts.LazyBatch})
+	in, err := core.NewInstance(points, funcs, core.Options{
+		CacheBudget: opts.CacheBudget,
+		Weights:     weights,
+		Parallelism: opts.Parallelism,
+		LazyBatch:   opts.LazyBatch,
+		Pool:        pool,
+	})
 	if err != nil {
 		return nil, err
 	}
-	preprocess := time.Since(preStart)
+	return &prepared{candidates: candidates, funcs: funcs, weights: weights, in: in}, nil
+}
 
-	res := &Result{ExactARR: -1, SkylineSize: len(candidates), Preprocess: preprocess}
+// solve runs the query phase on prepared state: the selected solver, the
+// candidate-to-dataset index mapping, and the metrics evaluation. The
+// result's Preprocess field is left for the caller, which knows whether
+// preprocessing was fresh or cached.
+func solve(ctx context.Context, ds *Dataset, dist Distribution, prep *prepared, opts SelectOptions) (*Result, error) {
+	in := prep.in
+	candidates := prep.candidates
+	res := &Result{ExactARR: -1, SkylineSize: len(candidates)}
 	queryStart := time.Now()
 	var local []int
 	switch opts.Algorithm {
@@ -188,7 +231,7 @@ func Select(ctx context.Context, ds *Dataset, dist Distribution, opts SelectOpti
 		}
 		local, res.Stats = set, stats
 	case DP2D:
-		out, err := dp2d.SolveOpts(ctx, ds.Points, opts.K, dp2d.Options{Parallelism: opts.Parallelism})
+		out, err := dp2d.SolveOpts(ctx, ds.Points, opts.K, dp2d.Options{Parallelism: opts.Parallelism, Pool: in.Pool()})
 		if err != nil {
 			return nil, err
 		}
@@ -202,21 +245,19 @@ func Select(ctx context.Context, ds *Dataset, dist Distribution, opts SelectOpti
 		}
 		local = set
 	case MRRGreedy:
+		var set []int
+		var err error
 		if dist.Monotone() && isLinearDist(dist) {
-			set, err := baseline.MRRGreedyLP(ctx, points, opts.K, opts.Parallelism)
-			if err != nil {
-				return nil, err
-			}
-			local = set
+			set, err = baseline.MRRGreedyLP(ctx, in.Points, opts.K, opts.Parallelism, in.Pool())
 		} else {
-			set, err := baseline.MRRGreedySampled(ctx, in, opts.K)
-			if err != nil {
-				return nil, err
-			}
-			local = set
+			set, err = baseline.MRRGreedySampled(ctx, in, opts.K)
 		}
+		if err != nil {
+			return nil, err
+		}
+		local = set
 	case SkyDom:
-		set, err := baseline.SkyDom(ctx, ds.Points, opts.K, opts.Parallelism)
+		set, err := baseline.SkyDom(ctx, ds.Points, opts.K, opts.Parallelism, in.Pool())
 		if err != nil {
 			return nil, err
 		}
@@ -234,11 +275,13 @@ func Select(ctx context.Context, ds *Dataset, dist Distribution, opts SelectOpti
 		}
 		local, res.Stats = set, stats
 	default:
-		return nil, fmt.Errorf("fam: unknown algorithm %d", int(opts.Algorithm))
+		return nil, fmt.Errorf("%w: unknown algorithm %d", ErrBadOptions, int(opts.Algorithm))
 	}
 	res.Query = time.Since(queryStart)
 
-	// Map candidate-local indices back to dataset indices.
+	// Map candidate-local indices back to dataset indices. DP2D and
+	// SkyDom operate on the full dataset (the skyline restriction is off
+	// for them), so candidates is the identity and the mapping is one.
 	res.Indices = make([]int, len(local))
 	for i, p := range local {
 		if opts.Algorithm == DP2D || opts.Algorithm == SkyDom {
@@ -253,23 +296,15 @@ func Select(ctx context.Context, ds *Dataset, dist Distribution, opts SelectOpti
 	}
 
 	// Metrics are measured against the candidate instance; for monotone
-	// distributions satisfaction over the skyline equals satisfaction over
-	// the database, so the numbers are the database-level quantities. For
-	// DP2D/SkyDom the selected points may fall outside the candidate set,
-	// so evaluate on a full instance.
-	evalIn := in
+	// distributions satisfaction over the skyline equals satisfaction
+	// over the database, so the numbers are the database-level
+	// quantities. DP2D/SkyDom run with the identity candidate set, so
+	// their dataset indices are valid on the instance directly.
 	evalSet := local
 	if opts.Algorithm == DP2D || opts.Algorithm == SkyDom {
-		if len(candidates) != ds.N() {
-			full, err := core.NewInstance(ds.Points, funcs, core.Options{CacheBudget: opts.CacheBudget, Weights: weights, Parallelism: opts.Parallelism})
-			if err != nil {
-				return nil, err
-			}
-			evalIn = full
-		}
 		evalSet = res.Indices
 	}
-	m, err := evalIn.Evaluate(evalSet, nil)
+	m, err := in.Evaluate(evalSet, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -280,10 +315,8 @@ func Select(ctx context.Context, ds *Dataset, dist Distribution, opts SelectOpti
 // Evaluate measures the Metrics of an explicit selection (dataset row
 // indices) under dist with the given sampling parameters.
 func Evaluate(ctx context.Context, ds *Dataset, dist Distribution, set []int, opts SelectOptions) (Metrics, error) {
-	if ds == nil || dist == nil {
-		return Metrics{}, ErrNilArgument
-	}
-	if err := ds.Validate(); err != nil {
+	norm, err := normalizeOptions(ds, dist, opts, false)
+	if err != nil {
 		return Metrics{}, err
 	}
 	// Reject malformed sets before paying for sampling and preprocessing.
@@ -293,68 +326,16 @@ func Evaluate(ctx context.Context, ds *Dataset, dist Distribution, set []int, op
 	if err := ctx.Err(); err != nil {
 		return Metrics{}, err
 	}
-	var funcs []UtilityFunc
-	var weights []float64
-	if opts.ExactDiscrete {
-		disc, ok := dist.(*utility.Discrete)
-		if !ok {
-			return Metrics{}, fmt.Errorf("fam: ExactDiscrete requires a discrete distribution, got %s", dist.Name())
-		}
-		funcs, weights = disc.Funcs, disc.Probs
-	} else {
-		n, err := sampleSize(opts)
-		if err != nil {
-			return Metrics{}, err
-		}
-		funcs, err = sampling.Sample(dist, n, rng.New(opts.Seed))
-		if err != nil {
-			return Metrics{}, err
-		}
-	}
-	in, err := core.NewInstance(ds.Points, funcs, core.Options{CacheBudget: opts.CacheBudget, Weights: weights, Parallelism: opts.Parallelism})
+	prep, err := prepare(ctx, ds, dist, opts, norm, nil)
 	if err != nil {
 		return Metrics{}, err
 	}
-	return in.Evaluate(set, nil)
+	return prep.in.Evaluate(set, nil)
 }
 
 // SampleSize exposes Theorem 4's bound: the number of sampled utility
 // functions needed for error eps at confidence 1-sigma.
 func SampleSize(eps, sigma float64) (int, error) { return sampling.SampleSize(eps, sigma) }
-
-func sampleSize(opts SelectOptions) (int, error) {
-	if opts.SampleSize > 0 {
-		return opts.SampleSize, nil
-	}
-	eps, sigma := opts.Epsilon, opts.Sigma
-	if eps == 0 {
-		eps = 0.1
-	}
-	if sigma == 0 {
-		sigma = 0.1
-	}
-	return sampling.SampleSize(eps, sigma)
-}
-
-// sampleFuncs draws n utility functions. When the candidate set is a
-// proper subset (skyline restriction), index-based utility functions would
-// be misaligned; callers exclude that case via the useSkyline guard, but
-// Table functions sampled from a vector distribution do not occur, so a
-// direct sample suffices.
-func sampleFuncs(dist Distribution, n int, g *rng.RNG, candidates []int, fullN int) ([]UtilityFunc, error) {
-	funcs, err := sampling.Sample(dist, n, g)
-	if err != nil {
-		return nil, err
-	}
-	if len(candidates) != fullN {
-		for _, f := range funcs {
-			if _, ok := f.(utility.Table); ok {
-				return nil, errors.New("fam: index-based utility functions cannot be combined with skyline preprocessing")
-			}
-		}
-	}
-	return funcs, nil
-}
 
 // isLinearDist reports whether the distribution samples plain linear
 // functions (enabling the LP-exact MRR-GREEDY).

@@ -1,0 +1,266 @@
+// Package serve is the JSON-over-HTTP front end of the fam serving
+// engine: request/response types and an http.Handler exposing
+//
+//	GET  /v1/datasets  — the registered datasets
+//	POST /v1/select    — run (or answer from cache) a selection query
+//	POST /v1/evaluate  — score an explicit selection set
+//	GET  /v1/stats     — engine + HTTP counters
+//
+// Every request runs under its own request context, so a disconnecting
+// client cancels its wait immediately (shared cache fills keep running —
+// they warm the cache for the next client). cmd/famserve wires this
+// handler into a server with graceful shutdown; examples/server drives
+// it in-process.
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	fam "github.com/regretlab/fam"
+)
+
+// SelectRequest is the body of POST /v1/select. Zero-valued fields take
+// the library defaults (algorithm greedy-shrink, ε = σ = 0.1 → N = 691,
+// all CPUs).
+type SelectRequest struct {
+	Dataset        string  `json:"dataset"`
+	K              int     `json:"k"`
+	Algorithm      string  `json:"algorithm,omitempty"`
+	Seed           uint64  `json:"seed,omitempty"`
+	Epsilon        float64 `json:"epsilon,omitempty"`
+	Sigma          float64 `json:"sigma,omitempty"`
+	SampleSize     int     `json:"sample_size,omitempty"`
+	Parallelism    int     `json:"parallelism,omitempty"`
+	LazyBatch      int     `json:"lazy_batch,omitempty"`
+	DisableSkyline bool    `json:"disable_skyline,omitempty"`
+}
+
+// options maps the request to SelectOptions (the algorithm name is
+// resolved separately because Evaluate ignores it).
+func (r *SelectRequest) options() fam.SelectOptions {
+	return fam.SelectOptions{
+		K:              r.K,
+		Seed:           r.Seed,
+		Epsilon:        r.Epsilon,
+		Sigma:          r.Sigma,
+		SampleSize:     r.SampleSize,
+		Parallelism:    r.Parallelism,
+		LazyBatch:      r.LazyBatch,
+		DisableSkyline: r.DisableSkyline,
+	}
+}
+
+// Metrics is the JSON shape of fam.Metrics.
+type Metrics struct {
+	ARR             float64   `json:"arr"`
+	VRR             float64   `json:"vrr"`
+	StdDev          float64   `json:"std_dev"`
+	MaxRR           float64   `json:"max_rr"`
+	Percentiles     []float64 `json:"percentiles"`
+	PercentileLevel []float64 `json:"percentile_levels"`
+	DegenerateUsers int       `json:"degenerate_users"`
+}
+
+func toMetrics(m fam.Metrics) Metrics {
+	return Metrics{
+		ARR:             m.ARR,
+		VRR:             m.VRR,
+		StdDev:          m.StdDev,
+		MaxRR:           m.MaxRR,
+		Percentiles:     m.Percentiles,
+		PercentileLevel: m.PercentileLevel,
+		DegenerateUsers: m.DegenerateUsers,
+	}
+}
+
+// SelectResponse is the body returned by POST /v1/select. ExactARR is
+// negative when the algorithm does not compute an exact value.
+type SelectResponse struct {
+	Dataset      string   `json:"dataset"`
+	Algorithm    string   `json:"algorithm"`
+	K            int      `json:"k"`
+	Indices      []int    `json:"indices"`
+	Labels       []string `json:"labels"`
+	Metrics      Metrics  `json:"metrics"`
+	ExactARR     float64  `json:"exact_arr"`
+	SkylineSize  int      `json:"skyline_size"`
+	Cached       bool     `json:"cached"`
+	PreprocessMS float64  `json:"preprocess_ms"`
+	QueryMS      float64  `json:"query_ms"`
+}
+
+// EvaluateRequest is the body of POST /v1/evaluate: score Set (dataset
+// row indices) under the dataset's distribution.
+type EvaluateRequest struct {
+	Dataset    string  `json:"dataset"`
+	Set        []int   `json:"set"`
+	Seed       uint64  `json:"seed,omitempty"`
+	Epsilon    float64 `json:"epsilon,omitempty"`
+	Sigma      float64 `json:"sigma,omitempty"`
+	SampleSize int     `json:"sample_size,omitempty"`
+}
+
+// EvaluateResponse is the body returned by POST /v1/evaluate.
+type EvaluateResponse struct {
+	Dataset string  `json:"dataset"`
+	Set     []int   `json:"set"`
+	Metrics Metrics `json:"metrics"`
+}
+
+// DatasetsResponse is the body returned by GET /v1/datasets.
+type DatasetsResponse struct {
+	Datasets []fam.DatasetInfo `json:"datasets"`
+}
+
+// HTTPStats counts requests by outcome since the handler was built.
+type HTTPStats struct {
+	Requests    uint64 `json:"requests"`
+	ClientError uint64 `json:"client_errors"`
+	ServerError uint64 `json:"server_errors"`
+}
+
+// StatsResponse is the body returned by GET /v1/stats.
+type StatsResponse struct {
+	Engine fam.EngineStats `json:"engine"`
+	HTTP   HTTPStats       `json:"http"`
+}
+
+// ErrorResponse is the body of every non-2xx answer.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+// Handler serves the /v1 API for one Engine.
+type Handler struct {
+	engine *fam.Engine
+	mux    *http.ServeMux
+
+	requests     atomic.Uint64
+	clientErrors atomic.Uint64
+	serverErrors atomic.Uint64
+}
+
+// NewHandler builds the /v1 routes over the engine. The caller keeps
+// ownership of the engine's lifecycle.
+func NewHandler(e *fam.Engine) *Handler {
+	h := &Handler{engine: e, mux: http.NewServeMux()}
+	h.mux.HandleFunc("GET /v1/datasets", h.handleDatasets)
+	h.mux.HandleFunc("POST /v1/select", h.handleSelect)
+	h.mux.HandleFunc("POST /v1/evaluate", h.handleEvaluate)
+	h.mux.HandleFunc("GET /v1/stats", h.handleStats)
+	return h
+}
+
+// ServeHTTP implements http.Handler.
+func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	h.requests.Add(1)
+	h.mux.ServeHTTP(w, r)
+}
+
+func (h *Handler) handleDatasets(w http.ResponseWriter, r *http.Request) {
+	h.writeJSON(w, http.StatusOK, DatasetsResponse{Datasets: h.engine.Datasets()})
+}
+
+func (h *Handler) handleSelect(w http.ResponseWriter, r *http.Request) {
+	var req SelectRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		h.writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	opts := req.options()
+	if req.Algorithm != "" {
+		algo, err := fam.ParseAlgorithm(req.Algorithm)
+		if err != nil {
+			h.writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		opts.Algorithm = algo
+	}
+	res, err := h.engine.Select(r.Context(), req.Dataset, opts)
+	if err != nil {
+		h.writeEngineError(w, r, err)
+		return
+	}
+	h.writeJSON(w, http.StatusOK, SelectResponse{
+		Dataset:      req.Dataset,
+		Algorithm:    opts.Algorithm.String(),
+		K:            req.K,
+		Indices:      res.Indices,
+		Labels:       res.Labels,
+		Metrics:      toMetrics(res.Metrics),
+		ExactARR:     res.ExactARR,
+		SkylineSize:  res.SkylineSize,
+		Cached:       res.Cached,
+		PreprocessMS: float64(res.Preprocess) / float64(time.Millisecond),
+		QueryMS:      float64(res.Query) / float64(time.Millisecond),
+	})
+}
+
+func (h *Handler) handleEvaluate(w http.ResponseWriter, r *http.Request) {
+	var req EvaluateRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		h.writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	m, err := h.engine.Evaluate(r.Context(), req.Dataset, req.Set, fam.SelectOptions{
+		Seed:       req.Seed,
+		Epsilon:    req.Epsilon,
+		Sigma:      req.Sigma,
+		SampleSize: req.SampleSize,
+	})
+	if err != nil {
+		h.writeEngineError(w, r, err)
+		return
+	}
+	h.writeJSON(w, http.StatusOK, EvaluateResponse{Dataset: req.Dataset, Set: req.Set, Metrics: toMetrics(m)})
+}
+
+func (h *Handler) handleStats(w http.ResponseWriter, r *http.Request) {
+	h.writeJSON(w, http.StatusOK, StatsResponse{
+		Engine: h.engine.Stats(),
+		HTTP: HTTPStats{
+			Requests:    h.requests.Load(),
+			ClientError: h.clientErrors.Load(),
+			ServerError: h.serverErrors.Load(),
+		},
+	})
+}
+
+// writeEngineError maps engine errors to HTTP statuses: bad requests and
+// malformed sets are 400, unknown datasets 404, a closed engine 503, a
+// canceled request gets no body (the client is gone), anything else 500.
+func (h *Handler) writeEngineError(w http.ResponseWriter, r *http.Request, err error) {
+	switch {
+	case errors.Is(err, fam.ErrBadOptions), errors.Is(err, fam.ErrInvalidSet), errors.Is(err, fam.ErrNilArgument):
+		h.writeError(w, http.StatusBadRequest, err)
+	case errors.Is(err, fam.ErrUnknownDataset):
+		h.writeError(w, http.StatusNotFound, err)
+	case errors.Is(err, fam.ErrEngineClosed):
+		h.writeError(w, http.StatusServiceUnavailable, err)
+	case r.Context().Err() != nil:
+		// The client disconnected or timed out; nothing to answer.
+		h.clientErrors.Add(1)
+	default:
+		h.writeError(w, http.StatusInternalServerError, err)
+	}
+}
+
+func (h *Handler) writeError(w http.ResponseWriter, status int, err error) {
+	if status >= 500 {
+		h.serverErrors.Add(1)
+	} else {
+		h.clientErrors.Add(1)
+	}
+	h.writeJSON(w, status, ErrorResponse{Error: err.Error()})
+}
+
+func (h *Handler) writeJSON(w http.ResponseWriter, status int, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(body)
+}

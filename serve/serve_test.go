@@ -1,0 +1,224 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	fam "github.com/regretlab/fam"
+)
+
+func newTestServer(t *testing.T) (*httptest.Server, *fam.Engine) {
+	t.Helper()
+	engine := fam.NewEngine(fam.EngineConfig{})
+	t.Cleanup(engine.Close)
+	ds, err := fam.Hotels(120, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist, err := fam.UniformLinear(ds.Dim())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := engine.Register("hotels", ds, dist); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(NewHandler(engine))
+	t.Cleanup(srv.Close)
+	return srv, engine
+}
+
+func postJSON(t *testing.T, url string, body any, out any) int {
+	t.Helper()
+	buf, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decoding %s response: %v", url, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func getJSON(t *testing.T, url string, out any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		t.Fatalf("decoding %s response: %v", url, err)
+	}
+	return resp.StatusCode
+}
+
+func TestServeEndToEnd(t *testing.T) {
+	srv, _ := newTestServer(t)
+
+	var dsResp DatasetsResponse
+	if code := getJSON(t, srv.URL+"/v1/datasets", &dsResp); code != http.StatusOK {
+		t.Fatalf("datasets status %d", code)
+	}
+	if len(dsResp.Datasets) != 1 || dsResp.Datasets[0].Name != "hotels" || dsResp.Datasets[0].N != 120 {
+		t.Fatalf("datasets = %+v", dsResp)
+	}
+
+	req := SelectRequest{Dataset: "hotels", K: 5, Seed: 7, SampleSize: 120}
+	var cold SelectResponse
+	if code := postJSON(t, srv.URL+"/v1/select", req, &cold); code != http.StatusOK {
+		t.Fatalf("select status %d", code)
+	}
+	if len(cold.Indices) != 5 || len(cold.Labels) != 5 || cold.Cached {
+		t.Fatalf("cold select = %+v", cold)
+	}
+	if cold.Metrics.ARR < 0 || cold.Metrics.ARR > 1 {
+		t.Fatalf("ARR = %v", cold.Metrics.ARR)
+	}
+
+	// Same request again: bit-identical answer served from the result
+	// cache.
+	var warm SelectResponse
+	if code := postJSON(t, srv.URL+"/v1/select", req, &warm); code != http.StatusOK {
+		t.Fatalf("warm select status %d", code)
+	}
+	if !warm.Cached {
+		t.Fatal("second identical select not served from cache")
+	}
+	for i := range cold.Indices {
+		if warm.Indices[i] != cold.Indices[i] {
+			t.Fatalf("warm indices %v != cold %v", warm.Indices, cold.Indices)
+		}
+	}
+
+	// Evaluate the returned selection; ARR must round-trip exactly (same
+	// seed and sample size → the same sampled instance).
+	var ev EvaluateResponse
+	code := postJSON(t, srv.URL+"/v1/evaluate", EvaluateRequest{
+		Dataset: "hotels", Set: cold.Indices, Seed: 7, SampleSize: 120,
+	}, &ev)
+	if code != http.StatusOK {
+		t.Fatalf("evaluate status %d", code)
+	}
+	if ev.Metrics.ARR != cold.Metrics.ARR {
+		t.Fatalf("evaluate ARR %v != select ARR %v", ev.Metrics.ARR, cold.Metrics.ARR)
+	}
+
+	var stats StatsResponse
+	if code := getJSON(t, srv.URL+"/v1/stats", &stats); code != http.StatusOK {
+		t.Fatalf("stats status %d", code)
+	}
+	if stats.Engine.Selects != 2 || stats.Engine.Evaluates != 1 {
+		t.Fatalf("engine counters = %+v", stats.Engine)
+	}
+	if stats.Engine.ResultCache.Hits == 0 || stats.Engine.PrepCache.Misses == 0 {
+		t.Fatalf("cache stats = %+v", stats.Engine)
+	}
+	if stats.HTTP.Requests == 0 || stats.HTTP.ClientError != 0 || stats.HTTP.ServerError != 0 {
+		t.Fatalf("http stats = %+v", stats.HTTP)
+	}
+}
+
+func TestServeErrorMapping(t *testing.T) {
+	srv, _ := newTestServer(t)
+
+	cases := []struct {
+		name string
+		url  string
+		body any
+		want int
+	}{
+		{"unknown dataset", "/v1/select", SelectRequest{Dataset: "nope", K: 3}, http.StatusNotFound},
+		{"bad k", "/v1/select", SelectRequest{Dataset: "hotels", K: 0}, http.StatusBadRequest},
+		{"bad algorithm", "/v1/select", SelectRequest{Dataset: "hotels", K: 3, Algorithm: "quantum"}, http.StatusBadRequest},
+		{"bad epsilon", "/v1/select", SelectRequest{Dataset: "hotels", K: 3, Epsilon: 7}, http.StatusBadRequest},
+		{"invalid set", "/v1/evaluate", EvaluateRequest{Dataset: "hotels", Set: []int{1, 1}, SampleSize: 50}, http.StatusBadRequest},
+		{"empty set", "/v1/evaluate", EvaluateRequest{Dataset: "hotels", SampleSize: 50}, http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		var errResp ErrorResponse
+		if code := postJSON(t, srv.URL+tc.url, tc.body, &errResp); code != tc.want {
+			t.Fatalf("%s: status %d, want %d", tc.name, code, tc.want)
+		}
+		if errResp.Error == "" {
+			t.Fatalf("%s: empty error body", tc.name)
+		}
+	}
+
+	// Malformed JSON.
+	resp, err := http.Post(srv.URL+"/v1/select", "application/json", bytes.NewReader([]byte("{not json")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed JSON: status %d", resp.StatusCode)
+	}
+
+	// Unknown route/method.
+	resp, err = http.Get(srv.URL + "/v1/select")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /v1/select: status %d", resp.StatusCode)
+	}
+}
+
+// TestServeClosedEngine: queries against a closed engine surface as 503.
+func TestServeClosedEngine(t *testing.T) {
+	srv, engine := newTestServer(t)
+	engine.Close()
+	var errResp ErrorResponse
+	if code := postJSON(t, srv.URL+"/v1/select", SelectRequest{Dataset: "hotels", K: 3}, &errResp); code != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, want 503", code)
+	}
+}
+
+// TestServeMatchesLibrary: the HTTP layer must not perturb results —
+// the response equals a direct library call bit for bit.
+func TestServeMatchesLibrary(t *testing.T) {
+	srv, _ := newTestServer(t)
+	ds, err := fam.Hotels(120, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist, err := fam.UniformLinear(ds.Dim())
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := fam.SelectOptions{K: 4, Seed: 11, SampleSize: 100, Algorithm: fam.GreedyAdd}
+	want, err := fam.Select(context.Background(), ds, dist, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got SelectResponse
+	code := postJSON(t, srv.URL+"/v1/select", SelectRequest{
+		Dataset: "hotels", K: 4, Seed: 11, SampleSize: 100, Algorithm: "greedy-add",
+	}, &got)
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if len(got.Indices) != len(want.Indices) {
+		t.Fatalf("got %v, want %v", got.Indices, want.Indices)
+	}
+	for i := range want.Indices {
+		if got.Indices[i] != want.Indices[i] {
+			t.Fatalf("got %v, want %v", got.Indices, want.Indices)
+		}
+	}
+	if got.Metrics.ARR != want.Metrics.ARR {
+		t.Fatalf("ARR %v, want %v", got.Metrics.ARR, want.Metrics.ARR)
+	}
+}
