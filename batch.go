@@ -1,0 +1,105 @@
+package fam
+
+import (
+	"context"
+	"fmt"
+	"sync"
+)
+
+// BatchResult is one member slot of a SelectBatch answer. Exactly one of
+// (Result, Err) is meaningful: a failed member carries its error without
+// poisoning its siblings.
+type BatchResult struct {
+	// Result and Telemetry answer the member query (Result.Cached marks
+	// result-cache hits, as in Select). For evaluation members
+	// (ExplicitSet set) Result carries the evaluated set and its Metrics.
+	Result    *Result
+	Telemetry *Telemetry
+	// Err is the member's failure, nil on success. Match it with
+	// errors.Is against the usual sentinels (ErrBadOptions,
+	// ErrUnknownDataset, ErrInvalidSet, …).
+	Err error
+}
+
+// SelectBatch answers a panel of semantic queries under one execution
+// policy: a k-sweep, an algorithm comparison, or any mix of selection
+// and evaluation members (members may even target different registered
+// datasets). Members that share a (dataset, seed, N) triple share one
+// preprocessing pass — the skyline index, the sampled utility functions,
+// and the materialized utility matrix are each built exactly once, with
+// concurrent members coalescing onto the first build via the
+// preprocessing cache's singleflight — and the member query phases fan
+// out concurrently over the Engine's shared worker pool.
+//
+// Every member gets its own answer slot: one bad member yields an Err in
+// its slot while the rest of the batch completes. The returned slice
+// always has len(queries) entries, in order. The call-level error is
+// reserved for whole-batch failures (a closed Engine, an empty batch, a
+// canceled context).
+//
+// Each member is answered exactly as Engine.Select/Engine.Evaluate would
+// answer it — same result cache, same Fingerprint keys, same
+// bit-identity guarantees — so a batch is semantically equivalent to a
+// loop, just amortized.
+func (e *Engine) SelectBatch(ctx context.Context, queries []Query, exec Exec) ([]BatchResult, error) {
+	if e.closed.Load() {
+		return nil, ErrEngineClosed
+	}
+	if len(queries) == 0 {
+		return nil, fmt.Errorf("%w: empty batch", ErrBadOptions)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	e.batches.Add(1)
+	e.batchQueries.Add(uint64(len(queries)))
+
+	out := make([]BatchResult, len(queries))
+	// Member fan-out width: the Exec's Parallelism when set (the batch is
+	// one workload — its worker bound covers the members too), otherwise
+	// every member at once; the shared pool bounds the actual helper
+	// goroutines either way.
+	width := exec.Parallelism
+	if width <= 0 || width > len(queries) {
+		width = len(queries)
+	}
+	sem := make(chan struct{}, width)
+	var wg sync.WaitGroup
+	for i := range queries {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			out[i] = e.member(ctx, queries[i], exec)
+		}(i)
+	}
+	wg.Wait()
+	return out, nil
+}
+
+// member answers one batch slot: selection members go through the
+// result-cached Select path, evaluation members through the shared
+// evaluate path with the metrics wrapped into a Result for a uniform
+// slot shape.
+func (e *Engine) member(ctx context.Context, q Query, exec Exec) BatchResult {
+	if q.ExplicitSet == nil {
+		res, tel, err := e.Select(ctx, q, exec)
+		return BatchResult{Result: res, Telemetry: tel, Err: err}
+	}
+	m, reg, tel, err := e.evaluate(ctx, q, exec)
+	if err != nil {
+		return BatchResult{Err: err}
+	}
+	res := &Result{
+		Indices:     append([]int(nil), q.ExplicitSet...),
+		Metrics:     m,
+		ExactARR:    -1,
+		SkylineSize: reg.ds.N(), // evaluation preprocessing never restricts
+	}
+	res.Labels = make([]string, len(res.Indices))
+	for i, idx := range res.Indices {
+		res.Labels[i] = reg.ds.Label(idx)
+	}
+	return BatchResult{Result: res, Telemetry: tel, Err: nil}
+}

@@ -362,7 +362,7 @@ func BenchmarkSelectEndToEnd(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := Select(context.Background(), ds, dist, SelectOptions{K: 8, Seed: 1, SampleSize: 2000}); err != nil {
+		if _, err := SelectWithOptions(context.Background(), ds, dist, SelectOptions{K: 8, Seed: 1, SampleSize: 2000}); err != nil {
 			b.Fatal(err)
 		}
 	}

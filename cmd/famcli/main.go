@@ -71,16 +71,19 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 
-	res, err := fam.Select(context.Background(), ds, dist, fam.SelectOptions{
+	// The query names the problem; the exec carries the throughput knobs.
+	// Results are identical at any -workers / -lazy-batch setting.
+	res, tel, err := fam.Select(context.Background(), fam.Query{
+		Data: ds, Dist: dist,
 		K: *k, Algorithm: algorithm, Epsilon: *eps, Sigma: *sigma,
-		SampleSize: *samples, Seed: *seed, Parallelism: *workers, LazyBatch: *lazyB,
-	})
+		SampleSize: *samples, Seed: *seed,
+	}, fam.Exec{Parallelism: *workers, LazyBatch: *lazyB})
 	if err != nil {
 		return err
 	}
 
 	if *jsonOut {
-		return writeJSON(out, ds, algorithm, res)
+		return writeJSON(out, ds, algorithm, res, tel)
 	}
 
 	fmt.Fprintf(out, "dataset %s: selected %d of %d points with %s\n\n", ds.Name, *k, ds.N(), algorithm)
@@ -107,8 +110,8 @@ func run(args []string, out io.Writer) error {
 	fmt.Fprintf(out, "std dev           %.5f\n", m.StdDev)
 	fmt.Fprintf(out, "rr percentiles    70%%=%.4f 80%%=%.4f 90%%=%.4f 95%%=%.4f 99%%=%.4f 100%%=%.4f\n",
 		m.Percentiles[0], m.Percentiles[1], m.Percentiles[2], m.Percentiles[3], m.Percentiles[4], m.Percentiles[5])
-	fmt.Fprintf(out, "preprocess        %v (skyline: %d candidates)\n", res.Preprocess, res.SkylineSize)
-	fmt.Fprintf(out, "query time        %v\n", res.Query)
+	fmt.Fprintf(out, "preprocess        %v (skyline: %d candidates)\n", tel.Preprocess, res.SkylineSize)
+	fmt.Fprintf(out, "query time        %v\n", tel.Query)
 	return nil
 }
 
@@ -129,7 +132,7 @@ type jsonResult struct {
 	QuerySec        float64   `json:"query_seconds"`
 }
 
-func writeJSON(out io.Writer, ds *fam.Dataset, algorithm fam.Algorithm, res *fam.Result) error {
+func writeJSON(out io.Writer, ds *fam.Dataset, algorithm fam.Algorithm, res *fam.Result, tel *fam.Telemetry) error {
 	jr := jsonResult{
 		Dataset:         ds.Name,
 		Algorithm:       algorithm.String(),
@@ -141,8 +144,8 @@ func writeJSON(out io.Writer, ds *fam.Dataset, algorithm fam.Algorithm, res *fam
 		Percentiles:     res.Metrics.Percentiles,
 		PercentileLevel: res.Metrics.PercentileLevel,
 		SkylineSize:     res.SkylineSize,
-		PreprocessSec:   res.Preprocess.Seconds(),
-		QuerySec:        res.Query.Seconds(),
+		PreprocessSec:   tel.Preprocess.Seconds(),
+		QuerySec:        tel.Query.Seconds(),
 	}
 	if res.ExactARR >= 0 {
 		v := res.ExactARR

@@ -52,7 +52,7 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	cfg := experiments.Config{Scale: sc, Seed: *seed, Parallelism: *workers, LazyBatch: *lazyB}
+	cfg := experiments.Config{Scale: sc, Seed: *seed, Exec: experiments.Exec{Parallelism: *workers, LazyBatch: *lazyB}}
 	ctx := context.Background()
 
 	runners := experiments.All()

@@ -8,12 +8,16 @@
 //	famserve -addr :8080 -datasets hotels:200
 //	famserve -datasets "hotels:500,catalog=synthetic:10000:6:anticorrelated:3" -workers 8
 //
-// Endpoints: GET /v1/datasets, POST /v1/select, POST /v1/evaluate,
-// GET /v1/stats. The server shuts down gracefully on SIGINT/SIGTERM:
-// in-flight requests get -shutdown-grace to finish before the listener
-// and the engine close.
+// Endpoints: GET /v1/datasets, POST /v1/datasets (CSV upload),
+// POST /v1/select, POST /v1/evaluate, GET /v1/stats, and the batched
+// POST /v2/select (array of semantic queries + one exec policy block,
+// per-member error slots). The server shuts down gracefully on
+// SIGINT/SIGTERM: in-flight requests get -shutdown-grace to finish
+// before the listener and the engine close.
 //
 //	curl -s localhost:8080/v1/select -d '{"dataset":"hotels","k":5,"seed":7}'
+//	curl -s localhost:8080/v2/select -d '{"queries":[{"dataset":"hotels","k":3,"seed":7},{"dataset":"hotels","k":5,"seed":7}]}'
+//	curl -s 'localhost:8080/v1/datasets?name=mine' --data-binary @mine.csv
 package main
 
 import (
@@ -45,14 +49,20 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("famserve", flag.ContinueOnError)
 	var (
-		addr    = fs.String("addr", ":8080", "listen address")
-		workers = fs.Int("workers", 0, "shared worker-pool size multiplexed across all queries (0 = all CPUs)")
-		prepCap = fs.Int("prep-cache", 0, "preprocessing cache capacity in entries (0 = default, negative = unbounded)")
-		resCap  = fs.Int("result-cache", 0, "result cache capacity in entries (0 = default, negative = unbounded)")
-		specs   = fs.String("datasets", "hotels:200", "comma-separated dataset specs: [name=]kind[:n[:seed]] or [name=]synthetic[:n[:d[:corr[:seed]]]]")
-		ces     = fs.Float64("ces", 0, "use CES utilities with this rho for every dataset (0 = uniform linear)")
-		grace   = fs.Duration("shutdown-grace", 10*time.Second, "graceful-shutdown window for in-flight requests")
-		logDest = log.New(out, "famserve: ", log.LstdFlags)
+		addr     = fs.String("addr", ":8080", "listen address")
+		workers  = fs.Int("workers", 0, "shared worker-pool size multiplexed across all queries (0 = all CPUs)")
+		prepCap  = fs.Int("prep-cache", 0, "preprocessing cache capacity in entries (0 = default, negative = unbounded)")
+		resCap   = fs.Int("result-cache", 0, "result cache capacity in entries (0 = default, negative = unbounded)")
+		prepMB   = fs.Int64("prep-cache-mb", 0, "preprocessing cache byte budget in MiB (0 = no byte budget)")
+		resMB    = fs.Int64("result-cache-mb", 0, "result cache byte budget in MiB (0 = no byte budget)")
+		prepTTL  = fs.Duration("prep-ttl", 0, "preprocessing cache entry lifetime (0 = never expire)")
+		resTTL   = fs.Duration("result-ttl", 0, "result cache entry lifetime (0 = never expire)")
+		uploadMB = fs.Int64("max-upload-mb", 0, "CSV upload size cap in MiB for POST /v1/datasets (0 = default 32, negative = uploads disabled)")
+		batchCap = fs.Int("max-batch", 0, "maximum queries per POST /v2/select batch (0 = default 256)")
+		specs    = fs.String("datasets", "hotels:200", "comma-separated dataset specs: [name=]kind[:n[:seed]] or [name=]synthetic[:n[:d[:corr[:seed]]]]")
+		ces      = fs.Float64("ces", 0, "use CES utilities with this rho for every dataset (0 = uniform linear)")
+		grace    = fs.Duration("shutdown-grace", 10*time.Second, "graceful-shutdown window for in-flight requests")
+		logDest  = log.New(out, "famserve: ", log.LstdFlags)
 	)
 	fs.SetOutput(io.Discard)
 	if err := fs.Parse(args); err != nil {
@@ -60,9 +70,13 @@ func run(args []string, out io.Writer) error {
 	}
 
 	engine, infos, err := buildEngine(fam.EngineConfig{
-		Workers:         *workers,
-		PrepCacheSize:   *prepCap,
-		ResultCacheSize: *resCap,
+		Workers:          *workers,
+		PrepCacheSize:    *prepCap,
+		ResultCacheSize:  *resCap,
+		PrepCacheBytes:   *prepMB << 20,
+		ResultCacheBytes: *resMB << 20,
+		PrepCacheTTL:     *prepTTL,
+		ResultCacheTTL:   *resTTL,
 	}, *specs, *ces)
 	if err != nil {
 		return err
@@ -72,7 +86,15 @@ func run(args []string, out io.Writer) error {
 		logDest.Printf("dataset %q: n=%d dim=%d dist=%s", info.Name, info.N, info.Dim, info.Distribution)
 	}
 
-	srv := &http.Server{Addr: *addr, Handler: serve.NewHandler(engine)}
+	maxUpload := *uploadMB << 20
+	if *uploadMB < 0 {
+		maxUpload = -1
+	}
+	handler := serve.NewHandlerConfig(engine, serve.HandlerConfig{
+		MaxUploadBytes:  maxUpload,
+		MaxBatchQueries: *batchCap,
+	})
+	srv := &http.Server{Addr: *addr, Handler: handler}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 

@@ -31,13 +31,13 @@ func TestSelectParallelMatchesSerialAllAlgorithms(t *testing.T) {
 	}
 	for _, algo := range allAlgorithms {
 		opts := SelectOptions{K: 3, Seed: 9, SampleSize: 300, Algorithm: algo, Parallelism: 1}
-		ref, err := Select(ctx, ds, dist, opts)
+		ref, err := SelectWithOptions(ctx, ds, dist, opts)
 		if err != nil {
 			t.Fatalf("%s serial: %v", algo, err)
 		}
 		for _, workers := range []int{2, 4, 0} {
 			opts.Parallelism = workers
-			got, err := Select(ctx, ds, dist, opts)
+			got, err := SelectWithOptions(ctx, ds, dist, opts)
 			if err != nil {
 				t.Fatalf("%s workers=%d: %v", algo, workers, err)
 			}
@@ -64,13 +64,13 @@ func TestSelectParallelSampledMRR(t *testing.T) {
 		t.Fatal(err)
 	}
 	opts := SelectOptions{K: 4, Seed: 2, SampleSize: 400, Algorithm: MRRGreedy, Parallelism: 1}
-	ref, err := Select(ctx, ds, dist, opts)
+	ref, err := SelectWithOptions(ctx, ds, dist, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, workers := range []int{3, 0} {
 		opts.Parallelism = workers
-		got, err := Select(ctx, ds, dist, opts)
+		got, err := SelectWithOptions(ctx, ds, dist, opts)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -95,14 +95,14 @@ func TestSelectStrategiesAgree(t *testing.T) {
 		}
 		base := SelectOptions{K: 6, Seed: seed, SampleSize: 350}
 		base.Algorithm = GreedyShrink
-		ref, err := Select(ctx, ds, dist, base)
+		ref, err := SelectWithOptions(ctx, ds, dist, base)
 		if err != nil {
 			t.Fatal(err)
 		}
 		for _, algo := range []Algorithm{GreedyShrinkLazy, GreedyShrinkNaive} {
 			opts := base
 			opts.Algorithm = algo
-			got, err := Select(ctx, ds, dist, opts)
+			got, err := SelectWithOptions(ctx, ds, dist, opts)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -132,7 +132,7 @@ func TestSelectPreCanceledAllAlgorithms(t *testing.T) {
 	cancel()
 	for _, algo := range allAlgorithms {
 		for _, workers := range []int{1, 4} {
-			_, err := Select(ctx, ds, dist, SelectOptions{
+			_, err := SelectWithOptions(ctx, ds, dist, SelectOptions{
 				K: 3, Seed: 1, SampleSize: 200, Algorithm: algo, Parallelism: workers,
 			})
 			if !errors.Is(err, context.Canceled) {

@@ -24,15 +24,18 @@ import (
 // cold queries triggers one build), and a bounded result cache for whole
 // query answers.
 //
-// Determinism: an Engine-served result is bit-identical to a fresh
-// one-shot Select with the same options at any concurrency — same
-// Indices, Labels, Metrics, ExactARR, SkylineSize, and Stats counters.
-// Only the timing fields differ (cached work is not re-done) and Cached
-// marks answers served from the result cache. This holds because every
-// cached artifact is deterministic in its key (dataset, distribution
-// config, seed), instances are immutable after construction, and each
-// query runs the solvers on its own zero-copy instance clone carrying
-// the per-request Parallelism/LazyBatch.
+// Engine queries are (Query, Exec) pairs: the Query names a registered
+// dataset and fixes the semantic problem, the Exec sets execution policy
+// only. The result cache keys on Query.Fingerprint() alone — Results are
+// pure functions of the Query, so equal-fingerprint queries share one
+// cache entry no matter how their Parallelism or LazyBatch differ.
+//
+// Determinism: an Engine-served Result is bit-identical to a fresh
+// one-shot Select with the same Query at any concurrency — same Indices,
+// Labels, Metrics, ExactARR, and SkylineSize. Only the Telemetry differs
+// (cached work is not re-done; a result-cache hit replays the Telemetry
+// of the execution that filled the entry) and Result.Cached marks
+// answers served from the result cache.
 //
 // All methods are safe for concurrent use. Close releases the pool;
 // queries issued after Close return ErrEngineClosed.
@@ -44,10 +47,12 @@ type Engine struct {
 	mu       sync.RWMutex
 	datasets map[string]*registration
 
-	selects   atomic.Uint64
-	evaluates atomic.Uint64
-	closed    atomic.Bool
-	start     time.Time
+	selects      atomic.Uint64
+	evaluates    atomic.Uint64
+	batches      atomic.Uint64
+	batchQueries atomic.Uint64
+	closed       atomic.Bool
+	start        time.Time
 }
 
 // registration binds a registered dataset to its distribution Θ. Both
@@ -60,12 +65,13 @@ type registration struct {
 }
 
 // EngineConfig configures NewEngine. The zero value is serviceable:
-// GOMAXPROCS pool workers and default cache capacities.
+// GOMAXPROCS pool workers, default cache capacities, no byte budgets,
+// no expiry.
 type EngineConfig struct {
 	// Workers sizes the shared worker pool every query's shard fan-outs
 	// are multiplexed over (0 = GOMAXPROCS). Individual queries still
-	// bound their own shard width with SelectOptions.Parallelism; the
-	// pool bounds the helper goroutines of the whole process.
+	// bound their own shard width with Exec.Parallelism; the pool bounds
+	// the helper goroutines of the whole process.
 	Workers int
 	// PrepCacheSize bounds the preprocessing cache in entries — each
 	// entry is one skyline index, one sampled function set, or one built
@@ -75,6 +81,18 @@ type EngineConfig struct {
 	// ResultCacheSize bounds the result cache in entries. 0 = default
 	// (1024), negative = unbounded.
 	ResultCacheSize int
+	// PrepCacheBytes and ResultCacheBytes additionally bound each cache
+	// by estimated resident bytes (0 = no byte budget). Long-running
+	// multi-tenant processes use these to cap memory instead of guessing
+	// an entry count; the least recently used entries are evicted first.
+	PrepCacheBytes   int64
+	ResultCacheBytes int64
+	// PrepCacheTTL and ResultCacheTTL expire entries that have lived
+	// longer than the given duration (0 = never expire). Expiry is lazy:
+	// an expired entry is dropped and rebuilt by the next lookup that
+	// touches it.
+	PrepCacheTTL   time.Duration
+	ResultCacheTTL time.Duration
 }
 
 // DefaultPrepCacheSize and DefaultResultCacheSize are the zero-value
@@ -98,9 +116,19 @@ var ErrEngineClosed = errors.New("fam: engine is closed")
 // the serving process shuts down.
 func NewEngine(cfg EngineConfig) *Engine {
 	return &Engine{
-		pool:     par.NewPool(cfg.Workers),
-		prep:     ecache.NewCache(capacity(cfg.PrepCacheSize, DefaultPrepCacheSize)),
-		results:  ecache.NewCache(capacity(cfg.ResultCacheSize, DefaultResultCacheSize)),
+		pool: par.NewPool(cfg.Workers),
+		prep: ecache.NewCacheConfig(ecache.Config{
+			MaxEntries: capacity(cfg.PrepCacheSize, DefaultPrepCacheSize),
+			MaxBytes:   cfg.PrepCacheBytes,
+			TTL:        cfg.PrepCacheTTL,
+			Size:       prepSize,
+		}),
+		results: ecache.NewCacheConfig(ecache.Config{
+			MaxEntries: capacity(cfg.ResultCacheSize, DefaultResultCacheSize),
+			MaxBytes:   cfg.ResultCacheBytes,
+			TTL:        cfg.ResultCacheTTL,
+			Size:       answerSize,
+		}),
 		datasets: make(map[string]*registration),
 		start:    time.Now(),
 	}
@@ -189,80 +217,123 @@ func (e *Engine) lookup(name string) (*registration, error) {
 	return reg, nil
 }
 
-// Select answers a selection query against a registered dataset. Cold
-// queries build (and cache) the preprocessing artifacts and the result;
-// warm queries with the same options are answered from the result cache
-// (Result.Cached = true, timings reporting the original computation),
-// and queries that share preprocessing but differ in (K, Algorithm, …)
-// skip straight to the query phase on the cached instance.
-func (e *Engine) Select(ctx context.Context, dataset string, opts SelectOptions) (*Result, error) {
+// resolve binds an Engine query to its registration: the Query must name
+// a registered dataset and must not carry inline data.
+func (e *Engine) resolve(q Query) (*registration, error) {
+	if q.Data != nil || q.Dist != nil {
+		return nil, fmt.Errorf("%w: Engine queries resolve data from the registry; leave Query.Data and Query.Dist nil", ErrBadOptions)
+	}
+	if q.Dataset == "" {
+		return nil, fmt.Errorf("%w: Engine queries must name a registered dataset", ErrBadOptions)
+	}
+	return e.lookup(q.Dataset)
+}
+
+// answer is what the result cache stores: the pure Result plus the
+// Telemetry of the execution that computed it.
+type answer struct {
+	res *Result
+	tel *Telemetry
+}
+
+// Select answers a selection query against a registered dataset under
+// the given execution policy. Cold queries build (and cache) the
+// preprocessing artifacts and the result; warm queries with the same
+// Fingerprint are answered from the result cache (Result.Cached = true,
+// Telemetry replaying the original computation) regardless of their
+// Exec, and queries that share preprocessing but differ in (K,
+// Algorithm, …) skip straight to the query phase on the cached instance.
+func (e *Engine) Select(ctx context.Context, q Query, exec Exec) (*Result, *Telemetry, error) {
 	if e.closed.Load() {
-		return nil, ErrEngineClosed
+		return nil, nil, ErrEngineClosed
 	}
-	reg, err := e.lookup(dataset)
-	if err != nil {
-		return nil, err
+	if q.ExplicitSet != nil {
+		return nil, nil, fmt.Errorf("%w: ExplicitSet makes this an evaluation query; call Evaluate", ErrBadOptions)
 	}
-	norm, err := normalizeOptions(reg.ds, reg.dist, opts, true)
+	reg, err := e.resolve(q)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
+	}
+	norm, err := normalizeQuery(reg.ds, reg.dist, q, true)
+	if err != nil {
+		return nil, nil, err
+	}
+	fp, err := q.Fingerprint()
+	if err != nil {
+		return nil, nil, err
 	}
 	e.selects.Add(1)
 
-	key := resultKey(reg.name, opts, norm)
-	v, hit, err := e.results.Do(ctx, key, func(fillCtx context.Context) (any, error) {
+	v, hit, err := e.results.Do(ctx, "res|"+fp, func(fillCtx context.Context) (any, error) {
 		prepStart := time.Now()
-		prep, err := e.prepare(fillCtx, reg, opts, norm)
+		prep, err := e.prepare(fillCtx, reg, q, norm, exec)
 		if err != nil {
 			return nil, err
 		}
 		preprocess := time.Since(prepStart)
-		res, err := solve(fillCtx, reg.ds, reg.dist, prep, opts)
+		res, tel, err := solve(fillCtx, reg.ds, reg.dist, prep, q, exec.withPool(e.pool))
 		if err != nil {
 			return nil, err
 		}
 		// On a fully warm preprocessing cache this is near zero: the
 		// expensive artifacts were reused, not rebuilt.
-		res.Preprocess = preprocess
-		return res, nil
+		tel.Preprocess = preprocess
+		return &answer{res: res, tel: tel}, nil
 	})
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	res := copyResult(v.(*Result))
+	a := v.(*answer)
+	res := copyResult(a.res)
 	res.Cached = hit
-	return res, nil
+	tel := *a.tel
+	return res, &tel, nil
 }
 
-// Evaluate measures the Metrics of an explicit selection against a
-// registered dataset, reusing the cached sampled functions and utility
-// matrix. It is bit-identical to the one-shot Evaluate with the same
-// options.
-func (e *Engine) Evaluate(ctx context.Context, dataset string, set []int, opts SelectOptions) (Metrics, error) {
+// Evaluate measures the Metrics of q.ExplicitSet against a registered
+// dataset, reusing the cached sampled functions and utility matrix. It
+// is bit-identical to the one-shot Evaluate with the same Query.
+func (e *Engine) Evaluate(ctx context.Context, q Query, exec Exec) (Metrics, error) {
+	m, _, _, err := e.evaluate(ctx, q, exec)
+	return m, err
+}
+
+// evaluate is the shared evaluation path of Evaluate and SelectBatch
+// members: it additionally reports the registration (for labeling batch
+// slots) and a Telemetry with the preprocess/query timing split.
+func (e *Engine) evaluate(ctx context.Context, q Query, exec Exec) (Metrics, *registration, *Telemetry, error) {
 	if e.closed.Load() {
-		return Metrics{}, ErrEngineClosed
+		return Metrics{}, nil, nil, ErrEngineClosed
 	}
-	reg, err := e.lookup(dataset)
+	reg, err := e.resolve(q)
 	if err != nil {
-		return Metrics{}, err
+		return Metrics{}, nil, nil, err
 	}
-	norm, err := normalizeOptions(reg.ds, reg.dist, opts, false)
+	norm, err := normalizeQuery(reg.ds, reg.dist, q, false)
 	if err != nil {
-		return Metrics{}, err
+		return Metrics{}, nil, nil, err
 	}
 	// Reject malformed sets before touching the caches.
-	if err := core.ValidateSet(set, reg.ds.N()); err != nil {
-		return Metrics{}, err
+	if err := core.ValidateSet(q.ExplicitSet, reg.ds.N()); err != nil {
+		return Metrics{}, nil, nil, err
 	}
 	if err := ctx.Err(); err != nil {
-		return Metrics{}, err
+		return Metrics{}, nil, nil, err
 	}
 	e.evaluates.Add(1)
-	prep, err := e.prepare(ctx, reg, opts, norm)
+	prepStart := time.Now()
+	prep, err := e.prepare(ctx, reg, q, norm, exec)
 	if err != nil {
-		return Metrics{}, err
+		return Metrics{}, nil, nil, err
 	}
-	return prep.in.Evaluate(set, nil)
+	tel := &Telemetry{Preprocess: time.Since(prepStart)}
+	queryStart := time.Now()
+	m, err := prep.in.Evaluate(q.ExplicitSet, nil)
+	if err != nil {
+		return Metrics{}, nil, nil, err
+	}
+	tel.Query = time.Since(queryStart)
+	return m, reg, tel, nil
 }
 
 // prepare assembles the prepared state for one query from the
@@ -274,28 +345,26 @@ func (e *Engine) Evaluate(ctx context.Context, dataset string, set []int, opts S
 //	                                   matrix + best-point index)
 //
 // The returned prepared carries a zero-copy clone of the cached instance
-// with this query's Parallelism/LazyBatch and the shared pool.
-func (e *Engine) prepare(ctx context.Context, reg *registration, opts SelectOptions, norm normalized) (*prepared, error) {
-	candidates, class, err := e.candidates(ctx, reg, opts, norm)
+// with this query's Exec and the shared pool.
+func (e *Engine) prepare(ctx context.Context, reg *registration, q Query, norm normalized, exec Exec) (*prepared, error) {
+	candidates, class, err := e.candidates(ctx, reg, q, norm)
 	if err != nil {
 		return nil, err
 	}
 	instKey := fmt.Sprintf("inst|%s|%s|seed=%d|N=%d|exact=%t|budget=%d",
-		reg.name, class, opts.Seed, norm.sampleSize, norm.discrete != nil, effectiveBudget(opts.CacheBudget))
+		reg.name, class, q.Seed, norm.sampleSize, norm.discrete != nil, effectiveBudget(q.CacheBudget))
 	v, _, err := e.prep.Do(ctx, instKey, func(fillCtx context.Context) (any, error) {
-		funcs, weights, err := e.funcs(fillCtx, reg, opts, norm)
+		funcs, weights, err := e.funcs(fillCtx, reg, q, norm)
 		if err != nil {
 			return nil, err
 		}
 		// Shared artifacts are built at full pool width regardless of the
-		// triggering request's Parallelism: the first requester's knob
-		// must not throttle a dataset-wide build that every coalesced and
-		// future query shares. Preprocessing output is bit-identical at
-		// any width, and per-query execution settings are applied to the
+		// triggering request's Exec: the first requester's knob must not
+		// throttle a dataset-wide build that every coalesced and future
+		// query shares. Preprocessing output is bit-identical at any
+		// width, and per-query execution settings are applied to the
 		// clone below, so this affects fill latency only.
-		fillOpts := opts
-		fillOpts.Parallelism = 0
-		return assemble(reg.ds, candidates, funcs, weights, fillOpts, e.pool)
+		return assemble(reg.ds, candidates, funcs, weights, q, Exec{pool: e.pool})
 	})
 	if err != nil {
 		return nil, err
@@ -305,19 +374,19 @@ func (e *Engine) prepare(ctx context.Context, reg *registration, opts SelectOpti
 		candidates: master.candidates,
 		funcs:      master.funcs,
 		weights:    master.weights,
-		in:         master.in.WithExecution(opts.Parallelism, opts.LazyBatch, e.pool),
+		in:         master.in.WithExecution(exec.Parallelism, exec.LazyBatch, e.pool),
 	}, nil
 }
 
 // candidates resolves the query's candidate set: the cached skyline when
 // the skyline restriction applies and is larger than K, the full dataset
 // otherwise. class names the variant for the instance cache key.
-func (e *Engine) candidates(ctx context.Context, reg *registration, opts SelectOptions, norm normalized) ([]int, string, error) {
+func (e *Engine) candidates(ctx context.Context, reg *registration, q Query, norm normalized) ([]int, string, error) {
 	if !norm.useSkyline {
 		return identity(reg.ds.N()), "full", nil
 	}
 	// Workers 0 (full width): see the instance fill — shared builds do
-	// not inherit one request's Parallelism.
+	// not inherit one request's Exec.
 	v, _, err := e.prep.Do(ctx, "sky|"+reg.name, func(fillCtx context.Context) (any, error) {
 		return skyline.ComputeOpts(fillCtx, reg.ds.Points, skyline.ComputeOptions{Pool: e.pool})
 	})
@@ -325,7 +394,7 @@ func (e *Engine) candidates(ctx context.Context, reg *registration, opts SelectO
 		return nil, "", err
 	}
 	sky := v.([]int)
-	if len(sky) > opts.K {
+	if len(sky) > q.K {
 		return sky, "sky", nil
 	}
 	return identity(reg.ds.N()), "full", nil
@@ -334,13 +403,13 @@ func (e *Engine) candidates(ctx context.Context, reg *registration, opts SelectO
 // funcs returns the sampled utility functions for (dataset, seed, N)
 // from the cache. Exact-discrete distributions carry their own support —
 // nothing to build, nothing to cache.
-func (e *Engine) funcs(ctx context.Context, reg *registration, opts SelectOptions, norm normalized) ([]UtilityFunc, []float64, error) {
+func (e *Engine) funcs(ctx context.Context, reg *registration, q Query, norm normalized) ([]UtilityFunc, []float64, error) {
 	if norm.discrete != nil {
 		return norm.discrete.Funcs, norm.discrete.Probs, nil
 	}
-	key := fmt.Sprintf("funcs|%s|seed=%d|N=%d", reg.name, opts.Seed, norm.sampleSize)
+	key := fmt.Sprintf("funcs|%s|seed=%d|N=%d", reg.name, q.Seed, norm.sampleSize)
 	v, _, err := e.prep.Do(ctx, key, func(context.Context) (any, error) {
-		funcs, _, err := buildFuncs(reg.dist, norm, opts.Seed)
+		funcs, _, err := buildFuncs(reg.dist, norm, q.Seed)
 		if err != nil {
 			return nil, err
 		}
@@ -350,19 +419,6 @@ func (e *Engine) funcs(ctx context.Context, reg *registration, opts SelectOption
 		return nil, nil, err
 	}
 	return v.([]UtilityFunc), nil, nil
-}
-
-// resultKey folds every Result-affecting option into the result cache
-// key. Parallelism is included because the dispatch counters in
-// ShrinkStats report it; LazyBatch only matters for the lazy strategy.
-func resultKey(name string, opts SelectOptions, norm normalized) string {
-	lazy := 0
-	if opts.Algorithm == GreedyShrinkLazy {
-		lazy = opts.LazyBatch
-	}
-	return fmt.Sprintf("res|%s|algo=%s|k=%d|seed=%d|N=%d|exact=%t|sky=%t|budget=%d|par=%d|lazy=%d",
-		name, opts.Algorithm, opts.K, opts.Seed, norm.sampleSize, norm.discrete != nil,
-		norm.useSkyline, effectiveBudget(opts.CacheBudget), opts.Parallelism, lazy)
 }
 
 // effectiveBudget normalizes CacheBudget for cache keys: zero means the
@@ -388,6 +444,48 @@ func copyResult(r *Result) *Result {
 	return &cp
 }
 
+// answerSize estimates the resident bytes of one result-cache entry for
+// the byte-budget eviction policy.
+func answerSize(v any) int64 {
+	a, ok := v.(*answer)
+	if !ok {
+		return 0
+	}
+	size := int64(256) // struct headers and scalars
+	size += int64(len(a.res.Indices)) * 8
+	for _, l := range a.res.Labels {
+		size += int64(len(l)) + 16
+	}
+	size += int64(len(a.res.Metrics.Percentiles)+len(a.res.Metrics.PercentileLevel)) * 8
+	return size
+}
+
+// prepSize estimates the resident bytes of one preprocessing-cache
+// entry: skyline indexes and function sets are small; built instances
+// are dominated by the materialized N×n utility matrix.
+func prepSize(v any) int64 {
+	switch t := v.(type) {
+	case []int: // skyline index
+		return 24 + int64(len(t))*8
+	case []UtilityFunc: // sampled functions (weight vectors dominate)
+		return 24 + int64(len(t))*64
+	case *prepared:
+		size := int64(256)
+		size += int64(len(t.candidates)) * 8
+		size += int64(len(t.funcs)) * 64
+		size += int64(len(t.weights)) * 8
+		if t.in != nil && t.in.Cached() {
+			size += int64(t.in.NumPoints()) * int64(t.in.NumFuncs()) * 8
+		}
+		if t.in != nil {
+			size += int64(t.in.NumFuncs()) * 16 // best-point / satisfaction indexes
+		}
+		return size
+	default:
+		return 0
+	}
+}
+
 // EngineStats is a point-in-time snapshot of an Engine's serving
 // counters.
 type EngineStats struct {
@@ -399,10 +497,17 @@ type EngineStats struct {
 	// including ones answered from the result cache.
 	Selects   uint64 `json:"selects"`
 	Evaluates uint64 `json:"evaluates"`
+	// Batches counts SelectBatch calls accepted; BatchQueries the member
+	// queries they carried (each member also counts in Selects or
+	// Evaluates).
+	Batches      uint64 `json:"batches"`
+	BatchQueries uint64 `json:"batch_queries"`
 	// PrepCache tracks the preprocessing artifacts (skyline indexes,
 	// sampled function sets, built instances); ResultCache tracks whole
 	// query answers. Coalesced counts the singleflight savings: queries
-	// that waited on an in-flight build instead of duplicating it.
+	// that waited on an in-flight build instead of duplicating it. Bytes,
+	// MaxBytes, Expired, and TTL report the eviction-policy knobs of
+	// EngineConfig.
 	PrepCache   CacheStats `json:"prep_cache"`
 	ResultCache CacheStats `json:"result_cache"`
 	// Uptime is the time since NewEngine.
@@ -418,12 +523,14 @@ func (e *Engine) Stats() EngineStats {
 	n := len(e.datasets)
 	e.mu.RUnlock()
 	return EngineStats{
-		Datasets:    n,
-		PoolWorkers: e.pool.Size(),
-		Selects:     e.selects.Load(),
-		Evaluates:   e.evaluates.Load(),
-		PrepCache:   e.prep.Stats(),
-		ResultCache: e.results.Stats(),
-		Uptime:      time.Since(e.start),
+		Datasets:     n,
+		PoolWorkers:  e.pool.Size(),
+		Selects:      e.selects.Load(),
+		Evaluates:    e.evaluates.Load(),
+		Batches:      e.batches.Load(),
+		BatchQueries: e.batchQueries.Load(),
+		PrepCache:    e.prep.Stats(),
+		ResultCache:  e.results.Stats(),
+		Uptime:       time.Since(e.start),
 	}
 }

@@ -43,7 +43,7 @@ func BenchmarkEngineConcurrent(b *testing.B) {
 				defer wg.Done()
 				for i := 0; i < len(queries); i++ {
 					q := queries[(i+c)%len(queries)]
-					if _, err := e.Select(ctx, "bench", q); err != nil {
+					if _, err := e.SelectWithOptions(ctx, "bench", q); err != nil {
 						b.Error(err)
 						return
 					}
@@ -99,4 +99,73 @@ func BenchmarkEngineConcurrent(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkEngineBatch measures the batched serving surface against a
+// query-at-a-time loop on a k-sweep (the access pattern of the paper's
+// Figures 5–8: every k on one dataset). The batch amortizes one
+// preprocessing pass — the benchmark asserts the whole 8-query sweep
+// performs exactly one skyline build, one function sampling, and one
+// instance materialization — and fans the member query phases out over
+// the shared pool.
+func BenchmarkEngineBatch(b *testing.B) {
+	ds, err := Synthetic(10_000, 6, Anticorrelated, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dist, err := UniformLinear(ds.Dim())
+	if err != nil {
+		b.Fatal(err)
+	}
+	sweep := make([]Query, 8)
+	for i := range sweep {
+		sweep[i] = Query{Dataset: "bench", K: 2 + 2*i, Seed: 7, SampleSize: 200}
+	}
+	ctx := context.Background()
+
+	b.Run("batch/k-sweep=8", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			e := NewEngine(EngineConfig{})
+			if err := e.Register("bench", ds, dist); err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+			slots, err := e.SelectBatch(ctx, sweep, Exec{})
+			b.StopTimer()
+			if err != nil {
+				b.Fatal(err)
+			}
+			for j, slot := range slots {
+				if slot.Err != nil {
+					b.Fatalf("slot %d: %v", j, slot.Err)
+				}
+			}
+			// The acceptance contract: the sweep shares one preprocessing
+			// pass (sky + funcs + instance = 3 fills, each exactly once).
+			if s := e.Stats(); s.PrepCache.Misses != 3 {
+				b.Fatalf("k-sweep did %d prep fills, want exactly 3 (one pass)", s.PrepCache.Misses)
+			}
+			e.Close()
+			b.StartTimer()
+		}
+	})
+	b.Run("loop/k-sweep=8", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			e := NewEngine(EngineConfig{})
+			if err := e.Register("bench", ds, dist); err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+			for _, q := range sweep {
+				if _, _, err := e.Select(ctx, q, Exec{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			e.Close()
+			b.StartTimer()
+		}
+	})
 }

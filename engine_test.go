@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"sync"
 	"testing"
+	"time"
 )
 
 // engineFixtures builds the three datasets the engine suites query:
@@ -101,7 +102,7 @@ func newTestEngine(t testing.TB, fixtures []engineFixture) *Engine {
 
 // assertResultEqual checks the bit-identity contract: everything except
 // the timing fields and the Cached marker must match a one-shot Select.
-func assertResultEqual(t testing.TB, label string, got, want *Result) {
+func assertResultEqual(t testing.TB, label string, got, want *LegacyResult) {
 	t.Helper()
 	if len(got.Indices) != len(want.Indices) {
 		t.Fatalf("%s: %d indices, want %d", label, len(got.Indices), len(want.Indices))
@@ -154,11 +155,11 @@ func TestEngineMatchesOneShot(t *testing.T) {
 	for _, q := range engineQueries() {
 		label := fmt.Sprintf("%s/%s/k=%d", q.dataset, q.opts.Algorithm, q.opts.K)
 		f := byName[q.dataset]
-		want, err := Select(ctx, f.ds, f.dist, q.opts)
+		want, err := SelectWithOptions(ctx, f.ds, f.dist, q.opts)
 		if err != nil {
 			t.Fatalf("%s one-shot: %v", label, err)
 		}
-		cold, err := e.Select(ctx, q.dataset, q.opts)
+		cold, err := e.SelectWithOptions(ctx, q.dataset, q.opts)
 		if err != nil {
 			t.Fatalf("%s cold: %v", label, err)
 		}
@@ -166,7 +167,7 @@ func TestEngineMatchesOneShot(t *testing.T) {
 			t.Fatalf("%s: cold query reported Cached", label)
 		}
 		assertResultEqual(t, label+" cold", cold, want)
-		warm, err := e.Select(ctx, q.dataset, q.opts)
+		warm, err := e.SelectWithOptions(ctx, q.dataset, q.opts)
 		if err != nil {
 			t.Fatalf("%s warm: %v", label, err)
 		}
@@ -179,11 +180,11 @@ func TestEngineMatchesOneShot(t *testing.T) {
 	for _, q := range engineEvalQueries {
 		f := byName[q.dataset]
 		opts := SelectOptions{Seed: 9, SampleSize: 120}
-		want, err := Evaluate(ctx, f.ds, f.dist, q.set, opts)
+		want, err := EvaluateWithOptions(ctx, f.ds, f.dist, q.set, opts)
 		if err != nil {
 			t.Fatal(err)
 		}
-		got, err := e.Evaluate(ctx, q.dataset, q.set, opts)
+		got, err := e.EvaluateWithOptions(ctx, q.dataset, q.set, opts)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -213,10 +214,10 @@ func TestEngineConcurrentStress(t *testing.T) {
 	ctx := context.Background()
 
 	// Ground truth from fresh one-shot calls.
-	wantSelect := make([]*Result, len(queries))
+	wantSelect := make([]*LegacyResult, len(queries))
 	for i, q := range queries {
 		f := byName[q.dataset]
-		res, err := Select(ctx, f.ds, f.dist, q.opts)
+		res, err := SelectWithOptions(ctx, f.ds, f.dist, q.opts)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -226,7 +227,7 @@ func TestEngineConcurrentStress(t *testing.T) {
 	wantEval := make([]Metrics, len(engineEvalQueries))
 	for i, q := range engineEvalQueries {
 		f := byName[q.dataset]
-		m, err := Evaluate(ctx, f.ds, f.dist, q.set, evalOpts)
+		m, err := EvaluateWithOptions(ctx, f.ds, f.dist, q.set, evalOpts)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -247,7 +248,7 @@ func TestEngineConcurrentStress(t *testing.T) {
 					q := queries[(i+g)%len(queries)] // interleave differently per goroutine
 					want := wantSelect[(i+g)%len(queries)]
 					label := fmt.Sprintf("g%d %s/%s/k=%d", g, q.dataset, q.opts.Algorithm, q.opts.K)
-					got, err := e.Select(ctx, q.dataset, q.opts)
+					got, err := e.SelectWithOptions(ctx, q.dataset, q.opts)
 					if err != nil {
 						t.Errorf("%s: %v", label, err)
 						return
@@ -255,7 +256,7 @@ func TestEngineConcurrentStress(t *testing.T) {
 					assertResultEqual(t, label, got, want)
 				}
 				for i, q := range engineEvalQueries {
-					m, err := e.Evaluate(ctx, q.dataset, q.set, evalOpts)
+					m, err := e.EvaluateWithOptions(ctx, q.dataset, q.set, evalOpts)
 					if err != nil {
 						t.Errorf("g%d evaluate %s: %v", g, q.dataset, err)
 						return
@@ -325,14 +326,14 @@ func TestEngineFailFast(t *testing.T) {
 		{"exact discrete on continuous", SelectOptions{K: 3, ExactDiscrete: true}},
 	}
 	for _, tc := range cases {
-		if _, err := e.Select(ctx, "hotels", tc.opts); !errors.Is(err, ErrBadOptions) {
+		if _, err := e.SelectWithOptions(ctx, "hotels", tc.opts); !errors.Is(err, ErrBadOptions) {
 			t.Fatalf("%s: err = %v, want ErrBadOptions", tc.name, err)
 		}
 	}
-	if _, err := e.Select(ctx, "nope", SelectOptions{K: 3}); !errors.Is(err, ErrUnknownDataset) {
+	if _, err := e.SelectWithOptions(ctx, "nope", SelectOptions{K: 3}); !errors.Is(err, ErrUnknownDataset) {
 		t.Fatalf("unknown dataset: %v", err)
 	}
-	if _, err := e.Evaluate(ctx, "hotels", []int{1, 1}, SelectOptions{SampleSize: 50}); !errors.Is(err, ErrInvalidSet) {
+	if _, err := e.EvaluateWithOptions(ctx, "hotels", []int{1, 1}, SelectOptions{SampleSize: 50}); !errors.Is(err, ErrInvalidSet) {
 		t.Fatalf("invalid set: %v", err)
 	}
 	s := e.Stats()
@@ -344,10 +345,10 @@ func TestEngineFailFast(t *testing.T) {
 		t.Fatalf("duplicate register: %v", err)
 	}
 	e.Close()
-	if _, err := e.Select(ctx, "hotels", SelectOptions{K: 3}); !errors.Is(err, ErrEngineClosed) {
+	if _, err := e.SelectWithOptions(ctx, "hotels", SelectOptions{K: 3}); !errors.Is(err, ErrEngineClosed) {
 		t.Fatalf("closed engine select: %v", err)
 	}
-	if _, err := e.Evaluate(ctx, "hotels", []int{0}, SelectOptions{}); !errors.Is(err, ErrEngineClosed) {
+	if _, err := e.EvaluateWithOptions(ctx, "hotels", []int{0}, SelectOptions{}); !errors.Is(err, ErrEngineClosed) {
 		t.Fatalf("closed engine evaluate: %v", err)
 	}
 	if err := e.Register("x", fixtures[0].ds, fixtures[0].dist); !errors.Is(err, ErrEngineClosed) {
@@ -361,7 +362,7 @@ func TestEngineResultIsolation(t *testing.T) {
 	e := newTestEngine(t, engineFixtures(t))
 	ctx := context.Background()
 	opts := SelectOptions{K: 5, Seed: 9, SampleSize: 120}
-	first, err := e.Select(ctx, "hotels", opts)
+	first, err := e.SelectWithOptions(ctx, "hotels", opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -369,7 +370,7 @@ func TestEngineResultIsolation(t *testing.T) {
 	first.Indices[0] = -999
 	first.Labels[0] = "corrupted"
 	first.Metrics.Percentiles[0] = -1
-	second, err := e.Select(ctx, "hotels", opts)
+	second, err := e.SelectWithOptions(ctx, "hotels", opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -380,5 +381,63 @@ func TestEngineResultIsolation(t *testing.T) {
 	}
 	if second.Metrics.Percentiles[0] < 0 {
 		t.Fatal("metrics corrupted through returned pointer")
+	}
+}
+
+// TestEngineCachePolicyKnobs: EngineConfig's TTL and byte-budget options
+// reach the caches and surface in Stats (and therefore in /v1/stats).
+func TestEngineCachePolicyKnobs(t *testing.T) {
+	fixtures := engineFixtures(t)
+	e := NewEngine(EngineConfig{
+		ResultCacheTTL:   30 * time.Millisecond,
+		ResultCacheBytes: 1 << 20,
+		PrepCacheBytes:   64 << 20,
+	})
+	t.Cleanup(e.Close)
+	for _, f := range fixtures {
+		if err := e.Register(f.name, f.ds, f.dist); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ctx := context.Background()
+	q := Query{Dataset: "hotels", K: 3, Seed: 1, SampleSize: 80}
+	if _, _, err := e.Select(ctx, q, Exec{}); err != nil {
+		t.Fatal(err)
+	}
+	s := e.Stats()
+	if s.ResultCache.TTL != 30*time.Millisecond || s.ResultCache.MaxBytes != 1<<20 {
+		t.Fatalf("result cache policy not surfaced: %+v", s.ResultCache)
+	}
+	if s.PrepCache.MaxBytes != 64<<20 {
+		t.Fatalf("prep cache policy not surfaced: %+v", s.PrepCache)
+	}
+	if s.ResultCache.Bytes <= 0 {
+		t.Fatalf("result entry has no size estimate: %+v", s.ResultCache)
+	}
+
+	// Warm within the TTL…
+	warm, _, err := e.Select(ctx, q, Exec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !warm.Cached {
+		t.Fatal("within-TTL query missed the cache")
+	}
+	// …expired after it: the answer is recomputed (bit-identically).
+	time.Sleep(80 * time.Millisecond)
+	expired, _, err := e.Select(ctx, q, Exec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if expired.Cached {
+		t.Fatal("expired entry still served as a hit")
+	}
+	if e.Stats().ResultCache.Expired == 0 {
+		t.Fatal("expiry not counted")
+	}
+	for i := range warm.Indices {
+		if expired.Indices[i] != warm.Indices[i] {
+			t.Fatalf("recomputed answer differs: %v vs %v", expired.Indices, warm.Indices)
+		}
 	}
 }

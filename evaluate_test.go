@@ -38,7 +38,7 @@ func TestEvaluateSetValidation(t *testing.T) {
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			m, err := Evaluate(ctx, ds, dist, tc.set, opts)
+			m, err := EvaluateWithOptions(ctx, ds, dist, tc.set, opts)
 			if !tc.wantErr {
 				if err != nil {
 					t.Fatalf("unexpected error: %v", err)
@@ -70,7 +70,7 @@ func TestSelectKValidation(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, k := range []int{0, -3, 9, 100} {
-		if _, err := Select(ctx, ds, dist, SelectOptions{K: k, Seed: 1, SampleSize: 30}); err == nil {
+		if _, err := SelectWithOptions(ctx, ds, dist, SelectOptions{K: k, Seed: 1, SampleSize: 30}); err == nil {
 			t.Fatalf("K=%d accepted, want error (n=8)", k)
 		}
 	}

@@ -30,7 +30,7 @@ func tableIDataset(t *testing.T) (*Dataset, Distribution) {
 func TestExactDiscreteEvaluate(t *testing.T) {
 	ctx := context.Background()
 	ds, dist := tableIDataset(t)
-	m, err := Evaluate(ctx, ds, dist, []int{2, 3}, SelectOptions{ExactDiscrete: true})
+	m, err := EvaluateWithOptions(ctx, ds, dist, []int{2, 3}, SelectOptions{ExactDiscrete: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -46,7 +46,7 @@ func TestExactDiscreteEvaluate(t *testing.T) {
 func TestExactDiscreteSelect(t *testing.T) {
 	ctx := context.Background()
 	ds, dist := tableIDataset(t)
-	res, err := Select(ctx, ds, dist, SelectOptions{
+	res, err := SelectWithOptions(ctx, ds, dist, SelectOptions{
 		K: 2, Algorithm: BruteForce, ExactDiscrete: true,
 	})
 	if err != nil {
@@ -55,7 +55,7 @@ func TestExactDiscreteSelect(t *testing.T) {
 	// Verify optimality against all pairs under exact evaluation.
 	for a := 0; a < 4; a++ {
 		for b := a + 1; b < 4; b++ {
-			m, err := Evaluate(ctx, ds, dist, []int{a, b}, SelectOptions{ExactDiscrete: true})
+			m, err := EvaluateWithOptions(ctx, ds, dist, []int{a, b}, SelectOptions{ExactDiscrete: true})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -65,7 +65,7 @@ func TestExactDiscreteSelect(t *testing.T) {
 		}
 	}
 	// Exact mode is deterministic regardless of seed.
-	res2, err := Select(ctx, ds, dist, SelectOptions{
+	res2, err := SelectWithOptions(ctx, ds, dist, SelectOptions{
 		K: 2, Algorithm: BruteForce, ExactDiscrete: true, Seed: 999,
 	})
 	if err != nil {
@@ -79,11 +79,11 @@ func TestExactDiscreteSelect(t *testing.T) {
 func TestExactDiscreteGreedyMatchesSampling(t *testing.T) {
 	ctx := context.Background()
 	ds, dist := tableIDataset(t)
-	exact, err := Select(ctx, ds, dist, SelectOptions{K: 2, ExactDiscrete: true})
+	exact, err := SelectWithOptions(ctx, ds, dist, SelectOptions{K: 2, ExactDiscrete: true})
 	if err != nil {
 		t.Fatal(err)
 	}
-	sampled, err := Select(ctx, ds, dist, SelectOptions{K: 2, SampleSize: 20000, Seed: 5})
+	sampled, err := SelectWithOptions(ctx, ds, dist, SelectOptions{K: 2, SampleSize: 20000, Seed: 5})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -98,10 +98,10 @@ func TestExactDiscreteRequiresDiscrete(t *testing.T) {
 	ctx := context.Background()
 	ds, _ := Hotels(20, 1)
 	dist, _ := UniformLinear(ds.Dim())
-	if _, err := Select(ctx, ds, dist, SelectOptions{K: 2, ExactDiscrete: true}); err == nil {
+	if _, err := SelectWithOptions(ctx, ds, dist, SelectOptions{K: 2, ExactDiscrete: true}); err == nil {
 		t.Fatal("ExactDiscrete with a continuous Θ must error")
 	}
-	if _, err := Evaluate(ctx, ds, dist, []int{0}, SelectOptions{ExactDiscrete: true}); err == nil {
+	if _, err := EvaluateWithOptions(ctx, ds, dist, []int{0}, SelectOptions{ExactDiscrete: true}); err == nil {
 		t.Fatal("Evaluate ExactDiscrete with a continuous Θ must error")
 	}
 }

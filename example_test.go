@@ -20,7 +20,7 @@ func ExampleSelect() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	res, err := fam.Select(ctx, hotels, dist, fam.SelectOptions{K: 5, Seed: 1, SampleSize: 2000})
+	res, _, err := fam.Select(ctx, fam.Query{Data: hotels, Dist: dist, K: 5, Seed: 1, SampleSize: 2000}, fam.Exec{})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -43,11 +43,13 @@ func ExampleEvaluate() {
 		log.Fatal(err)
 	}
 	// "Just show the first three rows" is a bad strategy:
-	naive, err := fam.Evaluate(ctx, hotels, dist, []int{0, 1, 2}, fam.SelectOptions{Seed: 1, SampleSize: 2000})
+	naive, err := fam.Evaluate(ctx, fam.Query{
+		Data: hotels, Dist: dist, Seed: 1, SampleSize: 2000, ExplicitSet: []int{0, 1, 2},
+	}, fam.Exec{})
 	if err != nil {
 		log.Fatal(err)
 	}
-	res, err := fam.Select(ctx, hotels, dist, fam.SelectOptions{K: 3, Seed: 1, SampleSize: 2000})
+	res, _, err := fam.Select(ctx, fam.Query{Data: hotels, Dist: dist, K: 3, Seed: 1, SampleSize: 2000}, fam.Exec{})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -75,9 +77,9 @@ func ExampleSelect_exactDiscrete() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	res, err := fam.Select(ctx, ds, users, fam.SelectOptions{
-		K: 2, Algorithm: fam.BruteForce, ExactDiscrete: true,
-	})
+	res, _, err := fam.Select(ctx, fam.Query{
+		Data: ds, Dist: users, K: 2, Algorithm: fam.BruteForce, ExactDiscrete: true,
+	}, fam.Exec{})
 	if err != nil {
 		log.Fatal(err)
 	}

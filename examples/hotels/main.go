@@ -33,20 +33,20 @@ func main() {
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(w, "algorithm\tavg regret\tstd dev\trr@90%\trr@99%\tmax rr\tquery time")
 	for _, algo := range algos {
-		res, err := fam.Select(ctx, hotels, dist, fam.SelectOptions{
-			K: k, Seed: 11, SampleSize: 10000, Algorithm: algo,
-		})
+		res, tel, err := fam.Select(ctx, fam.Query{
+			Data: hotels, Dist: dist, K: k, Seed: 11, SampleSize: 10000, Algorithm: algo,
+		}, fam.Exec{})
 		if err != nil {
 			log.Fatalf("%v: %v", algo, err)
 		}
 		m := res.Metrics
 		fmt.Fprintf(w, "%s\t%.4f\t%.4f\t%.4f\t%.4f\t%.4f\t%v\n",
-			algo, m.ARR, m.StdDev, m.Percentiles[2], m.Percentiles[4], m.MaxRR, res.Query)
+			algo, m.ARR, m.StdDev, m.Percentiles[2], m.Percentiles[4], m.MaxRR, tel.Query)
 	}
 	w.Flush()
 
 	// Show what the winning selection looks like.
-	res, err := fam.Select(ctx, hotels, dist, fam.SelectOptions{K: k, Seed: 11, SampleSize: 10000})
+	res, _, err := fam.Select(ctx, fam.Query{Data: hotels, Dist: dist, K: k, Seed: 11, SampleSize: 10000}, fam.Exec{})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -29,19 +29,19 @@ func main() {
 		log.Fatal(err)
 	}
 	const k = 5
-	opts := func(a fam.Algorithm) fam.SelectOptions {
-		return fam.SelectOptions{K: k, Seed: 3, SampleSize: 10000, Algorithm: a}
+	query := func(a fam.Algorithm) fam.Query {
+		return fam.Query{Data: players, Dist: dist, K: k, Seed: 3, SampleSize: 10000, Algorithm: a}
 	}
 
-	sArr, err := fam.Select(ctx, players, dist, opts(fam.GreedyShrink))
+	sArr, _, err := fam.Select(ctx, query(fam.GreedyShrink), fam.Exec{})
 	if err != nil {
 		log.Fatal(err)
 	}
-	sMrr, err := fam.Select(ctx, players, dist, opts(fam.MRRGreedy))
+	sMrr, _, err := fam.Select(ctx, query(fam.MRRGreedy), fam.Exec{})
 	if err != nil {
 		log.Fatal(err)
 	}
-	sHit, err := fam.Select(ctx, players, dist, opts(fam.KHit))
+	sHit, _, err := fam.Select(ctx, query(fam.KHit), fam.Exec{})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -31,12 +31,16 @@ func main() {
 
 	// Pick 5 hotels with GREEDY-SHRINK (the default algorithm). Epsilon
 	// and Sigma control the sampling bound of Theorem 4.
-	res, err := fam.Select(ctx, hotels, dist, fam.SelectOptions{
+	// The Query is the problem statement; the Exec (empty here: all CPUs)
+	// only tunes how fast it is solved.
+	res, tel, err := fam.Select(ctx, fam.Query{
+		Data:    hotels,
+		Dist:    dist,
 		K:       5,
 		Epsilon: 0.05,
 		Sigma:   0.1,
 		Seed:    1,
-	})
+	}, fam.Exec{})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -51,5 +55,5 @@ func main() {
 		res.Metrics.ARR, 100*res.Metrics.ARR)
 	fmt.Printf("99%% of users have regret ratio at most %.4f\n", res.Metrics.Percentiles[4])
 	fmt.Printf("Skyline preprocessing reduced %d hotels to %d candidates; query took %v\n",
-		hotels.N(), res.SkylineSize, res.Query)
+		hotels.N(), res.SkylineSize, tel.Query)
 }

@@ -45,9 +45,9 @@ func main() {
 
 	// Select 5 songs for an anonymous listener drawn from the learned Θ.
 	const k = 5
-	res, err := fam.Select(ctx, pipe.Items, pipe.Dist, fam.SelectOptions{
-		K: k, Seed: 7, SampleSize: 10000,
-	})
+	res, _, err := fam.Select(ctx, fam.Query{
+		Data: pipe.Items, Dist: pipe.Dist, K: k, Seed: 7, SampleSize: 10000,
+	}, fam.Exec{})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -59,7 +59,9 @@ func main() {
 	// Sanity check against a naive popularity baseline: the k songs with
 	// the highest average observed rating.
 	popular := topByAverageRating(rd, k)
-	m, err := fam.Evaluate(ctx, pipe.Items, pipe.Dist, popular, fam.SelectOptions{Seed: 7, SampleSize: 10000})
+	m, err := fam.Evaluate(ctx, fam.Query{
+		Data: pipe.Items, Dist: pipe.Dist, Seed: 7, SampleSize: 10000, ExplicitSet: popular,
+	}, fam.Exec{})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -35,15 +35,15 @@ func main() {
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(w, "k\tDP exact arr\tGS sampled arr\tGS/opt\tDP time\tGS time")
 	for _, k := range []int{1, 2, 3, 4, 5, 6, 7} {
-		dp, err := fam.Select(ctx, ds, dist, fam.SelectOptions{
-			K: k, Seed: 1, Algorithm: fam.DP2D, SampleSize: 20000,
-		})
+		dp, dpTel, err := fam.Select(ctx, fam.Query{
+			Data: ds, Dist: dist, K: k, Seed: 1, Algorithm: fam.DP2D, SampleSize: 20000,
+		}, fam.Exec{})
 		if err != nil {
 			log.Fatal(err)
 		}
-		gs, err := fam.Select(ctx, ds, dist, fam.SelectOptions{
-			K: k, Seed: 1, SampleSize: 20000,
-		})
+		gs, gsTel, err := fam.Select(ctx, fam.Query{
+			Data: ds, Dist: dist, K: k, Seed: 1, SampleSize: 20000,
+		}, fam.Exec{})
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -52,7 +52,7 @@ func main() {
 			ratio = gs.Metrics.ARR / dp.ExactARR
 		}
 		fmt.Fprintf(w, "%d\t%.5f\t%.5f\t%.2f\t%v\t%v\n",
-			k, dp.ExactARR, gs.Metrics.ARR, ratio, dp.Query, gs.Query)
+			k, dp.ExactARR, gs.Metrics.ARR, ratio, dpTel.Query, gsTel.Query)
 	}
 	w.Flush()
 

@@ -14,16 +14,27 @@
 // baselines from the literature (MRR-GREEDY, SKY-DOM, K-HIT) for
 // comparison studies.
 //
-// Basic usage:
+// The API splits every request into two halves: a Query (the semantic
+// problem — dataset, Θ, k, algorithm, sampling parameters, seed) and an
+// Exec (execution policy — worker bounds, batching knobs). Results
+// depend only on the Query; the Exec moves only the Telemetry returned
+// alongside. Basic usage:
 //
 //	ds, _ := fam.Hotels(200, 1)
 //	dist, _ := fam.UniformLinear(ds.Dim())
-//	res, err := fam.Select(ctx, ds, dist, fam.SelectOptions{K: 5, Seed: 7})
+//	res, _, err := fam.Select(ctx, fam.Query{Data: ds, Dist: dist, K: 5, Seed: 7}, fam.Exec{})
 //	// res.Indices are the chosen rows; res.Metrics.ARR their average
 //	// regret ratio.
+//
+// For serving workloads, fam.Engine answers Queries against registered
+// datasets with shared preprocessing and result caches, and
+// Engine.SelectBatch amortizes one preprocessing pass across a k-sweep
+// or algorithm panel.
 package fam
 
 import (
+	"fmt"
+
 	"github.com/regretlab/fam/internal/core"
 	"github.com/regretlab/fam/internal/dataset"
 	"github.com/regretlab/fam/internal/utility"
@@ -105,4 +116,27 @@ func (a Algorithm) String() string {
 	default:
 		return "unknown"
 	}
+}
+
+// MarshalText encodes the algorithm as its short name, so JSON requests
+// and responses carry "greedy-shrink" rather than an opaque int.
+// Marshaling an out-of-range value is an error (wrapping ErrBadOptions)
+// rather than silently emitting "unknown".
+func (a Algorithm) MarshalText() ([]byte, error) {
+	if a < GreedyShrink || a > GreedyAdd {
+		return nil, fmt.Errorf("%w: cannot marshal unknown algorithm %d", ErrBadOptions, int(a))
+	}
+	return []byte(a.String()), nil
+}
+
+// UnmarshalText decodes an algorithm short name via ParseAlgorithm
+// (case-insensitive), so `{"algorithm": "greedy-add"}` round-trips
+// through encoding/json and CLI flag values parse with the same rules.
+func (a *Algorithm) UnmarshalText(text []byte) error {
+	parsed, err := ParseAlgorithm(string(text))
+	if err != nil {
+		return err
+	}
+	*a = parsed
+	return nil
 }

@@ -26,26 +26,26 @@ func hotelSetup(t *testing.T) (*Dataset, Distribution) {
 func TestSelectValidation(t *testing.T) {
 	ctx := context.Background()
 	ds, dist := hotelSetup(t)
-	if _, err := Select(ctx, nil, dist, SelectOptions{K: 3}); err == nil {
+	if _, err := SelectWithOptions(ctx, nil, dist, SelectOptions{K: 3}); err == nil {
 		t.Fatal("nil dataset must error")
 	}
-	if _, err := Select(ctx, ds, nil, SelectOptions{K: 3}); err == nil {
+	if _, err := SelectWithOptions(ctx, ds, nil, SelectOptions{K: 3}); err == nil {
 		t.Fatal("nil distribution must error")
 	}
-	if _, err := Select(ctx, ds, dist, SelectOptions{K: 0}); err == nil {
+	if _, err := SelectWithOptions(ctx, ds, dist, SelectOptions{K: 0}); err == nil {
 		t.Fatal("K=0 must error")
 	}
-	if _, err := Select(ctx, ds, dist, SelectOptions{K: 1000}); err == nil {
+	if _, err := SelectWithOptions(ctx, ds, dist, SelectOptions{K: 1000}); err == nil {
 		t.Fatal("K>n must error")
 	}
 	wrongDim, _ := UniformLinear(3)
-	if _, err := Select(ctx, ds, wrongDim, SelectOptions{K: 3}); err == nil {
+	if _, err := SelectWithOptions(ctx, ds, wrongDim, SelectOptions{K: 3}); err == nil {
 		t.Fatal("dimension mismatch must error")
 	}
-	if _, err := Select(ctx, ds, dist, SelectOptions{K: 3, Algorithm: Algorithm(99)}); err == nil {
+	if _, err := SelectWithOptions(ctx, ds, dist, SelectOptions{K: 3, Algorithm: Algorithm(99)}); err == nil {
 		t.Fatal("unknown algorithm must error")
 	}
-	if _, err := Select(ctx, ds, dist, SelectOptions{K: 3, Epsilon: 2}); err == nil {
+	if _, err := SelectWithOptions(ctx, ds, dist, SelectOptions{K: 3, Epsilon: 2}); err == nil {
 		t.Fatal("bad epsilon must error")
 	}
 }
@@ -53,7 +53,7 @@ func TestSelectValidation(t *testing.T) {
 func TestSelectDefaultPipeline(t *testing.T) {
 	ctx := context.Background()
 	ds, dist := hotelSetup(t)
-	res, err := Select(ctx, ds, dist, SelectOptions{K: 5, Seed: 1})
+	res, err := SelectWithOptions(ctx, ds, dist, SelectOptions{K: 5, Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -89,11 +89,11 @@ func TestSelectDefaultPipeline(t *testing.T) {
 func TestSelectDeterminism(t *testing.T) {
 	ctx := context.Background()
 	ds, dist := hotelSetup(t)
-	a, err := Select(ctx, ds, dist, SelectOptions{K: 4, Seed: 9})
+	a, err := SelectWithOptions(ctx, ds, dist, SelectOptions{K: 4, Seed: 9})
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := Select(ctx, ds, dist, SelectOptions{K: 4, Seed: 9})
+	b, err := SelectWithOptions(ctx, ds, dist, SelectOptions{K: 4, Seed: 9})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -113,7 +113,7 @@ func TestSelectAllAlgorithmsRun(t *testing.T) {
 	algos := []Algorithm{GreedyShrink, GreedyShrinkLazy, GreedyShrinkNaive, BruteForce, MRRGreedy, SkyDom, KHit, GreedyAdd}
 	arr := map[Algorithm]float64{}
 	for _, a := range algos {
-		res, err := Select(ctx, ds, dist, SelectOptions{K: 3, Seed: 5, Algorithm: a, SampleSize: 400})
+		res, err := SelectWithOptions(ctx, ds, dist, SelectOptions{K: 3, Seed: 5, Algorithm: a, SampleSize: 400})
 		if err != nil {
 			t.Fatalf("%v: %v", a, err)
 		}
@@ -142,7 +142,7 @@ func TestSelectDP2D(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := Select(ctx, ds, dist, SelectOptions{K: 3, Seed: 1, Algorithm: DP2D, SampleSize: 5000})
+	res, err := SelectWithOptions(ctx, ds, dist, SelectOptions{K: 3, Seed: 1, Algorithm: DP2D, SampleSize: 5000})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -154,7 +154,7 @@ func TestSelectDP2D(t *testing.T) {
 		t.Fatalf("exact %v vs sampled %v", res.ExactARR, res.Metrics.ARR)
 	}
 	// DP is optimal: no sampled algorithm may do meaningfully better.
-	gs, err := Select(ctx, ds, dist, SelectOptions{K: 3, Seed: 1, Algorithm: GreedyShrink, SampleSize: 5000})
+	gs, err := SelectWithOptions(ctx, ds, dist, SelectOptions{K: 3, Seed: 1, Algorithm: GreedyShrink, SampleSize: 5000})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -179,7 +179,7 @@ func TestSelectNonMonotoneSkipsSkyline(t *testing.T) {
 	if pipe.TrainRMSE <= 0 {
 		t.Fatalf("rmse = %v", pipe.TrainRMSE)
 	}
-	res, err := Select(ctx, pipe.Items, pipe.Dist, SelectOptions{K: 5, Seed: 3, SampleSize: 800})
+	res, err := SelectWithOptions(ctx, pipe.Items, pipe.Dist, SelectOptions{K: 5, Seed: 3, SampleSize: 800})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -213,7 +213,7 @@ func TestSelectTableDistribution(t *testing.T) {
 		Labels: []string{"Holiday Inn", "Shangri la", "Intercontinental", "Hilton"},
 		Points: [][]float64{{0}, {1}, {2}, {3}},
 	}
-	res, err := Select(ctx, ds, dist, SelectOptions{K: 2, Seed: 4, SampleSize: 4000, Algorithm: BruteForce})
+	res, err := SelectWithOptions(ctx, ds, dist, SelectOptions{K: 2, Seed: 4, SampleSize: 4000, Algorithm: BruteForce})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -225,7 +225,7 @@ func TestSelectTableDistribution(t *testing.T) {
 	best := res.Metrics.ARR
 	for a := 0; a < 4; a++ {
 		for b := a + 1; b < 4; b++ {
-			m, err := Evaluate(ctx, ds, dist, []int{a, b}, SelectOptions{Seed: 4, SampleSize: 4000})
+			m, err := EvaluateWithOptions(ctx, ds, dist, []int{a, b}, SelectOptions{Seed: 4, SampleSize: 4000})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -239,15 +239,15 @@ func TestSelectTableDistribution(t *testing.T) {
 func TestEvaluateValidation(t *testing.T) {
 	ctx := context.Background()
 	ds, dist := hotelSetup(t)
-	if _, err := Evaluate(ctx, nil, dist, []int{0}, SelectOptions{}); err == nil {
+	if _, err := EvaluateWithOptions(ctx, nil, dist, []int{0}, SelectOptions{}); err == nil {
 		t.Fatal("nil dataset must error")
 	}
-	if _, err := Evaluate(ctx, ds, dist, nil, SelectOptions{}); err == nil {
+	if _, err := EvaluateWithOptions(ctx, ds, dist, nil, SelectOptions{}); err == nil {
 		t.Fatal("empty set must error")
 	}
 	cctx, cancel := context.WithCancel(ctx)
 	cancel()
-	if _, err := Evaluate(cctx, ds, dist, []int{0}, SelectOptions{}); err == nil {
+	if _, err := EvaluateWithOptions(cctx, ds, dist, []int{0}, SelectOptions{}); err == nil {
 		t.Fatal("canceled context must error")
 	}
 }
@@ -298,7 +298,7 @@ func TestSelectCESDistribution(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := Select(ctx, ds, dist, SelectOptions{K: 4, Seed: 2, SampleSize: 500})
+	res, err := SelectWithOptions(ctx, ds, dist, SelectOptions{K: 4, Seed: 2, SampleSize: 500})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -307,7 +307,7 @@ func TestSelectCESDistribution(t *testing.T) {
 		t.Fatalf("skyline not applied for CES: %d", res.SkylineSize)
 	}
 	// MRRGreedy under CES must fall back to the sampled variant (and run).
-	res2, err := Select(ctx, ds, dist, SelectOptions{K: 4, Seed: 2, SampleSize: 500, Algorithm: MRRGreedy})
+	res2, err := SelectWithOptions(ctx, ds, dist, SelectOptions{K: 4, Seed: 2, SampleSize: 500, Algorithm: MRRGreedy})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -319,7 +319,7 @@ func TestSelectCESDistribution(t *testing.T) {
 func TestSelectDisableSkyline(t *testing.T) {
 	ctx := context.Background()
 	ds, dist := hotelSetup(t)
-	res, err := Select(ctx, ds, dist, SelectOptions{K: 3, Seed: 1, DisableSkyline: true, SampleSize: 300})
+	res, err := SelectWithOptions(ctx, ds, dist, SelectOptions{K: 3, Seed: 1, DisableSkyline: true, SampleSize: 300})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -341,11 +341,11 @@ func TestSkylineRestrictionPreservesResult(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	withSky, err := Select(ctx, ds, dist, SelectOptions{K: 5, Seed: 8, SampleSize: 600})
+	withSky, err := SelectWithOptions(ctx, ds, dist, SelectOptions{K: 5, Seed: 8, SampleSize: 600})
 	if err != nil {
 		t.Fatal(err)
 	}
-	without, err := Select(ctx, ds, dist, SelectOptions{K: 5, Seed: 8, SampleSize: 600, DisableSkyline: true})
+	without, err := SelectWithOptions(ctx, ds, dist, SelectOptions{K: 5, Seed: 8, SampleSize: 600, DisableSkyline: true})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,15 +1,17 @@
 // Package engine holds the serving-side machinery behind fam.Engine: a
-// bounded LRU cache with singleflight fill deduplication and hit/miss/
-// in-flight statistics. The public fam.Engine composes two of these
-// caches — one for preprocessing artifacts (skyline indexes, sampled
-// utility functions, materialized utility matrices), one for whole query
-// results — over the shared worker pool of internal/par.
+// bounded LRU cache with singleflight fill deduplication, hit/miss/
+// in-flight statistics, and an eviction policy combining an entry cap, a
+// byte budget, and a per-entry TTL. The public fam.Engine composes two of
+// these caches — one for preprocessing artifacts (skyline indexes,
+// sampled utility functions, materialized utility matrices), one for
+// whole query results — over the shared worker pool of internal/par.
 package engine
 
 import (
 	"container/list"
 	"context"
 	"sync"
+	"time"
 )
 
 // CacheStats is a point-in-time snapshot of a cache's counters.
@@ -23,15 +25,43 @@ type CacheStats struct {
 	// their key and waited for it instead of duplicating the work — the
 	// singleflight savings.
 	Coalesced uint64 `json:"coalesced"`
-	// Evictions counts entries dropped to keep the cache within
-	// capacity.
+	// Evictions counts entries dropped to keep the cache within its
+	// entry cap or byte budget.
 	Evictions uint64 `json:"evictions"`
+	// Expired counts entries dropped because their TTL elapsed (a lookup
+	// that finds an expired entry counts one Expired and one Miss).
+	Expired uint64 `json:"expired"`
 	// Errors counts fills that failed; failed fills are never stored.
 	Errors uint64 `json:"errors"`
-	// Entries and Capacity describe the current occupancy (Capacity 0 =
-	// unbounded).
+	// Entries and Capacity describe the current occupancy in entries
+	// (Capacity 0 = unbounded).
 	Entries  int `json:"entries"`
 	Capacity int `json:"capacity"`
+	// Bytes and MaxBytes describe the current occupancy against the byte
+	// budget (both 0 when the cache is not byte-bounded or has no sizer).
+	Bytes    int64 `json:"bytes"`
+	MaxBytes int64 `json:"max_bytes"`
+	// TTL is the per-entry lifetime (0 = entries never expire).
+	TTL time.Duration `json:"ttl_ns"`
+}
+
+// Config parameterizes a Cache's bounds and eviction policy. The zero
+// value is an unbounded, never-expiring cache.
+type Config struct {
+	// MaxEntries caps the number of stored entries (0 or negative =
+	// unbounded).
+	MaxEntries int
+	// MaxBytes caps the summed Size of stored entries (0 or negative =
+	// unbounded). It only binds when Size is non-nil.
+	MaxBytes int64
+	// TTL is the per-entry lifetime: a lookup after the entry's fill time
+	// + TTL treats it as absent and re-fills (0 = never expire). Expiry
+	// is lazy — entries are dropped when a lookup or a store touches
+	// them, not by a background sweeper.
+	TTL time.Duration
+	// Size estimates the resident bytes of a value for the MaxBytes
+	// budget. Nil disables byte accounting.
+	Size func(val any) int64
 }
 
 // call is one in-flight fill that later arrivals for the same key wait
@@ -48,30 +78,60 @@ type call struct {
 // use.
 type Cache struct {
 	mu       sync.Mutex
-	capacity int
+	cfg      Config
+	bytes    int64
 	ll       *list.List               // front = most recently used
 	entries  map[string]*list.Element // value: *entry
 	inflight map[string]*call
 	stats    CacheStats
+	now      func() time.Time // injectable for TTL tests
 }
 
 type entry struct {
-	key string
-	val any
+	key     string
+	val     any
+	size    int64
+	expires time.Time // zero = never
 }
 
 // NewCache returns a cache holding at most capacity entries (0 or
-// negative = unbounded).
+// negative = unbounded), with no byte budget and no TTL.
 func NewCache(capacity int) *Cache {
-	if capacity < 0 {
-		capacity = 0
+	return NewCacheConfig(Config{MaxEntries: capacity})
+}
+
+// NewCacheConfig returns a cache with the full eviction policy.
+func NewCacheConfig(cfg Config) *Cache {
+	if cfg.MaxEntries < 0 {
+		cfg.MaxEntries = 0 // unbounded
+	}
+	if cfg.MaxBytes < 0 {
+		cfg.MaxBytes = 0 // unbounded
 	}
 	return &Cache{
-		capacity: capacity,
+		cfg:      cfg,
 		ll:       list.New(),
 		entries:  make(map[string]*list.Element),
 		inflight: make(map[string]*call),
+		now:      time.Now,
 	}
+}
+
+// lookup returns the live entry for key, dropping it first if expired.
+// Caller holds c.mu.
+func (c *Cache) lookup(key string) (*entry, bool) {
+	el, ok := c.entries[key]
+	if !ok {
+		return nil, false
+	}
+	en := el.Value.(*entry)
+	if !en.expires.IsZero() && c.now().After(en.expires) {
+		c.remove(el)
+		c.stats.Expired++
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return en, true
 }
 
 // Do returns the cached value for key, filling it with fill on a miss.
@@ -85,10 +145,9 @@ func NewCache(capacity int) *Cache {
 // to every coalesced waiter of that round.
 func (c *Cache) Do(ctx context.Context, key string, fill func(ctx context.Context) (any, error)) (val any, hit bool, err error) {
 	c.mu.Lock()
-	if el, ok := c.entries[key]; ok {
-		c.ll.MoveToFront(el)
+	if en, ok := c.lookup(key); ok {
 		c.stats.Hits++
-		v := el.Value.(*entry).val
+		v := en.val
 		c.mu.Unlock()
 		return v, true, nil
 	}
@@ -130,20 +189,43 @@ func (c *Cache) Do(ctx context.Context, key string, fill func(ctx context.Contex
 }
 
 // store inserts under the lock and evicts the least recently used
-// entries beyond capacity.
+// entries beyond the entry cap and the byte budget.
 func (c *Cache) store(key string, val any) {
-	if el, ok := c.entries[key]; ok {
-		el.Value.(*entry).val = val
-		c.ll.MoveToFront(el)
-		return
+	var size int64
+	if c.cfg.Size != nil {
+		size = c.cfg.Size(val)
 	}
-	c.entries[key] = c.ll.PushFront(&entry{key: key, val: val})
-	for c.capacity > 0 && c.ll.Len() > c.capacity {
-		oldest := c.ll.Back()
-		c.ll.Remove(oldest)
-		delete(c.entries, oldest.Value.(*entry).key)
+	var expires time.Time
+	if c.cfg.TTL > 0 {
+		expires = c.now().Add(c.cfg.TTL)
+	}
+	if el, ok := c.entries[key]; ok {
+		en := el.Value.(*entry)
+		c.bytes += size - en.size
+		en.val, en.size, en.expires = val, size, expires
+		c.ll.MoveToFront(el)
+	} else {
+		c.entries[key] = c.ll.PushFront(&entry{key: key, val: val, size: size, expires: expires})
+		c.bytes += size
+	}
+	over := func() bool {
+		if c.cfg.MaxEntries > 0 && c.ll.Len() > c.cfg.MaxEntries {
+			return true
+		}
+		return c.cfg.MaxBytes > 0 && c.cfg.Size != nil && c.bytes > c.cfg.MaxBytes && c.ll.Len() > 1
+	}
+	for over() {
+		c.remove(c.ll.Back())
 		c.stats.Evictions++
 	}
+}
+
+// remove drops one element. Caller holds c.mu.
+func (c *Cache) remove(el *list.Element) {
+	en := el.Value.(*entry)
+	c.ll.Remove(el)
+	delete(c.entries, en.key)
+	c.bytes -= en.size
 }
 
 // Get returns the cached value without filling (and without disturbing
@@ -151,13 +233,12 @@ func (c *Cache) store(key string, val any) {
 func (c *Cache) Get(key string) (any, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	el, ok := c.entries[key]
+	en, ok := c.lookup(key)
 	if !ok {
 		return nil, false
 	}
-	c.ll.MoveToFront(el)
 	c.stats.Hits++
-	return el.Value.(*entry).val, true
+	return en.val, true
 }
 
 // Len returns the number of stored entries.
@@ -173,6 +254,17 @@ func (c *Cache) Stats() CacheStats {
 	defer c.mu.Unlock()
 	s := c.stats
 	s.Entries = c.ll.Len()
-	s.Capacity = c.capacity
+	s.Capacity = c.cfg.MaxEntries
+	s.Bytes = c.bytes
+	s.MaxBytes = c.cfg.MaxBytes
+	s.TTL = c.cfg.TTL
 	return s
+}
+
+// SetNow overrides the cache's clock; tests use it to drive TTL expiry
+// deterministically.
+func (c *Cache) SetNow(now func() time.Time) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now = now
 }

@@ -187,3 +187,100 @@ func TestCacheConcurrentDistinctKeys(t *testing.T) {
 	}
 	wg.Wait()
 }
+
+// TestCacheTTLExpiry: entries older than the TTL are treated as absent
+// — dropped on touch, counted as Expired, and re-filled.
+func TestCacheTTLExpiry(t *testing.T) {
+	c := NewCacheConfig(Config{TTL: time.Minute})
+	now := time.Unix(1000, 0)
+	c.SetNow(func() time.Time { return now })
+	ctx := context.Background()
+
+	fills := 0
+	fill := func(context.Context) (any, error) { fills++; return fills, nil }
+
+	if v, hit, _ := c.Do(ctx, "k", fill); hit || v.(int) != 1 {
+		t.Fatalf("first Do = (%v, %v)", v, hit)
+	}
+	// Within the TTL: a hit.
+	now = now.Add(30 * time.Second)
+	if v, hit, _ := c.Do(ctx, "k", fill); !hit || v.(int) != 1 {
+		t.Fatalf("warm Do = (%v, %v)", v, hit)
+	}
+	// Past the TTL: the entry expires and the fill re-runs.
+	now = now.Add(2 * time.Minute)
+	if v, hit, _ := c.Do(ctx, "k", fill); hit || v.(int) != 2 {
+		t.Fatalf("expired Do = (%v, %v)", v, hit)
+	}
+	s := c.Stats()
+	if s.Expired != 1 || s.Misses != 2 || s.Hits != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if s.TTL != time.Minute {
+		t.Fatalf("stats TTL = %v", s.TTL)
+	}
+
+	// Get honors expiry too.
+	now = now.Add(2 * time.Minute)
+	if _, ok := c.Get("k"); ok {
+		t.Fatal("Get returned an expired entry")
+	}
+}
+
+// TestCacheByteBudget: the byte budget evicts LRU entries by Size, and
+// a single oversized entry is kept (dropping it would refill forever)
+// while everything else yields.
+func TestCacheByteBudget(t *testing.T) {
+	c := NewCacheConfig(Config{
+		MaxBytes: 100,
+		Size:     func(v any) int64 { return v.(int64) },
+	})
+	ctx := context.Background()
+	put := func(key string, size int64) {
+		t.Helper()
+		if _, _, err := c.Do(ctx, key, func(context.Context) (any, error) { return size, nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	put("a", 40)
+	put("b", 40)
+	if s := c.Stats(); s.Bytes != 80 || s.Entries != 2 || s.MaxBytes != 100 {
+		t.Fatalf("stats = %+v", s)
+	}
+	// 40+40+40 > 100: the LRU entry "a" goes.
+	put("c", 40)
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("LRU entry survived the byte budget")
+	}
+	if s := c.Stats(); s.Bytes != 80 || s.Evictions != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+	// An oversized entry evicts everything else but is itself kept.
+	put("huge", 500)
+	if s := c.Stats(); s.Entries != 1 || s.Bytes != 500 {
+		t.Fatalf("stats after oversized = %+v", s)
+	}
+	if _, ok := c.Get("huge"); !ok {
+		t.Fatal("oversized entry must be kept")
+	}
+}
+
+// TestCacheEntryAndByteBoundsCompose: both bounds apply; whichever
+// binds first evicts.
+func TestCacheEntryAndByteBoundsCompose(t *testing.T) {
+	c := NewCacheConfig(Config{
+		MaxEntries: 2,
+		MaxBytes:   1000,
+		Size:       func(any) int64 { return 10 },
+	})
+	ctx := context.Background()
+	for _, k := range []string{"a", "b", "c"} {
+		if _, _, err := c.Do(ctx, k, func(context.Context) (any, error) { return 0, nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s := c.Stats(); s.Entries != 2 || s.Evictions != 1 || s.Bytes != 20 {
+		t.Fatalf("stats = %+v", s)
+	}
+}

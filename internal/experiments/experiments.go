@@ -55,10 +55,10 @@ func ParseScale(s string) (Scale, error) {
 	}
 }
 
-// Config parameterizes a run.
-type Config struct {
-	Scale Scale
-	Seed  uint64
+// Exec is the execution policy of a run, mirroring the library's
+// Query/Exec split: knobs that change how fast the experiments run but
+// never what the tables say.
+type Exec struct {
 	// Parallelism bounds the worker goroutines of every instance built by
 	// the experiments (0 = all CPUs, 1 = serial). Results are identical
 	// at any setting; only the timing columns change.
@@ -68,6 +68,14 @@ type Config struct {
 	// identical at any setting; only the lazy work counters and timings
 	// change.
 	LazyBatch int
+}
+
+// Config parameterizes a run: (Scale, Seed) is the semantic half — it
+// determines every table cell — and Exec is the execution half.
+type Config struct {
+	Scale Scale
+	Seed  uint64
+	Exec  Exec
 }
 
 // Table is one rendered experiment artifact.
@@ -189,7 +197,7 @@ func newPrep(ds *dataset.Dataset, dist utility.Distribution, n int, seed uint64,
 	if err != nil {
 		return nil, err
 	}
-	in, err := core.NewInstance(points, funcs, core.Options{Parallelism: cfg.Parallelism, LazyBatch: cfg.LazyBatch})
+	in, err := core.NewInstance(points, funcs, core.Options{Parallelism: cfg.Exec.Parallelism, LazyBatch: cfg.Exec.LazyBatch})
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,153 @@
+package fam
+
+import (
+	"context"
+	"time"
+)
+
+// SelectOptions is the pre-split query/execution configuration of the v1
+// API: it mixes semantic fields (K, Algorithm, sampling parameters) with
+// execution policy (Parallelism, LazyBatch) in one struct. Split divides
+// it into the two halves.
+//
+// Deprecated: build a Query and an Exec directly and call Select,
+// Evaluate, or the Engine methods taking them. SelectOptions remains as
+// a compatibility shim only.
+type SelectOptions struct {
+	// K is the number of points to select. Required.
+	K int
+	// Algorithm picks the solver; the zero value is GreedyShrink.
+	Algorithm Algorithm
+	// Epsilon and Sigma set the Monte-Carlo error and confidence of
+	// Theorem 4; SampleSize overrides them when positive.
+	Epsilon float64
+	Sigma   float64
+	// SampleSize fixes the number of sampled utility functions directly.
+	SampleSize int
+	// Seed drives all sampling; equal seeds give identical results.
+	Seed uint64
+	// DisableSkyline turns off the skyline preprocessing that is applied
+	// automatically for monotone distributions.
+	DisableSkyline bool
+	// CacheBudget caps the materialized utility matrix (entries); zero
+	// uses the default, negative disables caching.
+	CacheBudget int64
+	// ExactDiscrete switches from Monte-Carlo sampling to the exact
+	// weighted evaluation of the paper's Appendix A.
+	ExactDiscrete bool
+	// Parallelism bounds worker goroutines (execution policy — see
+	// Exec.Parallelism).
+	Parallelism int
+	// LazyBatch sets the lazy strategy's refresh batch size (execution
+	// policy — see Exec.LazyBatch).
+	LazyBatch int
+}
+
+// Split divides the combined options into their semantic half (a Query,
+// without a dataset binding) and their execution half (an Exec). It is
+// the exact mapping the deprecated shims apply internally.
+func (o SelectOptions) Split() (Query, Exec) {
+	q := Query{
+		K:              o.K,
+		Algorithm:      o.Algorithm,
+		Epsilon:        o.Epsilon,
+		Sigma:          o.Sigma,
+		SampleSize:     o.SampleSize,
+		Seed:           o.Seed,
+		DisableSkyline: o.DisableSkyline,
+		ExactDiscrete:  o.ExactDiscrete,
+		CacheBudget:    o.CacheBudget,
+	}
+	return q, Exec{Parallelism: o.Parallelism, LazyBatch: o.LazyBatch}
+}
+
+// LegacyResult is the v1 combined result shape: quality outputs and
+// execution telemetry in one struct. The deprecated shims assemble it
+// from the split (Result, Telemetry) pair.
+//
+// Deprecated: use Result and Telemetry.
+type LegacyResult struct {
+	// Indices of the selected points in the dataset, ascending.
+	Indices []int
+	// Labels of the selected points (row labels or synthesized).
+	Labels []string
+	// Metrics of the selection measured on the sampled users.
+	Metrics Metrics
+	// ExactARR is the exact average regret ratio when the algorithm
+	// computes one (DP2D); negative otherwise.
+	ExactARR float64
+	// SkylineSize is the candidate count after skyline preprocessing.
+	SkylineSize int
+	// Preprocess and Query are the paper's two timing columns. A
+	// result-cache hit (Cached true) carries the timings of the original
+	// computation it replays.
+	Preprocess time.Duration
+	Query      time.Duration
+	// Cached reports that the result was answered from an Engine's
+	// result cache; always false for one-shot calls.
+	Cached bool
+	// Stats carries GREEDY-SHRINK work counters when applicable.
+	Stats ShrinkStats
+}
+
+// mergeLegacy folds a (Result, Telemetry) pair back into the v1 shape.
+func mergeLegacy(res *Result, tel *Telemetry) *LegacyResult {
+	return &LegacyResult{
+		Indices:     res.Indices,
+		Labels:      res.Labels,
+		Metrics:     res.Metrics,
+		ExactARR:    res.ExactARR,
+		SkylineSize: res.SkylineSize,
+		Preprocess:  tel.Preprocess,
+		Query:       tel.Query,
+		Cached:      res.Cached,
+		Stats:       tel.Stats,
+	}
+}
+
+// SelectWithOptions is the v1 one-shot entry point: it splits opts into
+// (Query, Exec), binds the dataset and distribution, and delegates to
+// Select.
+//
+// Deprecated: use Select with a Query and an Exec.
+func SelectWithOptions(ctx context.Context, ds *Dataset, dist Distribution, opts SelectOptions) (*LegacyResult, error) {
+	q, exec := opts.Split()
+	q.Data, q.Dist = ds, dist
+	res, tel, err := Select(ctx, q, exec)
+	if err != nil {
+		return nil, err
+	}
+	return mergeLegacy(res, tel), nil
+}
+
+// EvaluateWithOptions is the v1 one-shot evaluation entry point.
+//
+// Deprecated: use Evaluate with a Query carrying ExplicitSet.
+func EvaluateWithOptions(ctx context.Context, ds *Dataset, dist Distribution, set []int, opts SelectOptions) (Metrics, error) {
+	q, exec := opts.Split()
+	q.Data, q.Dist, q.ExplicitSet = ds, dist, set
+	return Evaluate(ctx, q, exec)
+}
+
+// SelectWithOptions is the v1 Engine entry point against a registered
+// dataset.
+//
+// Deprecated: use Engine.Select with a Query naming the dataset.
+func (e *Engine) SelectWithOptions(ctx context.Context, dataset string, opts SelectOptions) (*LegacyResult, error) {
+	q, exec := opts.Split()
+	q.Dataset = dataset
+	res, tel, err := e.Select(ctx, q, exec)
+	if err != nil {
+		return nil, err
+	}
+	return mergeLegacy(res, tel), nil
+}
+
+// EvaluateWithOptions is the v1 Engine evaluation entry point.
+//
+// Deprecated: use Engine.Evaluate with a Query carrying ExplicitSet.
+func (e *Engine) EvaluateWithOptions(ctx context.Context, dataset string, set []int, opts SelectOptions) (Metrics, error) {
+	q, exec := opts.Split()
+	q.Dataset, q.ExplicitSet = dataset, set
+	return e.Evaluate(ctx, q, exec)
+}

@@ -9,19 +9,19 @@ import (
 	"github.com/regretlab/fam/internal/utility"
 )
 
-// ErrBadOptions is returned when SelectOptions are invalid: K out of
-// bounds, Epsilon or Sigma outside (0, 1), a negative SampleSize, an
-// unknown Algorithm, a distribution whose dimension does not match the
-// dataset, or ExactDiscrete with a non-discrete distribution. Match it
-// with errors.Is; the wrapped message names the offending field. Bad
-// requests fail here — before any sampling, preprocessing, or cache
-// traffic.
+// ErrBadOptions is returned when a Query (or legacy SelectOptions) is
+// invalid: K out of bounds, Epsilon or Sigma outside (0, 1), a negative
+// SampleSize, an unknown Algorithm, a distribution whose dimension does
+// not match the dataset, or ExactDiscrete with a non-discrete
+// distribution. Match it with errors.Is; the wrapped message names the
+// offending field. Bad requests fail here — before any sampling,
+// preprocessing, or cache traffic.
 var ErrBadOptions = errors.New("fam: bad options")
 
-// normalized is the validated, resolved form of SelectOptions that
-// Select, Evaluate, and the Engine all work from: sample sizes are
-// derived, the exact-discrete distribution is unwrapped, and the skyline
-// decision is made once.
+// normalized is the validated, resolved form of a Query that Select,
+// Evaluate, and the Engine all work from: sample sizes are derived, the
+// exact-discrete distribution is unwrapped, and the skyline decision is
+// made once.
 type normalized struct {
 	// sampleSize is the resolved number of utility functions to draw
 	// (0 when the instance is exact-discrete).
@@ -34,12 +34,12 @@ type normalized struct {
 	useSkyline bool
 }
 
-// normalizeOptions validates opts against the dataset and distribution
-// and resolves the derived quantities. needK distinguishes Select-style
-// calls (K and Algorithm must be valid) from Evaluate-style calls (both
+// normalizeQuery validates q against the dataset and distribution and
+// resolves the derived quantities. needK distinguishes selection queries
+// (K and Algorithm must be valid) from evaluation queries (both
 // ignored). Every rejection wraps ErrBadOptions except nil arguments
 // (ErrNilArgument) and dataset corruption (the dataset's own error).
-func normalizeOptions(ds *Dataset, dist Distribution, opts SelectOptions, needK bool) (normalized, error) {
+func normalizeQuery(ds *Dataset, dist Distribution, q Query, needK bool) (normalized, error) {
 	var norm normalized
 	if ds == nil || dist == nil {
 		return norm, ErrNilArgument
@@ -48,47 +48,46 @@ func normalizeOptions(ds *Dataset, dist Distribution, opts SelectOptions, needK 
 		return norm, err
 	}
 	if needK {
-		if opts.K <= 0 || opts.K > ds.N() {
-			return norm, fmt.Errorf("%w: K must satisfy 0 < K <= %d, got %d", ErrBadOptions, ds.N(), opts.K)
+		if q.K <= 0 || q.K > ds.N() {
+			return norm, fmt.Errorf("%w: K must satisfy 0 < K <= %d, got %d", ErrBadOptions, ds.N(), q.K)
 		}
-		if opts.Algorithm < GreedyShrink || opts.Algorithm > GreedyAdd {
-			return norm, fmt.Errorf("%w: unknown algorithm %d", ErrBadOptions, int(opts.Algorithm))
+		if q.Algorithm < GreedyShrink || q.Algorithm > GreedyAdd {
+			return norm, fmt.Errorf("%w: unknown algorithm %d", ErrBadOptions, int(q.Algorithm))
 		}
 	}
 	if d := dist.Dim(); d != 0 && d != ds.Dim() {
 		return norm, fmt.Errorf("%w: distribution dimension %d != dataset dimension %d", ErrBadOptions, d, ds.Dim())
 	}
-	if opts.ExactDiscrete {
+	if q.ExactDiscrete {
 		disc, ok := dist.(*utility.Discrete)
 		if !ok {
 			return norm, fmt.Errorf("%w: ExactDiscrete requires a discrete distribution, got %s", ErrBadOptions, dist.Name())
 		}
 		norm.discrete = disc
 	} else {
-		n, err := resolveSampleSize(opts)
+		n, err := resolveSampleSize(q.Epsilon, q.Sigma, q.SampleSize)
 		if err != nil {
 			return norm, err
 		}
 		norm.sampleSize = n
 	}
 	if needK {
-		norm.useSkyline = dist.Monotone() && !opts.DisableSkyline && dist.Dim() != 0 &&
-			opts.Algorithm != DP2D && opts.Algorithm != SkyDom
+		norm.useSkyline = dist.Monotone() && !q.DisableSkyline && dist.Dim() != 0 &&
+			q.Algorithm != DP2D && q.Algorithm != SkyDom
 	}
 	return norm, nil
 }
 
 // resolveSampleSize applies Theorem 4's bound to the sampling fields: an
-// explicit positive SampleSize wins, otherwise N = ceil(3·ln(1/σ)/ε²)
+// explicit positive sampleSize wins, otherwise N = ceil(3·ln(1/σ)/ε²)
 // with both parameters defaulting to 0.1 (N = 691).
-func resolveSampleSize(opts SelectOptions) (int, error) {
-	if opts.SampleSize > 0 {
-		return opts.SampleSize, nil
+func resolveSampleSize(eps, sigma float64, sampleSize int) (int, error) {
+	if sampleSize > 0 {
+		return sampleSize, nil
 	}
-	if opts.SampleSize < 0 {
-		return 0, fmt.Errorf("%w: SampleSize must be non-negative, got %d", ErrBadOptions, opts.SampleSize)
+	if sampleSize < 0 {
+		return 0, fmt.Errorf("%w: SampleSize must be non-negative, got %d", ErrBadOptions, sampleSize)
 	}
-	eps, sigma := opts.Epsilon, opts.Sigma
 	if eps == 0 {
 		eps = 0.1
 	}

@@ -28,16 +28,16 @@ func TestSelectBadOptionsTyped(t *testing.T) {
 		{"exact discrete on continuous dist", SelectOptions{K: 3, ExactDiscrete: true}},
 	}
 	for _, tc := range cases {
-		if _, err := Select(ctx, ds, dist, tc.opts); !errors.Is(err, ErrBadOptions) {
+		if _, err := SelectWithOptions(ctx, ds, dist, tc.opts); !errors.Is(err, ErrBadOptions) {
 			t.Errorf("Select %s: err = %v, want ErrBadOptions", tc.name, err)
 		}
 	}
 
 	// Evaluate shares the normalization but ignores K and Algorithm.
-	if _, err := Evaluate(ctx, ds, dist, []int{0, 1}, SelectOptions{Epsilon: 3}); !errors.Is(err, ErrBadOptions) {
+	if _, err := EvaluateWithOptions(ctx, ds, dist, []int{0, 1}, SelectOptions{Epsilon: 3}); !errors.Is(err, ErrBadOptions) {
 		t.Errorf("Evaluate bad epsilon: want ErrBadOptions")
 	}
-	if _, err := Evaluate(ctx, ds, dist, []int{0, 1}, SelectOptions{K: -5, SampleSize: 50}); err != nil {
+	if _, err := EvaluateWithOptions(ctx, ds, dist, []int{0, 1}, SelectOptions{K: -5, SampleSize: 50}); err != nil {
 		t.Errorf("Evaluate must ignore K: %v", err)
 	}
 
@@ -46,12 +46,12 @@ func TestSelectBadOptionsTyped(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := Select(ctx, ds, wrongDim, SelectOptions{K: 3}); !errors.Is(err, ErrBadOptions) {
+	if _, err := SelectWithOptions(ctx, ds, wrongDim, SelectOptions{K: 3}); !errors.Is(err, ErrBadOptions) {
 		t.Errorf("dimension mismatch: want ErrBadOptions, got %v", err)
 	}
 
 	// Nil arguments keep their own sentinel.
-	if _, err := Select(ctx, nil, dist, SelectOptions{K: 3}); !errors.Is(err, ErrNilArgument) {
+	if _, err := SelectWithOptions(ctx, nil, dist, SelectOptions{K: 3}); !errors.Is(err, ErrNilArgument) {
 		t.Errorf("nil dataset: want ErrNilArgument, got %v", err)
 	}
 }
@@ -82,21 +82,22 @@ func TestParseAlgorithmRoundTrip(t *testing.T) {
 // on: defaults (ε = σ = 0.1 → 691) and explicit overrides.
 func TestSampleSizeDefaults(t *testing.T) {
 	ds, dist := hotelSetup(t)
-	norm, err := normalizeOptions(ds, dist, SelectOptions{K: 3}, true)
+	toQuery := func(o SelectOptions) Query { q, _ := o.Split(); return q }
+	norm, err := normalizeQuery(ds, dist, toQuery(SelectOptions{K: 3}), true)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if norm.sampleSize != 691 {
 		t.Fatalf("default sample size = %d, want 691", norm.sampleSize)
 	}
-	norm, err = normalizeOptions(ds, dist, SelectOptions{K: 3, SampleSize: 77}, true)
+	norm, err = normalizeQuery(ds, dist, toQuery(SelectOptions{K: 3, SampleSize: 77}), true)
 	if err != nil || norm.sampleSize != 77 {
 		t.Fatalf("explicit sample size = %d (%v), want 77", norm.sampleSize, err)
 	}
 	if !norm.useSkyline {
 		t.Fatal("monotone linear Θ must enable the skyline restriction")
 	}
-	norm, err = normalizeOptions(ds, dist, SelectOptions{K: 3, Algorithm: SkyDom}, true)
+	norm, err = normalizeQuery(ds, dist, toQuery(SelectOptions{K: 3, Algorithm: SkyDom}), true)
 	if err != nil || norm.useSkyline {
 		t.Fatalf("SkyDom must bypass the skyline restriction (%v)", err)
 	}

@@ -70,7 +70,7 @@ func TestCrossAlgorithmInvariantsProperty(t *testing.T) {
 		var randomARR float64
 		const draws = 10
 		for d := 0; d < draws; d++ {
-			m, err := Evaluate(ctx, ds, dist, randomSubset(g, n, k), opts)
+			m, err := EvaluateWithOptions(ctx, ds, dist, randomSubset(g, n, k), opts)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -78,11 +78,11 @@ func TestCrossAlgorithmInvariantsProperty(t *testing.T) {
 		}
 		randomARR /= draws
 
-		results := make(map[Algorithm]*Result, len(propertyAlgos))
+		results := make(map[Algorithm]*LegacyResult, len(propertyAlgos))
 		for _, pa := range propertyAlgos {
 			o := opts
 			o.Algorithm = pa.algo
-			res, err := Select(ctx, ds, dist, o)
+			res, err := SelectWithOptions(ctx, ds, dist, o)
 			if err != nil {
 				t.Fatalf("trial %d (n=%d k=%d): %s: %v", trial, n, k, pa.algo, err)
 			}

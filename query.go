@@ -1,0 +1,167 @@
+package fam
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/regretlab/fam/internal/par"
+)
+
+// Query is the semantic problem specification: everything that
+// determines the answer of a selection (or evaluation) and nothing that
+// merely determines how fast it is computed. The paper's objective is a
+// function of (dataset, Θ, k, algorithm, ε, σ, N, seed) only — execution
+// policy lives in Exec, and two queries with equal Fingerprints always
+// produce bit-identical Results regardless of the Exec they run under.
+type Query struct {
+	// Dataset names a registered dataset when the query is served by an
+	// Engine (Select, Evaluate, SelectBatch resolve the data and its
+	// distribution Θ from the registry). One-shot queries leave it empty
+	// and supply Data and Dist directly.
+	Dataset string
+	// Data and Dist carry the database and the utility distribution Θ for
+	// one-shot Select/Evaluate calls. Engine-served queries leave them nil;
+	// the registry is the source of truth there.
+	Data *Dataset
+	Dist Distribution
+
+	// K is the number of points to select. Required for selection
+	// queries; ignored by evaluation queries (ExplicitSet non-nil).
+	K int
+	// Algorithm picks the solver; the zero value is GreedyShrink.
+	Algorithm Algorithm
+	// Epsilon and Sigma set the Monte-Carlo error and confidence of
+	// Theorem 4; the sample size is then N = ceil(3·ln(1/σ)/ε²). Both
+	// default to 0.1 (N = 691). SampleSize overrides them when positive.
+	Epsilon float64
+	Sigma   float64
+	// SampleSize fixes the number of sampled utility functions directly.
+	SampleSize int
+	// Seed drives all sampling; equal seeds give identical results.
+	Seed uint64
+	// DisableSkyline turns off the skyline preprocessing that is applied
+	// automatically for monotone distributions.
+	DisableSkyline bool
+	// ExactDiscrete switches from Monte-Carlo sampling to the exact
+	// weighted evaluation of the paper's Appendix A. It requires a
+	// discrete distribution (e.g. one built with TableUsers).
+	ExactDiscrete bool
+	// CacheBudget caps the materialized utility matrix (entries); zero
+	// uses the default, negative disables caching. It is semantic only in
+	// the weak sense that it changes which code path evaluates utilities —
+	// results are identical either way — but it shapes the preprocessing
+	// artifact, so it participates in the Fingerprint.
+	CacheBudget int64
+
+	// ExplicitSet turns the query into an evaluation: instead of solving
+	// for K points, the Metrics of these dataset row indices are measured
+	// under the query's sampling parameters. Evaluate requires it; Select
+	// rejects it.
+	ExplicitSet []int
+}
+
+// Exec is the execution policy: knobs that change how fast a query runs
+// but never what it answers. PR 1–3 established bit-identity of every
+// solver across all of these; keeping them out of Query is what lets an
+// Engine share one cached result across every execution configuration.
+type Exec struct {
+	// Parallelism bounds the worker goroutines used for preprocessing and
+	// for the per-candidate evaluations inside every solver. All parallel
+	// reductions break ties to the lowest index, so results are
+	// bit-identical at any setting. Zero uses every CPU (GOMAXPROCS); one
+	// forces serial execution.
+	Parallelism int
+	// LazyBatch sets the refresh batch size of GreedyShrinkLazy: up to
+	// LazyBatch stale evaluation-queue entries are re-evaluated
+	// concurrently instead of one at a time. Selected sets and all quality
+	// metrics are identical at any batch size; only the work counters in
+	// Telemetry move. Zero or one keeps the paper's serial pop-refresh
+	// loop. Ignored by every other algorithm.
+	LazyBatch int
+
+	// pool is the long-lived worker pool the query's shard fan-outs are
+	// multiplexed over. It is engine-owned plumbing: fam.Engine sets it to
+	// its process-wide pool; one-shot queries leave it nil and spawn
+	// per-call workers. (Future policy knobs — NUMA placement, deadlines,
+	// priority — belong here too.)
+	pool *par.Pool
+}
+
+// withPool returns a copy of the Exec carrying the given worker pool.
+func (x Exec) withPool(p *par.Pool) Exec {
+	x.pool = p
+	return x
+}
+
+// Telemetry reports how a query was executed: timings and work counters
+// that depend on the Exec (worker counts, dispatch batches, speculative
+// refreshes) and therefore do not belong in the cacheable Result. A
+// result-cache hit replays the Telemetry of the execution that originally
+// computed the entry.
+type Telemetry struct {
+	// Preprocess covers skyline computation, utility sampling and
+	// best-point indexing; Query covers the selection algorithm itself —
+	// the paper's two timing columns. An Engine reports the time its
+	// caches actually spent: Preprocess is near zero when the artifacts
+	// were already built.
+	Preprocess time.Duration
+	Query      time.Duration
+	// Stats carries the GREEDY-SHRINK / GreedyAdd work counters when
+	// applicable (iterations, evaluations, lazy skips, worker dispatch,
+	// speculative refresh accounting).
+	Stats ShrinkStats
+}
+
+// Fingerprint returns the canonical cache identity of the query: a
+// stable string over the semantic fields only, with the sampling
+// parameters resolved (Epsilon/Sigma folded into the effective sample
+// size) and the cache budget normalized. Two queries with the same
+// Fingerprint produce bit-identical Results under any Exec — this is the
+// key the Engine's result cache uses, which is why equal-seed queries
+// share entries across parallelism settings.
+//
+// The dataset is identified by name — Dataset (the registry name) or,
+// for one-shot queries, Data.Name — not by content. Engine registries
+// enforce name uniqueness, so the guarantee is unconditional there;
+// callers keying their own caches over one-shot queries must likewise
+// ensure a name refers to one dataset (two different datasets loaded
+// under the same name fingerprint identically). Fingerprint fails on
+// queries whose sampling parameters are invalid or whose Algorithm is
+// unknown.
+func (q Query) Fingerprint() (string, error) {
+	name := q.Dataset
+	if name == "" && q.Data != nil {
+		name = q.Data.Name
+	}
+	sampleSize := 0
+	if !q.ExactDiscrete {
+		n, err := resolveSampleSize(q.Epsilon, q.Sigma, q.SampleSize)
+		if err != nil {
+			return "", err
+		}
+		sampleSize = n
+	}
+	var sb strings.Builder
+	if q.ExplicitSet != nil {
+		// Evaluation queries: K and Algorithm are ignored, the set is the
+		// identity.
+		fmt.Fprintf(&sb, "eval|%s|seed=%d|N=%d|exact=%t|budget=%d|set=",
+			name, q.Seed, sampleSize, q.ExactDiscrete, effectiveBudget(q.CacheBudget))
+		for i, idx := range q.ExplicitSet {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			sb.WriteString(strconv.Itoa(idx))
+		}
+		return sb.String(), nil
+	}
+	if q.Algorithm < GreedyShrink || q.Algorithm > GreedyAdd {
+		return "", fmt.Errorf("%w: unknown algorithm %d", ErrBadOptions, int(q.Algorithm))
+	}
+	fmt.Fprintf(&sb, "sel|%s|algo=%s|k=%d|seed=%d|N=%d|exact=%t|nosky=%t|budget=%d",
+		name, q.Algorithm, q.K, q.Seed, sampleSize, q.ExactDiscrete,
+		q.DisableSkyline, effectiveBudget(q.CacheBudget))
+	return sb.String(), nil
+}

@@ -9,61 +9,20 @@ import (
 	"github.com/regretlab/fam/internal/baseline"
 	"github.com/regretlab/fam/internal/core"
 	"github.com/regretlab/fam/internal/dp2d"
-	"github.com/regretlab/fam/internal/par"
 	"github.com/regretlab/fam/internal/rng"
 	"github.com/regretlab/fam/internal/sampling"
 	"github.com/regretlab/fam/internal/skyline"
 	"github.com/regretlab/fam/internal/utility"
 )
 
-// SelectOptions configures Select.
-type SelectOptions struct {
-	// K is the number of points to select. Required.
-	K int
-	// Algorithm picks the solver; the zero value is GreedyShrink.
-	Algorithm Algorithm
-	// Epsilon and Sigma set the Monte-Carlo error and confidence of
-	// Theorem 4; the sample size is then N = ceil(3·ln(1/σ)/ε²). Both
-	// default to 0.1 (N = 691). SampleSize overrides them when positive.
-	Epsilon float64
-	Sigma   float64
-	// SampleSize fixes the number of sampled utility functions directly.
-	SampleSize int
-	// Seed drives all sampling; equal seeds give identical results.
-	Seed uint64
-	// DisableSkyline turns off the skyline preprocessing that is applied
-	// automatically for monotone distributions.
-	DisableSkyline bool
-	// CacheBudget caps the materialized utility matrix (entries); zero
-	// uses the default, negative disables caching.
-	CacheBudget int64
-	// ExactDiscrete switches from Monte-Carlo sampling to the exact
-	// weighted evaluation of the paper's Appendix A. It requires a
-	// discrete distribution (e.g. one built with TableUsers): each member
-	// utility function enters the instance once, weighted by its
-	// probability, so the average regret ratio is computed exactly.
-	ExactDiscrete bool
-	// Parallelism bounds the worker goroutines used for preprocessing
-	// (utility materialization, best-point indexing) and for the query
-	// phase (the per-candidate evaluations inside every solver). All
-	// parallel reductions break ties to the lowest index, so results are
-	// bit-identical at any setting. Zero uses every CPU (GOMAXPROCS);
-	// one forces serial execution.
-	Parallelism int
-	// LazyBatch sets the refresh batch size of GreedyShrinkLazy: when a
-	// stale lower bound surfaces on the evaluation queue, up to LazyBatch
-	// stale entries are re-evaluated concurrently instead of one at a
-	// time. Selected sets and all quality metrics are identical at any
-	// batch size; only the evaluation-count statistics in Stats
-	// (Evaluations, EvalSkipped, UserRescans, Speculative*) depend on it.
-	// Zero or one keeps the paper's serial pop-refresh loop. Ignored by
-	// every other algorithm.
-	LazyBatch int
-}
-
-// Result is the outcome of Select.
+// Result is the semantic outcome of a selection query: the chosen set
+// and its quality. Everything here is a pure function of the Query — no
+// timing, no worker counts, no dispatch statistics — which is what lets
+// an Engine cache a Result under Query.Fingerprint alone and share it
+// across every execution policy. Execution detail lives in Telemetry.
 type Result struct {
-	// Indices of the selected points in the dataset, ascending.
+	// Indices of the selected points in the dataset, ascending (for
+	// evaluation queries: the evaluated set as given).
 	Indices []int
 	// Labels of the selected points (row labels or synthesized).
 	Labels []string
@@ -75,19 +34,9 @@ type Result struct {
 	// SkylineSize is the candidate count after skyline preprocessing
 	// (equal to the dataset size when preprocessing is off).
 	SkylineSize int
-	// Preprocess covers skyline computation, utility sampling and
-	// best-point indexing; Query covers the selection algorithm itself —
-	// the paper's two timing columns. An Engine reports the time its
-	// caches actually spent: Preprocess is near zero when the artifacts
-	// were already built, and a result-cache hit (Cached true) carries
-	// the timings of the original computation it replays.
-	Preprocess time.Duration
-	Query      time.Duration
-	// Cached reports that the whole Result was answered from an Engine's
+	// Cached reports that the Result was answered from an Engine's
 	// result cache; always false for one-shot Select.
 	Cached bool
-	// Stats carries GREEDY-SHRINK work counters when applicable.
-	Stats ShrinkStats
 }
 
 // ErrNilArgument is returned when the dataset or distribution is nil.
@@ -99,25 +48,52 @@ var ErrNilArgument = errors.New("fam: dataset and distribution must be non-nil")
 // with errors.Is.
 var ErrInvalidSet = core.ErrInvalidSet
 
-// Select chooses K points from the dataset minimizing (approximately,
-// except for DP2D/BruteForce) the average regret ratio under dist.
-func Select(ctx context.Context, ds *Dataset, dist Distribution, opts SelectOptions) (*Result, error) {
-	norm, err := normalizeOptions(ds, dist, opts, true)
+// Select chooses q.K points from q.Data minimizing (approximately,
+// except for DP2D/BruteForce) the average regret ratio under q.Dist,
+// executing under the given policy. The Result depends only on the
+// Query; the Exec moves only the Telemetry. Queries with a non-nil
+// ExplicitSet are evaluation queries and belong to Evaluate.
+func Select(ctx context.Context, q Query, exec Exec) (*Result, *Telemetry, error) {
+	if q.ExplicitSet != nil {
+		return nil, nil, fmt.Errorf("%w: ExplicitSet makes this an evaluation query; call Evaluate", ErrBadOptions)
+	}
+	norm, err := normalizeQuery(q.Data, q.Dist, q, true)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	preStart := time.Now()
-	prep, err := prepare(ctx, ds, dist, opts, norm, nil)
+	prep, err := prepare(ctx, q.Data, q.Dist, q, norm, exec)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	preprocess := time.Since(preStart)
-	res, err := solve(ctx, ds, dist, prep, opts)
+	res, tel, err := solve(ctx, q.Data, q.Dist, prep, q, exec)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	res.Preprocess = preprocess
-	return res, nil
+	tel.Preprocess = preprocess
+	return res, tel, nil
+}
+
+// Evaluate measures the Metrics of q.ExplicitSet (dataset row indices)
+// under q.Dist with the query's sampling parameters.
+func Evaluate(ctx context.Context, q Query, exec Exec) (Metrics, error) {
+	norm, err := normalizeQuery(q.Data, q.Dist, q, false)
+	if err != nil {
+		return Metrics{}, err
+	}
+	// Reject malformed sets before paying for sampling and preprocessing.
+	if err := core.ValidateSet(q.ExplicitSet, q.Data.N()); err != nil {
+		return Metrics{}, err
+	}
+	if err := ctx.Err(); err != nil {
+		return Metrics{}, err
+	}
+	prep, err := prepare(ctx, q.Data, q.Dist, q, norm, exec)
+	if err != nil {
+		return Metrics{}, err
+	}
+	return prep.in.Evaluate(q.ExplicitSet, nil)
 }
 
 // prepared is the per-(dataset, distribution, seed) preprocessing state a
@@ -133,38 +109,38 @@ type prepared struct {
 	in         *core.Instance
 }
 
-// prepare runs the preprocessing pipeline of Section III-D2. The pool, when
-// non-nil, carries the shard fan-outs (skyline dominance tests, utility
-// materialization, best-point indexing); results are bit-identical with
-// or without one.
-func prepare(ctx context.Context, ds *Dataset, dist Distribution, opts SelectOptions, norm normalized, pool *par.Pool) (*prepared, error) {
+// prepare runs the preprocessing pipeline of Section III-D2 under the
+// given execution policy. The exec's pool, when non-nil, carries the
+// shard fan-outs (skyline dominance tests, utility materialization,
+// best-point indexing); results are bit-identical with or without one.
+func prepare(ctx context.Context, ds *Dataset, dist Distribution, q Query, norm normalized, exec Exec) (*prepared, error) {
 	// Preprocessing step 1: skyline restriction for monotone Θ (every
 	// user's favorite is a skyline point, so arr over the skyline equals
 	// arr over the database). Index-based (Table) distributions are
 	// excluded: their scores are tied to database positions.
 	candidates := identity(ds.N())
 	if norm.useSkyline {
-		sky, err := skyline.ComputeOpts(ctx, ds.Points, skyline.ComputeOptions{Workers: opts.Parallelism, Pool: pool})
+		sky, err := skyline.ComputeOpts(ctx, ds.Points, skyline.ComputeOptions{Workers: exec.Parallelism, Pool: exec.pool})
 		if err != nil {
 			return nil, err
 		}
-		if len(sky) > opts.K {
+		if len(sky) > q.K {
 			candidates = sky
 		}
 	}
 
 	// Preprocessing step 2: sample Θ (or take the discrete support
 	// verbatim with its probabilities — Appendix A) and index best points.
-	funcs, weights, err := buildFuncs(dist, norm, opts.Seed)
+	funcs, weights, err := buildFuncs(dist, norm, q.Seed)
 	if err != nil {
 		return nil, err
 	}
-	return assemble(ds, candidates, funcs, weights, opts, pool)
+	return assemble(ds, candidates, funcs, weights, q, exec)
 }
 
 // buildFuncs draws the instance's utility functions: the discrete support
 // with its probabilities in exact mode, or norm.sampleSize draws seeded
-// by opts.Seed.
+// by seed.
 func buildFuncs(dist Distribution, norm normalized, seed uint64) ([]UtilityFunc, []float64, error) {
 	if norm.discrete != nil {
 		return norm.discrete.Funcs, norm.discrete.Probs, nil
@@ -178,7 +154,7 @@ func buildFuncs(dist Distribution, norm normalized, seed uint64) ([]UtilityFunc,
 
 // assemble restricts the point set to the candidates and builds the
 // core.Instance (utility materialization + best-point indexing).
-func assemble(ds *Dataset, candidates []int, funcs []UtilityFunc, weights []float64, opts SelectOptions, pool *par.Pool) (*prepared, error) {
+func assemble(ds *Dataset, candidates []int, funcs []UtilityFunc, weights []float64, q Query, exec Exec) (*prepared, error) {
 	points := ds.Points
 	if len(candidates) != ds.N() {
 		// Index-based utility functions would be misaligned on a
@@ -195,11 +171,11 @@ func assemble(ds *Dataset, candidates []int, funcs []UtilityFunc, weights []floa
 		}
 	}
 	in, err := core.NewInstance(points, funcs, core.Options{
-		CacheBudget: opts.CacheBudget,
+		CacheBudget: q.CacheBudget,
 		Weights:     weights,
-		Parallelism: opts.Parallelism,
-		LazyBatch:   opts.LazyBatch,
-		Pool:        pool,
+		Parallelism: exec.Parallelism,
+		LazyBatch:   exec.LazyBatch,
+		Pool:        exec.pool,
 	})
 	if err != nil {
 		return nil, err
@@ -209,82 +185,83 @@ func assemble(ds *Dataset, candidates []int, funcs []UtilityFunc, weights []floa
 
 // solve runs the query phase on prepared state: the selected solver, the
 // candidate-to-dataset index mapping, and the metrics evaluation. The
-// result's Preprocess field is left for the caller, which knows whether
-// preprocessing was fresh or cached.
-func solve(ctx context.Context, ds *Dataset, dist Distribution, prep *prepared, opts SelectOptions) (*Result, error) {
+// Telemetry's Preprocess field is left for the caller, which knows
+// whether preprocessing was fresh or cached.
+func solve(ctx context.Context, ds *Dataset, dist Distribution, prep *prepared, q Query, exec Exec) (*Result, *Telemetry, error) {
 	in := prep.in
 	candidates := prep.candidates
 	res := &Result{ExactARR: -1, SkylineSize: len(candidates)}
+	tel := &Telemetry{}
 	queryStart := time.Now()
 	var local []int
-	switch opts.Algorithm {
+	switch q.Algorithm {
 	case GreedyShrink, GreedyShrinkLazy, GreedyShrinkNaive:
 		strategy := core.StrategyDelta
-		if opts.Algorithm == GreedyShrinkLazy {
+		if q.Algorithm == GreedyShrinkLazy {
 			strategy = core.StrategyLazy
-		} else if opts.Algorithm == GreedyShrinkNaive {
+		} else if q.Algorithm == GreedyShrinkNaive {
 			strategy = core.StrategyNaive
 		}
-		set, stats, err := core.GreedyShrink(ctx, in, opts.K, strategy)
+		set, stats, err := core.GreedyShrink(ctx, in, q.K, strategy)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
-		local, res.Stats = set, stats
+		local, tel.Stats = set, stats
 	case DP2D:
-		out, err := dp2d.SolveOpts(ctx, ds.Points, opts.K, dp2d.Options{Parallelism: opts.Parallelism, Pool: in.Pool()})
+		out, err := dp2d.SolveOpts(ctx, ds.Points, q.K, dp2d.Options{Parallelism: exec.Parallelism, Pool: in.Pool()})
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		local = out.Set // already dataset indices
 		res.ExactARR = out.ARR
 		res.SkylineSize = out.SkylineSize
 	case BruteForce:
-		set, _, err := core.BruteForce(ctx, in, opts.K)
+		set, _, err := core.BruteForce(ctx, in, q.K)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		local = set
 	case MRRGreedy:
 		var set []int
 		var err error
 		if dist.Monotone() && isLinearDist(dist) {
-			set, err = baseline.MRRGreedyLP(ctx, in.Points, opts.K, opts.Parallelism, in.Pool())
+			set, err = baseline.MRRGreedyLP(ctx, in.Points, q.K, exec.Parallelism, in.Pool())
 		} else {
-			set, err = baseline.MRRGreedySampled(ctx, in, opts.K)
+			set, err = baseline.MRRGreedySampled(ctx, in, q.K)
 		}
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		local = set
 	case SkyDom:
-		set, err := baseline.SkyDom(ctx, ds.Points, opts.K, opts.Parallelism, in.Pool())
+		set, err := baseline.SkyDom(ctx, ds.Points, q.K, exec.Parallelism, in.Pool())
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		local = set // dataset indices (SkyDom sees the full dataset)
 	case KHit:
-		set, err := baseline.KHit(ctx, in, opts.K)
+		set, err := baseline.KHit(ctx, in, q.K)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		local = set
 	case GreedyAdd:
-		set, stats, err := core.GreedyAdd(ctx, in, opts.K)
+		set, stats, err := core.GreedyAdd(ctx, in, q.K)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
-		local, res.Stats = set, stats
+		local, tel.Stats = set, stats
 	default:
-		return nil, fmt.Errorf("%w: unknown algorithm %d", ErrBadOptions, int(opts.Algorithm))
+		return nil, nil, fmt.Errorf("%w: unknown algorithm %d", ErrBadOptions, int(q.Algorithm))
 	}
-	res.Query = time.Since(queryStart)
+	tel.Query = time.Since(queryStart)
 
 	// Map candidate-local indices back to dataset indices. DP2D and
 	// SkyDom operate on the full dataset (the skyline restriction is off
 	// for them), so candidates is the identity and the mapping is one.
 	res.Indices = make([]int, len(local))
 	for i, p := range local {
-		if opts.Algorithm == DP2D || opts.Algorithm == SkyDom {
+		if q.Algorithm == DP2D || q.Algorithm == SkyDom {
 			res.Indices[i] = p
 		} else {
 			res.Indices[i] = candidates[p]
@@ -301,36 +278,15 @@ func solve(ctx context.Context, ds *Dataset, dist Distribution, prep *prepared, 
 	// quantities. DP2D/SkyDom run with the identity candidate set, so
 	// their dataset indices are valid on the instance directly.
 	evalSet := local
-	if opts.Algorithm == DP2D || opts.Algorithm == SkyDom {
+	if q.Algorithm == DP2D || q.Algorithm == SkyDom {
 		evalSet = res.Indices
 	}
 	m, err := in.Evaluate(evalSet, nil)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	res.Metrics = m
-	return res, nil
-}
-
-// Evaluate measures the Metrics of an explicit selection (dataset row
-// indices) under dist with the given sampling parameters.
-func Evaluate(ctx context.Context, ds *Dataset, dist Distribution, set []int, opts SelectOptions) (Metrics, error) {
-	norm, err := normalizeOptions(ds, dist, opts, false)
-	if err != nil {
-		return Metrics{}, err
-	}
-	// Reject malformed sets before paying for sampling and preprocessing.
-	if err := core.ValidateSet(set, ds.N()); err != nil {
-		return Metrics{}, err
-	}
-	if err := ctx.Err(); err != nil {
-		return Metrics{}, err
-	}
-	prep, err := prepare(ctx, ds, dist, opts, norm, nil)
-	if err != nil {
-		return Metrics{}, err
-	}
-	return prep.in.Evaluate(set, nil)
+	return res, tel, nil
 }
 
 // SampleSize exposes Theorem 4's bound: the number of sampled utility

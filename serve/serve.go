@@ -2,9 +2,21 @@
 // engine: request/response types and an http.Handler exposing
 //
 //	GET  /v1/datasets  — the registered datasets
-//	POST /v1/select    — run (or answer from cache) a selection query
+//	POST /v1/datasets  — upload a CSV dataset into the registry
+//	POST /v1/select    — run (or answer from cache) one selection query
 //	POST /v1/evaluate  — score an explicit selection set
 //	GET  /v1/stats     — engine + HTTP counters
+//	POST /v2/select    — batched queries: array in, array out, with
+//	                     per-member error slots and an explicit
+//	                     query/exec split
+//
+// The v2 surface mirrors the library's Query/Exec API: each member of a
+// batch is a purely semantic query, and one exec block sets the
+// execution policy for the whole batch. The v1 endpoints are thin shims
+// over the same machinery: they repackage the combined v1 body into the
+// v2 member type and render through the v2 member renderer, against the
+// same Engine — so both versions share one result cache (a /v1 answer
+// warms /v2 and vice versa) and cannot drift apart.
 //
 // Every request runs under its own request context, so a disconnecting
 // client cancels its wait immediately (shared cache fills keep running —
@@ -24,9 +36,72 @@ import (
 	fam "github.com/regretlab/fam"
 )
 
-// SelectRequest is the body of POST /v1/select. Zero-valued fields take
-// the library defaults (algorithm greedy-shrink, ε = σ = 0.1 → N = 691,
-// all CPUs).
+// QueryRequest is the JSON shape of one semantic query: the v2 batch
+// member, and the core of the v1 select/evaluate bodies. Zero-valued
+// fields take the library defaults (algorithm greedy-shrink,
+// ε = σ = 0.1 → N = 691). A non-empty Set makes the member an
+// evaluation query (K and Algorithm are ignored).
+type QueryRequest struct {
+	Dataset        string        `json:"dataset"`
+	K              int           `json:"k,omitempty"`
+	Algorithm      fam.Algorithm `json:"algorithm,omitempty"`
+	Seed           uint64        `json:"seed,omitempty"`
+	Epsilon        float64       `json:"epsilon,omitempty"`
+	Sigma          float64       `json:"sigma,omitempty"`
+	SampleSize     int           `json:"sample_size,omitempty"`
+	DisableSkyline bool          `json:"disable_skyline,omitempty"`
+	Set            []int         `json:"set,omitempty"`
+}
+
+// toQuery maps the request member to a fam.Query.
+func (r *QueryRequest) toQuery() fam.Query {
+	return fam.Query{
+		Dataset:        r.Dataset,
+		K:              r.K,
+		Algorithm:      r.Algorithm,
+		Seed:           r.Seed,
+		Epsilon:        r.Epsilon,
+		Sigma:          r.Sigma,
+		SampleSize:     r.SampleSize,
+		DisableSkyline: r.DisableSkyline,
+		ExplicitSet:    r.Set,
+	}
+}
+
+// ExecRequest is the JSON shape of the execution policy: it never
+// changes an answer, only how fast it is computed.
+type ExecRequest struct {
+	Parallelism int `json:"parallelism,omitempty"`
+	LazyBatch   int `json:"lazy_batch,omitempty"`
+}
+
+func (r ExecRequest) toExec() fam.Exec {
+	return fam.Exec{Parallelism: r.Parallelism, LazyBatch: r.LazyBatch}
+}
+
+// BatchSelectRequest is the body of POST /v2/select.
+type BatchSelectRequest struct {
+	Queries []QueryRequest `json:"queries"`
+	Exec    ExecRequest    `json:"exec"`
+}
+
+// BatchMemberResponse is one slot of a v2 answer: the SelectResponse
+// fields on success, or an error string (with the HTTP status the same
+// failure would have had as a v1 request) on a per-member failure.
+type BatchMemberResponse struct {
+	*SelectResponse
+	Error  string `json:"error,omitempty"`
+	Status int    `json:"status,omitempty"`
+}
+
+// BatchSelectResponse is the body returned by POST /v2/select: one slot
+// per request member, in order.
+type BatchSelectResponse struct {
+	Results []BatchMemberResponse `json:"results"`
+}
+
+// SelectRequest is the body of POST /v1/select: a single semantic query
+// with the execution knobs inlined (the pre-split v1 shape).
 type SelectRequest struct {
 	Dataset        string  `json:"dataset"`
 	K              int     `json:"k"`
@@ -38,21 +113,6 @@ type SelectRequest struct {
 	Parallelism    int     `json:"parallelism,omitempty"`
 	LazyBatch      int     `json:"lazy_batch,omitempty"`
 	DisableSkyline bool    `json:"disable_skyline,omitempty"`
-}
-
-// options maps the request to SelectOptions (the algorithm name is
-// resolved separately because Evaluate ignores it).
-func (r *SelectRequest) options() fam.SelectOptions {
-	return fam.SelectOptions{
-		K:              r.K,
-		Seed:           r.Seed,
-		Epsilon:        r.Epsilon,
-		Sigma:          r.Sigma,
-		SampleSize:     r.SampleSize,
-		Parallelism:    r.Parallelism,
-		LazyBatch:      r.LazyBatch,
-		DisableSkyline: r.DisableSkyline,
-	}
 }
 
 // Metrics is the JSON shape of fam.Metrics.
@@ -78,20 +138,60 @@ func toMetrics(m fam.Metrics) Metrics {
 	}
 }
 
-// SelectResponse is the body returned by POST /v1/select. ExactARR is
-// negative when the algorithm does not compute an exact value.
+// TelemetryResponse is the JSON shape of fam.Telemetry: execution
+// detail that varies with the exec policy (and is replayed from the
+// original computation on cache hits).
+type TelemetryResponse struct {
+	PreprocessMS     float64 `json:"preprocess_ms"`
+	QueryMS          float64 `json:"query_ms"`
+	Workers          int     `json:"workers,omitempty"`
+	ParallelBatches  int     `json:"parallel_batches,omitempty"`
+	SerialBatches    int     `json:"serial_batches,omitempty"`
+	Iterations       int     `json:"iterations,omitempty"`
+	Evaluations      int     `json:"evaluations,omitempty"`
+	EvalSkipped      int     `json:"eval_skipped,omitempty"`
+	LazyBatch        int     `json:"lazy_batch,omitempty"`
+	SpeculativeEvals int     `json:"speculative_evals,omitempty"`
+	SpeculativeHits  int     `json:"speculative_hits,omitempty"`
+	SpeculativeWaste int     `json:"speculative_waste,omitempty"`
+}
+
+func toTelemetry(t *fam.Telemetry) *TelemetryResponse {
+	if t == nil {
+		return nil
+	}
+	return &TelemetryResponse{
+		PreprocessMS:     float64(t.Preprocess) / float64(time.Millisecond),
+		QueryMS:          float64(t.Query) / float64(time.Millisecond),
+		Workers:          t.Stats.Workers,
+		ParallelBatches:  t.Stats.ParallelBatches,
+		SerialBatches:    t.Stats.SerialBatches,
+		Iterations:       t.Stats.Iterations,
+		Evaluations:      t.Stats.Evaluations,
+		EvalSkipped:      t.Stats.EvalSkipped,
+		LazyBatch:        t.Stats.LazyBatch,
+		SpeculativeEvals: t.Stats.SpeculativeEvals,
+		SpeculativeHits:  t.Stats.SpeculativeHits,
+		SpeculativeWaste: t.Stats.SpeculativeWaste,
+	}
+}
+
+// SelectResponse is the body returned by POST /v1/select and the success
+// shape of a v2 member. ExactARR is negative when the algorithm does not
+// compute an exact value. Telemetry is populated on the v2 surface only.
 type SelectResponse struct {
-	Dataset      string   `json:"dataset"`
-	Algorithm    string   `json:"algorithm"`
-	K            int      `json:"k"`
-	Indices      []int    `json:"indices"`
-	Labels       []string `json:"labels"`
-	Metrics      Metrics  `json:"metrics"`
-	ExactARR     float64  `json:"exact_arr"`
-	SkylineSize  int      `json:"skyline_size"`
-	Cached       bool     `json:"cached"`
-	PreprocessMS float64  `json:"preprocess_ms"`
-	QueryMS      float64  `json:"query_ms"`
+	Dataset      string             `json:"dataset"`
+	Algorithm    string             `json:"algorithm"`
+	K            int                `json:"k"`
+	Indices      []int              `json:"indices"`
+	Labels       []string           `json:"labels"`
+	Metrics      Metrics            `json:"metrics"`
+	ExactARR     float64            `json:"exact_arr"`
+	SkylineSize  int                `json:"skyline_size"`
+	Cached       bool               `json:"cached"`
+	PreprocessMS float64            `json:"preprocess_ms"`
+	QueryMS      float64            `json:"query_ms"`
+	Telemetry    *TelemetryResponse `json:"telemetry,omitempty"`
 }
 
 // EvaluateRequest is the body of POST /v1/evaluate: score Set (dataset
@@ -117,11 +217,18 @@ type DatasetsResponse struct {
 	Datasets []fam.DatasetInfo `json:"datasets"`
 }
 
+// UploadResponse is the body returned by POST /v1/datasets on success.
+type UploadResponse struct {
+	Dataset fam.DatasetInfo `json:"dataset"`
+}
+
 // HTTPStats counts requests by outcome since the handler was built.
 type HTTPStats struct {
 	Requests    uint64 `json:"requests"`
 	ClientError uint64 `json:"client_errors"`
 	ServerError uint64 `json:"server_errors"`
+	// Uploads counts datasets accepted through POST /v1/datasets.
+	Uploads uint64 `json:"uploads"`
 }
 
 // StatsResponse is the body returned by GET /v1/stats.
@@ -135,24 +242,57 @@ type ErrorResponse struct {
 	Error string `json:"error"`
 }
 
-// Handler serves the /v1 API for one Engine.
+// HandlerConfig tunes the HTTP front end. The zero value is
+// serviceable.
+type HandlerConfig struct {
+	// MaxUploadBytes caps the CSV body of POST /v1/datasets
+	// (0 = DefaultMaxUploadBytes, negative = uploads disabled).
+	MaxUploadBytes int64
+	// MaxBatchQueries caps the member count of one POST /v2/select
+	// (0 = DefaultMaxBatchQueries).
+	MaxBatchQueries int
+}
+
+// Default limits of HandlerConfig's zero values.
+const (
+	DefaultMaxUploadBytes  = 32 << 20 // 32 MiB of CSV
+	DefaultMaxBatchQueries = 256
+)
+
+// Handler serves the /v1 and /v2 API for one Engine.
 type Handler struct {
 	engine *fam.Engine
+	cfg    HandlerConfig
 	mux    *http.ServeMux
 
 	requests     atomic.Uint64
 	clientErrors atomic.Uint64
 	serverErrors atomic.Uint64
+	uploads      atomic.Uint64
 }
 
-// NewHandler builds the /v1 routes over the engine. The caller keeps
-// ownership of the engine's lifecycle.
+// NewHandler builds the routes over the engine with default limits. The
+// caller keeps ownership of the engine's lifecycle.
 func NewHandler(e *fam.Engine) *Handler {
-	h := &Handler{engine: e, mux: http.NewServeMux()}
+	return NewHandlerConfig(e, HandlerConfig{})
+}
+
+// NewHandlerConfig builds the routes over the engine with explicit
+// limits.
+func NewHandlerConfig(e *fam.Engine, cfg HandlerConfig) *Handler {
+	if cfg.MaxUploadBytes == 0 {
+		cfg.MaxUploadBytes = DefaultMaxUploadBytes
+	}
+	if cfg.MaxBatchQueries <= 0 {
+		cfg.MaxBatchQueries = DefaultMaxBatchQueries
+	}
+	h := &Handler{engine: e, cfg: cfg, mux: http.NewServeMux()}
 	h.mux.HandleFunc("GET /v1/datasets", h.handleDatasets)
+	h.mux.HandleFunc("POST /v1/datasets", h.handleUpload)
 	h.mux.HandleFunc("POST /v1/select", h.handleSelect)
 	h.mux.HandleFunc("POST /v1/evaluate", h.handleEvaluate)
 	h.mux.HandleFunc("GET /v1/stats", h.handleStats)
+	h.mux.HandleFunc("POST /v2/select", h.handleBatchSelect)
 	return h
 }
 
@@ -166,58 +306,212 @@ func (h *Handler) handleDatasets(w http.ResponseWriter, r *http.Request) {
 	h.writeJSON(w, http.StatusOK, DatasetsResponse{Datasets: h.engine.Datasets()})
 }
 
+// memberResponse renders one answered member — the shared shape of a
+// v2 slot and a v1 select body.
+func memberResponse(member QueryRequest, res *fam.Result, tel *fam.Telemetry) *SelectResponse {
+	resp := &SelectResponse{
+		Dataset:     member.Dataset,
+		Algorithm:   member.Algorithm.String(),
+		K:           member.K,
+		Indices:     res.Indices,
+		Labels:      res.Labels,
+		Metrics:     toMetrics(res.Metrics),
+		ExactARR:    res.ExactARR,
+		SkylineSize: res.SkylineSize,
+		Cached:      res.Cached,
+		Telemetry:   toTelemetry(tel),
+	}
+	if tel != nil {
+		resp.PreprocessMS = float64(tel.Preprocess) / float64(time.Millisecond)
+		resp.QueryMS = float64(tel.Query) / float64(time.Millisecond)
+	}
+	return resp
+}
+
+// runBatch executes a v2 member array against the engine's batch layer.
+// Member successes are rendered as SelectResponses, member failures keep
+// their slot with the error and the status the v1 surface would have
+// used.
+func (h *Handler) runBatch(r *http.Request, members []QueryRequest, exec ExecRequest) ([]BatchMemberResponse, error) {
+	queries := make([]fam.Query, len(members))
+	for i := range members {
+		queries[i] = members[i].toQuery()
+	}
+	slots, err := h.engine.SelectBatch(r.Context(), queries, exec.toExec())
+	if err != nil {
+		return nil, err
+	}
+	out := make([]BatchMemberResponse, len(slots))
+	for i, slot := range slots {
+		if slot.Err != nil {
+			out[i] = BatchMemberResponse{Error: slot.Err.Error(), Status: statusOf(slot.Err)}
+			continue
+		}
+		out[i] = BatchMemberResponse{SelectResponse: memberResponse(members[i], slot.Result, slot.Telemetry)}
+	}
+	return out, nil
+}
+
+func (h *Handler) handleBatchSelect(w http.ResponseWriter, r *http.Request) {
+	var req BatchSelectRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		h.writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	if len(req.Queries) == 0 {
+		h.writeError(w, http.StatusBadRequest, errors.New("empty batch: queries must be non-empty"))
+		return
+	}
+	if len(req.Queries) > h.cfg.MaxBatchQueries {
+		h.writeError(w, http.StatusBadRequest,
+			fmt.Errorf("batch of %d queries exceeds the limit of %d", len(req.Queries), h.cfg.MaxBatchQueries))
+		return
+	}
+	results, err := h.runBatch(r, req.Queries, req.Exec)
+	if err != nil {
+		h.writeEngineError(w, r, err)
+		return
+	}
+	h.writeJSON(w, http.StatusOK, BatchSelectResponse{Results: results})
+}
+
+// handleSelect is the v1 shim: the combined request is split into its
+// semantic and execution halves (the v2 member + exec types) and served
+// through the engine's Select path — the same result cache the batch
+// layer fills, without counting as a batch in the stats.
 func (h *Handler) handleSelect(w http.ResponseWriter, r *http.Request) {
 	var req SelectRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		h.writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
 		return
 	}
-	opts := req.options()
+	member := QueryRequest{
+		Dataset:        req.Dataset,
+		K:              req.K,
+		Seed:           req.Seed,
+		Epsilon:        req.Epsilon,
+		Sigma:          req.Sigma,
+		SampleSize:     req.SampleSize,
+		DisableSkyline: req.DisableSkyline,
+	}
 	if req.Algorithm != "" {
 		algo, err := fam.ParseAlgorithm(req.Algorithm)
 		if err != nil {
 			h.writeError(w, http.StatusBadRequest, err)
 			return
 		}
-		opts.Algorithm = algo
+		member.Algorithm = algo
 	}
-	res, err := h.engine.Select(r.Context(), req.Dataset, opts)
+	exec := ExecRequest{Parallelism: req.Parallelism, LazyBatch: req.LazyBatch}
+	res, tel, err := h.engine.Select(r.Context(), member.toQuery(), exec.toExec())
 	if err != nil {
 		h.writeEngineError(w, r, err)
 		return
 	}
-	h.writeJSON(w, http.StatusOK, SelectResponse{
-		Dataset:      req.Dataset,
-		Algorithm:    opts.Algorithm.String(),
-		K:            req.K,
-		Indices:      res.Indices,
-		Labels:       res.Labels,
-		Metrics:      toMetrics(res.Metrics),
-		ExactARR:     res.ExactARR,
-		SkylineSize:  res.SkylineSize,
-		Cached:       res.Cached,
-		PreprocessMS: float64(res.Preprocess) / float64(time.Millisecond),
-		QueryMS:      float64(res.Query) / float64(time.Millisecond),
-	})
+	resp := memberResponse(member, res, tel)
+	resp.Telemetry = nil // telemetry detail is a v2-surface feature
+	h.writeJSON(w, http.StatusOK, resp)
 }
 
+// handleEvaluate is the v1 shim: the request becomes an explicit-set
+// Query through the engine's Evaluate path, rendered in the v1 shape.
 func (h *Handler) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 	var req EvaluateRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		h.writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
 		return
 	}
-	m, err := h.engine.Evaluate(r.Context(), req.Dataset, req.Set, fam.SelectOptions{
+	member := QueryRequest{
+		Dataset:    req.Dataset,
 		Seed:       req.Seed,
 		Epsilon:    req.Epsilon,
 		Sigma:      req.Sigma,
 		SampleSize: req.SampleSize,
-	})
+		Set:        req.Set,
+	}
+	q := member.toQuery()
+	if q.ExplicitSet == nil {
+		// A missing set must fail set validation, not K validation.
+		q.ExplicitSet = []int{}
+	}
+	m, err := h.engine.Evaluate(r.Context(), q, ExecRequest{}.toExec())
 	if err != nil {
 		h.writeEngineError(w, r, err)
 		return
 	}
-	h.writeJSON(w, http.StatusOK, EvaluateResponse{Dataset: req.Dataset, Set: req.Set, Metrics: toMetrics(m)})
+	h.writeJSON(w, http.StatusOK, EvaluateResponse{
+		Dataset: req.Dataset,
+		Set:     req.Set,
+		Metrics: toMetrics(m),
+	})
+}
+
+// handleUpload ingests a CSV dataset body (header row; optional leading
+// "label" column) into the engine's registry under ?name=, with the
+// distribution chosen by ?dist= (uniform linear weights by default,
+// "ces:<rho>" for concave CES utilities).
+func (h *Handler) handleUpload(w http.ResponseWriter, r *http.Request) {
+	if h.cfg.MaxUploadBytes < 0 {
+		h.writeError(w, http.StatusForbidden, errors.New("dataset uploads are disabled"))
+		return
+	}
+	name := r.URL.Query().Get("name")
+	if name == "" {
+		h.writeError(w, http.StatusBadRequest, errors.New("missing required query parameter: name"))
+		return
+	}
+	body := http.MaxBytesReader(w, r.Body, h.cfg.MaxUploadBytes)
+	ds, err := fam.LoadCSV(body, name)
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			h.writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("dataset exceeds the %d-byte upload cap", h.cfg.MaxUploadBytes))
+			return
+		}
+		h.writeError(w, http.StatusBadRequest, fmt.Errorf("parsing CSV: %w", err))
+		return
+	}
+	dist, err := uploadDistribution(r.URL.Query().Get("dist"), ds.Dim())
+	if err != nil {
+		h.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := h.engine.Register(name, ds, dist); err != nil {
+		if errors.Is(err, fam.ErrDuplicateDataset) {
+			h.writeError(w, http.StatusConflict, err)
+			return
+		}
+		h.writeEngineError(w, r, err)
+		return
+	}
+	h.uploads.Add(1)
+	h.writeJSON(w, http.StatusCreated, UploadResponse{Dataset: fam.DatasetInfo{
+		Name:         name,
+		N:            ds.N(),
+		Dim:          ds.Dim(),
+		Distribution: dist.Name(),
+	}})
+}
+
+// uploadDistribution resolves the ?dist= parameter of an upload:
+// "" or "linear" (simplex-uniform linear), "box" (box-uniform linear),
+// or "ces:<rho>".
+func uploadDistribution(spec string, dim int) (fam.Distribution, error) {
+	switch {
+	case spec == "" || spec == "linear":
+		return fam.UniformLinear(dim)
+	case spec == "box":
+		return fam.UniformBoxLinear(dim)
+	case len(spec) > 4 && spec[:4] == "ces:":
+		var rho float64
+		if _, err := fmt.Sscanf(spec[4:], "%g", &rho); err != nil {
+			return nil, fmt.Errorf("bad ces rho %q: %w", spec[4:], err)
+		}
+		return fam.CESUniform(dim, rho)
+	default:
+		return nil, fmt.Errorf("unknown distribution spec %q (want linear|box|ces:<rho>)", spec)
+	}
 }
 
 func (h *Handler) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -227,27 +521,35 @@ func (h *Handler) handleStats(w http.ResponseWriter, r *http.Request) {
 			Requests:    h.requests.Load(),
 			ClientError: h.clientErrors.Load(),
 			ServerError: h.serverErrors.Load(),
+			Uploads:     h.uploads.Load(),
 		},
 	})
 }
 
-// writeEngineError maps engine errors to HTTP statuses: bad requests and
-// malformed sets are 400, unknown datasets 404, a closed engine 503, a
-// canceled request gets no body (the client is gone), anything else 500.
-func (h *Handler) writeEngineError(w http.ResponseWriter, r *http.Request, err error) {
+// statusOf maps an engine error to the HTTP status a v1 request would
+// have answered with: bad requests and malformed sets are 400, unknown
+// datasets 404, a closed engine 503, anything else 500.
+func statusOf(err error) int {
 	switch {
 	case errors.Is(err, fam.ErrBadOptions), errors.Is(err, fam.ErrInvalidSet), errors.Is(err, fam.ErrNilArgument):
-		h.writeError(w, http.StatusBadRequest, err)
+		return http.StatusBadRequest
 	case errors.Is(err, fam.ErrUnknownDataset):
-		h.writeError(w, http.StatusNotFound, err)
+		return http.StatusNotFound
 	case errors.Is(err, fam.ErrEngineClosed):
-		h.writeError(w, http.StatusServiceUnavailable, err)
-	case r.Context().Err() != nil:
-		// The client disconnected or timed out; nothing to answer.
-		h.clientErrors.Add(1)
+		return http.StatusServiceUnavailable
 	default:
-		h.writeError(w, http.StatusInternalServerError, err)
+		return http.StatusInternalServerError
 	}
+}
+
+// writeEngineError maps whole-call engine errors to HTTP statuses; a
+// canceled request gets no body (the client is gone).
+func (h *Handler) writeEngineError(w http.ResponseWriter, r *http.Request, err error) {
+	if r.Context().Err() != nil {
+		h.clientErrors.Add(1)
+		return
+	}
+	h.writeError(w, statusOf(err), err)
 }
 
 func (h *Handler) writeError(w http.ResponseWriter, status int, err error) {
