@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"time"
 )
 
 // BatchResult is one member slot of a SelectBatch answer. Exactly one of
@@ -17,30 +18,48 @@ type BatchResult struct {
 	Telemetry *Telemetry
 	// Err is the member's failure, nil on success. Match it with
 	// errors.Is against the usual sentinels (ErrBadOptions,
-	// ErrUnknownDataset, ErrInvalidSet, …).
+	// ErrUnknownDataset, ErrInvalidSet, ErrShed, …).
 	Err error
 }
 
 // SelectBatch answers a panel of semantic queries under one execution
 // policy: a k-sweep, an algorithm comparison, or any mix of selection
 // and evaluation members (members may even target different registered
-// datasets). Members that share a (dataset, seed, N) triple share one
-// preprocessing pass — the skyline index, the sampled utility functions,
-// and the materialized utility matrix are each built exactly once, with
-// concurrent members coalescing onto the first build via the
-// preprocessing cache's singleflight — and the member query phases fan
-// out concurrently over the Engine's shared worker pool.
+// datasets).
+//
+// The batch is planned before it runs:
+//
+//  1. Members with identical Query.Fingerprint()s are deduplicated —
+//     one leader per fingerprint runs, the duplicates copy its slot
+//     (selection duplicates marked Cached, exactly as a sequential loop
+//     would answer them from the result cache). The dedup is a planning
+//     decision, not a race: it holds at any timing, unlike singleflight
+//     coalescing. EngineStats.PlannedDedups counts the copies.
+//  2. The remaining members are grouped by instance key — the (dataset,
+//     skyline-eligibility, seed, sample size, exactness, cache budget)
+//     tuple that determines which preprocessing artifacts they share.
+//     EngineStats.PlanGroups counts the groups.
+//  3. Each group runs its representative first, filling the shared
+//     preprocessing (skyline index, sampled functions, built instance),
+//     then releases the rest of the group concurrently onto the warm
+//     cache. Groups run concurrently with each other, bounded by
+//     Exec.Parallelism when set. Grouping is a planning heuristic, not
+//     a guarantee: a member whose K reaches the skyline size falls back
+//     to the full-candidate instance at execution time, so such mixed
+//     groups may still coalesce a second instance build on the
+//     singleflight path — correct either way, just less planned.
 //
 // Every member gets its own answer slot: one bad member yields an Err in
 // its slot while the rest of the batch completes. The returned slice
 // always has len(queries) entries, in order. The call-level error is
 // reserved for whole-batch failures (a closed Engine, an empty batch, a
-// canceled context).
+// canceled context, batch-level admission).
 //
 // Each member is answered exactly as Engine.Select/Engine.Evaluate would
 // answer it — same result cache, same Fingerprint keys, same
 // bit-identity guarantees — so a batch is semantically equivalent to a
-// loop, just amortized.
+// loop, just planned. Member Telemetry additionally reports QueueWait,
+// the time the member spent waiting for its plan slot.
 func (e *Engine) SelectBatch(ctx context.Context, queries []Query, exec Exec) ([]BatchResult, error) {
 	if e.closed.Load() {
 		return nil, ErrEngineClosed
@@ -51,8 +70,29 @@ func (e *Engine) SelectBatch(ctx context.Context, queries []Query, exec Exec) ([
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	// Batch-level admission: a batch whose deadline has already passed
+	// (or that arrives over its queue bound) is shed whole — cheaper for
+	// the caller to handle than len(queries) identical member sheds.
+	if err := e.admit(exec); err != nil {
+		return nil, err
+	}
 	e.batches.Add(1)
 	e.batchQueries.Add(uint64(len(queries)))
+
+	// MaxQueue admission was consumed by the batch-level check above:
+	// the members of an admitted batch fan out together, so their own
+	// helper tickets would count against the bound and an admitted batch
+	// would shed itself under zero external load — something a
+	// sequential loop (depth ~0 at each admit) never does. Deadline
+	// admission stays per member: a loop re-checks it before every
+	// Select too, so shedding not-yet-started members whose deadline
+	// passed is exactly loop-equivalent.
+	memberExec := exec
+	memberExec.MaxQueue = 0
+
+	pl := e.plan(queries)
+	e.planGroups.Add(uint64(len(pl.groups)))
+	e.plannedDedups.Add(uint64(len(pl.copies)))
 
 	out := make([]BatchResult, len(queries))
 	// Member fan-out width: the Exec's Parallelism when set (the batch is
@@ -64,18 +104,131 @@ func (e *Engine) SelectBatch(ctx context.Context, queries []Query, exec Exec) ([
 		width = len(queries)
 	}
 	sem := make(chan struct{}, width)
+	start := time.Now()
+	runMember := func(i int) {
+		sem <- struct{}{}
+		defer func() { <-sem }()
+		wait := time.Since(start)
+		out[i] = e.member(ctx, queries[i], memberExec)
+		if out[i].Telemetry != nil {
+			out[i].Telemetry.QueueWait = wait
+		}
+	}
 	var wg sync.WaitGroup
-	for i := range queries {
+	for _, g := range pl.groups {
 		wg.Add(1)
-		go func(i int) {
+		go func(g planGroup) {
 			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			out[i] = e.member(ctx, queries[i], exec)
-		}(i)
+			// The representative runs alone first: it fills the group's
+			// shared preprocessing exactly once, so the released members
+			// find a warm cache instead of a singleflight door.
+			runMember(g.rep)
+			var members sync.WaitGroup
+			for _, i := range g.rest {
+				members.Add(1)
+				go func(i int) {
+					defer members.Done()
+					runMember(i)
+				}(i)
+			}
+			members.Wait()
+		}(g)
 	}
 	wg.Wait()
+	// Planned duplicates copy their leader's slot after the fan-out —
+	// bit-identical to re-asking, without re-asking.
+	for dup, leader := range pl.copies {
+		out[dup] = copySlot(out[leader], queries[dup].ExplicitSet == nil)
+	}
 	return out, nil
+}
+
+// plan is the batch execution plan: fingerprint-deduplicated members
+// arranged into instance-key groups.
+type plan struct {
+	groups []planGroup
+	// copies maps a duplicate member index to the leader member whose
+	// slot it copies.
+	copies map[int]int
+}
+
+// planGroup is one set of members sharing preprocessing: rep runs
+// first, rest follow on the warm cache.
+type planGroup struct {
+	rep  int
+	rest []int
+}
+
+// plan dedupes and groups a batch. Grouping is best-effort: a member
+// whose query cannot be resolved or normalized gets its own group and
+// reports its real error from the member path — planning never
+// invents new failure modes.
+func (e *Engine) plan(queries []Query) plan {
+	leaders := make(map[string]int, len(queries))
+	copies := make(map[int]int)
+	groupIdx := make(map[string]int)
+	var groups []planGroup
+	for i, q := range queries {
+		if fp, err := q.Fingerprint(); err == nil {
+			if leader, ok := leaders[fp]; ok {
+				copies[i] = leader
+				continue
+			}
+			leaders[fp] = i
+		}
+		key := e.planKey(q, i)
+		if gi, ok := groupIdx[key]; ok {
+			groups[gi].rest = append(groups[gi].rest, i)
+		} else {
+			groupIdx[key] = len(groups)
+			groups = append(groups, planGroup{rep: i})
+		}
+	}
+	return plan{groups: groups, copies: copies}
+}
+
+// planKey derives the member's preprocessing-sharing key: the fields of
+// the instance cache key that are known before anything is built. The
+// skyline-eligibility flag stands in for the real instance class, which
+// also depends on the (not yet computed) skyline size vs K — members on
+// the wrong side of that comparison share preprocessing through
+// singleflight instead of the plan. Unresolvable members key uniquely
+// (by index) so they fail in their own slot without serializing behind
+// a group.
+func (e *Engine) planKey(q Query, i int) string {
+	reg, err := e.resolve(q)
+	if err != nil {
+		return fmt.Sprintf("solo|%d", i)
+	}
+	norm, err := deriveQuery(reg.ds, reg.dist, q, q.ExplicitSet == nil)
+	if err != nil {
+		return fmt.Sprintf("solo|%d", i)
+	}
+	return fmt.Sprintf("%s|sky=%t|seed=%d|N=%d|exact=%t|budget=%d",
+		reg.name, norm.useSkyline, q.Seed, norm.sampleSize, norm.discrete != nil,
+		effectiveBudget(q.CacheBudget))
+}
+
+// copySlot answers a planned duplicate from its leader's slot. A
+// selection duplicate is marked Cached — a sequential loop would have
+// answered it from the result cache the leader filled. Evaluation
+// duplicates keep the leader's flags verbatim: evaluations are
+// recomputed (deterministically) by a loop, so there is no cache bit to
+// set.
+func copySlot(leader BatchResult, selection bool) BatchResult {
+	if leader.Err != nil {
+		return BatchResult{Err: leader.Err}
+	}
+	res := copyResult(leader.Result)
+	if selection {
+		res.Cached = true
+	}
+	var tel *Telemetry
+	if leader.Telemetry != nil {
+		cp := *leader.Telemetry
+		tel = &cp
+	}
+	return BatchResult{Result: res, Telemetry: tel}
 }
 
 // member answers one batch slot: selection members go through the

@@ -1,0 +1,325 @@
+package fam
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// TestEngineBatchPlannedSharedInstance is the planner's acceptance
+// test: 8 queries sharing one preprocessing instance perform exactly
+// one representative fill per artifact — 3 prep-cache misses (skyline
+// index, sampled functions, built instance) and zero singleflight
+// coalescing, because the plan serializes the representative before
+// releasing the group instead of racing members into the cache. The
+// duplicated fingerprints are answered by exact planned dedups, marked
+// Cached exactly as a sequential loop would answer them. Run under
+// -race in CI.
+func TestEngineBatchPlannedSharedInstance(t *testing.T) {
+	fixtures := engineFixtures(t)
+	ctx := context.Background()
+
+	// A k-sweep on one dataset at one (seed, N): six distinct members
+	// plus two exact duplicates of the k=4 member — 8 queries, one
+	// instance key, 2 duplicated fingerprints.
+	queries := []Query{
+		{Dataset: "hotels", K: 2, Seed: 9, SampleSize: 120},
+		{Dataset: "hotels", K: 4, Seed: 9, SampleSize: 120},
+		{Dataset: "hotels", K: 6, Seed: 9, SampleSize: 120},
+		{Dataset: "hotels", K: 4, Seed: 9, SampleSize: 120}, // dup of [1]
+		{Dataset: "hotels", K: 8, Seed: 9, SampleSize: 120},
+		{Dataset: "hotels", K: 10, Seed: 9, SampleSize: 120},
+		{Dataset: "hotels", K: 4, Seed: 9, SampleSize: 120}, // dup of [1]
+		{Dataset: "hotels", K: 12, Seed: 9, SampleSize: 120},
+	}
+
+	// Ground truth: a sequential loop on a fresh engine.
+	loopEngine := newTestEngine(t, fixtures)
+	want := make([]*Result, len(queries))
+	for i, q := range queries {
+		res, _, err := loopEngine.Select(ctx, q, Exec{})
+		if err != nil {
+			t.Fatalf("loop slot %d: %v", i, err)
+		}
+		want[i] = res
+	}
+
+	batchEngine := newTestEngine(t, fixtures)
+	slots, err := batchEngine.SelectBatch(ctx, queries, Exec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, slot := range slots {
+		if slot.Err != nil {
+			t.Fatalf("slot %d: %v", i, slot.Err)
+		}
+		if len(slot.Result.Indices) != len(want[i].Indices) {
+			t.Fatalf("slot %d: %v, want %v", i, slot.Result.Indices, want[i].Indices)
+		}
+		for j := range want[i].Indices {
+			if slot.Result.Indices[j] != want[i].Indices[j] {
+				t.Fatalf("slot %d: %v, want %v", i, slot.Result.Indices, want[i].Indices)
+			}
+		}
+		if slot.Result.Metrics.ARR != want[i].Metrics.ARR {
+			t.Fatalf("slot %d: ARR %v, want %v", i, slot.Result.Metrics.ARR, want[i].Metrics.ARR)
+		}
+	}
+	// The duplicated members must be marked Cached — a sequential loop
+	// answers them from the result cache.
+	for _, dup := range []int{3, 6} {
+		if !slots[dup].Result.Cached {
+			t.Fatalf("duplicate slot %d not marked Cached", dup)
+		}
+	}
+
+	s := batchEngine.Stats()
+	if s.PrepCache.Misses != 3 {
+		t.Fatalf("prep fills = %d, want exactly 3 (sky, funcs, instance — one representative pass)", s.PrepCache.Misses)
+	}
+	if s.PrepCache.Coalesced != 0 {
+		t.Fatalf("prep coalesced = %d, want 0: planned batches must not rely on singleflight timing", s.PrepCache.Coalesced)
+	}
+	if s.PlanGroups != 1 {
+		t.Fatalf("plan groups = %d, want 1 (every member shares one instance key)", s.PlanGroups)
+	}
+	if s.PlannedDedups != 2 {
+		t.Fatalf("planned dedups = %d, want exactly 2", s.PlannedDedups)
+	}
+	// Deduped members never reach the solver: 6 distinct selects.
+	if s.Selects != 6 {
+		t.Fatalf("selects = %d, want 6 (2 members answered by planned dedup)", s.Selects)
+	}
+}
+
+// TestEngineBatchPlannedMatchesLoopAtPriorityMix: planned batches are
+// bit-identical to the sequential loop at any scheduling mix — low,
+// normal, and high classes, with and without (generous) deadlines, at
+// several widths. Scheduling orders helper grants; it must never touch
+// an answer. Run under -race in CI.
+func TestEngineBatchPlannedMatchesLoopAtPriorityMix(t *testing.T) {
+	fixtures := engineFixtures(t)
+	ctx := context.Background()
+
+	queries := []Query{
+		{Dataset: "hotels", K: 3, Seed: 9, SampleSize: 120},
+		{Dataset: "hotels", K: 5, Seed: 9, SampleSize: 120},
+		{Dataset: "hotels", K: 5, Seed: 9, SampleSize: 120}, // dup
+		{Dataset: "hotels", K: 5, Seed: 9, SampleSize: 120, Algorithm: GreedyAdd},
+		{Dataset: "grid2d", K: 3, Seed: 9, SampleSize: 120, Algorithm: DP2D},
+		{Dataset: "tiny", Seed: 9, SampleSize: 120, ExplicitSet: []int{0, 3, 5}},
+		{Dataset: "tiny", Seed: 9, SampleSize: 120, ExplicitSet: []int{0, 3, 5}}, // dup eval
+		{Dataset: "nope", K: 3},
+	}
+
+	loopEngine := newTestEngine(t, fixtures)
+	wantRes := make([]*Result, len(queries))
+	wantErr := make([]error, len(queries))
+	for i, q := range queries {
+		if q.ExplicitSet != nil {
+			m, err := loopEngine.Evaluate(ctx, q, Exec{})
+			if err != nil {
+				wantErr[i] = err
+				continue
+			}
+			wantRes[i] = &Result{Metrics: m}
+			continue
+		}
+		wantRes[i], _, wantErr[i] = loopEngine.Select(ctx, q, Exec{})
+	}
+
+	execs := []Exec{
+		{Priority: PriorityLow},
+		{Priority: PriorityHigh, Parallelism: 2},
+		{Priority: PriorityNormal, Deadline: time.Now().Add(time.Hour)},
+		{Priority: PriorityLow, Deadline: time.Now().Add(time.Hour), Parallelism: 1},
+	}
+	for ei, exec := range execs {
+		batchEngine := newTestEngine(t, fixtures)
+		slots, err := batchEngine.SelectBatch(ctx, queries, exec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, slot := range slots {
+			label := fmt.Sprintf("exec=%d slot=%d", ei, i)
+			if wantErr[i] != nil {
+				if slot.Err == nil || slot.Err.Error() != wantErr[i].Error() {
+					t.Fatalf("%s: err = %v, want %v", label, slot.Err, wantErr[i])
+				}
+				continue
+			}
+			if slot.Err != nil {
+				t.Fatalf("%s: unexpected error %v", label, slot.Err)
+			}
+			if queries[i].ExplicitSet != nil {
+				if slot.Result.Metrics.ARR != wantRes[i].Metrics.ARR {
+					t.Fatalf("%s: eval ARR %v, want %v", label, slot.Result.Metrics.ARR, wantRes[i].Metrics.ARR)
+				}
+				continue
+			}
+			if len(slot.Result.Indices) != len(wantRes[i].Indices) {
+				t.Fatalf("%s: %v, want %v", label, slot.Result.Indices, wantRes[i].Indices)
+			}
+			for j := range wantRes[i].Indices {
+				if slot.Result.Indices[j] != wantRes[i].Indices[j] {
+					t.Fatalf("%s: %v, want %v", label, slot.Result.Indices, wantRes[i].Indices)
+				}
+			}
+			if slot.Result.Metrics.ARR != wantRes[i].Metrics.ARR ||
+				slot.Result.ExactARR != wantRes[i].ExactARR ||
+				slot.Result.SkylineSize != wantRes[i].SkylineSize {
+				t.Fatalf("%s: metrics differ from loop", label)
+			}
+		}
+		if s := batchEngine.Stats(); s.PlannedDedups != 2 {
+			t.Fatalf("exec=%d: planned dedups = %d, want exactly 2 (one select dup, one eval dup)", ei, s.PlannedDedups)
+		}
+	}
+}
+
+// TestEngineAdmissionShedsExpiredDeadline: a query whose deadline has
+// already passed is shed before any solver work — typed ErrShed,
+// counted in EngineStats.Shed, and never stored in any cache.
+func TestEngineAdmissionShedsExpiredDeadline(t *testing.T) {
+	e := newTestEngine(t, engineFixtures(t))
+	ctx := context.Background()
+	expired := Exec{Deadline: time.Now().Add(-time.Second)}
+
+	if _, _, err := e.Select(ctx, Query{Dataset: "hotels", K: 3, SampleSize: 100}, expired); !errors.Is(err, ErrShed) {
+		t.Fatalf("expired select: %v, want ErrShed", err)
+	}
+	if _, err := e.Evaluate(ctx, Query{Dataset: "hotels", SampleSize: 100, ExplicitSet: []int{0, 1}}, expired); !errors.Is(err, ErrShed) {
+		t.Fatalf("expired evaluate: %v, want ErrShed", err)
+	}
+	if _, err := e.SelectBatch(ctx, []Query{{Dataset: "hotels", K: 3, SampleSize: 100}}, expired); !errors.Is(err, ErrShed) {
+		t.Fatalf("expired batch: %v, want ErrShed", err)
+	}
+	s := e.Stats()
+	if s.Shed != 3 {
+		t.Fatalf("shed = %d, want 3", s.Shed)
+	}
+	if s.Selects != 0 || s.Evaluates != 0 || s.PrepCache.Misses != 0 || s.ResultCache.Misses != 0 {
+		t.Fatalf("shed queries touched the engine: %+v", s)
+	}
+
+	// A live deadline admits and completes.
+	res, _, err := e.Select(ctx, Query{Dataset: "hotels", K: 3, SampleSize: 100},
+		Exec{Deadline: time.Now().Add(time.Hour), Priority: PriorityHigh})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Indices) != 3 {
+		t.Fatalf("admitted select returned %v", res.Indices)
+	}
+
+	// One-shot queries apply the same admission.
+	fixtures := engineFixtures(t)
+	oneShot := Query{Data: fixtures[0].ds, Dist: fixtures[0].dist, K: 3, SampleSize: 100}
+	if _, _, err := Select(ctx, oneShot, expired); !errors.Is(err, ErrShed) {
+		t.Fatalf("expired one-shot select: %v, want ErrShed", err)
+	}
+}
+
+// TestExecMaxQueueAdmission pins the queue-depth admission rule at the
+// Exec level with a deterministic depth probe.
+func TestExecMaxQueueAdmission(t *testing.T) {
+	depth := func(d int) func() int { return func() int { return d } }
+	if err := (Exec{MaxQueue: 4}).admit(depth(5)); !errors.Is(err, ErrShed) {
+		t.Fatalf("depth 5 > MaxQueue 4: %v, want ErrShed", err)
+	}
+	if err := (Exec{MaxQueue: 4}).admit(depth(4)); err != nil {
+		t.Fatalf("depth 4 <= MaxQueue 4 shed: %v", err)
+	}
+	if err := (Exec{}).admit(depth(1 << 20)); err != nil {
+		t.Fatalf("MaxQueue 0 must accept any depth: %v", err)
+	}
+}
+
+// TestPriorityRoundTrip pins the Priority text forms used by flags,
+// JSON, and headers.
+func TestPriorityRoundTrip(t *testing.T) {
+	for _, p := range []Priority{PriorityLow, PriorityNormal, PriorityHigh} {
+		got, err := ParsePriority(p.String())
+		if err != nil || got != p {
+			t.Fatalf("ParsePriority(%q) = %v, %v", p.String(), got, err)
+		}
+		text, err := p.MarshalText()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back Priority
+		if err := back.UnmarshalText(text); err != nil || back != p {
+			t.Fatalf("text round-trip of %v: %v, %v", p, back, err)
+		}
+	}
+	if _, err := ParsePriority("urgent"); !errors.Is(err, ErrBadOptions) {
+		t.Fatalf("unknown priority: %v", err)
+	}
+	if p, err := ParsePriority(""); err != nil || p != PriorityNormal {
+		t.Fatalf("empty priority: %v, %v", p, err)
+	}
+}
+
+// TestEngineBatchQueueWaitTelemetry: batch members report the time they
+// waited for their plan slot; released members of a group cannot start
+// before their representative finished.
+func TestEngineBatchQueueWaitTelemetry(t *testing.T) {
+	e := newTestEngine(t, engineFixtures(t))
+	ctx := context.Background()
+	queries := []Query{
+		{Dataset: "hotels", K: 3, Seed: 9, SampleSize: 120},
+		{Dataset: "hotels", K: 5, Seed: 9, SampleSize: 120},
+	}
+	slots, err := e.SelectBatch(ctx, queries, Exec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, slot := range slots {
+		if slot.Err != nil {
+			t.Fatalf("slot %d: %v", i, slot.Err)
+		}
+		if slot.Telemetry == nil {
+			t.Fatalf("slot %d: no telemetry", i)
+		}
+		if slot.Telemetry.QueueWait < 0 {
+			t.Fatalf("slot %d: negative queue wait %v", i, slot.Telemetry.QueueWait)
+		}
+	}
+	// The released member (k=5 shares the representative's instance)
+	// waited at least as long as the representative's start-to-start gap;
+	// both waits are reported, and direct Selects report none.
+	res, tel, err := e.Select(ctx, Query{Dataset: "hotels", K: 7, Seed: 9, SampleSize: 120}, Exec{})
+	if err != nil || res == nil {
+		t.Fatal(err)
+	}
+	if tel.QueueWait != 0 {
+		t.Fatalf("direct select reported queue wait %v", tel.QueueWait)
+	}
+}
+
+// TestEngineBatchMaxQueueAdmittedOnce: MaxQueue admits or sheds the
+// batch as a whole; the members of an admitted batch must not shed on
+// the queue depth their own siblings create. A tiny bound on an idle
+// engine therefore answers every slot.
+func TestEngineBatchMaxQueueAdmittedOnce(t *testing.T) {
+	e := newTestEngine(t, engineFixtures(t))
+	ctx := context.Background()
+	queries := make([]Query, 8)
+	for i := range queries {
+		queries[i] = Query{Dataset: "hotels", K: 2 + i, Seed: 9, SampleSize: 120}
+	}
+	slots, err := e.SelectBatch(ctx, queries, Exec{MaxQueue: 1, Parallelism: 8})
+	if err != nil {
+		t.Fatalf("idle batch with MaxQueue 1 shed whole: %v", err)
+	}
+	for i, slot := range slots {
+		if slot.Err != nil {
+			t.Fatalf("slot %d shed by its own siblings: %v", i, slot.Err)
+		}
+	}
+	if s := e.Stats(); s.Shed != 0 {
+		t.Fatalf("shed = %d on an idle engine, want 0", s.Shed)
+	}
+}

@@ -16,7 +16,9 @@ import (
 	"os"
 	"time"
 
+	fam "github.com/regretlab/fam"
 	"github.com/regretlab/fam/internal/experiments"
+	"github.com/regretlab/fam/internal/sched"
 )
 
 func main() {
@@ -34,6 +36,7 @@ func run(args []string) error {
 		seed    = fs.Uint64("seed", 1, "random seed")
 		workers = fs.Int("workers", 0, "worker goroutines per instance (0 = all CPUs, 1 = serial; tables are identical, timings change)")
 		lazyB   = fs.Int("lazy-batch", 0, "lazy strategy refresh batch size (<=1 = serial pop-refresh; tables are identical, lazy work counters change)")
+		prio    = fs.String("priority", "", "scheduling class for the run's fan-outs: low|normal|high (tables are identical at any class)")
 		list    = fs.Bool("list", false, "list experiments and exit")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -52,7 +55,12 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	cfg := experiments.Config{Scale: sc, Seed: *seed, Exec: experiments.Exec{Parallelism: *workers, LazyBatch: *lazyB}}
+	pr, err := fam.ParsePriority(*prio)
+	if err != nil {
+		return err
+	}
+	cfg := experiments.Config{Scale: sc, Seed: *seed,
+		Exec: experiments.Exec{Parallelism: *workers, LazyBatch: *lazyB, Priority: sched.Priority(pr)}}
 	ctx := context.Background()
 
 	runners := experiments.All()

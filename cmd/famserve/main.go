@@ -9,9 +9,14 @@
 //	famserve -datasets "hotels:500,catalog=synthetic:10000:6:anticorrelated:3" -workers 8
 //
 // Endpoints: GET /v1/datasets, POST /v1/datasets (CSV upload),
-// POST /v1/select, POST /v1/evaluate, GET /v1/stats, and the batched
-// POST /v2/select (array of semantic queries + one exec policy block,
-// per-member error slots). The server shuts down gracefully on
+// POST /v1/select, POST /v1/evaluate, GET /v1/stats (frozen v1 shims),
+// and the v2 surface: the batched POST /v2/select (array of semantic
+// queries + one exec policy block with per-request priority, deadline,
+// and max_queue; per-member error slots) plus GET /v2/datasets,
+// POST /v2/datasets, and GET /v2/stats with the typed {code, message}
+// error envelope. Scheduling is also reachable via the X-Fam-Priority /
+// X-Fam-Deadline-Ms / X-Fam-Max-Queue headers on any query endpoint;
+// shed requests answer 429. The server shuts down gracefully on
 // SIGINT/SIGTERM: in-flight requests get -shutdown-grace to finish
 // before the listener and the engine close.
 //
@@ -59,6 +64,8 @@ func run(args []string, out io.Writer) error {
 		resTTL   = fs.Duration("result-ttl", 0, "result cache entry lifetime (0 = never expire)")
 		uploadMB = fs.Int64("max-upload-mb", 0, "CSV upload size cap in MiB for POST /v1/datasets (0 = default 32, negative = uploads disabled)")
 		batchCap = fs.Int("max-batch", 0, "maximum queries per POST /v2/select batch (0 = default 256)")
+		policy   = fs.String("grant-policy", fam.GrantPolicyEDF, "worker-pool helper-grant policy: edf (weighted priority + earliest-deadline-first) or fifo (arrival order)")
+		maxQueue = fs.Int("max-queue", 0, "shed requests (429) arriving while more helper requests than this are queued, unless the request sets its own max_queue (0 = no server-side bound)")
 		specs    = fs.String("datasets", "hotels:200", "comma-separated dataset specs: [name=]kind[:n[:seed]] or [name=]synthetic[:n[:d[:corr[:seed]]]]")
 		ces      = fs.Float64("ces", 0, "use CES utilities with this rho for every dataset (0 = uniform linear)")
 		grace    = fs.Duration("shutdown-grace", 10*time.Second, "graceful-shutdown window for in-flight requests")
@@ -69,6 +76,9 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 
+	if *policy != fam.GrantPolicyEDF && *policy != fam.GrantPolicyFIFO {
+		return fmt.Errorf("unknown -grant-policy %q (want %s|%s)", *policy, fam.GrantPolicyEDF, fam.GrantPolicyFIFO)
+	}
 	engine, infos, err := buildEngine(fam.EngineConfig{
 		Workers:          *workers,
 		PrepCacheSize:    *prepCap,
@@ -77,6 +87,7 @@ func run(args []string, out io.Writer) error {
 		ResultCacheBytes: *resMB << 20,
 		PrepCacheTTL:     *prepTTL,
 		ResultCacheTTL:   *resTTL,
+		GrantPolicy:      *policy,
 	}, *specs, *ces)
 	if err != nil {
 		return err
@@ -93,6 +104,7 @@ func run(args []string, out io.Writer) error {
 	handler := serve.NewHandlerConfig(engine, serve.HandlerConfig{
 		MaxUploadBytes:  maxUpload,
 		MaxBatchQueries: *batchCap,
+		MaxQueue:        *maxQueue,
 	})
 	srv := &http.Server{Addr: *addr, Handler: handler}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

@@ -12,7 +12,9 @@ import (
 	"github.com/regretlab/fam/internal/core"
 	ecache "github.com/regretlab/fam/internal/engine"
 	"github.com/regretlab/fam/internal/par"
+	"github.com/regretlab/fam/internal/sched"
 	"github.com/regretlab/fam/internal/skyline"
+	"github.com/regretlab/fam/internal/utility"
 )
 
 // Engine is the long-lived serving counterpart of the one-shot Select: a
@@ -51,8 +53,14 @@ type Engine struct {
 	evaluates    atomic.Uint64
 	batches      atomic.Uint64
 	batchQueries atomic.Uint64
-	closed       atomic.Bool
-	start        time.Time
+	// sheds counts queries rejected by engine admission control (deadline
+	// already passed, grant queue over the request's MaxQueue);
+	// plannedDedups and planGroups report the batch planner's work.
+	sheds         atomic.Uint64
+	plannedDedups atomic.Uint64
+	planGroups    atomic.Uint64
+	closed        atomic.Bool
+	start         time.Time
 }
 
 // registration binds a registered dataset to its distribution Θ. Both
@@ -93,7 +101,19 @@ type EngineConfig struct {
 	// touches it.
 	PrepCacheTTL   time.Duration
 	ResultCacheTTL time.Duration
+	// GrantPolicy selects how the shared pool orders queued helper
+	// requests under load: "edf" (the default — weighted priority
+	// classes, earliest-deadline-first within a class, arrival order as
+	// the tie-break) or "fifo" (strict arrival order, the pre-scheduling
+	// behavior). Unknown names fall back to the default.
+	GrantPolicy string
 }
+
+// Grant policy names accepted by EngineConfig.GrantPolicy.
+const (
+	GrantPolicyEDF  = "edf"
+	GrantPolicyFIFO = "fifo"
+)
 
 // DefaultPrepCacheSize and DefaultResultCacheSize are the zero-value
 // capacities of EngineConfig.
@@ -115,8 +135,12 @@ var ErrEngineClosed = errors.New("fam: engine is closed")
 // NewEngine starts an Engine. Callers own its lifecycle: Close it when
 // the serving process shuts down.
 func NewEngine(cfg EngineConfig) *Engine {
+	var policy sched.Policy
+	if cfg.GrantPolicy == GrantPolicyFIFO {
+		policy = sched.FIFO{}
+	}
 	return &Engine{
-		pool: par.NewPool(cfg.Workers),
+		pool: par.NewPoolConfig(par.Config{Size: cfg.Workers, Policy: policy}),
 		prep: ecache.NewCacheConfig(ecache.Config{
 			MaxEntries: capacity(cfg.PrepCacheSize, DefaultPrepCacheSize),
 			MaxBytes:   cfg.PrepCacheBytes,
@@ -262,9 +286,20 @@ func (e *Engine) Select(ctx context.Context, q Query, exec Exec) (*Result, *Tele
 	if err != nil {
 		return nil, nil, err
 	}
+	if err := e.admit(exec); err != nil {
+		return nil, nil, err
+	}
+	// The requester waits under its deadline; the detached fill keeps
+	// the priority class and the deadline as a soft ordering signal
+	// only (a fill that outlives its triggering request is shared
+	// infrastructure — completing and caching it serves the next
+	// arrival).
+	ctx, cancel := exec.schedContext(ctx)
+	defer cancel()
 	e.selects.Add(1)
 
 	v, hit, err := e.results.Do(ctx, "res|"+fp, func(fillCtx context.Context) (any, error) {
+		fillCtx = sched.NewContext(fillCtx, exec.fillAttrs())
 		prepStart := time.Now()
 		prep, err := e.prepare(fillCtx, reg, q, norm, exec)
 		if err != nil {
@@ -320,6 +355,11 @@ func (e *Engine) evaluate(ctx context.Context, q Query, exec Exec) (Metrics, *re
 	if err := ctx.Err(); err != nil {
 		return Metrics{}, nil, nil, err
 	}
+	if err := e.admit(exec); err != nil {
+		return Metrics{}, nil, nil, err
+	}
+	ctx, cancel := exec.schedContext(ctx)
+	defer cancel()
 	e.evaluates.Add(1)
 	prepStart := time.Now()
 	prep, err := e.prepare(ctx, reg, q, norm, exec)
@@ -374,8 +414,18 @@ func (e *Engine) prepare(ctx context.Context, reg *registration, q Query, norm n
 		candidates: master.candidates,
 		funcs:      master.funcs,
 		weights:    master.weights,
-		in:         master.in.WithExecution(exec.Parallelism, exec.LazyBatch, e.pool),
+		in:         master.in.WithExecution(exec.Parallelism, exec.LazyBatch, e.pool, exec.fillAttrs()),
 	}, nil
+}
+
+// admit applies admission control against the shared pool's grant
+// queue, counting sheds.
+func (e *Engine) admit(exec Exec) error {
+	if err := exec.admit(e.pool.QueueDepth); err != nil {
+		e.sheds.Add(1)
+		return err
+	}
+	return nil
 }
 
 // candidates resolves the query's candidate set: the cached skyline when
@@ -386,8 +436,11 @@ func (e *Engine) candidates(ctx context.Context, reg *registration, q Query, nor
 		return identity(reg.ds.N()), "full", nil
 	}
 	// Workers 0 (full width): see the instance fill — shared builds do
-	// not inherit one request's Exec.
+	// not inherit one request's Exec. Likewise attr-neutral scheduling:
+	// a dataset-wide artifact is not one request's work, so its fan-outs
+	// run at the normal class with no deadline.
 	v, _, err := e.prep.Do(ctx, "sky|"+reg.name, func(fillCtx context.Context) (any, error) {
+		fillCtx = sched.NewContext(fillCtx, sched.Attrs{})
 		return skyline.ComputeOpts(fillCtx, reg.ds.Points, skyline.ComputeOptions{Pool: e.pool})
 	})
 	if err != nil {
@@ -460,30 +513,43 @@ func answerSize(v any) int64 {
 	return size
 }
 
-// prepSize estimates the resident bytes of one preprocessing-cache
-// entry: skyline indexes and function sets are small; built instances
-// are dominated by the materialized N×n utility matrix.
+// prepSize reports the resident bytes of one preprocessing-cache entry
+// exactly: skyline indexes and candidate/weight slices by length, the
+// sampled function set through utility.Footprint (each function's real
+// weight-vector payload), and built instances through
+// core.Instance.MemoryFootprint (the materialized N×n utility matrix
+// plus the satisfaction/best-point indexes). Instances share their
+// function set with the funcs|… entry, so the functions are counted
+// once there and the instance entry adds only the interface headers
+// referencing them.
 func prepSize(v any) int64 {
+	const sliceHeader = 24
 	switch t := v.(type) {
 	case []int: // skyline index
-		return 24 + int64(len(t))*8
-	case []UtilityFunc: // sampled functions (weight vectors dominate)
-		return 24 + int64(len(t))*64
+		return sliceHeader + int64(len(t))*8
+	case []UtilityFunc: // sampled functions
+		return funcsSize(t)
 	case *prepared:
-		size := int64(256)
+		size := int64(sliceHeader * 4) // struct and slice headers
 		size += int64(len(t.candidates)) * 8
-		size += int64(len(t.funcs)) * 64
+		size += int64(len(t.funcs)) * 16 // interface headers; payloads owned by the funcs entry
 		size += int64(len(t.weights)) * 8
-		if t.in != nil && t.in.Cached() {
-			size += int64(t.in.NumPoints()) * int64(t.in.NumFuncs()) * 8
-		}
 		if t.in != nil {
-			size += int64(t.in.NumFuncs()) * 16 // best-point / satisfaction indexes
+			size += t.in.MemoryFootprint()
 		}
 		return size
 	default:
 		return 0
 	}
+}
+
+// funcsSize sums the exact payload bytes of a sampled function set.
+func funcsSize(funcs []UtilityFunc) int64 {
+	size := int64(24) + int64(len(funcs))*16 // slice + interface headers
+	for _, f := range funcs {
+		size += utility.Footprint(f)
+	}
+	return size
 }
 
 // EngineStats is a point-in-time snapshot of an Engine's serving
@@ -502,6 +568,18 @@ type EngineStats struct {
 	// Evaluates).
 	Batches      uint64 `json:"batches"`
 	BatchQueries uint64 `json:"batch_queries"`
+	// Shed counts queries rejected by engine admission control: their
+	// deadline had already passed on arrival, or the grant queue was
+	// deeper than their MaxQueue bound. Shed queries consumed no solver
+	// time and do not count in Selects/Evaluates.
+	Shed uint64 `json:"shed"`
+	// PlannedDedups counts batch members answered by copying another
+	// member with the same Fingerprint (the planner's within-batch
+	// dedup — those members never reach the solver or the counters
+	// above); PlanGroups counts the instance-key groups batches were
+	// planned into.
+	PlannedDedups uint64 `json:"planned_dedups"`
+	PlanGroups    uint64 `json:"plan_groups"`
 	// PrepCache tracks the preprocessing artifacts (skyline indexes,
 	// sampled function sets, built instances); ResultCache tracks whole
 	// query answers. Coalesced counts the singleflight savings: queries
@@ -510,6 +588,10 @@ type EngineStats struct {
 	// EngineConfig.
 	PrepCache   CacheStats `json:"prep_cache"`
 	ResultCache CacheStats `json:"result_cache"`
+	// Sched reports the shared pool's grant-queue counters: the active
+	// policy, grants and their summed queue wait, pool-level sheds, and
+	// the current queue depth.
+	Sched SchedStats `json:"sched"`
 	// Uptime is the time since NewEngine.
 	Uptime time.Duration `json:"uptime_ns"`
 }
@@ -517,20 +599,28 @@ type EngineStats struct {
 // CacheStats re-exports the cache counter snapshot used in EngineStats.
 type CacheStats = ecache.CacheStats
 
+// SchedStats re-exports the grant-queue counter snapshot used in
+// EngineStats.
+type SchedStats = sched.Stats
+
 // Stats returns a snapshot of the Engine's counters.
 func (e *Engine) Stats() EngineStats {
 	e.mu.RLock()
 	n := len(e.datasets)
 	e.mu.RUnlock()
 	return EngineStats{
-		Datasets:     n,
-		PoolWorkers:  e.pool.Size(),
-		Selects:      e.selects.Load(),
-		Evaluates:    e.evaluates.Load(),
-		Batches:      e.batches.Load(),
-		BatchQueries: e.batchQueries.Load(),
-		PrepCache:    e.prep.Stats(),
-		ResultCache:  e.results.Stats(),
-		Uptime:       time.Since(e.start),
+		Datasets:      n,
+		PoolWorkers:   e.pool.Size(),
+		Selects:       e.selects.Load(),
+		Evaluates:     e.evaluates.Load(),
+		Batches:       e.batches.Load(),
+		BatchQueries:  e.batchQueries.Load(),
+		Shed:          e.sheds.Load(),
+		PlannedDedups: e.plannedDedups.Load(),
+		PlanGroups:    e.planGroups.Load(),
+		PrepCache:     e.prep.Stats(),
+		ResultCache:   e.results.Stats(),
+		Sched:         e.pool.SchedStats(),
+		Uptime:        time.Since(e.start),
 	}
 }

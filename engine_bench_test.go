@@ -169,3 +169,57 @@ func BenchmarkEngineBatch(b *testing.B) {
 		}
 	})
 }
+
+// BenchmarkEngineBatchPlanned measures the batch planner on a
+// duplicate-heavy panel: a k-sweep where every query appears twice (the
+// shape of a dashboard fan-out where several tenants ask the same
+// panel). The planner answers the duplicates by copying their leader's
+// slot — zero solver work, exact PlannedDedups — and fills the shared
+// preprocessing with one representative pass, no singleflight races.
+func BenchmarkEngineBatchPlanned(b *testing.B) {
+	ds, err := Synthetic(10_000, 6, Anticorrelated, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dist, err := UniformLinear(ds.Dim())
+	if err != nil {
+		b.Fatal(err)
+	}
+	batch := make([]Query, 16)
+	for i := 0; i < 8; i++ {
+		q := Query{Dataset: "bench", K: 2 + 2*i, Seed: 7, SampleSize: 200}
+		batch[2*i] = q
+		batch[2*i+1] = q // exact duplicate — planner dedup, not a re-solve
+	}
+	ctx := context.Background()
+
+	b.Run("planned/dup-sweep=16", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			e := NewEngine(EngineConfig{})
+			if err := e.Register("bench", ds, dist); err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+			slots, err := e.SelectBatch(ctx, batch, Exec{})
+			b.StopTimer()
+			if err != nil {
+				b.Fatal(err)
+			}
+			for j, slot := range slots {
+				if slot.Err != nil {
+					b.Fatalf("slot %d: %v", j, slot.Err)
+				}
+			}
+			s := e.Stats()
+			if s.PlannedDedups != 8 {
+				b.Fatalf("planned dedups = %d, want 8", s.PlannedDedups)
+			}
+			if s.PrepCache.Misses != 3 || s.PrepCache.Coalesced != 0 {
+				b.Fatalf("prep fills = %d coalesced = %d, want 3 and 0", s.PrepCache.Misses, s.PrepCache.Coalesced)
+			}
+			e.Close()
+			b.StartTimer()
+		}
+	})
+}

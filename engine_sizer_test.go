@@ -1,0 +1,74 @@
+package fam
+
+import (
+	"context"
+	"testing"
+
+	"github.com/regretlab/fam/internal/core"
+	"github.com/regretlab/fam/internal/utility"
+)
+
+// TestPrepSizeExact pins the prep-cache sizers to the real artifact
+// sizes: the matrix-dominated instance footprint from
+// core.Instance.MemoryFootprint and per-function payloads from
+// utility.Footprint, replacing the old static 64 B/func and 8 B/cell
+// estimates.
+func TestPrepSizeExact(t *testing.T) {
+	const sliceHeader = 24
+
+	// Skyline index: exact element bytes.
+	if got, want := prepSize(make([]int, 100)), int64(sliceHeader+100*8); got != want {
+		t.Fatalf("skyline size = %d, want %d", got, want)
+	}
+
+	// Function sets: real weight-vector payloads, not 64 B flat.
+	funcs := make([]UtilityFunc, 10)
+	for i := range funcs {
+		funcs[i] = utility.Linear{W: make([]float64, 3)}
+	}
+	perFunc := int64(sliceHeader + 3*8) // Footprint of a 3-d Linear
+	wantFuncs := int64(sliceHeader) + 10*16 + 10*perFunc
+	if got := prepSize(funcs); got != wantFuncs {
+		t.Fatalf("funcs size = %d, want %d", got, wantFuncs)
+	}
+	if utility.Footprint(utility.Linear{W: make([]float64, 1000)}) != sliceHeader+8000 {
+		t.Fatal("Linear footprint is not exact")
+	}
+
+	// Built instance: the N×n matrix plus the satisfaction/best-point
+	// indexes, exactly.
+	points := [][]float64{{1, 0}, {0, 1}, {0.5, 0.5}, {0.2, 0.9}}
+	in, err := core.NewInstance(points, []utility.Func{
+		utility.Linear{W: []float64{0.3, 0.7}},
+		utility.Linear{W: []float64{0.9, 0.1}},
+	}, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, N := int64(4), int64(2)
+	wantIn := N*n*8 + N*sliceHeader + sliceHeader + // cached matrix
+		sliceHeader + N*8 + // satD
+		sliceHeader + N*4 // bestD
+	if got := in.MemoryFootprint(); got != wantIn {
+		t.Fatalf("instance footprint = %d, want %d", got, wantIn)
+	}
+	p := &prepared{
+		candidates: []int{0, 1, 2, 3},
+		funcs:      []UtilityFunc{utility.Linear{W: []float64{0.3, 0.7}}, utility.Linear{W: []float64{0.9, 0.1}}},
+		in:         in,
+	}
+	wantPrep := int64(sliceHeader*4) + 4*8 + 2*16 + wantIn
+	if got := prepSize(p); got != wantPrep {
+		t.Fatalf("prepared size = %d, want %d", got, wantPrep)
+	}
+
+	// An engine-served query accounts real bytes in the stats.
+	e := newTestEngine(t, engineFixtures(t))
+	if _, _, err := e.Select(context.Background(), Query{Dataset: "hotels", K: 3, SampleSize: 50}, Exec{}); err != nil {
+		t.Fatal(err)
+	}
+	s := e.Stats()
+	if s.PrepCache.Bytes == 0 {
+		t.Fatal("prep cache reports zero bytes after a cold select")
+	}
+}

@@ -16,6 +16,7 @@ import (
 
 	"github.com/regretlab/fam/internal/par"
 	"github.com/regretlab/fam/internal/point"
+	"github.com/regretlab/fam/internal/sched"
 	"github.com/regretlab/fam/internal/utility"
 )
 
@@ -38,9 +39,10 @@ type Instance struct {
 	cache     [][]float64 // optional N x n utility matrix
 	cacheUsed bool
 
-	par       int       // requested worker bound for preprocessing and query (0 = all CPUs)
-	lazyBatch int       // lazy-strategy refresh batch size (<=1 = serial refresh)
-	pool      *par.Pool // externally owned worker pool; nil spawns per-call goroutines
+	par       int         // requested worker bound for preprocessing and query (0 = all CPUs)
+	lazyBatch int         // lazy-strategy refresh batch size (<=1 = serial refresh)
+	pool      *par.Pool   // externally owned worker pool; nil spawns per-call goroutines
+	sched     sched.Attrs // default scheduling attrs for pool fan-outs
 }
 
 // Options configures instance construction.
@@ -83,6 +85,13 @@ type Options struct {
 	// of each fan-out, so results remain bit-identical with or without a
 	// pool. Nil keeps the one-shot spawn-per-call behavior.
 	Pool *par.Pool
+	// Sched tags the instance's pool fan-outs with scheduling attributes
+	// (priority class, deadline) for the pool's grant policy whenever the
+	// dispatch context does not already carry its own — request-level
+	// attrs attached via sched.NewContext always win. Scheduling changes
+	// when work is granted helpers, never what it computes: block
+	// decomposition and every reduction are unaffected.
+	Sched sched.Attrs
 }
 
 // DefaultCacheBudget caps the utility cache at 32M entries (256 MB).
@@ -140,6 +149,7 @@ func NewInstance(points [][]float64, funcs []utility.Func, opts Options) (*Insta
 	in.par = opts.Parallelism
 	in.lazyBatch = opts.LazyBatch
 	in.pool = opts.Pool
+	in.sched = opts.Sched
 	in.satD = make([]float64, N)
 	in.bestD = make([]int32, N)
 	// Preprocessing is embarrassingly parallel across users: each worker
@@ -149,7 +159,7 @@ func NewInstance(points [][]float64, funcs []utility.Func, opts Options) (*Insta
 	// invalid utility is always the one surfaced.
 	workers := par.Workers(opts.Parallelism, N)
 	errs := make([]error, workers)
-	if err := in.pool.Shards(context.Background(), workers, N, func(w, lo, hi int) {
+	if err := in.pool.Shards(sched.ContextWithDefault(context.Background(), opts.Sched), workers, N, func(w, lo, hi int) {
 		errs[w] = in.preprocessUsers(lo, hi)
 	}); err != nil {
 		return nil, err
@@ -224,6 +234,28 @@ func (in *Instance) DegenerateUsers() int { return in.degen }
 
 // Cached reports whether the N×n utility matrix was materialized.
 func (in *Instance) Cached() bool { return in.cacheUsed }
+
+// MemoryFootprint returns the exact resident bytes of the instance's
+// owned preprocessing artifacts: the materialized utility matrix (when
+// cached), the satisfaction and best-point indexes, and the user
+// weights. Points and Funcs are shared references (the dataset and the
+// sampled-function cache own them) and are deliberately excluded —
+// callers sizing a cache entry account for them once at their owner.
+func (in *Instance) MemoryFootprint() int64 {
+	const sliceHeader = 24
+	n, N := int64(len(in.Points)), int64(len(in.Funcs))
+	var size int64
+	if in.cacheUsed {
+		// One flat N×n backing array plus N row headers.
+		size += N*n*8 + N*sliceHeader + sliceHeader
+	}
+	size += sliceHeader + N*8 // satD
+	size += sliceHeader + N*4 // bestD
+	if in.wt != nil {
+		size += sliceHeader + N*8
+	}
+	return size
+}
 
 // BestInDatabase returns user u's best point index in D (-1 if degenerate)
 // and their satisfaction from the full database.

@@ -6,6 +6,7 @@ import (
 
 	"github.com/regretlab/fam/internal/rng"
 	"github.com/regretlab/fam/internal/sampling"
+	"github.com/regretlab/fam/internal/sched"
 	"github.com/regretlab/fam/internal/utility"
 )
 
@@ -206,5 +207,62 @@ func TestEvaluateMetrics(t *testing.T) {
 	m2, err := in.Evaluate([]int{0}, []float64{50})
 	if err != nil || len(m2.Percentiles) != 1 {
 		t.Fatalf("custom levels: %v %v", m2.Percentiles, err)
+	}
+}
+
+// TestInstanceMemoryFootprint pins the exact-size accounting the
+// serving cache's byte budgets rely on, for cached, uncached, and
+// weighted instances, and checks WithExecution clones carry their
+// execution knobs without copying artifacts.
+func TestInstanceMemoryFootprint(t *testing.T) {
+	points := [][]float64{{1, 0}, {0, 1}, {0.4, 0.7}}
+	funcs := []utility.Func{
+		utility.Linear{W: []float64{0.5, 0.5}},
+		utility.Linear{W: []float64{0.9, 0.1}},
+	}
+	const sliceHeader = 24
+	n, N := int64(3), int64(2)
+
+	cached, err := NewInstance(points, funcs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := N*n*8 + N*sliceHeader + sliceHeader + // matrix
+		sliceHeader + N*8 + sliceHeader + N*4 // satD + bestD
+	if got := cached.MemoryFootprint(); got != want {
+		t.Fatalf("cached footprint = %d, want %d", got, want)
+	}
+
+	uncached, err := NewInstance(points, funcs, Options{CacheBudget: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := uncached.MemoryFootprint(), sliceHeader+N*8+sliceHeader+N*4; got != want {
+		t.Fatalf("uncached footprint = %d, want %d", got, want)
+	}
+
+	weighted, err := NewInstance(points, funcs, Options{Weights: []float64{0.3, 0.7}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := weighted.MemoryFootprint(); got != want+sliceHeader+N*8 {
+		t.Fatalf("weighted footprint = %d, want %d", got, want+sliceHeader+N*8)
+	}
+
+	// WithExecution: knobs move, artifacts (and their accounting) don't.
+	clone := cached.WithExecution(3, 7, nil, sched.Attrs{Priority: sched.High})
+	if clone.Parallelism() != 3 || clone.LazyBatch() != 7 || clone.Pool() != nil {
+		t.Fatalf("clone knobs = (%d, %d, %v)", clone.Parallelism(), clone.LazyBatch(), clone.Pool())
+	}
+	if clone.MemoryFootprint() != cached.MemoryFootprint() {
+		t.Fatal("clone accounts different bytes than its parent")
+	}
+	cached.SetParallelism(5)
+	if cached.Parallelism() != 5 || clone.Parallelism() != 3 {
+		t.Fatal("SetParallelism leaked between clone and parent")
+	}
+	cached.SetLazyBatch(9)
+	if cached.LazyBatch() != 9 {
+		t.Fatal("SetLazyBatch did not stick")
 	}
 }

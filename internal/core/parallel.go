@@ -4,6 +4,7 @@ import (
 	"context"
 
 	"github.com/regretlab/fam/internal/par"
+	"github.com/regretlab/fam/internal/sched"
 )
 
 // Parallelism returns the worker bound configured for this instance:
@@ -40,17 +41,19 @@ func (in *Instance) SetLazyBatch(b int) { in.lazyBatch = b }
 func (in *Instance) Pool() *par.Pool { return in.pool }
 
 // WithExecution returns a shallow clone of the instance with different
-// execution knobs: worker bound, lazy refresh batch, and worker pool. The
+// execution knobs: worker bound, lazy refresh batch, worker pool, and
+// default scheduling attributes for the clone's pool fan-outs. The
 // clone shares every preprocessing artifact (points, utility functions,
 // the materialized utility matrix, best-point indexes) with the receiver
 // — an Instance is immutable after construction, so a serving engine can
 // cache one preprocessed Instance per dataset and hand each concurrent
 // query its own clone with per-request settings at zero copy cost.
-func (in *Instance) WithExecution(parallelism, lazyBatch int, pool *par.Pool) *Instance {
+func (in *Instance) WithExecution(parallelism, lazyBatch int, pool *par.Pool, attrs sched.Attrs) *Instance {
 	cp := *in
 	cp.par = parallelism
 	cp.lazyBatch = lazyBatch
 	cp.pool = pool
+	cp.sched = attrs
 	return &cp
 }
 
@@ -62,12 +65,13 @@ type evalPool struct {
 	workers int
 	stats   *ShrinkStats
 	pool    *par.Pool
+	attrs   sched.Attrs
 }
 
 // newEvalPool derives the solver's pool from the instance. The stats
 // pointer may be nil for solvers that report no counters (BruteForce).
 func newEvalPool(in *Instance, stats *ShrinkStats) *evalPool {
-	p := &evalPool{workers: in.Parallelism(), stats: stats, pool: in.pool}
+	p := &evalPool{workers: in.Parallelism(), stats: stats, pool: in.pool, attrs: in.sched}
 	if stats != nil {
 		stats.Workers = p.workers
 	}
@@ -104,6 +108,8 @@ func (e *evalPool) dispatch(ctx context.Context, workers, n int, fn func(w, lo, 
 		}
 	}
 	// A nil pool spawns per-call goroutines (one-shot Select); a shared
-	// pool multiplexes the same blocks over long-lived helpers.
-	return e.pool.Shards(ctx, workers, n, fn)
+	// pool multiplexes the same blocks over long-lived helpers, granted
+	// per the instance's scheduling attrs unless the request carries its
+	// own.
+	return e.pool.Shards(sched.ContextWithDefault(ctx, e.attrs), workers, n, fn)
 }

@@ -207,7 +207,7 @@ func runAblation4(ctx context.Context, cfg Config) ([]*Table, error) {
 
 	// Without skyline: shrink starts from all n points.
 	fullStart := timeNow()
-	inFull, err := core.NewInstance(ds.Points, funcs, core.Options{Parallelism: cfg.Exec.Parallelism})
+	inFull, err := core.NewInstance(ds.Points, funcs, core.Options{Parallelism: cfg.Exec.Parallelism, Sched: cfg.Exec.schedAttrs()})
 	if err != nil {
 		return nil, err
 	}
@@ -230,7 +230,7 @@ func runAblation4(ctx context.Context, cfg Config) ([]*Table, error) {
 	for i, s := range sky {
 		pts[i] = ds.Points[s]
 	}
-	inSky, err := core.NewInstance(pts, funcs, core.Options{Parallelism: cfg.Exec.Parallelism})
+	inSky, err := core.NewInstance(pts, funcs, core.Options{Parallelism: cfg.Exec.Parallelism, Sched: cfg.Exec.schedAttrs()})
 	if err != nil {
 		return nil, err
 	}

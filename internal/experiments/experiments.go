@@ -27,6 +27,7 @@ import (
 	"github.com/regretlab/fam/internal/dataset"
 	"github.com/regretlab/fam/internal/rng"
 	"github.com/regretlab/fam/internal/sampling"
+	"github.com/regretlab/fam/internal/sched"
 	"github.com/regretlab/fam/internal/skyline"
 	"github.com/regretlab/fam/internal/utility"
 )
@@ -68,7 +69,14 @@ type Exec struct {
 	// identical at any setting; only the lazy work counters and timings
 	// change.
 	LazyBatch int
+	// Priority is the scheduling class the run's fan-outs are tagged
+	// with, for experiments sharing a process (and its worker pool) with
+	// serving traffic. Tables are identical at any class.
+	Priority sched.Priority
 }
+
+// schedAttrs converts the Exec's scheduling fields for core.Options.
+func (x Exec) schedAttrs() sched.Attrs { return sched.Attrs{Priority: x.Priority} }
 
 // Config parameterizes a run: (Scale, Seed) is the semantic half — it
 // determines every table cell — and Exec is the execution half.
@@ -197,7 +205,7 @@ func newPrep(ds *dataset.Dataset, dist utility.Distribution, n int, seed uint64,
 	if err != nil {
 		return nil, err
 	}
-	in, err := core.NewInstance(points, funcs, core.Options{Parallelism: cfg.Exec.Parallelism, LazyBatch: cfg.Exec.LazyBatch})
+	in, err := core.NewInstance(points, funcs, core.Options{Parallelism: cfg.Exec.Parallelism, LazyBatch: cfg.Exec.LazyBatch, Sched: cfg.Exec.schedAttrs()})
 	if err != nil {
 		return nil, err
 	}

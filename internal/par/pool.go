@@ -5,6 +5,8 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"github.com/regretlab/fam/internal/sched"
 )
 
 // Pool is a long-lived, bounded set of helper goroutines shared by every
@@ -20,34 +22,66 @@ import (
 // they arrive. The caller always makes progress, so a saturated pool
 // degrades a query toward inline execution instead of deadlocking, and a
 // closed (or nil) pool behaves exactly like the plain goroutine-per-shard
-// Shards. Helper requests drain in FIFO order, so concurrent queries
-// receive helpers fairly in arrival order.
+// Shards.
+//
+// Which queued request a freed helper serves next is decided by a
+// pluggable grant policy (internal/sched): the default WeightedEDF
+// orders ready requests by weighted priority class, then earliest
+// deadline, then arrival — exact FIFO for requests without scheduling
+// attributes, which is every caller that does not attach sched.Attrs to
+// its context. Requests whose deadline has already passed are shed by
+// admission control (Shards returns sched.ErrShed) instead of being
+// queued.
 //
 // Block boundaries are computed exactly as in package-level Shards, and
 // every block is claimed by exactly one runner, so the deterministic
 // lowest-index reductions built on Shards are unaffected by which
-// goroutine happens to execute a block.
+// goroutine happens to execute a block — or by the order requests are
+// granted helpers in.
 type Pool struct {
 	size      int
-	helpers   chan func()
+	queue     *sched.Queue
+	wake      chan struct{}
 	done      chan struct{}
 	closeOnce sync.Once
 }
 
+// Config parameterizes NewPoolConfig. The zero value matches
+// NewPool(0): GOMAXPROCS helpers under the default WeightedEDF grant
+// policy on the real clock.
+type Config struct {
+	// Size is the helper goroutine count (0 or negative = GOMAXPROCS).
+	Size int
+	// Policy orders pending helper requests (nil = sched.WeightedEDF
+	// with default class weights; sched.FIFO{} restores the legacy
+	// arrival-order grants).
+	Policy sched.Policy
+	// Clock drives deadline admission and queue-wait accounting (nil =
+	// real time). Tests inject a fixed clock for deterministic EDF
+	// ordering and shed decisions.
+	Clock sched.Clock
+}
+
 // NewPool starts a pool of `size` helper goroutines (0 or negative =
-// GOMAXPROCS). Close releases them.
+// GOMAXPROCS) with the default grant policy. Close releases them.
 func NewPool(size int) *Pool {
+	return NewPoolConfig(Config{Size: size})
+}
+
+// NewPoolConfig starts a pool with an explicit grant policy and clock.
+func NewPoolConfig(cfg Config) *Pool {
+	size := cfg.Size
 	if size <= 0 {
 		size = runtime.GOMAXPROCS(0)
 	}
 	p := &Pool{
-		size: size,
-		// The buffer lets a query queue its helper requests without
-		// blocking even when all helpers are busy; queued requests are
-		// picked up FIFO as helpers free up. A stale request (its blocks
-		// all claimed by then) costs one atomic load.
-		helpers: make(chan func(), size),
-		done:    make(chan struct{}),
+		size:  size,
+		queue: sched.NewQueue(cfg.Policy, cfg.Clock),
+		// The wake buffer lets a query signal its helper requests without
+		// blocking even when all helpers are busy; a full buffer means
+		// enough wakeups are already pending to drain the queue.
+		wake: make(chan struct{}, size),
+		done: make(chan struct{}),
 	}
 	for i := 0; i < size; i++ {
 		go p.helperLoop()
@@ -55,11 +89,21 @@ func NewPool(size int) *Pool {
 	return p
 }
 
+// helperLoop serves granted requests until the pool closes. After each
+// wakeup the helper drains the grant queue: the policy picks the next
+// request, stale tickets (their Shards call already finished) are
+// discarded for free.
 func (p *Pool) helperLoop() {
 	for {
 		select {
-		case fn := <-p.helpers:
-			fn()
+		case <-p.wake:
+			for {
+				run := p.queue.Pop()
+				if run == nil {
+					break
+				}
+				run()
+			}
 		case <-p.done:
 			return
 		}
@@ -72,6 +116,26 @@ func (p *Pool) Size() int {
 		return 0
 	}
 	return p.size
+}
+
+// QueueDepth returns the number of pending helper requests (0 for a nil
+// pool). Serving layers use it for load-shedding admission control; the
+// count may include stale tickets not yet discarded, so it is an upper
+// bound on genuinely waiting work.
+func (p *Pool) QueueDepth() int {
+	if p == nil {
+		return 0
+	}
+	return p.queue.Depth()
+}
+
+// SchedStats returns a snapshot of the grant-queue counters (zero for a
+// nil pool).
+func (p *Pool) SchedStats() sched.Stats {
+	if p == nil {
+		return sched.Stats{}
+	}
+	return p.queue.Stats()
 }
 
 // Close stops the helper goroutines. Shards calls that are in flight
@@ -91,12 +155,22 @@ func (p *Pool) Close() {
 // goroutines. A nil receiver delegates to the package-level Shards, so
 // code threaded with an optional pool needs no branching. All block
 // writes happen-before Shards returns.
+//
+// Scheduling attributes attached to ctx via sched.NewContext order this
+// call's helper requests against other queued work; a deadline that has
+// already passed sheds the call (sched.ErrShed) before any block runs.
 func (p *Pool) Shards(ctx context.Context, workers, n int, fn func(w, lo, hi int)) error {
 	if p == nil {
 		return Shards(ctx, workers, n, fn)
 	}
 	if n <= 0 {
 		return ctx.Err()
+	}
+	// Admission control: work whose deadline has already passed can only
+	// steal helpers from live requests — shed it before decomposition.
+	attrs := sched.FromContext(ctx)
+	if p.queue.ShedExpired(attrs) {
+		return sched.ErrShed
 	}
 	workers = Workers(workers, n)
 	if err := ctx.Err(); err != nil {
@@ -109,8 +183,8 @@ func (p *Pool) Shards(ctx context.Context, workers, n int, fn func(w, lo, hi int
 
 	// Blocks are claimed through an atomic cursor: the caller and every
 	// helper loop "claim next block, run it" until all blocks are taken.
-	// A helper that arrives after the caller finished everything finds
-	// the cursor exhausted and returns immediately.
+	// A helper granted the request after the caller finished everything
+	// finds the cursor exhausted and returns immediately.
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	wg.Add(workers)
@@ -124,24 +198,39 @@ func (p *Pool) Shards(ctx context.Context, workers, n int, fn func(w, lo, hi int
 			wg.Done()
 		}
 	}
-	p.requestHelpers(workers-1, run)
+	call := &sched.Call{}
+	p.requestHelpers(workers-1, attrs, call, run)
 	run()
 	wg.Wait()
+	// Tickets not yet granted are stale: every block is claimed, so the
+	// queue drops them now — they must not linger inflating the queue
+	// depth that admission control reads.
+	p.queue.FinishCall(call)
 	return ctx.Err()
 }
 
-// requestHelpers enqueues up to count helper requests without ever
-// blocking: a full queue or a closed pool simply means fewer (or no)
-// helpers, and the caller-participating loop picks up the slack.
-func (p *Pool) requestHelpers(count int, run func()) {
+// requestHelpers enqueues up to count helper requests under the call's
+// scheduling attributes and signals the helpers. A closed pool enqueues
+// nothing — the caller-participating loop picks up the slack. Requests
+// beyond the pool size are pointless (there are only size helpers) and
+// are trimmed.
+func (p *Pool) requestHelpers(count int, attrs sched.Attrs, call *sched.Call, run func()) {
+	select {
+	case <-p.done:
+		return
+	default:
+	}
+	if count > p.size {
+		count = p.size
+	}
+	for h := 0; h < count; h++ {
+		p.queue.Push(attrs, call, run)
+	}
+	// Wake signals are advisory: a full buffer means enough wakeups are
+	// already pending, and the receiving helper drains the whole queue.
 	for h := 0; h < count; h++ {
 		select {
-		case <-p.done:
-			return
-		default:
-		}
-		select {
-		case p.helpers <- run:
+		case p.wake <- struct{}{}:
 		default:
 			return
 		}

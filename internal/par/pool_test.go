@@ -2,9 +2,13 @@ package par
 
 import (
 	"context"
+	"errors"
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
+
+	"github.com/regretlab/fam/internal/sched"
 )
 
 // blocksOf records the (w, lo, hi) triples a Shards run hands out.
@@ -145,5 +149,188 @@ func TestPoolPreCanceledContext(t *testing.T) {
 	}
 	if ran {
 		t.Fatal("block ran despite pre-canceled context")
+	}
+}
+
+// TestPoolPriorityGrantOrder is the deterministic scheduler test of the
+// grant policy: with the single helper occupied and both requests
+// already queued, releasing the helper must grant the high-priority
+// request before the earlier-arrived low-priority one. The test drives
+// the grant queue white-box (the helper is saturated by a directly
+// enqueued blocker), so there is no timing dependence: the pop order is
+// exactly the policy's order.
+func TestPoolPriorityGrantOrder(t *testing.T) {
+	pool := NewPoolConfig(Config{Size: 1})
+	defer pool.Close()
+
+	// Saturate the only helper with a blocker.
+	block := make(chan struct{})
+	started := make(chan struct{})
+	pool.queue.Push(sched.Attrs{}, nil, func() {
+		close(started)
+		<-block
+	})
+	pool.wake <- struct{}{}
+	<-started
+
+	// Queue low-priority work first, high-priority second; both are
+	// pending before the helper frees up.
+	order := make(chan string, 2)
+	pool.queue.Push(sched.Attrs{Priority: sched.Low}, nil, func() { order <- "low" })
+	pool.queue.Push(sched.Attrs{Priority: sched.High}, nil, func() { order <- "high" })
+	pool.wake <- struct{}{}
+	close(block)
+
+	if first := <-order; first != "high" {
+		t.Fatalf("first grant went to %q, want the high-priority request", first)
+	}
+	if second := <-order; second != "low" {
+		t.Fatalf("second grant went to %q, want the queued low-priority request", second)
+	}
+}
+
+// TestPoolEDFGrantOrder: among queued requests of one class, the
+// earlier deadline is granted first regardless of arrival order —
+// deterministic under the injected clock.
+func TestPoolEDFGrantOrder(t *testing.T) {
+	t0 := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	pool := NewPoolConfig(Config{Size: 1, Clock: func() time.Time { return t0 }})
+	defer pool.Close()
+
+	block := make(chan struct{})
+	started := make(chan struct{})
+	pool.queue.Push(sched.Attrs{}, nil, func() {
+		close(started)
+		<-block
+	})
+	pool.wake <- struct{}{}
+	<-started
+
+	order := make(chan string, 3)
+	pool.queue.Push(sched.Attrs{Deadline: t0.Add(9 * time.Second)}, nil, func() { order <- "9s" })
+	pool.queue.Push(sched.Attrs{Deadline: t0.Add(3 * time.Second)}, nil, func() { order <- "3s" })
+	pool.queue.Push(sched.Attrs{Deadline: t0.Add(6 * time.Second)}, nil, func() { order <- "6s" })
+	pool.wake <- struct{}{}
+	close(block)
+
+	for _, want := range []string{"3s", "6s", "9s"} {
+		if got := <-order; got != want {
+			t.Fatalf("grant = %q, want %q (EDF order)", got, want)
+		}
+	}
+}
+
+// TestPoolShedsExpiredDeadline: admission control rejects a Shards call
+// whose context deadline attr already passed — no block runs, the call
+// reports sched.ErrShed, and the shed is counted.
+func TestPoolShedsExpiredDeadline(t *testing.T) {
+	t0 := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	pool := NewPoolConfig(Config{Size: 2, Clock: func() time.Time { return t0 }})
+	defer pool.Close()
+
+	ctx := sched.NewContext(context.Background(), sched.Attrs{Deadline: t0.Add(-time.Second)})
+	ran := false
+	err := pool.Shards(ctx, 4, 100, func(w, lo, hi int) { ran = true })
+	if !errors.Is(err, sched.ErrShed) {
+		t.Fatalf("err = %v, want sched.ErrShed", err)
+	}
+	if ran {
+		t.Fatal("block ran despite expired deadline")
+	}
+	if s := pool.SchedStats(); s.Shed != 1 {
+		t.Fatalf("shed count = %d, want 1", s.Shed)
+	}
+
+	// A live deadline is admitted and the call completes normally.
+	live := sched.NewContext(context.Background(), sched.Attrs{Deadline: t0.Add(time.Hour)})
+	var covered atomic.Int64
+	if err := pool.Shards(live, 4, 100, func(w, lo, hi int) { covered.Add(int64(hi - lo)) }); err != nil {
+		t.Fatal(err)
+	}
+	if covered.Load() != 100 {
+		t.Fatalf("covered %d of 100", covered.Load())
+	}
+}
+
+// TestPoolAttrsKeepDecompositionIdentical: scheduling attributes must
+// never change block boundaries — the bit-determinism contract.
+func TestPoolAttrsKeepDecompositionIdentical(t *testing.T) {
+	pool := NewPool(4)
+	defer pool.Close()
+	ctx := sched.NewContext(context.Background(),
+		sched.Attrs{Priority: sched.High, Deadline: time.Now().Add(time.Hour)})
+	for _, n := range []int{1, 7, 100} {
+		for _, workers := range []int{1, 3, 8} {
+			plain := blocksOf(t, func(fn func(w, lo, hi int)) error {
+				return Shards(context.Background(), workers, n, fn)
+			})
+			tagged := blocksOf(t, func(fn func(w, lo, hi int)) error {
+				return pool.Shards(ctx, workers, n, fn)
+			})
+			if len(plain) != len(tagged) {
+				t.Fatalf("n=%d workers=%d: %d blocks vs %d with attrs", n, workers, len(plain), len(tagged))
+			}
+			for b := range plain {
+				if !tagged[b] {
+					t.Fatalf("n=%d workers=%d: block %v missing under attrs", n, workers, b)
+				}
+			}
+		}
+	}
+}
+
+// TestPoolFIFOPolicyOption: the legacy policy remains available through
+// NewPoolConfig and grants strictly by arrival.
+func TestPoolFIFOPolicyOption(t *testing.T) {
+	pool := NewPoolConfig(Config{Size: 1, Policy: sched.FIFO{}})
+	defer pool.Close()
+
+	block := make(chan struct{})
+	started := make(chan struct{})
+	pool.queue.Push(sched.Attrs{}, nil, func() {
+		close(started)
+		<-block
+	})
+	pool.wake <- struct{}{}
+	<-started
+
+	order := make(chan string, 2)
+	pool.queue.Push(sched.Attrs{Priority: sched.Low}, nil, func() { order <- "low" })
+	pool.queue.Push(sched.Attrs{Priority: sched.High}, nil, func() { order <- "high" })
+	pool.wake <- struct{}{}
+	close(block)
+
+	if first := <-order; first != "low" {
+		t.Fatalf("FIFO granted %q first, want the earlier-arrived request", first)
+	}
+	if s := pool.SchedStats(); s.Policy != "fifo" {
+		t.Fatalf("policy = %q, want fifo", s.Policy)
+	}
+}
+
+// TestPoolQueueDrainsAfterLoad: after sustained Shards traffic the
+// grant queue must return to depth 0 — finished calls discard their
+// unneeded tickets, so admission control never mistakes leftovers for
+// genuine load — and helpers must have been granted real work along
+// the way.
+func TestPoolQueueDrainsAfterLoad(t *testing.T) {
+	pool := NewPool(4)
+	defer pool.Close()
+	work := make([]float64, 1_000_000)
+	for r := 0; r < 50; r++ {
+		if err := pool.Shards(context.Background(), 4, len(work), func(w, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				work[i] += float64(i % 7)
+			}
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if d := pool.QueueDepth(); d != 0 {
+		t.Fatalf("queue depth = %d after all calls finished, want 0", d)
+	}
+	s := pool.SchedStats()
+	if s.Granted+s.Stale != 50*3 {
+		t.Fatalf("granted %d + stale %d != %d requests", s.Granted, s.Stale, 50*3)
 	}
 }

@@ -1,0 +1,362 @@
+// Package sched is the scheduling subsystem of the serving path: the
+// grant policy that decides which queued helper request a freed pool
+// worker serves next, the priority/deadline attributes that requests
+// carry (threaded through a context so every Shards fan-out inherits
+// them without signature changes), and the admission control that sheds
+// work whose deadline has already passed.
+//
+// The package deliberately knows nothing about shard decomposition —
+// internal/par owns block boundaries and the caller-participating
+// execution loop, and delegates only the ordering of pending helper
+// requests here. That split keeps every bit-determinism guarantee of
+// the pool intact: a policy changes which request a helper serves
+// first, never which blocks a request is cut into.
+package sched
+
+import (
+	"container/heap"
+	"context"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Priority is a request's scheduling class. The zero value is Normal,
+// so attribute-less traffic (every pre-existing caller) schedules
+// exactly as before.
+type Priority int8
+
+// The three priority classes. Grant policies see them through their
+// weights, so the classes are a vocabulary, not a hard-coded ladder.
+const (
+	Low    Priority = -1
+	Normal Priority = 0
+	High   Priority = 1
+)
+
+// Attrs are the scheduling attributes of one request: its priority
+// class and its absolute deadline (zero = none). The zero value means
+// "normal class, no deadline" — the behavior of every request before
+// scheduling existed.
+type Attrs struct {
+	Priority Priority
+	Deadline time.Time
+	// SoftDeadline keeps the deadline as an ordering signal only: the
+	// request still sorts earliest-deadline-first among its class, but
+	// admission never sheds it when the deadline has passed. Detached
+	// cache fills use it — a fill that outlives its requester's deadline
+	// should complete and warm the cache, not abort half-built.
+	SoftDeadline bool
+}
+
+// zero reports whether the attrs carry no scheduling signal.
+func (a Attrs) zero() bool { return a.Priority == Normal && a.Deadline.IsZero() }
+
+type ctxKey struct{}
+
+// NewContext returns a context carrying the scheduling attributes.
+// Everything dispatched under the returned context — skyline scans,
+// utility materialization, solver evaluations — is granted pool helpers
+// per these attrs.
+func NewContext(ctx context.Context, a Attrs) context.Context {
+	return context.WithValue(ctx, ctxKey{}, a)
+}
+
+// FromContext returns the context's scheduling attributes (the zero
+// Attrs when none were attached).
+func FromContext(ctx context.Context) Attrs {
+	a, _ := ctx.Value(ctxKey{}).(Attrs)
+	return a
+}
+
+// ContextWithDefault attaches attrs only when the context does not
+// already carry any: an instance-level default that request-level
+// attrs always win over.
+func ContextWithDefault(ctx context.Context, a Attrs) context.Context {
+	if a.zero() {
+		return ctx
+	}
+	if _, ok := ctx.Value(ctxKey{}).(Attrs); ok {
+		return ctx
+	}
+	return NewContext(ctx, a)
+}
+
+// ErrShed is returned when admission control rejects a request whose
+// deadline has already passed: running it could only waste helpers that
+// live requests are waiting for. It wraps context.DeadlineExceeded so
+// callers that only understand deadlines (e.g. an HTTP layer mapping
+// overruns to 503) classify an escaped shed correctly.
+var ErrShed = fmt.Errorf("sched: deadline already passed; request shed: %w", context.DeadlineExceeded)
+
+// Clock abstracts time for deadline admission and queue-wait
+// accounting; tests inject a fixed clock to make EDF ordering and shed
+// decisions fully deterministic.
+type Clock func() time.Time
+
+// Ticket is the policy-visible view of one queued helper request: its
+// attributes and its arrival sequence number. Seq is a total order over
+// arrivals, so any policy that falls back to it is deterministic.
+type Ticket struct {
+	Attrs Attrs
+	Seq   uint64
+}
+
+// Policy orders pending helper requests. Less reports whether a should
+// be granted before b; it must be a strict weak ordering and must break
+// every tie deterministically (falling back to Seq guarantees that).
+type Policy interface {
+	Name() string
+	Less(a, b Ticket) bool
+}
+
+// FIFO is the legacy grant policy: strict arrival order, ignoring
+// priorities and deadlines.
+type FIFO struct{}
+
+// Name implements Policy.
+func (FIFO) Name() string { return "fifo" }
+
+// Less implements Policy: earlier arrivals first.
+func (FIFO) Less(a, b Ticket) bool { return a.Seq < b.Seq }
+
+// DefaultWeights are the class weights of the default WeightedEDF
+// policy. The spacing leaves room for operators to slot custom classes
+// between the built-in ones.
+var DefaultWeights = map[Priority]int{Low: 1, Normal: 4, High: 16}
+
+// WeightedEDF is the production grant policy: weighted priority classes
+// first (higher weight granted first; classes given equal weights
+// interleave), earliest-deadline-first among requests of equal weight
+// (a request without a deadline sorts after every request with one),
+// arrival order as the final tie-break. With every request at the zero
+// Attrs it degenerates to exact FIFO.
+type WeightedEDF struct {
+	// Weights maps each priority class to its weight; nil uses
+	// DefaultWeights, and classes absent from the map weigh as Normal.
+	Weights map[Priority]int
+}
+
+// Name implements Policy.
+func (WeightedEDF) Name() string { return "weighted-edf" }
+
+func (p WeightedEDF) weight(c Priority) int {
+	w := p.Weights
+	if w == nil {
+		w = DefaultWeights
+	}
+	if v, ok := w[c]; ok {
+		return v
+	}
+	// Absent classes weigh as Normal — from the custom map when it
+	// defines Normal, else from the defaults (a partial map must never
+	// zero the classes it does not mention).
+	if v, ok := w[Normal]; ok {
+		return v
+	}
+	return DefaultWeights[Normal]
+}
+
+// Less implements Policy.
+func (p WeightedEDF) Less(a, b Ticket) bool {
+	if wa, wb := p.weight(a.Attrs.Priority), p.weight(b.Attrs.Priority); wa != wb {
+		return wa > wb
+	}
+	da, db := a.Attrs.Deadline, b.Attrs.Deadline
+	switch {
+	case da.IsZero() != db.IsZero():
+		return !da.IsZero() // the request with a deadline is more urgent
+	case !da.IsZero() && !da.Equal(db):
+		return da.Before(db)
+	}
+	return a.Seq < b.Seq
+}
+
+// Stats is a point-in-time snapshot of a grant queue's counters.
+type Stats struct {
+	// Policy names the active grant policy.
+	Policy string `json:"policy"`
+	// Granted counts helper requests handed to a worker; Stale counts
+	// requests discarded because their Shards call had already finished
+	// by the time a worker reached them (their blocks were all claimed —
+	// a stale grant costs one queue pop, no work).
+	Granted uint64 `json:"granted"`
+	Stale   uint64 `json:"stale"`
+	// Shed counts requests rejected by admission control because their
+	// deadline had already passed when they asked for helpers.
+	Shed uint64 `json:"shed"`
+	// QueueWait is the summed time granted requests spent queued between
+	// enqueue and grant; QueueWait/Granted is the average grant latency.
+	QueueWait time.Duration `json:"queue_wait_ns"`
+	// Depth is the current number of queued requests (stale entries not
+	// yet discarded included).
+	Depth int `json:"depth"`
+}
+
+// Call marks the lifetime of one Shards invocation so the queue can
+// discard its tickets once every block is claimed. It is created by the
+// pool per Shards call, passed to every Push of that call, and finished
+// through Queue.FinishCall after the join. A Call belongs to exactly
+// one Queue; its fields are guarded by that queue's lock.
+type Call struct {
+	done  bool
+	items []*item
+}
+
+// item is one queued helper request.
+type item struct {
+	ticket   Ticket
+	enqueued time.Time
+	call     *Call
+	run      func()
+	index    int // heap position
+}
+
+// Queue is the policy-ordered set of pending helper requests. All
+// methods are safe for concurrent use.
+type Queue struct {
+	mu     sync.Mutex
+	policy Policy
+	clock  Clock
+	h      itemHeap
+	seq    uint64
+	stats  Stats
+}
+
+// NewQueue builds a grant queue over the policy (nil = WeightedEDF
+// defaults) and clock (nil = time.Now).
+func NewQueue(policy Policy, clock Clock) *Queue {
+	if policy == nil {
+		policy = WeightedEDF{}
+	}
+	if clock == nil {
+		clock = time.Now
+	}
+	return &Queue{policy: policy, clock: clock, h: itemHeap{policy: policy}}
+}
+
+// ShedExpired implements admission control: when the attrs carry a
+// hard deadline that has already passed, the request is counted as
+// shed and true is returned — the caller must not enqueue or run it.
+// Soft deadlines order grants but never shed.
+func (q *Queue) ShedExpired(a Attrs) bool {
+	if a.Deadline.IsZero() || a.SoftDeadline {
+		return false
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.clock().Before(a.Deadline) {
+		return false
+	}
+	q.stats.Shed++
+	return true
+}
+
+// Push enqueues one helper request for the call. Requests for an
+// already finished call are dropped (counted stale) rather than queued.
+func (q *Queue) Push(a Attrs, call *Call, run func()) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if call != nil && call.done {
+		q.stats.Stale++
+		return
+	}
+	q.seq++
+	it := &item{
+		ticket:   Ticket{Attrs: a, Seq: q.seq},
+		enqueued: q.clock(),
+		call:     call,
+		run:      run,
+	}
+	heap.Push(&q.h, it)
+	if call != nil {
+		call.items = append(call.items, it)
+	}
+}
+
+// FinishCall marks the call complete and removes its still-queued
+// tickets (counted stale): every block of the call is claimed, so
+// granting them could only waste a pop, and leaving them queued would
+// inflate Depth — which admission control reads as genuine load.
+func (q *Queue) FinishCall(c *Call) {
+	if c == nil {
+		return
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	c.done = true
+	for _, it := range c.items {
+		if it.index >= 0 {
+			heap.Remove(&q.h, it.index)
+			it.index = -1
+			q.stats.Stale++
+		}
+	}
+	c.items = nil
+}
+
+// Pop removes and returns the best pending request per the policy,
+// discarding stale tickets along the way. It returns nil when the queue
+// is empty.
+func (q *Queue) Pop() func() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for q.h.Len() > 0 {
+		it := heap.Pop(&q.h).(*item)
+		it.index = -1
+		if it.call != nil && it.call.done {
+			q.stats.Stale++
+			continue
+		}
+		q.stats.Granted++
+		q.stats.QueueWait += q.clock().Sub(it.enqueued)
+		return it.run
+	}
+	return nil
+}
+
+// Depth returns the number of queued requests (including not yet
+// discarded stale tickets).
+func (q *Queue) Depth() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.h.Len()
+}
+
+// Stats returns a snapshot of the counters.
+func (q *Queue) Stats() Stats {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	s := q.stats
+	s.Policy = q.policy.Name()
+	s.Depth = q.h.Len()
+	return s
+}
+
+// itemHeap orders items by the queue's policy (the heap carries the
+// policy so container/heap's Less can reach it).
+type itemHeap struct {
+	policy Policy
+	items  []*item
+}
+
+func (h *itemHeap) Len() int { return len(h.items) }
+func (h *itemHeap) Less(i, j int) bool {
+	return h.policy.Less(h.items[i].ticket, h.items[j].ticket)
+}
+func (h *itemHeap) Swap(i, j int) {
+	h.items[i], h.items[j] = h.items[j], h.items[i]
+	h.items[i].index, h.items[j].index = i, j
+}
+func (h *itemHeap) Push(x any) {
+	it := x.(*item)
+	it.index = len(h.items)
+	h.items = append(h.items, it)
+}
+func (h *itemHeap) Pop() any {
+	n := len(h.items)
+	it := h.items[n-1]
+	h.items[n-1] = nil
+	h.items = h.items[:n-1]
+	return it
+}

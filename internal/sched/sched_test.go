@@ -1,0 +1,287 @@
+package sched
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// fixedClock returns a Clock pinned to t0; EDF ordering and shed
+// decisions under it are fully deterministic.
+func fixedClock(t0 time.Time) Clock {
+	return func() time.Time { return t0 }
+}
+
+var t0 = time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+
+// popOrder drains the queue and reports the labels of granted requests
+// in grant order.
+func popOrder(t *testing.T, q *Queue, labels map[*int]string) []string {
+	t.Helper()
+	var got []string
+	for {
+		run := q.Pop()
+		if run == nil {
+			return got
+		}
+		run()
+		for k, v := range labels {
+			if *k == 1 {
+				*k = 2
+				got = append(got, v)
+			}
+		}
+	}
+}
+
+// push enqueues a request that flips its marker 0→1 when granted.
+func push(q *Queue, a Attrs, labels map[*int]string, name string) {
+	marker := new(int)
+	labels[marker] = name
+	q.Push(a, nil, func() { *marker = 1 })
+}
+
+// TestWeightedEDFGrantOrder pins the full ordering of the default
+// policy: class weight first, earliest deadline within a class (no
+// deadline sorts last), arrival order as the final tie-break — all
+// deterministic under a fixed clock.
+func TestWeightedEDFGrantOrder(t *testing.T) {
+	q := NewQueue(WeightedEDF{}, fixedClock(t0))
+	labels := map[*int]string{}
+
+	// Arrival order is deliberately adversarial: low first, urgent last.
+	push(q, Attrs{Priority: Low}, labels, "low-first")
+	push(q, Attrs{Priority: Normal, Deadline: t0.Add(5 * time.Second)}, labels, "normal-5s")
+	push(q, Attrs{Priority: Normal}, labels, "normal-nodeadline")
+	push(q, Attrs{Priority: Low, Deadline: t0.Add(time.Second)}, labels, "low-1s")
+	push(q, Attrs{Priority: High}, labels, "high-nodeadline")
+	push(q, Attrs{Priority: Normal, Deadline: t0.Add(2 * time.Second)}, labels, "normal-2s")
+	push(q, Attrs{Priority: High, Deadline: t0.Add(10 * time.Second)}, labels, "high-10s")
+
+	want := []string{
+		"high-10s",          // highest class, has a deadline
+		"high-nodeadline",   // highest class, no deadline
+		"normal-2s",         // normal class, earliest deadline
+		"normal-5s",         // normal class, later deadline
+		"normal-nodeadline", // normal class, no deadline
+		"low-1s",            // low class, deadline beats none
+		"low-first",         // low class, no deadline
+	}
+	got := popOrder(t, q, labels)
+	if len(got) != len(want) {
+		t.Fatalf("granted %d requests, want %d: %v", len(got), len(want), got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("grant order %v, want %v", got, want)
+		}
+	}
+	if s := q.Stats(); s.Granted != 7 || s.Policy != "weighted-edf" {
+		t.Fatalf("stats = %+v, want 7 grants under weighted-edf", s)
+	}
+}
+
+// TestWeightedEDFEqualWeightsInterleave: classes configured with equal
+// weights fall through to EDF, then arrival order.
+func TestWeightedEDFEqualWeightsInterleave(t *testing.T) {
+	q := NewQueue(WeightedEDF{Weights: map[Priority]int{Low: 3, Normal: 3, High: 3}}, fixedClock(t0))
+	labels := map[*int]string{}
+	push(q, Attrs{Priority: High}, labels, "high-none")
+	push(q, Attrs{Priority: Low, Deadline: t0.Add(time.Second)}, labels, "low-1s")
+	push(q, Attrs{Priority: Normal, Deadline: t0.Add(3 * time.Second)}, labels, "normal-3s")
+	want := []string{"low-1s", "normal-3s", "high-none"}
+	got := popOrder(t, q, labels)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("grant order %v, want %v", got, want)
+		}
+	}
+}
+
+// TestFIFOIgnoresAttrs: the legacy policy grants strictly by arrival.
+func TestFIFOIgnoresAttrs(t *testing.T) {
+	q := NewQueue(FIFO{}, fixedClock(t0))
+	labels := map[*int]string{}
+	push(q, Attrs{Priority: Low}, labels, "a")
+	push(q, Attrs{Priority: High, Deadline: t0.Add(time.Second)}, labels, "b")
+	push(q, Attrs{Priority: Normal}, labels, "c")
+	got := popOrder(t, q, labels)
+	want := []string{"a", "b", "c"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("grant order %v, want %v", got, want)
+		}
+	}
+}
+
+// TestZeroAttrsDegeneratesToFIFO: without scheduling attributes the
+// default policy is exact arrival order — pre-scheduling behavior.
+func TestZeroAttrsDegeneratesToFIFO(t *testing.T) {
+	q := NewQueue(nil, fixedClock(t0))
+	labels := map[*int]string{}
+	for _, name := range []string{"a", "b", "c", "d"} {
+		push(q, Attrs{}, labels, name)
+	}
+	got := popOrder(t, q, labels)
+	want := []string{"a", "b", "c", "d"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("grant order %v, want %v", got, want)
+		}
+	}
+}
+
+// TestShedExpired pins admission control under an injectable clock: a
+// deadline in the past sheds, the present moment sheds (the deadline is
+// no longer meetable), a future deadline admits.
+func TestShedExpired(t *testing.T) {
+	q := NewQueue(nil, fixedClock(t0))
+	if q.ShedExpired(Attrs{}) {
+		t.Fatal("deadline-less request was shed")
+	}
+	if q.ShedExpired(Attrs{Deadline: t0.Add(time.Nanosecond)}) {
+		t.Fatal("future deadline was shed")
+	}
+	if !q.ShedExpired(Attrs{Deadline: t0.Add(-time.Second)}) {
+		t.Fatal("expired deadline was admitted")
+	}
+	if !q.ShedExpired(Attrs{Deadline: t0}) {
+		t.Fatal("deadline exactly now was admitted")
+	}
+	if s := q.Stats(); s.Shed != 2 {
+		t.Fatalf("shed count = %d, want 2", s.Shed)
+	}
+}
+
+// TestStaleTicketsDiscarded: finishing a call removes its still-queued
+// tickets immediately — they are never granted, and they stop counting
+// against the queue depth that admission control reads.
+func TestStaleTicketsDiscarded(t *testing.T) {
+	q := NewQueue(nil, fixedClock(t0))
+	call := &Call{}
+	ran := 0
+	q.Push(Attrs{}, call, func() { ran++ })
+	q.Push(Attrs{}, call, func() { ran++ })
+	live := 0
+	q.Push(Attrs{Priority: Low}, nil, func() { live++ })
+	q.FinishCall(call)
+	if q.Depth() != 1 {
+		t.Fatalf("depth = %d after FinishCall, want 1 (only the live ticket)", q.Depth())
+	}
+	// A late push for a finished call is dropped, not queued.
+	q.Push(Attrs{}, call, func() { ran++ })
+	if q.Depth() != 1 {
+		t.Fatalf("depth = %d after late push, want 1", q.Depth())
+	}
+	for {
+		run := q.Pop()
+		if run == nil {
+			break
+		}
+		run()
+	}
+	if ran != 0 || live != 1 {
+		t.Fatalf("stale ran %d times, live %d times; want 0 and 1", ran, live)
+	}
+	s := q.Stats()
+	if s.Stale != 3 || s.Granted != 1 || s.Depth != 0 {
+		t.Fatalf("stats = %+v, want 3 stale, 1 granted, depth 0", s)
+	}
+}
+
+// TestContextCarrier round-trips attrs through a context and pins the
+// default-attachment rule: explicit attrs always win over defaults.
+func TestContextCarrier(t *testing.T) {
+	base := context.Background()
+	if a := FromContext(base); !a.zero() {
+		t.Fatalf("bare context carries attrs %+v", a)
+	}
+	attrs := Attrs{Priority: High, Deadline: t0}
+	ctx := NewContext(base, attrs)
+	if got := FromContext(ctx); got != attrs {
+		t.Fatalf("FromContext = %+v, want %+v", got, attrs)
+	}
+	// A default must not override explicit attrs...
+	d := ContextWithDefault(ctx, Attrs{Priority: Low})
+	if got := FromContext(d); got != attrs {
+		t.Fatalf("default overrode explicit attrs: %+v", got)
+	}
+	// ...but attaches to a bare context...
+	d = ContextWithDefault(base, Attrs{Priority: Low})
+	if got := FromContext(d); got.Priority != Low {
+		t.Fatalf("default not attached: %+v", got)
+	}
+	// ...and a zero default attaches nothing.
+	if d := ContextWithDefault(base, Attrs{}); d != base {
+		t.Fatal("zero default wrapped the context")
+	}
+}
+
+// TestQueueWaitAccounting: queue wait is measured between enqueue and
+// grant on the injected clock.
+func TestQueueWaitAccounting(t *testing.T) {
+	now := t0
+	q := NewQueue(nil, func() time.Time { return now })
+	q.Push(Attrs{}, nil, func() {})
+	now = now.Add(250 * time.Millisecond)
+	if run := q.Pop(); run == nil {
+		t.Fatal("no grant")
+	}
+	if s := q.Stats(); s.QueueWait != 250*time.Millisecond {
+		t.Fatalf("queue wait = %v, want 250ms", s.QueueWait)
+	}
+}
+
+// TestWeightedEDFPartialWeightsMap: a custom map that mentions only
+// some classes must not zero the others — absent classes weigh as
+// Normal (from the map when it defines Normal, else the default), so a
+// partial map can never invert priorities.
+func TestWeightedEDFPartialWeightsMap(t *testing.T) {
+	p := WeightedEDF{Weights: map[Priority]int{Low: 1}}
+	if w := p.weight(Low); w != 1 {
+		t.Fatalf("weight(Low) = %d, want 1", w)
+	}
+	if wn, wh := p.weight(Normal), p.weight(High); wn != DefaultWeights[Normal] || wh != DefaultWeights[Normal] {
+		t.Fatalf("absent classes weigh (%d, %d), want both %d", wn, wh, DefaultWeights[Normal])
+	}
+	// Low must still lose to the unmentioned classes.
+	if p.Less(Ticket{Attrs: Attrs{Priority: Low}, Seq: 1}, Ticket{Attrs: Attrs{Priority: High}, Seq: 2}) {
+		t.Fatal("partial map inverted priorities: Low granted before High")
+	}
+	// A map that redefines Normal lends that weight to absent classes.
+	p2 := WeightedEDF{Weights: map[Priority]int{Normal: 7}}
+	if w := p2.weight(High); w != 7 {
+		t.Fatalf("weight(High) under Normal-only map = %d, want 7", w)
+	}
+}
+
+// TestSoftDeadlineOrdersButNeverSheds: a soft deadline (detached cache
+// fills) participates in EDF ordering exactly like a hard one but is
+// exempt from admission shedding even when expired.
+func TestSoftDeadlineOrdersButNeverSheds(t *testing.T) {
+	q := NewQueue(nil, fixedClock(t0))
+	if q.ShedExpired(Attrs{Deadline: t0.Add(-time.Hour), SoftDeadline: true}) {
+		t.Fatal("expired soft deadline was shed")
+	}
+	labels := map[*int]string{}
+	push(q, Attrs{Deadline: t0.Add(9 * time.Second)}, labels, "hard-9s")
+	push(q, Attrs{Deadline: t0.Add(3 * time.Second), SoftDeadline: true}, labels, "soft-3s")
+	push(q, Attrs{}, labels, "none")
+	want := []string{"soft-3s", "hard-9s", "none"}
+	got := popOrder(t, q, labels)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("grant order %v, want %v", got, want)
+		}
+	}
+}
+
+// TestErrShedWrapsDeadlineExceeded: an escaped pool-level shed must
+// classify as a deadline failure for layers that map errors to
+// statuses.
+func TestErrShedWrapsDeadlineExceeded(t *testing.T) {
+	if !errors.Is(ErrShed, context.DeadlineExceeded) {
+		t.Fatal("ErrShed does not wrap context.DeadlineExceeded")
+	}
+}

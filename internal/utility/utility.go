@@ -344,3 +344,24 @@ func (l *LatentLinear) Dim() int { return l.Sampler.VectorDim() }
 
 // Name implements Distribution.
 func (l *LatentLinear) Name() string { return fmt.Sprintf("latent-linear(d=%d)", l.Dim()) }
+
+// Footprint returns the exact resident bytes of one utility function's
+// payload: the weight (or table) vector plus its slice header and any
+// scalar fields. Unknown implementations get a conservative 64-byte
+// estimate — the pre-exact-sizing default. Serving-side caches use this
+// to make byte budgets real instead of guessed.
+func Footprint(f Func) int64 {
+	const sliceHeader = 24
+	switch t := f.(type) {
+	case Linear:
+		return sliceHeader + int64(len(t.W))*8
+	case CES:
+		return sliceHeader + 8 + int64(len(t.W))*8
+	case Table:
+		return sliceHeader + int64(len(t.U))*8
+	case offsetLinear:
+		return sliceHeader + 8 + int64(len(t.w))*8
+	default:
+		return 64
+	}
+}

@@ -40,13 +40,21 @@ type normalized struct {
 // ignored). Every rejection wraps ErrBadOptions except nil arguments
 // (ErrNilArgument) and dataset corruption (the dataset's own error).
 func normalizeQuery(ds *Dataset, dist Distribution, q Query, needK bool) (normalized, error) {
-	var norm normalized
 	if ds == nil || dist == nil {
-		return norm, ErrNilArgument
+		return normalized{}, ErrNilArgument
 	}
 	if err := ds.Validate(); err != nil {
-		return norm, err
+		return normalized{}, err
 	}
+	return deriveQuery(ds, dist, q, needK)
+}
+
+// deriveQuery is normalizeQuery against an already-validated dataset:
+// the batch planner keys every member with it, skipping the O(n·d)
+// structural re-validation that Register already performed (registered
+// datasets are immutable).
+func deriveQuery(ds *Dataset, dist Distribution, q Query, needK bool) (normalized, error) {
+	var norm normalized
 	if needK {
 		if q.K <= 0 || q.K > ds.N() {
 			return norm, fmt.Errorf("%w: K must satisfy 0 < K <= %d, got %d", ErrBadOptions, ds.N(), q.K)

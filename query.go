@@ -1,12 +1,15 @@
 package fam
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"strconv"
 	"strings"
 	"time"
 
 	"github.com/regretlab/fam/internal/par"
+	"github.com/regretlab/fam/internal/sched"
 )
 
 // Query is the semantic problem specification: everything that
@@ -81,12 +84,142 @@ type Exec struct {
 	// loop. Ignored by every other algorithm.
 	LazyBatch int
 
+	// Priority is the query's scheduling class. Under load, the shared
+	// pool's grant policy serves queued helper requests of higher classes
+	// first (weighted priority, then earliest deadline, then arrival);
+	// with idle helpers every class runs immediately. The zero value is
+	// PriorityNormal. Like every Exec knob it never changes an answer —
+	// only when the work is granted helpers.
+	Priority Priority
+	// Deadline is the query's absolute completion deadline (zero = none).
+	// Admission control sheds a query whose deadline has already passed
+	// (ErrShed — it never consumes solver time); an admitted query runs
+	// under a context bounded by the deadline, so overrunning work stops
+	// with context.DeadlineExceeded. The deadline also participates in
+	// the pool's earliest-deadline-first grant ordering.
+	Deadline time.Time
+	// MaxQueue bounds the pool's grant-queue depth this query will accept
+	// on admission: when more helper requests than MaxQueue are already
+	// queued, the Engine sheds the query (ErrShed) instead of piling on.
+	// Zero accepts any depth. One-shot queries (no shared pool) ignore
+	// it. A SelectBatch checks the bound once for the whole batch — an
+	// admitted batch's members never shed on each other's tickets.
+	MaxQueue int
+
 	// pool is the long-lived worker pool the query's shard fan-outs are
 	// multiplexed over. It is engine-owned plumbing: fam.Engine sets it to
 	// its process-wide pool; one-shot queries leave it nil and spawn
-	// per-call workers. (Future policy knobs — NUMA placement, deadlines,
-	// priority — belong here too.)
+	// per-call workers.
 	pool *par.Pool
+}
+
+// Priority is a query's scheduling class. Classes order queued helper
+// grants under load; they never change results. The zero value is
+// PriorityNormal.
+type Priority int8
+
+// The scheduling classes, lowest to highest urgency.
+const (
+	PriorityLow    Priority = -1
+	PriorityNormal Priority = 0
+	PriorityHigh   Priority = 1
+)
+
+// String returns the class name used by flags, JSON, and headers.
+func (p Priority) String() string {
+	switch p {
+	case PriorityLow:
+		return "low"
+	case PriorityNormal:
+		return "normal"
+	case PriorityHigh:
+		return "high"
+	default:
+		return fmt.Sprintf("priority(%d)", int(p))
+	}
+}
+
+// ParsePriority maps a class name (case-insensitive; empty = normal)
+// back to the Priority. Unknown names wrap ErrBadOptions.
+func ParsePriority(s string) (Priority, error) {
+	switch strings.ToLower(s) {
+	case "", "normal":
+		return PriorityNormal, nil
+	case "low":
+		return PriorityLow, nil
+	case "high":
+		return PriorityHigh, nil
+	default:
+		return 0, fmt.Errorf("%w: unknown priority %q (want low|normal|high)", ErrBadOptions, s)
+	}
+}
+
+// MarshalText implements encoding.TextMarshaler; JSON surfaces carry
+// priorities by name.
+func (p Priority) MarshalText() ([]byte, error) {
+	if p < PriorityLow || p > PriorityHigh {
+		return nil, fmt.Errorf("%w: unknown priority %d", ErrBadOptions, int(p))
+	}
+	return []byte(p.String()), nil
+}
+
+// UnmarshalText implements encoding.TextUnmarshaler via ParsePriority.
+func (p *Priority) UnmarshalText(text []byte) error {
+	v, err := ParsePriority(string(text))
+	if err != nil {
+		return err
+	}
+	*p = v
+	return nil
+}
+
+// ErrShed is returned when admission control rejects a query before any
+// solver work runs: its Deadline had already passed on arrival, or the
+// engine's grant queue was deeper than its MaxQueue bound. Shed queries
+// consumed no helper time — clients should back off and retry (the
+// serve layer answers 429). Match it with errors.Is.
+var ErrShed = errors.New("fam: query shed by admission control")
+
+// attrs converts the Exec's scheduling fields to the internal form.
+func (x Exec) attrs() sched.Attrs {
+	return sched.Attrs{Priority: sched.Priority(x.Priority), Deadline: x.Deadline}
+}
+
+// fillAttrs are the scheduling attrs detached cache fills run under:
+// the requester's class and deadline for grant ordering, but the
+// deadline is soft — a fill outliving its triggering request is shared
+// infrastructure that should complete and be stored, not be shed
+// halfway. The requester's own wait is still bounded by its context
+// deadline.
+func (x Exec) fillAttrs() sched.Attrs {
+	return sched.Attrs{Priority: sched.Priority(x.Priority), Deadline: x.Deadline, SoftDeadline: true}
+}
+
+// admit applies the Exec's admission policy: a deadline that has
+// already passed sheds the query, and (when depth reports a shared
+// pool's grant queue) a queue deeper than MaxQueue sheds it too.
+func (x Exec) admit(depth func() int) error {
+	if !x.Deadline.IsZero() && !time.Now().Before(x.Deadline) {
+		return fmt.Errorf("%w: deadline %s already passed", ErrShed, x.Deadline.Format(time.RFC3339Nano))
+	}
+	if x.MaxQueue > 0 && depth != nil {
+		if d := depth(); d > x.MaxQueue {
+			return fmt.Errorf("%w: %d helper requests queued (MaxQueue %d)", ErrShed, d, x.MaxQueue)
+		}
+	}
+	return nil
+}
+
+// schedContext derives the execution context of an admitted query: the
+// scheduling attrs attached for the pool's grant policy, and the
+// context bounded by the deadline when one is set. The returned cancel
+// must be called.
+func (x Exec) schedContext(ctx context.Context) (context.Context, context.CancelFunc) {
+	ctx = sched.NewContext(ctx, x.attrs())
+	if x.Deadline.IsZero() {
+		return ctx, func() {}
+	}
+	return context.WithDeadline(ctx, x.Deadline)
 }
 
 // withPool returns a copy of the Exec carrying the given worker pool.
@@ -108,6 +241,12 @@ type Telemetry struct {
 	// were already built.
 	Preprocess time.Duration
 	Query      time.Duration
+	// QueueWait is the time the query spent waiting for a planning slot
+	// before execution began: zero for direct Select/Evaluate calls, and
+	// for batch members the wait behind their group's representative (the
+	// member that fills the shared preprocessing) and the batch's width
+	// bound.
+	QueueWait time.Duration
 	// Stats carries the GREEDY-SHRINK / GreedyAdd work counters when
 	// applicable (iterations, evaluations, lazy skips, worker dispatch,
 	// speculative refresh accounting).

@@ -61,6 +61,14 @@ func Select(ctx context.Context, q Query, exec Exec) (*Result, *Telemetry, error
 	if err != nil {
 		return nil, nil, err
 	}
+	// Admission: a deadline that has already passed is shed before any
+	// sampling or preprocessing; an admitted deadline bounds the context
+	// (one-shot queries have no shared pool, so MaxQueue does not apply).
+	if err := exec.admit(nil); err != nil {
+		return nil, nil, err
+	}
+	ctx, cancel := exec.schedContext(ctx)
+	defer cancel()
 	preStart := time.Now()
 	prep, err := prepare(ctx, q.Data, q.Dist, q, norm, exec)
 	if err != nil {
@@ -89,6 +97,11 @@ func Evaluate(ctx context.Context, q Query, exec Exec) (Metrics, error) {
 	if err := ctx.Err(); err != nil {
 		return Metrics{}, err
 	}
+	if err := exec.admit(nil); err != nil {
+		return Metrics{}, err
+	}
+	ctx, cancel := exec.schedContext(ctx)
+	defer cancel()
 	prep, err := prepare(ctx, q.Data, q.Dist, q, norm, exec)
 	if err != nil {
 		return Metrics{}, err
@@ -176,6 +189,7 @@ func assemble(ds *Dataset, candidates []int, funcs []UtilityFunc, weights []floa
 		Parallelism: exec.Parallelism,
 		LazyBatch:   exec.LazyBatch,
 		Pool:        exec.pool,
+		Sched:       exec.attrs(),
 	})
 	if err != nil {
 		return nil, err

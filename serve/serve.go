@@ -9,14 +9,22 @@
 //	POST /v2/select    — batched queries: array in, array out, with
 //	                     per-member error slots and an explicit
 //	                     query/exec split
+//	GET  /v2/datasets  — the registered datasets (typed error envelope)
+//	POST /v2/datasets  — CSV upload (typed error envelope)
+//	GET  /v2/stats     — engine + HTTP counters (typed error envelope)
 //
 // The v2 surface mirrors the library's Query/Exec API: each member of a
 // batch is a purely semantic query, and one exec block sets the
-// execution policy for the whole batch. The v1 endpoints are thin shims
-// over the same machinery: they repackage the combined v1 body into the
-// v2 member type and render through the v2 member renderer, against the
-// same Engine — so both versions share one result cache (a /v1 answer
-// warms /v2 and vice versa) and cannot drift apart.
+// execution policy for the whole batch — including scheduling: a
+// priority class ("low"|"normal"|"high"), a relative deadline in
+// milliseconds, and a max_queue admission bound. The same three knobs
+// are accepted on any select/evaluate request (v1 included) through the
+// X-Fam-Priority, X-Fam-Deadline-Ms, and X-Fam-Max-Queue headers; an
+// explicit exec-block value wins over its header. Work shed by
+// admission control answers 429 (Too Many Requests); work that ran out
+// of deadline mid-flight answers 503. Every /v2 failure body is the
+// typed envelope {code, message}; the /v1 endpoints are frozen shims —
+// same machinery, the original {error} envelope.
 //
 // Every request runs under its own request context, so a disconnecting
 // client cancels its wait immediately (shared cache fills keep running —
@@ -26,10 +34,12 @@
 package serve
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"sync/atomic"
 	"time"
 
@@ -69,14 +79,98 @@ func (r *QueryRequest) toQuery() fam.Query {
 }
 
 // ExecRequest is the JSON shape of the execution policy: it never
-// changes an answer, only how fast it is computed.
+// changes an answer, only how fast (and whether, under overload) it is
+// computed.
 type ExecRequest struct {
 	Parallelism int `json:"parallelism,omitempty"`
 	LazyBatch   int `json:"lazy_batch,omitempty"`
+	// Priority is the scheduling class: "low", "normal" (default), or
+	// "high". Under load the pool grants helpers to higher classes
+	// first.
+	Priority string `json:"priority,omitempty"`
+	// DeadlineMS is the relative completion deadline in milliseconds
+	// from request arrival, clamped to one year (so an absurdly large
+	// value means "generous deadline", never an overflow into the past).
+	// A negative value is already expired and is shed (429). Zero value
+	// (field absent) means no deadline.
+	DeadlineMS int64 `json:"deadline_ms,omitempty"`
+	// MaxQueue sheds the request (429) when more helper requests than
+	// this are already queued on the engine's pool. Zero = no bound.
+	MaxQueue int `json:"max_queue,omitempty"`
 }
 
-func (r ExecRequest) toExec() fam.Exec {
-	return fam.Exec{Parallelism: r.Parallelism, LazyBatch: r.LazyBatch}
+// toExec resolves the wire exec policy at the given arrival time.
+func (r ExecRequest) toExec(now time.Time) (fam.Exec, error) {
+	exec := fam.Exec{Parallelism: r.Parallelism, LazyBatch: r.LazyBatch, MaxQueue: r.MaxQueue}
+	if r.Priority != "" {
+		p, err := fam.ParsePriority(r.Priority)
+		if err != nil {
+			return fam.Exec{}, err
+		}
+		exec.Priority = p
+	}
+	if r.DeadlineMS != 0 {
+		ms := r.DeadlineMS
+		switch {
+		case ms > maxDeadlineMS:
+			ms = maxDeadlineMS
+		case ms < -maxDeadlineMS:
+			ms = -maxDeadlineMS // still expired — sheds, as any negative value must
+		}
+		exec.Deadline = now.Add(time.Duration(ms) * time.Millisecond)
+	}
+	return exec, nil
+}
+
+// maxDeadlineMS clamps |deadline_ms| at one year: far below the
+// ~292-year int64-nanosecond horizon, so the millisecond→Duration
+// conversion can never overflow — a huge positive value stays a
+// generous future deadline, a huge negative one stays expired.
+const maxDeadlineMS = int64(365 * 24 * time.Hour / time.Millisecond)
+
+// Scheduling headers accepted on every select/evaluate request; the
+// exec block's explicit values win over them.
+const (
+	HeaderPriority   = "X-Fam-Priority"
+	HeaderDeadlineMS = "X-Fam-Deadline-Ms"
+	HeaderMaxQueue   = "X-Fam-Max-Queue"
+)
+
+// withHeaders folds the scheduling headers into the wire exec policy:
+// a header applies only where the body left the knob unset.
+func (r ExecRequest) withHeaders(req *http.Request) (ExecRequest, error) {
+	if v := req.Header.Get(HeaderPriority); v != "" && r.Priority == "" {
+		r.Priority = v
+	}
+	if v := req.Header.Get(HeaderDeadlineMS); v != "" && r.DeadlineMS == 0 {
+		ms, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			return r, fmt.Errorf("bad %s header %q: %w", HeaderDeadlineMS, v, err)
+		}
+		r.DeadlineMS = ms
+	}
+	if v := req.Header.Get(HeaderMaxQueue); v != "" && r.MaxQueue == 0 {
+		mq, err := strconv.Atoi(v)
+		if err != nil {
+			return r, fmt.Errorf("bad %s header %q: %w", HeaderMaxQueue, v, err)
+		}
+		r.MaxQueue = mq
+	}
+	return r, nil
+}
+
+// resolveExec is the shared exec-policy pipeline of every query
+// endpoint: headers folded in, the handler's default admission bound
+// applied, the wire shape resolved against the request arrival time.
+func (h *Handler) resolveExec(req *http.Request, body ExecRequest) (fam.Exec, error) {
+	body, err := body.withHeaders(req)
+	if err != nil {
+		return fam.Exec{}, err
+	}
+	if body.MaxQueue == 0 {
+		body.MaxQueue = h.cfg.MaxQueue
+	}
+	return body.toExec(time.Now())
 }
 
 // BatchSelectRequest is the body of POST /v2/select.
@@ -86,12 +180,14 @@ type BatchSelectRequest struct {
 }
 
 // BatchMemberResponse is one slot of a v2 answer: the SelectResponse
-// fields on success, or an error string (with the HTTP status the same
-// failure would have had as a v1 request) on a per-member failure.
+// fields on success, or an error string (with the HTTP status and
+// typed code the same failure would have had as a standalone request)
+// on a per-member failure.
 type BatchMemberResponse struct {
 	*SelectResponse
 	Error  string `json:"error,omitempty"`
 	Status int    `json:"status,omitempty"`
+	Code   string `json:"code,omitempty"`
 }
 
 // BatchSelectResponse is the body returned by POST /v2/select: one slot
@@ -144,6 +240,7 @@ func toMetrics(m fam.Metrics) Metrics {
 type TelemetryResponse struct {
 	PreprocessMS     float64 `json:"preprocess_ms"`
 	QueryMS          float64 `json:"query_ms"`
+	QueueWaitMS      float64 `json:"queue_wait_ms,omitempty"`
 	Workers          int     `json:"workers,omitempty"`
 	ParallelBatches  int     `json:"parallel_batches,omitempty"`
 	SerialBatches    int     `json:"serial_batches,omitempty"`
@@ -163,6 +260,7 @@ func toTelemetry(t *fam.Telemetry) *TelemetryResponse {
 	return &TelemetryResponse{
 		PreprocessMS:     float64(t.Preprocess) / float64(time.Millisecond),
 		QueryMS:          float64(t.Query) / float64(time.Millisecond),
+		QueueWaitMS:      float64(t.QueueWait) / float64(time.Millisecond),
 		Workers:          t.Stats.Workers,
 		ParallelBatches:  t.Stats.ParallelBatches,
 		SerialBatches:    t.Stats.SerialBatches,
@@ -237,9 +335,51 @@ type StatsResponse struct {
 	HTTP   HTTPStats       `json:"http"`
 }
 
-// ErrorResponse is the body of every non-2xx answer.
+// ErrorResponse is the body of every non-2xx /v1 answer (the frozen
+// shim envelope).
 type ErrorResponse struct {
 	Error string `json:"error"`
+}
+
+// ErrorV2 is the typed error envelope of every non-2xx /v2 answer: a
+// stable machine-matchable code plus the human-readable message.
+type ErrorV2 struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// The stable error codes of the v2 envelope.
+const (
+	CodeBadRequest      = "bad_request"
+	CodeNotFound        = "not_found"
+	CodeConflict        = "conflict"
+	CodeForbidden       = "forbidden"
+	CodePayloadTooLarge = "payload_too_large"
+	CodeShed            = "shed"
+	CodeUnavailable     = "unavailable"
+	CodeInternal        = "internal"
+)
+
+// errorCode maps an HTTP status to its v2 envelope code.
+func errorCode(status int) string {
+	switch status {
+	case http.StatusBadRequest:
+		return CodeBadRequest
+	case http.StatusNotFound:
+		return CodeNotFound
+	case http.StatusConflict:
+		return CodeConflict
+	case http.StatusForbidden:
+		return CodeForbidden
+	case http.StatusRequestEntityTooLarge:
+		return CodePayloadTooLarge
+	case http.StatusTooManyRequests:
+		return CodeShed
+	case http.StatusServiceUnavailable:
+		return CodeUnavailable
+	default:
+		return CodeInternal
+	}
 }
 
 // HandlerConfig tunes the HTTP front end. The zero value is
@@ -251,6 +391,12 @@ type HandlerConfig struct {
 	// MaxBatchQueries caps the member count of one POST /v2/select
 	// (0 = DefaultMaxBatchQueries).
 	MaxBatchQueries int
+	// MaxQueue is the server-side admission bound applied to every
+	// select/evaluate request that does not set its own max_queue (body
+	// or header): a request arriving while more helper requests than
+	// this are queued on the engine's pool is shed with 429. Zero
+	// disables the server-side bound.
+	MaxQueue int
 }
 
 // Default limits of HandlerConfig's zero values.
@@ -288,13 +434,25 @@ func NewHandlerConfig(e *fam.Engine, cfg HandlerConfig) *Handler {
 	}
 	h := &Handler{engine: e, cfg: cfg, mux: http.NewServeMux()}
 	h.mux.HandleFunc("GET /v1/datasets", h.handleDatasets)
-	h.mux.HandleFunc("POST /v1/datasets", h.handleUpload)
+	h.mux.HandleFunc("POST /v1/datasets", func(w http.ResponseWriter, r *http.Request) { h.handleUpload(v1Errors, w, r) })
 	h.mux.HandleFunc("POST /v1/select", h.handleSelect)
 	h.mux.HandleFunc("POST /v1/evaluate", h.handleEvaluate)
 	h.mux.HandleFunc("GET /v1/stats", h.handleStats)
 	h.mux.HandleFunc("POST /v2/select", h.handleBatchSelect)
+	h.mux.HandleFunc("GET /v2/datasets", h.handleDatasets)
+	h.mux.HandleFunc("POST /v2/datasets", func(w http.ResponseWriter, r *http.Request) { h.handleUpload(v2Errors, w, r) })
+	h.mux.HandleFunc("GET /v2/stats", h.handleStats)
 	return h
 }
+
+// errorDialect selects the wire shape of failure bodies: the frozen v1
+// {error} envelope or the typed v2 {code, message} envelope.
+type errorDialect int
+
+const (
+	v1Errors errorDialect = iota
+	v2Errors
+)
 
 // ServeHTTP implements http.Handler.
 func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
@@ -328,23 +486,24 @@ func memberResponse(member QueryRequest, res *fam.Result, tel *fam.Telemetry) *S
 	return resp
 }
 
-// runBatch executes a v2 member array against the engine's batch layer.
-// Member successes are rendered as SelectResponses, member failures keep
-// their slot with the error and the status the v1 surface would have
-// used.
-func (h *Handler) runBatch(r *http.Request, members []QueryRequest, exec ExecRequest) ([]BatchMemberResponse, error) {
+// runBatch executes a v2 member array against the engine's batch
+// planner. Member successes are rendered as SelectResponses, member
+// failures keep their slot with the error, the status, and the typed
+// code the same failure would have had standalone.
+func (h *Handler) runBatch(r *http.Request, members []QueryRequest, exec fam.Exec) ([]BatchMemberResponse, error) {
 	queries := make([]fam.Query, len(members))
 	for i := range members {
 		queries[i] = members[i].toQuery()
 	}
-	slots, err := h.engine.SelectBatch(r.Context(), queries, exec.toExec())
+	slots, err := h.engine.SelectBatch(r.Context(), queries, exec)
 	if err != nil {
 		return nil, err
 	}
 	out := make([]BatchMemberResponse, len(slots))
 	for i, slot := range slots {
 		if slot.Err != nil {
-			out[i] = BatchMemberResponse{Error: slot.Err.Error(), Status: statusOf(slot.Err)}
+			status := statusOf(slot.Err)
+			out[i] = BatchMemberResponse{Error: slot.Err.Error(), Status: status, Code: errorCode(status)}
 			continue
 		}
 		out[i] = BatchMemberResponse{SelectResponse: memberResponse(members[i], slot.Result, slot.Telemetry)}
@@ -355,21 +514,26 @@ func (h *Handler) runBatch(r *http.Request, members []QueryRequest, exec ExecReq
 func (h *Handler) handleBatchSelect(w http.ResponseWriter, r *http.Request) {
 	var req BatchSelectRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		h.writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		h.writeErrorDialect(v2Errors, w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
 		return
 	}
 	if len(req.Queries) == 0 {
-		h.writeError(w, http.StatusBadRequest, errors.New("empty batch: queries must be non-empty"))
+		h.writeErrorDialect(v2Errors, w, http.StatusBadRequest, errors.New("empty batch: queries must be non-empty"))
 		return
 	}
 	if len(req.Queries) > h.cfg.MaxBatchQueries {
-		h.writeError(w, http.StatusBadRequest,
+		h.writeErrorDialect(v2Errors, w, http.StatusBadRequest,
 			fmt.Errorf("batch of %d queries exceeds the limit of %d", len(req.Queries), h.cfg.MaxBatchQueries))
 		return
 	}
-	results, err := h.runBatch(r, req.Queries, req.Exec)
+	exec, err := h.resolveExec(r, req.Exec)
 	if err != nil {
-		h.writeEngineError(w, r, err)
+		h.writeErrorDialect(v2Errors, w, http.StatusBadRequest, err)
+		return
+	}
+	results, err := h.runBatch(r, req.Queries, exec)
+	if err != nil {
+		h.writeEngineErrorDialect(v2Errors, w, r, err)
 		return
 	}
 	h.writeJSON(w, http.StatusOK, BatchSelectResponse{Results: results})
@@ -402,8 +566,12 @@ func (h *Handler) handleSelect(w http.ResponseWriter, r *http.Request) {
 		}
 		member.Algorithm = algo
 	}
-	exec := ExecRequest{Parallelism: req.Parallelism, LazyBatch: req.LazyBatch}
-	res, tel, err := h.engine.Select(r.Context(), member.toQuery(), exec.toExec())
+	exec, err := h.resolveExec(r, ExecRequest{Parallelism: req.Parallelism, LazyBatch: req.LazyBatch})
+	if err != nil {
+		h.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	res, tel, err := h.engine.Select(r.Context(), member.toQuery(), exec)
 	if err != nil {
 		h.writeEngineError(w, r, err)
 		return
@@ -434,7 +602,12 @@ func (h *Handler) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 		// A missing set must fail set validation, not K validation.
 		q.ExplicitSet = []int{}
 	}
-	m, err := h.engine.Evaluate(r.Context(), q, ExecRequest{}.toExec())
+	exec, err := h.resolveExec(r, ExecRequest{})
+	if err != nil {
+		h.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	m, err := h.engine.Evaluate(r.Context(), q, exec)
 	if err != nil {
 		h.writeEngineError(w, r, err)
 		return
@@ -450,14 +623,14 @@ func (h *Handler) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 // "label" column) into the engine's registry under ?name=, with the
 // distribution chosen by ?dist= (uniform linear weights by default,
 // "ces:<rho>" for concave CES utilities).
-func (h *Handler) handleUpload(w http.ResponseWriter, r *http.Request) {
+func (h *Handler) handleUpload(d errorDialect, w http.ResponseWriter, r *http.Request) {
 	if h.cfg.MaxUploadBytes < 0 {
-		h.writeError(w, http.StatusForbidden, errors.New("dataset uploads are disabled"))
+		h.writeErrorDialect(d, w, http.StatusForbidden, errors.New("dataset uploads are disabled"))
 		return
 	}
 	name := r.URL.Query().Get("name")
 	if name == "" {
-		h.writeError(w, http.StatusBadRequest, errors.New("missing required query parameter: name"))
+		h.writeErrorDialect(d, w, http.StatusBadRequest, errors.New("missing required query parameter: name"))
 		return
 	}
 	body := http.MaxBytesReader(w, r.Body, h.cfg.MaxUploadBytes)
@@ -465,24 +638,24 @@ func (h *Handler) handleUpload(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		var tooBig *http.MaxBytesError
 		if errors.As(err, &tooBig) {
-			h.writeError(w, http.StatusRequestEntityTooLarge,
+			h.writeErrorDialect(d, w, http.StatusRequestEntityTooLarge,
 				fmt.Errorf("dataset exceeds the %d-byte upload cap", h.cfg.MaxUploadBytes))
 			return
 		}
-		h.writeError(w, http.StatusBadRequest, fmt.Errorf("parsing CSV: %w", err))
+		h.writeErrorDialect(d, w, http.StatusBadRequest, fmt.Errorf("parsing CSV: %w", err))
 		return
 	}
 	dist, err := uploadDistribution(r.URL.Query().Get("dist"), ds.Dim())
 	if err != nil {
-		h.writeError(w, http.StatusBadRequest, err)
+		h.writeErrorDialect(d, w, http.StatusBadRequest, err)
 		return
 	}
 	if err := h.engine.Register(name, ds, dist); err != nil {
 		if errors.Is(err, fam.ErrDuplicateDataset) {
-			h.writeError(w, http.StatusConflict, err)
+			h.writeErrorDialect(d, w, http.StatusConflict, err)
 			return
 		}
-		h.writeEngineError(w, r, err)
+		h.writeEngineErrorDialect(d, w, r, err)
 		return
 	}
 	h.uploads.Add(1)
@@ -526,15 +699,20 @@ func (h *Handler) handleStats(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// statusOf maps an engine error to the HTTP status a v1 request would
-// have answered with: bad requests and malformed sets are 400, unknown
-// datasets 404, a closed engine 503, anything else 500.
+// statusOf maps an engine error to its HTTP status: bad requests and
+// malformed sets are 400, unknown datasets 404, admission-shed work
+// 429 (back off and retry), a deadline that expired mid-flight or a
+// closed engine 503, anything else 500.
 func statusOf(err error) int {
 	switch {
 	case errors.Is(err, fam.ErrBadOptions), errors.Is(err, fam.ErrInvalidSet), errors.Is(err, fam.ErrNilArgument):
 		return http.StatusBadRequest
 	case errors.Is(err, fam.ErrUnknownDataset):
 		return http.StatusNotFound
+	case errors.Is(err, fam.ErrShed):
+		return http.StatusTooManyRequests
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusServiceUnavailable
 	case errors.Is(err, fam.ErrEngineClosed):
 		return http.StatusServiceUnavailable
 	default:
@@ -542,21 +720,35 @@ func statusOf(err error) int {
 	}
 }
 
-// writeEngineError maps whole-call engine errors to HTTP statuses; a
-// canceled request gets no body (the client is gone).
+// writeEngineError maps whole-call engine errors to HTTP statuses in
+// the v1 dialect; a canceled request gets no body (the client is gone).
 func (h *Handler) writeEngineError(w http.ResponseWriter, r *http.Request, err error) {
-	if r.Context().Err() != nil {
+	h.writeEngineErrorDialect(v1Errors, w, r, err)
+}
+
+func (h *Handler) writeEngineErrorDialect(d errorDialect, w http.ResponseWriter, r *http.Request, err error) {
+	if r.Context().Err() != nil && !errors.Is(r.Context().Err(), context.DeadlineExceeded) {
 		h.clientErrors.Add(1)
 		return
 	}
-	h.writeError(w, statusOf(err), err)
+	h.writeErrorDialect(d, w, statusOf(err), err)
 }
 
 func (h *Handler) writeError(w http.ResponseWriter, status int, err error) {
+	h.writeErrorDialect(v1Errors, w, status, err)
+}
+
+// writeErrorDialect renders a failure in the endpoint's envelope: the
+// frozen v1 {error} shape or the typed v2 {code, message} shape.
+func (h *Handler) writeErrorDialect(d errorDialect, w http.ResponseWriter, status int, err error) {
 	if status >= 500 {
 		h.serverErrors.Add(1)
 	} else {
 		h.clientErrors.Add(1)
+	}
+	if d == v2Errors {
+		h.writeJSON(w, status, ErrorV2{Code: errorCode(status), Message: err.Error()})
+		return
 	}
 	h.writeJSON(w, status, ErrorResponse{Error: err.Error()})
 }

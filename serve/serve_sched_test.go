@@ -1,0 +1,207 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// TestServeV2StatsAndDatasets: the v2 surface carries stats and
+// datasets with the same success bodies as v1 (one engine, no drift)
+// and the typed {code, message} envelope on failures.
+func TestServeV2StatsAndDatasets(t *testing.T) {
+	srv, _ := newTestServer(t)
+
+	var v1, v2 DatasetsResponse
+	if code := getJSON(t, srv.URL+"/v1/datasets", &v1); code != http.StatusOK {
+		t.Fatalf("v1 datasets: %d", code)
+	}
+	if code := getJSON(t, srv.URL+"/v2/datasets", &v2); code != http.StatusOK {
+		t.Fatalf("v2 datasets: %d", code)
+	}
+	if len(v2.Datasets) != len(v1.Datasets) || v2.Datasets[0].Name != v1.Datasets[0].Name {
+		t.Fatalf("v2 datasets %+v differ from v1 %+v", v2.Datasets, v1.Datasets)
+	}
+
+	var stats StatsResponse
+	if code := getJSON(t, srv.URL+"/v2/stats", &stats); code != http.StatusOK {
+		t.Fatalf("v2 stats: %d", code)
+	}
+	if stats.Engine.Datasets != 1 {
+		t.Fatalf("v2 stats engine datasets = %d", stats.Engine.Datasets)
+	}
+	if stats.Engine.Sched.Policy != "weighted-edf" {
+		t.Fatalf("sched policy = %q, want weighted-edf", stats.Engine.Sched.Policy)
+	}
+
+	// A v2 upload failure answers the typed envelope; the v1 mirror
+	// keeps the frozen {error} shape.
+	resp, err := http.Post(srv.URL+"/v2/datasets", "text/csv", strings.NewReader("not,a\nvalid csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var envelope ErrorV2
+	if err := json.NewDecoder(resp.Body).Decode(&envelope); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusBadRequest || envelope.Code != CodeBadRequest || envelope.Message == "" {
+		t.Fatalf("v2 upload error = %d %+v, want 400 bad_request", resp.StatusCode, envelope)
+	}
+}
+
+// TestServeV2ErrorEnvelope: every v2 failure mode answers {code,
+// message}; per-member batch failures carry the member code.
+func TestServeV2ErrorEnvelope(t *testing.T) {
+	srv, _ := newTestServer(t)
+
+	var envelope ErrorV2
+	if code := postJSON(t, srv.URL+"/v2/select", BatchSelectRequest{}, &envelope); code != http.StatusBadRequest {
+		t.Fatalf("empty batch: %d", code)
+	}
+	if envelope.Code != CodeBadRequest || envelope.Message == "" {
+		t.Fatalf("empty batch envelope = %+v", envelope)
+	}
+
+	var batch BatchSelectResponse
+	req := BatchSelectRequest{Queries: []QueryRequest{
+		{Dataset: "nope", K: 3},
+		{Dataset: "hotels", K: 0},
+		{Dataset: "hotels", K: 3, SampleSize: 100},
+	}}
+	if code := postJSON(t, srv.URL+"/v2/select", req, &batch); code != http.StatusOK {
+		t.Fatalf("batch: %d", code)
+	}
+	if got := batch.Results[0]; got.Status != http.StatusNotFound || got.Code != CodeNotFound {
+		t.Fatalf("unknown-dataset member = %+v", got)
+	}
+	if got := batch.Results[1]; got.Status != http.StatusBadRequest || got.Code != CodeBadRequest {
+		t.Fatalf("bad-k member = %+v", got)
+	}
+	if batch.Results[2].Error != "" || len(batch.Results[2].Indices) != 3 {
+		t.Fatalf("good member = %+v", batch.Results[2])
+	}
+}
+
+// TestServeShedMapsTo429: a request whose deadline already passed is
+// shed by admission control and answers 429 — via the exec block on v2
+// and via the X-Fam-Deadline-Ms header on the frozen v1 shim.
+func TestServeShedMapsTo429(t *testing.T) {
+	srv, engine := newTestServer(t)
+
+	var envelope ErrorV2
+	req := BatchSelectRequest{
+		Queries: []QueryRequest{{Dataset: "hotels", K: 3, SampleSize: 100}},
+		Exec:    ExecRequest{DeadlineMS: -1},
+	}
+	if code := postJSON(t, srv.URL+"/v2/select", req, &envelope); code != http.StatusTooManyRequests {
+		t.Fatalf("expired v2 batch: %d", code)
+	}
+	if envelope.Code != CodeShed {
+		t.Fatalf("v2 shed envelope = %+v, want code %q", envelope, CodeShed)
+	}
+
+	// v1 shim: same admission, frozen envelope, driven by headers.
+	body, _ := json.Marshal(SelectRequest{Dataset: "hotels", K: 3, SampleSize: 100})
+	hreq, err := http.NewRequest("POST", srv.URL+"/v1/select", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hreq.Header.Set(HeaderDeadlineMS, "-1")
+	hreq.Header.Set(HeaderPriority, "low")
+	resp, err := http.DefaultClient.Do(hreq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var v1err ErrorResponse
+	if err := json.NewDecoder(resp.Body).Decode(&v1err); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusTooManyRequests || v1err.Error == "" {
+		t.Fatalf("expired v1 select = %d %+v, want 429 with the frozen envelope", resp.StatusCode, v1err)
+	}
+
+	if s := engine.Stats(); s.Shed != 2 {
+		t.Fatalf("engine shed = %d, want 2", s.Shed)
+	}
+
+	// A bad priority header is a 400, not a shed.
+	hreq2, _ := http.NewRequest("POST", srv.URL+"/v1/select", bytes.NewReader(body))
+	hreq2.Header.Set(HeaderPriority, "urgent")
+	resp2, err := http.DefaultClient.Do(hreq2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad priority header: %d, want 400", resp2.StatusCode)
+	}
+}
+
+// TestServeSchedulingExecAccepted: priority/deadline/max_queue knobs on
+// admitted requests change no answers — the scheduled response is
+// bit-identical to the plain one and hits its result-cache entry.
+func TestServeSchedulingExecAccepted(t *testing.T) {
+	srv, _ := newTestServer(t)
+
+	var plain BatchSelectResponse
+	req := BatchSelectRequest{Queries: []QueryRequest{{Dataset: "hotels", K: 4, Seed: 7, SampleSize: 100}}}
+	if code := postJSON(t, srv.URL+"/v2/select", req, &plain); code != http.StatusOK {
+		t.Fatalf("plain: %d", code)
+	}
+	var sched BatchSelectResponse
+	req.Exec = ExecRequest{Priority: "high", DeadlineMS: 60_000, MaxQueue: 1 << 20, Parallelism: 2}
+	if code := postJSON(t, srv.URL+"/v2/select", req, &sched); code != http.StatusOK {
+		t.Fatalf("scheduled: %d", code)
+	}
+	if len(sched.Results[0].Indices) != len(plain.Results[0].Indices) {
+		t.Fatalf("scheduled answer differs: %v vs %v", sched.Results[0].Indices, plain.Results[0].Indices)
+	}
+	for i := range plain.Results[0].Indices {
+		if sched.Results[0].Indices[i] != plain.Results[0].Indices[i] {
+			t.Fatalf("scheduled answer differs: %v vs %v", sched.Results[0].Indices, plain.Results[0].Indices)
+		}
+	}
+	if !sched.Results[0].Cached {
+		t.Fatal("scheduling knobs leaked into the result-cache key")
+	}
+}
+
+// TestServeDeadlineMSClampNoOverflow: an absurdly large deadline_ms
+// means "generous deadline", never an int64 overflow into the past —
+// the request must be answered, not shed.
+func TestServeDeadlineMSClampNoOverflow(t *testing.T) {
+	srv, _ := newTestServer(t)
+	var resp BatchSelectResponse
+	req := BatchSelectRequest{
+		Queries: []QueryRequest{{Dataset: "hotels", K: 3, SampleSize: 100}},
+		Exec:    ExecRequest{DeadlineMS: 1<<63 - 1},
+	}
+	if code := postJSON(t, srv.URL+"/v2/select", req, &resp); code != http.StatusOK {
+		t.Fatalf("MaxInt64 deadline_ms answered %d, want 200", code)
+	}
+	if resp.Results[0].Error != "" || len(resp.Results[0].Indices) != 3 {
+		t.Fatalf("clamped-deadline slot = %+v", resp.Results[0])
+	}
+}
+
+// TestServeDeadlineMSNegativeOverflowStillSheds: a huge negative
+// deadline_ms must stay expired (429), not wrap into a far-future
+// deadline.
+func TestServeDeadlineMSNegativeOverflowStillSheds(t *testing.T) {
+	srv, _ := newTestServer(t)
+	var envelope ErrorV2
+	req := BatchSelectRequest{
+		Queries: []QueryRequest{{Dataset: "hotels", K: 3, SampleSize: 100}},
+		Exec:    ExecRequest{DeadlineMS: -(1<<63 - 1)},
+	}
+	if code := postJSON(t, srv.URL+"/v2/select", req, &envelope); code != http.StatusTooManyRequests {
+		t.Fatalf("MinInt64-ish deadline_ms answered %d, want 429", code)
+	}
+	if envelope.Code != CodeShed {
+		t.Fatalf("envelope = %+v, want code %q", envelope, CodeShed)
+	}
+}
