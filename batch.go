@@ -58,8 +58,8 @@ type BatchResult struct {
 // Each member is answered exactly as Engine.Select/Engine.Evaluate would
 // answer it — same result cache, same Fingerprint keys, same
 // bit-identity guarantees — so a batch is semantically equivalent to a
-// loop, just planned. Member Telemetry additionally reports QueueWait,
-// the time the member spent waiting for its plan slot.
+// loop, just planned. Member Telemetry reports QueueWait as the member's
+// own pool grant waits plus the time it spent waiting for its plan slot.
 func (e *Engine) SelectBatch(ctx context.Context, queries []Query, exec Exec) ([]BatchResult, error) {
 	if e.closed.Load() {
 		return nil, ErrEngineClosed
@@ -76,8 +76,15 @@ func (e *Engine) SelectBatch(ctx context.Context, queries []Query, exec Exec) ([
 	if err := e.admit(exec); err != nil {
 		return nil, err
 	}
-	e.batches.Add(1)
+	// Counter-update order is part of the EngineStats snapshot contract:
+	// member queries are added before the batch itself (every batch has
+	// at least one member, so BatchQueries ≥ Batches holds at every
+	// instant), and the planner's PlannedDedups/PlanGroups — always
+	// bounded by the member count — are added below, after BatchQueries.
+	// Stats() loads the counters in the matching order, so its snapshots
+	// can never show the inequalities torn mid-batch.
 	e.batchQueries.Add(uint64(len(queries)))
+	e.batches.Add(1)
 
 	// MaxQueue admission was consumed by the batch-level check above:
 	// the members of an admitted batch fan out together, so their own
@@ -111,7 +118,11 @@ func (e *Engine) SelectBatch(ctx context.Context, queries []Query, exec Exec) ([
 		wait := time.Since(start)
 		out[i] = e.member(ctx, queries[i], memberExec)
 		if out[i].Telemetry != nil {
-			out[i].Telemetry.QueueWait = wait
+			// The member's Telemetry already carries its own pool grant
+			// waits (attributed per query on the Select/Evaluate path);
+			// the plan-slot wait behind the representative and the width
+			// bound is added on top.
+			out[i].Telemetry.QueueWait += wait
 		}
 	}
 	var wg sync.WaitGroup

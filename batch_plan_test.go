@@ -287,15 +287,27 @@ func TestEngineBatchQueueWaitTelemetry(t *testing.T) {
 			t.Fatalf("slot %d: negative queue wait %v", i, slot.Telemetry.QueueWait)
 		}
 	}
-	// The released member (k=5 shares the representative's instance)
-	// waited at least as long as the representative's start-to-start gap;
-	// both waits are reported, and direct Selects report none.
+	// Direct Selects report their own pool grant waits too (never
+	// negative, and never more than the engine-wide grant-wait sum,
+	// which additionally covers shared preprocessing builds).
 	res, tel, err := e.Select(ctx, Query{Dataset: "hotels", K: 7, Seed: 9, SampleSize: 120}, Exec{})
 	if err != nil || res == nil {
 		t.Fatal(err)
 	}
-	if tel.QueueWait != 0 {
-		t.Fatalf("direct select reported queue wait %v", tel.QueueWait)
+	if tel.QueueWait < 0 {
+		t.Fatalf("direct select reported negative queue wait %v", tel.QueueWait)
+	}
+	if total := e.Stats().Sched.QueueWait; tel.QueueWait > total {
+		t.Fatalf("direct select queue wait %v exceeds the engine-wide sum %v", tel.QueueWait, total)
+	}
+	// A result-cache hit replays the filler's QueueWait with the rest of
+	// the Telemetry.
+	res2, tel2, err := e.Select(ctx, Query{Dataset: "hotels", K: 7, Seed: 9, SampleSize: 120}, Exec{})
+	if err != nil || !res2.Cached {
+		t.Fatalf("warm repeat: cached=%v err=%v", res2 != nil && res2.Cached, err)
+	}
+	if tel2.QueueWait != tel.QueueWait {
+		t.Fatalf("cache hit replayed queue wait %v, filler reported %v", tel2.QueueWait, tel.QueueWait)
 	}
 }
 

@@ -35,12 +35,11 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
-	"strconv"
-	"strings"
 	"syscall"
 	"time"
 
 	fam "github.com/regretlab/fam"
+	"github.com/regretlab/fam/internal/load"
 	"github.com/regretlab/fam/serve"
 )
 
@@ -68,6 +67,7 @@ func run(args []string, out io.Writer) error {
 		maxQueue = fs.Int("max-queue", 0, "shed requests (429) arriving while more helper requests than this are queued, unless the request sets its own max_queue (0 = no server-side bound)")
 		specs    = fs.String("datasets", "hotels:200", "comma-separated dataset specs: [name=]kind[:n[:seed]] or [name=]synthetic[:n[:d[:corr[:seed]]]]")
 		ces      = fs.Float64("ces", 0, "use CES utilities with this rho for every dataset (0 = uniform linear)")
+		trace    = fs.String("trace", "", "record every accepted query request to this JSONL file (replayable with famload -replay)")
 		grace    = fs.Duration("shutdown-grace", 10*time.Second, "graceful-shutdown window for in-flight requests")
 		logDest  = log.New(out, "famserve: ", log.LstdFlags)
 	)
@@ -79,7 +79,7 @@ func run(args []string, out io.Writer) error {
 	if *policy != fam.GrantPolicyEDF && *policy != fam.GrantPolicyFIFO {
 		return fmt.Errorf("unknown -grant-policy %q (want %s|%s)", *policy, fam.GrantPolicyEDF, fam.GrantPolicyFIFO)
 	}
-	engine, infos, err := buildEngine(fam.EngineConfig{
+	engine, infos, err := load.BuildEngine(fam.EngineConfig{
 		Workers:          *workers,
 		PrepCacheSize:    *prepCap,
 		ResultCacheSize:  *resCap,
@@ -101,11 +101,21 @@ func run(args []string, out io.Writer) error {
 	if *uploadMB < 0 {
 		maxUpload = -1
 	}
-	handler := serve.NewHandlerConfig(engine, serve.HandlerConfig{
+	cfg := serve.HandlerConfig{
 		MaxUploadBytes:  maxUpload,
 		MaxBatchQueries: *batchCap,
 		MaxQueue:        *maxQueue,
-	})
+	}
+	if *trace != "" {
+		f, err := os.Create(*trace)
+		if err != nil {
+			return fmt.Errorf("opening trace file: %w", err)
+		}
+		defer f.Close()
+		cfg.Trace = f
+		logDest.Printf("recording request trace to %s", *trace)
+	}
+	handler := serve.NewHandlerConfig(engine, cfg)
 	srv := &http.Server{Addr: *addr, Handler: handler}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -132,135 +142,3 @@ func run(args []string, out io.Writer) error {
 	return nil
 }
 
-// buildEngine constructs an engine and registers every dataset of the
-// spec string under a uniform-linear (or CES) distribution.
-func buildEngine(cfg fam.EngineConfig, specs string, ces float64) (*fam.Engine, []fam.DatasetInfo, error) {
-	regs, err := parseSpecs(specs)
-	if err != nil {
-		return nil, nil, err
-	}
-	engine := fam.NewEngine(cfg)
-	for _, reg := range regs {
-		var dist fam.Distribution
-		if ces > 0 {
-			dist, err = fam.CESUniform(reg.ds.Dim(), ces)
-		} else {
-			dist, err = fam.UniformLinear(reg.ds.Dim())
-		}
-		if err != nil {
-			engine.Close()
-			return nil, nil, err
-		}
-		if err := engine.Register(reg.name, reg.ds, dist); err != nil {
-			engine.Close()
-			return nil, nil, fmt.Errorf("registering %q: %w", reg.name, err)
-		}
-	}
-	return engine, engine.Datasets(), nil
-}
-
-// spec is one parsed dataset registration.
-type spec struct {
-	name string
-	ds   *fam.Dataset
-}
-
-// parseSpecs parses the -datasets flag: comma-separated entries of the
-// form [name=]kind[:n[:seed]], with synthetic additionally taking
-// [:d[:corr]] between n and seed: synthetic:n:d:corr:seed.
-func parseSpecs(s string) ([]spec, error) {
-	var out []spec
-	seen := map[string]bool{}
-	for _, item := range strings.Split(s, ",") {
-		item = strings.TrimSpace(item)
-		if item == "" {
-			continue
-		}
-		name := ""
-		if eq := strings.IndexByte(item, '='); eq >= 0 {
-			name, item = item[:eq], item[eq+1:]
-		}
-		parts := strings.Split(item, ":")
-		kind := parts[0]
-		if name == "" {
-			name = kind
-		}
-		if seen[name] {
-			return nil, fmt.Errorf("duplicate dataset name %q (use name=kind:... to disambiguate)", name)
-		}
-		seen[name] = true
-		ds, err := buildDataset(kind, parts[1:])
-		if err != nil {
-			return nil, fmt.Errorf("dataset spec %q: %w", item, err)
-		}
-		out = append(out, spec{name: name, ds: ds})
-	}
-	if len(out) == 0 {
-		return nil, errors.New("no datasets configured")
-	}
-	return out, nil
-}
-
-func buildDataset(kind string, args []string) (*fam.Dataset, error) {
-	num := func(i, def int) (int, error) {
-		if i >= len(args) || args[i] == "" {
-			return def, nil
-		}
-		return strconv.Atoi(args[i])
-	}
-	if kind == "synthetic" {
-		n, err := num(0, 1000)
-		if err != nil {
-			return nil, err
-		}
-		d, err := num(1, 6)
-		if err != nil {
-			return nil, err
-		}
-		corr := fam.Independent
-		if len(args) > 2 && args[2] != "" {
-			switch args[2] {
-			case "independent":
-				corr = fam.Independent
-			case "correlated":
-				corr = fam.Correlated
-			case "anticorrelated":
-				corr = fam.Anticorrelated
-			case "spherical":
-				corr = fam.Spherical
-			default:
-				return nil, fmt.Errorf("unknown correlation %q", args[2])
-			}
-		}
-		seed, err := num(3, 1)
-		if err != nil {
-			return nil, err
-		}
-		return fam.Synthetic(n, d, corr, uint64(seed))
-	}
-
-	n, err := num(0, 1000)
-	if err != nil {
-		return nil, err
-	}
-	seed, err := num(1, 1)
-	if err != nil {
-		return nil, err
-	}
-	switch kind {
-	case "hotels":
-		return fam.Hotels(n, uint64(seed))
-	case "nba":
-		return fam.SimulatedNBA(n, uint64(seed))
-	case "nba22":
-		return fam.SimulatedNBA22(n, uint64(seed))
-	case "household":
-		return fam.SimulatedHousehold(n, uint64(seed))
-	case "forestcover":
-		return fam.SimulatedForestCover(n, uint64(seed))
-	case "uscensus":
-		return fam.SimulatedUSCensus(n, uint64(seed))
-	default:
-		return nil, fmt.Errorf("unknown dataset kind %q (want hotels|nba|nba22|household|forestcover|uscensus|synthetic)", kind)
-	}
-}

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	fam "github.com/regretlab/fam"
+	"github.com/regretlab/fam/internal/load"
 )
 
 func TestParseSpecs(t *testing.T) {
@@ -33,37 +34,37 @@ func TestParseSpecs(t *testing.T) {
 		{spec: "hotels:10,hotels:20", wantErr: true}, // duplicate name
 	}
 	for _, tc := range cases {
-		got, err := parseSpecs(tc.spec)
+		got, err := load.ParseDatasetSpecs(tc.spec)
 		if tc.wantErr {
 			if err == nil {
-				t.Errorf("parseSpecs(%q) succeeded, want error", tc.spec)
+				t.Errorf("ParseDatasetSpecs(%q) succeeded, want error", tc.spec)
 			}
 			continue
 		}
 		if err != nil {
-			t.Errorf("parseSpecs(%q): %v", tc.spec, err)
+			t.Errorf("ParseDatasetSpecs(%q): %v", tc.spec, err)
 			continue
 		}
 		if len(got) != len(tc.wantNames) {
-			t.Errorf("parseSpecs(%q) = %d specs, want %d", tc.spec, len(got), len(tc.wantNames))
+			t.Errorf("ParseDatasetSpecs(%q) = %d specs, want %d", tc.spec, len(got), len(tc.wantNames))
 			continue
 		}
 		for i := range got {
-			if got[i].name != tc.wantNames[i] {
-				t.Errorf("parseSpecs(%q)[%d].name = %q, want %q", tc.spec, i, got[i].name, tc.wantNames[i])
+			if got[i].Name != tc.wantNames[i] {
+				t.Errorf("ParseDatasetSpecs(%q)[%d].Name = %q, want %q", tc.spec, i, got[i].Name, tc.wantNames[i])
 			}
-			if got[i].ds.N() != tc.wantN[i] {
-				t.Errorf("parseSpecs(%q)[%d].N = %d, want %d", tc.spec, i, got[i].ds.N(), tc.wantN[i])
+			if got[i].DS.N() != tc.wantN[i] {
+				t.Errorf("ParseDatasetSpecs(%q)[%d].N = %d, want %d", tc.spec, i, got[i].DS.N(), tc.wantN[i])
 			}
-			if got[i].ds.Dim() != tc.wantDim[i] {
-				t.Errorf("parseSpecs(%q)[%d].Dim = %d, want %d", tc.spec, i, got[i].ds.Dim(), tc.wantDim[i])
+			if got[i].DS.Dim() != tc.wantDim[i] {
+				t.Errorf("ParseDatasetSpecs(%q)[%d].Dim = %d, want %d", tc.spec, i, got[i].DS.Dim(), tc.wantDim[i])
 			}
 		}
 	}
 }
 
 func TestBuildEngine(t *testing.T) {
-	engine, infos, err := buildEngine(fam.EngineConfig{Workers: 2}, "hotels:80,tiny=synthetic:30:3", 0)
+	engine, infos, err := load.BuildEngine(fam.EngineConfig{Workers: 2}, "hotels:80,tiny=synthetic:30:3", 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -83,7 +84,7 @@ func TestBuildEngine(t *testing.T) {
 }
 
 func TestBuildEngineBadSpec(t *testing.T) {
-	if _, _, err := buildEngine(fam.EngineConfig{}, "bogus:1", 0); err == nil {
+	if _, _, err := load.BuildEngine(fam.EngineConfig{}, "bogus:1", 0); err == nil {
 		t.Fatal("bad spec must error")
 	}
 }

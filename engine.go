@@ -289,6 +289,10 @@ func (e *Engine) Select(ctx context.Context, q Query, exec Exec) (*Result, *Tele
 	if err := e.admit(exec); err != nil {
 		return nil, nil, err
 	}
+	// Per-query queue-wait attribution: every helper grant of this
+	// query's own fan-outs adds its enqueue-to-grant latency here, so
+	// Telemetry.QueueWait is the query's wait, not an engine-wide share.
+	exec = exec.withWait(new(sched.WaitCounter))
 	// The requester waits under its deadline; the detached fill keeps
 	// the priority class and the deadline as a soft ordering signal
 	// only (a fill that outlives its triggering request is shared
@@ -313,6 +317,10 @@ func (e *Engine) Select(ctx context.Context, q Query, exec Exec) (*Result, *Tele
 		// On a fully warm preprocessing cache this is near zero: the
 		// expensive artifacts were reused, not rebuilt.
 		tel.Preprocess = preprocess
+		// The pool grant waits of the execution that computed this
+		// entry; a result-cache hit replays it like the rest of the
+		// Telemetry.
+		tel.QueueWait = exec.wait.Load()
 		return &answer{res: res, tel: tel}, nil
 	})
 	if err != nil {
@@ -358,6 +366,8 @@ func (e *Engine) evaluate(ctx context.Context, q Query, exec Exec) (Metrics, *re
 	if err := e.admit(exec); err != nil {
 		return Metrics{}, nil, nil, err
 	}
+	// Per-query queue-wait attribution, exactly as on the Select path.
+	exec = exec.withWait(new(sched.WaitCounter))
 	ctx, cancel := exec.schedContext(ctx)
 	defer cancel()
 	e.evaluates.Add(1)
@@ -373,6 +383,7 @@ func (e *Engine) evaluate(ctx context.Context, q Query, exec Exec) (Metrics, *re
 		return Metrics{}, nil, nil, err
 	}
 	tel.Query = time.Since(queryStart)
+	tel.QueueWait = exec.wait.Load()
 	return m, reg, tel, nil
 }
 
@@ -553,7 +564,8 @@ func funcsSize(funcs []UtilityFunc) int64 {
 }
 
 // EngineStats is a point-in-time snapshot of an Engine's serving
-// counters.
+// counters. Each counter is individually monotonic; see Stats for the
+// cross-counter consistency guarantees a snapshot carries.
 type EngineStats struct {
 	// Datasets is the number of registered datasets.
 	Datasets int `json:"datasets"`
@@ -604,20 +616,43 @@ type CacheStats = ecache.CacheStats
 type SchedStats = sched.Stats
 
 // Stats returns a snapshot of the Engine's counters.
+//
+// Every counter is individually monotonic, but the snapshot is not one
+// atomic cut: counters are loaded one at a time while queries run. Two
+// guarantees are kept anyway, by ordering the increments in SelectBatch
+// (member-derived counters move only after BatchQueries) and loading
+// the counters here in the matching order — dependents before their
+// bound:
+//
+//	Batches       ≤ BatchQueries (every batch carries ≥ 1 member)
+//	PlannedDedups ≤ BatchQueries (only members dedup)
+//	PlanGroups    ≤ BatchQueries (groups partition the members)
+//
+// Any other cross-counter relation (e.g. Selects vs BatchQueries) may
+// be transiently off by in-flight queries; consumers needing an exact
+// cut should quiesce traffic first.
 func (e *Engine) Stats() EngineStats {
 	e.mu.RLock()
 	n := len(e.datasets)
 	e.mu.RUnlock()
+	// Load the bounded counters before their bound: a concurrent batch
+	// increments BatchQueries first, so reading PlannedDedups/PlanGroups/
+	// Batches earlier (never later) keeps every snapshot inside the
+	// documented inequalities.
+	planGroups := e.planGroups.Load()
+	plannedDedups := e.plannedDedups.Load()
+	batches := e.batches.Load()
+	batchQueries := e.batchQueries.Load()
 	return EngineStats{
 		Datasets:      n,
 		PoolWorkers:   e.pool.Size(),
 		Selects:       e.selects.Load(),
 		Evaluates:     e.evaluates.Load(),
-		Batches:       e.batches.Load(),
-		BatchQueries:  e.batchQueries.Load(),
+		Batches:       batches,
+		BatchQueries:  batchQueries,
 		Shed:          e.sheds.Load(),
-		PlannedDedups: e.plannedDedups.Load(),
-		PlanGroups:    e.planGroups.Load(),
+		PlannedDedups: plannedDedups,
+		PlanGroups:    planGroups,
 		PrepCache:     e.prep.Stats(),
 		ResultCache:   e.results.Stats(),
 		Sched:         e.pool.SchedStats(),

@@ -441,3 +441,61 @@ func TestEngineCachePolicyKnobs(t *testing.T) {
 		}
 	}
 }
+
+// TestEngineStatsBatchSnapshotInvariants: Stats snapshots taken while
+// batches are in flight must never show the documented cross-counter
+// inequalities torn — BatchQueries bounds Batches, PlannedDedups, and
+// PlanGroups in every snapshot, because SelectBatch orders its
+// increments and Stats orders its loads. Run under -race.
+func TestEngineStatsBatchSnapshotInvariants(t *testing.T) {
+	e := newTestEngine(t, engineFixtures(t))
+	ctx := context.Background()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				// Batches with a planned duplicate (two equal members) so
+				// PlannedDedups moves alongside BatchQueries/PlanGroups.
+				q := Query{Dataset: "tiny", K: 2 + (i+g)%2, Seed: uint64(g), SampleSize: 40}
+				if _, err := e.SelectBatch(ctx, []Query{q, q, {Dataset: "tiny", K: 4, Seed: uint64(g), SampleSize: 40}}, Exec{}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+
+	deadline := time.Now().Add(500 * time.Millisecond)
+	for time.Now().Before(deadline) {
+		s := e.Stats()
+		if s.Batches > s.BatchQueries {
+			t.Fatalf("torn snapshot: Batches %d > BatchQueries %d", s.Batches, s.BatchQueries)
+		}
+		if s.PlannedDedups > s.BatchQueries {
+			t.Fatalf("torn snapshot: PlannedDedups %d > BatchQueries %d", s.PlannedDedups, s.BatchQueries)
+		}
+		if s.PlanGroups > s.BatchQueries {
+			t.Fatalf("torn snapshot: PlanGroups %d > BatchQueries %d", s.PlanGroups, s.BatchQueries)
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	// Quiesced, the exact relations hold: 3 members and 1 dedup per batch.
+	s := e.Stats()
+	if s.BatchQueries != 3*s.Batches {
+		t.Fatalf("quiesced: BatchQueries %d != 3×Batches %d", s.BatchQueries, s.Batches)
+	}
+	if s.PlannedDedups != s.Batches {
+		t.Fatalf("quiesced: PlannedDedups %d != Batches %d", s.PlannedDedups, s.Batches)
+	}
+}

@@ -1,0 +1,290 @@
+package load
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"time"
+
+	fam "github.com/regretlab/fam"
+	"github.com/regretlab/fam/internal/stats"
+)
+
+// ReportSchemaVersion identifies the BENCH_*.json layout; consumers of
+// the perf trajectory should check it before comparing runs.
+const ReportSchemaVersion = 1
+
+// LatencySummary is the distribution summary the report carries for
+// latency-like samples (milliseconds).
+type LatencySummary struct {
+	MeanMS float64 `json:"mean_ms"`
+	P50MS  float64 `json:"p50_ms"`
+	P90MS  float64 `json:"p90_ms"`
+	P95MS  float64 `json:"p95_ms"`
+	P99MS  float64 `json:"p99_ms"`
+	MaxMS  float64 `json:"max_ms"`
+}
+
+func summarize(xs []float64) LatencySummary {
+	if len(xs) == 0 {
+		return LatencySummary{}
+	}
+	mean, _ := stats.Mean(xs)
+	ps, _ := stats.Percentiles(xs, []float64{50, 90, 95, 99, 100})
+	return LatencySummary{MeanMS: mean, P50MS: ps[0], P90MS: ps[1], P95MS: ps[2], P99MS: ps[3], MaxMS: ps[4]}
+}
+
+// ClassReport breaks the run down by scheduling class.
+type ClassReport struct {
+	Offered   int `json:"offered"`
+	Completed int `json:"completed"`
+	Shed      int `json:"shed"`
+	Errors    int `json:"errors"`
+	// CompletionRate = Completed / Offered; the per-class inputs of the
+	// Jain index.
+	CompletionRate float64        `json:"completion_rate"`
+	Latency        LatencySummary `json:"latency"`
+	QueueWait      LatencySummary `json:"queue_wait"`
+}
+
+// CacheRates reports the engine's cache behaviour over the run window
+// as deltas between two EngineStats snapshots.
+type CacheRates struct {
+	ResultHits   uint64 `json:"result_hits"`
+	ResultMisses uint64 `json:"result_misses"`
+	PrepHits     uint64 `json:"prep_hits"`
+	PrepMisses   uint64 `json:"prep_misses"`
+	// Hit rates are hits/(hits+misses); -1 when the window had no
+	// lookups of that kind.
+	ResultHitRate float64 `json:"result_hit_rate"`
+	PrepHitRate   float64 `json:"prep_hit_rate"`
+}
+
+// CacheRatesFrom computes the run-window cache rates from the stats
+// snapshots taken before and after the run.
+func CacheRatesFrom(before, after fam.EngineStats) CacheRates {
+	c := CacheRates{
+		ResultHits:   after.ResultCache.Hits - before.ResultCache.Hits,
+		ResultMisses: after.ResultCache.Misses - before.ResultCache.Misses,
+		PrepHits:     after.PrepCache.Hits - before.PrepCache.Hits,
+		PrepMisses:   after.PrepCache.Misses - before.PrepCache.Misses,
+	}
+	c.ResultHitRate = rate(c.ResultHits, c.ResultMisses)
+	c.PrepHitRate = rate(c.PrepHits, c.PrepMisses)
+	return c
+}
+
+func rate(hits, misses uint64) float64 {
+	if hits+misses == 0 {
+		return -1
+	}
+	return float64(hits) / float64(hits+misses)
+}
+
+// Report is the machine-readable fitness report of one famload run —
+// the perf-trajectory data point BENCH_<label>.json carries.
+type Report struct {
+	SchemaVersion int    `json:"schema_version"`
+	Label         string `json:"label"`
+	// Mode is "engine" (in-process) or "http".
+	Mode string `json:"mode"`
+	// Workload echoes the generating spec (nil for replayed traces);
+	// TraceEntries is the full trace length including warmup.
+	Workload     *Spec `json:"workload,omitempty"`
+	TraceEntries int   `json:"trace_entries"`
+	Paced        bool  `json:"paced"`
+	// WallMS is the runner's wall-clock span; MeasuredMS the span minus
+	// the warmup window (the throughput denominator).
+	WallMS     float64 `json:"wall_ms"`
+	MeasuredMS float64 `json:"measured_ms"`
+
+	// Offered counts measurement-window requests; the accounting
+	// invariant Offered == Completed + Shed + Errors always holds.
+	Offered   int     `json:"offered"`
+	Completed int     `json:"completed"`
+	Shed      int     `json:"shed"`
+	Errors    int     `json:"errors"`
+	ShedRate  float64 `json:"shed_rate"`
+	// ThroughputRPS is completed requests per measured second.
+	ThroughputRPS float64 `json:"throughput_rps"`
+
+	Latency   LatencySummary `json:"latency"`
+	QueueWait LatencySummary `json:"queue_wait"`
+	// Classes breaks the run down by priority class; JainIndex is
+	// Jain's fairness index over the per-class completion rates
+	// (1 = perfectly even, 1/n = one class starved the rest).
+	Classes   map[string]ClassReport `json:"classes"`
+	JainIndex float64                `json:"jain_index"`
+
+	// CachedFraction is the share of completed requests answered from
+	// the result cache as observed per request; Caches the engine-side
+	// delta view (nil when no stats snapshots were available).
+	CachedFraction float64     `json:"cached_fraction"`
+	Caches         *CacheRates `json:"caches,omitempty"`
+
+	// OutcomeHash fingerprints the deterministic per-request outcome
+	// triple sequence (status, cached, shed) over the full trace —
+	// equal hashes mean byte-identical outcome sequences, the replay
+	// determinism check.
+	OutcomeHash string `json:"outcome_hash"`
+}
+
+// Jain returns Jain's fairness index (Σx)²/(n·Σx²) of the samples:
+// 1 when all equal, approaching 1/n under maximal skew. An empty or
+// all-zero sample reports 1 (nothing was treated unfairly).
+func Jain(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 1
+	}
+	var sum, sumSq float64
+	for _, x := range xs {
+		sum += x
+		sumSq += x * x
+	}
+	if sumSq == 0 {
+		return 1
+	}
+	return sum * sum / (float64(len(xs)) * sumSq)
+}
+
+// OutcomeHash fingerprints the deterministic outcome fields as FNV-1a
+// over one "status,cached,shed" line per request, in trace order.
+func OutcomeHash(outcomes []Outcome) string {
+	h := fnv.New64a()
+	for _, o := range outcomes {
+		fmt.Fprintf(h, "%d,%t,%t\n", o.Status, o.Cached, o.Shed)
+	}
+	return fmt.Sprintf("fnv1a:%016x", h.Sum64())
+}
+
+// WriteOutcomes writes the outcome sequence as JSONL — the
+// byte-comparable artifact of the replay determinism check. Only the
+// deterministic fields are written: timings vary run to run, and raw
+// error messages may embed resolved wall-clock deadlines, so failures
+// are labeled by a stable status-derived code instead.
+func WriteOutcomes(w io.Writer, outcomes []Outcome) error {
+	enc := json.NewEncoder(w)
+	for _, o := range outcomes {
+		if err := enc.Encode(struct {
+			I      int    `json:"i"`
+			Status int    `json:"status"`
+			Cached bool   `json:"cached"`
+			Shed   bool   `json:"shed"`
+			Code   string `json:"code,omitempty"`
+		}{o.I, o.Status, o.Cached, o.Shed, statusCode(o.Status)}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// statusCode labels a non-200 outcome with the serve layer's stable
+// envelope code for that status ("" for success).
+func statusCode(status int) string {
+	switch status {
+	case 200:
+		return ""
+	case 400:
+		return "bad_request"
+	case 404:
+		return "not_found"
+	case 429:
+		return "shed"
+	case 502:
+		return "bad_gateway"
+	case 503:
+		return "unavailable"
+	default:
+		return "internal"
+	}
+}
+
+// BuildReport aggregates the outcomes into the fitness report. The
+// warmup-marked outcomes are excluded from every aggregate except
+// TraceEntries and OutcomeHash (which cover the full trace, keeping
+// the hash comparable across warmup settings at fixed trace).
+func BuildReport(label, mode string, outcomes []Outcome, wall, warmup time.Duration, cfg RunConfig) Report {
+	r := Report{
+		SchemaVersion: ReportSchemaVersion,
+		Label:         label,
+		Mode:          mode,
+		TraceEntries:  len(outcomes),
+		Paced:         cfg.Paced,
+		WallMS:        float64(wall) / 1e6,
+		Classes:       map[string]ClassReport{},
+		OutcomeHash:   OutcomeHash(outcomes),
+	}
+	measured := wall - warmup
+	if measured < 0 {
+		measured = 0
+	}
+	r.MeasuredMS = float64(measured) / 1e6
+
+	var latencies, waits []float64
+	classSamples := map[string]*struct {
+		cr         ClassReport
+		lat, waits []float64
+	}{}
+	cached := 0
+	for _, o := range outcomes {
+		if o.Warm {
+			continue
+		}
+		r.Offered++
+		class := o.Priority
+		if class == "" {
+			class = fam.PriorityNormal.String()
+		}
+		cs := classSamples[class]
+		if cs == nil {
+			cs = &struct {
+				cr         ClassReport
+				lat, waits []float64
+			}{}
+			classSamples[class] = cs
+		}
+		cs.cr.Offered++
+		switch {
+		case o.Shed:
+			r.Shed++
+			cs.cr.Shed++
+		case o.Status != 200:
+			r.Errors++
+			cs.cr.Errors++
+		default:
+			r.Completed++
+			cs.cr.Completed++
+			if o.Cached {
+				cached++
+			}
+			latencies = append(latencies, o.LatencyMS)
+			waits = append(waits, o.QueueWaitMS)
+			cs.lat = append(cs.lat, o.LatencyMS)
+			cs.waits = append(cs.waits, o.QueueWaitMS)
+		}
+	}
+	if r.Offered > 0 {
+		r.ShedRate = float64(r.Shed) / float64(r.Offered)
+	}
+	if r.Completed > 0 {
+		r.CachedFraction = float64(cached) / float64(r.Completed)
+	}
+	if measured > 0 {
+		r.ThroughputRPS = float64(r.Completed) / measured.Seconds()
+	}
+	r.Latency = summarize(latencies)
+	r.QueueWait = summarize(waits)
+	var rates []float64
+	for class, cs := range classSamples {
+		if cs.cr.Offered > 0 {
+			cs.cr.CompletionRate = float64(cs.cr.Completed) / float64(cs.cr.Offered)
+		}
+		cs.cr.Latency = summarize(cs.lat)
+		cs.cr.QueueWait = summarize(cs.waits)
+		r.Classes[class] = cs.cr
+		rates = append(rates, cs.cr.CompletionRate)
+	}
+	r.JainIndex = Jain(rates)
+	return r
+}

@@ -1,0 +1,247 @@
+package load
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/regretlab/fam/internal/rng"
+)
+
+// The arrival processes a Spec can generate.
+const (
+	ArrivalPoisson = "poisson"
+	ArrivalGamma   = "gamma"
+	ArrivalUniform = "uniform"
+)
+
+// Template is one weighted request shape of a workload mix. Each
+// generated request copies Base and then picks K (and Seed) uniformly
+// from the candidate lists, so one template expresses "k-sweep over
+// 2..8 at high priority" without enumerating requests.
+type Template struct {
+	// Weight is the template's relative share of the mix (non-negative;
+	// zero-weight templates never fire). Defaults to 1 when the whole
+	// mix leaves weights unset.
+	Weight float64 `json:"weight,omitempty"`
+	// Base is the request shape; its K/Seed are used when the candidate
+	// lists are empty.
+	Base Request `json:"base"`
+	// Ks are the candidate K values, picked uniformly per request.
+	Ks []int `json:"ks,omitempty"`
+	// Seeds are the candidate query seeds, picked uniformly per request.
+	Seeds []uint64 `json:"seeds,omitempty"`
+}
+
+// Spec is an open-loop workload: requests arrive at Rate per second
+// for Duration, independent of completion times (an overloaded target
+// falls behind and sheds; the generator never slows down for it —
+// that is the point of open-loop load testing).
+type Spec struct {
+	// Rate is the mean arrival rate in requests/second.
+	Rate float64 `json:"rate"`
+	// Duration is the workload length (warmup included; the runner's
+	// warmup window is a reporting concern, not a generation one).
+	Duration time.Duration `json:"duration_ns"`
+	// Arrival picks the inter-arrival process: "poisson" (default,
+	// exponential gaps), "gamma" (GammaShape-tunable burstiness), or
+	// "uniform" (a metronome at exactly 1/Rate).
+	Arrival string `json:"arrival,omitempty"`
+	// GammaShape sets the gamma arrival shape: < 1 is burstier than
+	// Poisson, > 1 smoother. Defaults to 0.5. Ignored by the other
+	// processes.
+	GammaShape float64 `json:"gamma_shape,omitempty"`
+	// Seed drives all generation randomness; equal specs with equal
+	// seeds generate identical traces.
+	Seed uint64 `json:"seed"`
+	// Templates is the weighted mix; at least one is required.
+	Templates []Template `json:"templates"`
+}
+
+// Generate expands the spec into a timestamped trace,
+// deterministically in Seed.
+func (s Spec) Generate() ([]TraceEntry, error) {
+	if s.Rate <= 0 {
+		return nil, fmt.Errorf("load: rate must be positive, got %g", s.Rate)
+	}
+	if s.Duration <= 0 {
+		return nil, fmt.Errorf("load: duration must be positive, got %s", s.Duration)
+	}
+	if len(s.Templates) == 0 {
+		return nil, errors.New("load: spec has no templates")
+	}
+	arrival := s.Arrival
+	if arrival == "" {
+		arrival = ArrivalPoisson
+	}
+	shape := s.GammaShape
+	if shape <= 0 {
+		shape = 0.5
+	}
+	switch arrival {
+	case ArrivalPoisson, ArrivalGamma, ArrivalUniform:
+	default:
+		return nil, fmt.Errorf("load: unknown arrival process %q (want %s|%s|%s)",
+			arrival, ArrivalPoisson, ArrivalGamma, ArrivalUniform)
+	}
+	weights := make([]float64, len(s.Templates))
+	var total float64
+	for i, t := range s.Templates {
+		if t.Weight < 0 {
+			return nil, fmt.Errorf("load: template %d has negative weight %g", i, t.Weight)
+		}
+		weights[i] = t.Weight
+		total += t.Weight
+	}
+	if total == 0 {
+		// All-unset weights mean a uniform mix.
+		for i := range weights {
+			weights[i] = 1
+		}
+	}
+
+	g := rng.New(s.Seed)
+	horizon := s.Duration.Seconds()
+	mean := 1 / s.Rate
+	var out []TraceEntry
+	t := 0.0
+	for {
+		// Inter-arrival gap in seconds, mean 1/Rate for every process.
+		var gap float64
+		switch arrival {
+		case ArrivalPoisson:
+			gap = g.Exponential() * mean
+		case ArrivalGamma:
+			gap = g.Gamma(shape) * mean / shape
+		case ArrivalUniform:
+			gap = mean
+		}
+		t += gap
+		if t >= horizon {
+			return out, nil
+		}
+		tmpl := s.Templates[g.Categorical(weights)]
+		req := tmpl.Base
+		if len(tmpl.Ks) > 0 {
+			req.K = tmpl.Ks[g.IntN(len(tmpl.Ks))]
+		}
+		if len(tmpl.Seeds) > 0 {
+			req.Seed = tmpl.Seeds[g.IntN(len(tmpl.Seeds))]
+		}
+		out = append(out, TraceEntry{TMS: t * 1e3, Request: req})
+	}
+}
+
+// ParseMix parses the famload -mix DSL into templates: semicolon-
+// separated template clauses of comma-separated key=value pairs.
+//
+//	ds=hotels,k=2-8,prio=high,deadline=200,w=3;ds=hotels,k=5|9,prio=low
+//
+// Keys: ds (dataset, required), k (single value "5", range "2-8", or
+// list "2|5|9"), seed (single or "1|2|3" list), algo, prio
+// (low|normal|high), deadline (relative ms), maxq, n (sample size),
+// eps, sigma, w (weight). Unknown keys fail loudly — a typo should
+// not silently change the workload.
+func ParseMix(s string) ([]Template, error) {
+	var out []Template
+	for ci, clause := range strings.Split(s, ";") {
+		clause = strings.TrimSpace(clause)
+		if clause == "" {
+			continue
+		}
+		// Weight defaults to 1 so a clause that omits w= still fires
+		// when other clauses set explicit weights.
+		t := Template{Weight: 1}
+		for _, kv := range strings.Split(clause, ",") {
+			kv = strings.TrimSpace(kv)
+			if kv == "" {
+				continue
+			}
+			key, val, ok := strings.Cut(kv, "=")
+			if !ok {
+				return nil, fmt.Errorf("load: mix clause %d: %q is not key=value", ci+1, kv)
+			}
+			var err error
+			switch key {
+			case "ds":
+				t.Base.Dataset = val
+			case "k":
+				t.Ks, err = parseIntList(val)
+			case "seed":
+				var seeds []int
+				if seeds, err = parseIntList(val); err == nil {
+					t.Seeds = make([]uint64, len(seeds))
+					for i, v := range seeds {
+						t.Seeds[i] = uint64(v)
+					}
+				}
+			case "algo":
+				t.Base.Algorithm = val
+			case "prio":
+				t.Base.Priority = val
+			case "deadline":
+				t.Base.DeadlineMS, err = strconv.ParseInt(val, 10, 64)
+			case "maxq":
+				t.Base.MaxQueue, err = strconv.Atoi(val)
+			case "n":
+				t.Base.SampleSize, err = strconv.Atoi(val)
+			case "eps":
+				t.Base.Epsilon, err = strconv.ParseFloat(val, 64)
+			case "sigma":
+				t.Base.Sigma, err = strconv.ParseFloat(val, 64)
+			case "w":
+				t.Weight, err = strconv.ParseFloat(val, 64)
+			default:
+				return nil, fmt.Errorf("load: mix clause %d: unknown key %q", ci+1, key)
+			}
+			if err != nil {
+				return nil, fmt.Errorf("load: mix clause %d: %s=%q: %w", ci+1, key, val, err)
+			}
+		}
+		if t.Base.Dataset == "" {
+			return nil, fmt.Errorf("load: mix clause %d: missing ds=", ci+1)
+		}
+		if len(t.Ks) == 0 && t.Base.K == 0 && t.Base.Set == nil {
+			return nil, fmt.Errorf("load: mix clause %d: missing k=", ci+1)
+		}
+		out = append(out, t)
+	}
+	if len(out) == 0 {
+		return nil, errors.New("load: empty mix")
+	}
+	return out, nil
+}
+
+// parseIntList parses "5", "2-8" (inclusive range), or "2|5|9".
+func parseIntList(s string) ([]int, error) {
+	if lo, hi, ok := strings.Cut(s, "-"); ok && lo != "" {
+		a, err := strconv.Atoi(lo)
+		if err != nil {
+			return nil, err
+		}
+		b, err := strconv.Atoi(hi)
+		if err != nil {
+			return nil, err
+		}
+		if b < a {
+			return nil, fmt.Errorf("range %q is reversed", s)
+		}
+		out := make([]int, 0, b-a+1)
+		for v := a; v <= b; v++ {
+			out = append(out, v)
+		}
+		return out, nil
+	}
+	parts := strings.Split(s, "|")
+	out := make([]int, len(parts))
+	for i, p := range parts {
+		v, err := strconv.Atoi(p)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}

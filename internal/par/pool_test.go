@@ -334,3 +334,38 @@ func TestPoolQueueDrainsAfterLoad(t *testing.T) {
 		t.Fatalf("granted %d + stale %d != %d requests", s.Granted, s.Stale, 50*3)
 	}
 }
+
+// TestPoolShardsAttributesQueueWait: helper grants of a Shards call add
+// their enqueue-to-grant latency to the wait counter carried in the
+// call's scheduling attrs, and the attributed total matches the pool's
+// own grant-wait sum exactly — no other traffic, same clock reads. The
+// injected clock advances on every read, so the waits are strictly
+// positive whenever a ticket is granted.
+func TestPoolShardsAttributesQueueWait(t *testing.T) {
+	t0 := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	var ticks atomic.Int64
+	clock := func() time.Time { return t0.Add(time.Duration(ticks.Add(1)) * time.Millisecond) }
+	pool := NewPoolConfig(Config{Size: 2, Clock: clock})
+	defer pool.Close()
+
+	w := new(sched.WaitCounter)
+	ctx := sched.NewContext(context.Background(), sched.Attrs{Wait: w})
+	var total atomic.Int64
+	if err := pool.Shards(ctx, 4, 1000, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			total.Add(int64(i))
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := total.Load(), int64(1000*999/2); got != want {
+		t.Fatalf("shard sum = %d, want %d", got, want)
+	}
+	s := pool.SchedStats()
+	if w.Load() != s.QueueWait {
+		t.Fatalf("attributed wait %v != pool grant-wait sum %v", w.Load(), s.QueueWait)
+	}
+	if s.Granted > 0 && w.Load() <= 0 {
+		t.Fatalf("granted %d tickets under an advancing clock but attributed wait is %v", s.Granted, w.Load())
+	}
+}

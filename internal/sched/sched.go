@@ -18,6 +18,7 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -47,10 +48,40 @@ type Attrs struct {
 	// cache fills use it — a fill that outlives its requester's deadline
 	// should complete and warm the cache, not abort half-built.
 	SoftDeadline bool
+	// Wait, when non-nil, accumulates the queue wait of every helper
+	// ticket enqueued under these attrs: each grant adds its
+	// enqueue-to-grant latency. Serving layers attach one counter per
+	// query so queue wait is attributable per request, not only
+	// engine-wide (Stats.QueueWait keeps the global sum).
+	Wait *WaitCounter
 }
 
-// zero reports whether the attrs carry no scheduling signal.
-func (a Attrs) zero() bool { return a.Priority == Normal && a.Deadline.IsZero() }
+// WaitCounter accumulates queue-wait durations across concurrent
+// grants. The zero value is ready to use; all methods are safe for
+// concurrent use.
+type WaitCounter struct {
+	ns atomic.Int64
+}
+
+// Add records one grant's queue wait.
+func (w *WaitCounter) Add(d time.Duration) {
+	if w != nil {
+		w.ns.Add(int64(d))
+	}
+}
+
+// Load returns the total queue wait accumulated so far.
+func (w *WaitCounter) Load() time.Duration {
+	if w == nil {
+		return 0
+	}
+	return time.Duration(w.ns.Load())
+}
+
+// zero reports whether the attrs carry no scheduling signal. A wait
+// counter alone is a signal: it must reach the grant queue to
+// attribute waits, even for normal-class no-deadline requests.
+func (a Attrs) zero() bool { return a.Priority == Normal && a.Deadline.IsZero() && a.Wait == nil }
 
 type ctxKey struct{}
 
@@ -309,7 +340,12 @@ func (q *Queue) Pop() func() {
 			continue
 		}
 		q.stats.Granted++
-		q.stats.QueueWait += q.clock().Sub(it.enqueued)
+		wait := q.clock().Sub(it.enqueued)
+		q.stats.QueueWait += wait
+		// Attribute the same wait to the request's own counter, so the
+		// query that enqueued the ticket can report its personal queue
+		// wait alongside the engine-wide sum.
+		it.ticket.Attrs.Wait.Add(wait)
 		return it.run
 	}
 	return nil

@@ -285,3 +285,54 @@ func TestErrShedWrapsDeadlineExceeded(t *testing.T) {
 		t.Fatal("ErrShed does not wrap context.DeadlineExceeded")
 	}
 }
+
+// TestQueueWaitAttributedPerRequest: grants add their wait both to the
+// queue-wide sum and to the request's own WaitCounter, so a serving
+// layer can report per-query queue wait. Requests without a counter
+// still count in the queue-wide sum only.
+func TestQueueWaitAttributedPerRequest(t *testing.T) {
+	now := t0
+	q := NewQueue(nil, func() time.Time { return now })
+	var mine, other WaitCounter
+	q.Push(Attrs{Wait: &mine}, nil, func() {})
+	q.Push(Attrs{Wait: &other}, nil, func() {})
+	q.Push(Attrs{}, nil, func() {}) // counter-less legacy request
+	now = now.Add(100 * time.Millisecond)
+	if run := q.Pop(); run == nil { // grants the first push (FIFO at equal attrs)
+		t.Fatal("no grant")
+	}
+	now = now.Add(150 * time.Millisecond)
+	for i := 0; i < 2; i++ {
+		if run := q.Pop(); run == nil {
+			t.Fatalf("grant %d missing", i)
+		}
+	}
+	if got := mine.Load(); got != 100*time.Millisecond {
+		t.Fatalf("mine = %v, want 100ms", got)
+	}
+	if got := other.Load(); got != 250*time.Millisecond {
+		t.Fatalf("other = %v, want 250ms", got)
+	}
+	// Queue-wide sum covers all three grants: 100 + 250 + 250.
+	if s := q.Stats(); s.QueueWait != 600*time.Millisecond {
+		t.Fatalf("queue-wide wait = %v, want 600ms", s.QueueWait)
+	}
+}
+
+// TestWaitCounterNilSafe: a nil counter is a no-op sink, so attribution
+// never needs nil checks at the grant site.
+func TestWaitCounterNilSafe(t *testing.T) {
+	var w *WaitCounter
+	w.Add(time.Second)
+	if w.Load() != 0 {
+		t.Fatal("nil WaitCounter accumulated")
+	}
+	var attrs Attrs
+	if !attrs.zero() {
+		t.Fatal("zero Attrs with nil Wait must be zero")
+	}
+	attrs.Wait = new(WaitCounter)
+	if attrs.zero() {
+		t.Fatal("Attrs carrying a wait counter must count as a scheduling signal")
+	}
+}

@@ -111,6 +111,10 @@ type Exec struct {
 	// its process-wide pool; one-shot queries leave it nil and spawn
 	// per-call workers.
 	pool *par.Pool
+	// wait is the per-query queue-wait counter the engine attaches so
+	// every helper grant of this query's fan-outs attributes its
+	// enqueue-to-grant latency back to the query's Telemetry.QueueWait.
+	wait *sched.WaitCounter
 }
 
 // Priority is a query's scheduling class. Classes order queued helper
@@ -182,7 +186,7 @@ var ErrShed = errors.New("fam: query shed by admission control")
 
 // attrs converts the Exec's scheduling fields to the internal form.
 func (x Exec) attrs() sched.Attrs {
-	return sched.Attrs{Priority: sched.Priority(x.Priority), Deadline: x.Deadline}
+	return sched.Attrs{Priority: sched.Priority(x.Priority), Deadline: x.Deadline, Wait: x.wait}
 }
 
 // fillAttrs are the scheduling attrs detached cache fills run under:
@@ -192,7 +196,7 @@ func (x Exec) attrs() sched.Attrs {
 // halfway. The requester's own wait is still bounded by its context
 // deadline.
 func (x Exec) fillAttrs() sched.Attrs {
-	return sched.Attrs{Priority: sched.Priority(x.Priority), Deadline: x.Deadline, SoftDeadline: true}
+	return sched.Attrs{Priority: sched.Priority(x.Priority), Deadline: x.Deadline, SoftDeadline: true, Wait: x.wait}
 }
 
 // admit applies the Exec's admission policy: a deadline that has
@@ -228,6 +232,13 @@ func (x Exec) withPool(p *par.Pool) Exec {
 	return x
 }
 
+// withWait returns a copy of the Exec carrying a per-query queue-wait
+// counter; the engine attaches one per accepted query.
+func (x Exec) withWait(w *sched.WaitCounter) Exec {
+	x.wait = w
+	return x
+}
+
 // Telemetry reports how a query was executed: timings and work counters
 // that depend on the Exec (worker counts, dispatch batches, speculative
 // refreshes) and therefore do not belong in the cacheable Result. A
@@ -241,11 +252,16 @@ type Telemetry struct {
 	// were already built.
 	Preprocess time.Duration
 	Query      time.Duration
-	// QueueWait is the time the query spent waiting for a planning slot
-	// before execution began: zero for direct Select/Evaluate calls, and
-	// for batch members the wait behind their group's representative (the
-	// member that fills the shared preprocessing) and the batch's width
-	// bound.
+	// QueueWait is the time the query spent waiting on the engine's
+	// scheduling machinery: the summed enqueue-to-grant latency of the
+	// query's own helper tickets on the shared pool (attributed per
+	// query on the direct Select/Evaluate path as well as for batch
+	// members), plus — for batch members only — the wait for their plan
+	// slot behind the group's representative and the batch's width
+	// bound. Shared preprocessing builds (skyline indexes, dataset-wide
+	// instances) are infrastructure, not one request's work, so their
+	// grant waits stay out of every query's QueueWait; the engine-wide
+	// sum including them is EngineStats.Sched.QueueWait.
 	QueueWait time.Duration
 	// Stats carries the GREEDY-SHRINK / GreedyAdd work counters when
 	// applicable (iterations, evaluations, lazy skips, worker dispatch,

@@ -38,12 +38,14 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"strconv"
 	"sync/atomic"
 	"time"
 
 	fam "github.com/regretlab/fam"
+	"github.com/regretlab/fam/internal/load"
 )
 
 // QueryRequest is the JSON shape of one semantic query: the v2 batch
@@ -160,17 +162,53 @@ func (r ExecRequest) withHeaders(req *http.Request) (ExecRequest, error) {
 }
 
 // resolveExec is the shared exec-policy pipeline of every query
-// endpoint: headers folded in, the handler's default admission bound
-// applied, the wire shape resolved against the request arrival time.
-func (h *Handler) resolveExec(req *http.Request, body ExecRequest) (fam.Exec, error) {
+// endpoint: headers folded in, the accepted request recorded to the
+// trace (when configured), the handler's default admission bound
+// applied, the wire shape resolved against the request arrival time
+// read from the handler's clock.
+func (h *Handler) resolveExec(req *http.Request, body ExecRequest, members ...QueryRequest) (fam.Exec, error) {
 	body, err := body.withHeaders(req)
 	if err != nil {
 		return fam.Exec{}, err
 	}
+	h.recordTrace(body, members)
 	if body.MaxQueue == 0 {
 		body.MaxQueue = h.cfg.MaxQueue
 	}
-	return body.toExec(time.Now())
+	return body.toExec(h.clock())
+}
+
+// recordTrace appends one trace line per accepted query member: the
+// semantic request plus the client's post-header-fold scheduling
+// knobs, timestamped relative to handler construction.
+func (h *Handler) recordTrace(exec ExecRequest, members []QueryRequest) {
+	if h.trace == nil || len(members) == 0 {
+		return
+	}
+	tms := float64(h.clock().Sub(h.start)) / 1e6
+	for _, m := range members {
+		req := load.Request{
+			Dataset:        m.Dataset,
+			K:              m.K,
+			Seed:           m.Seed,
+			Epsilon:        m.Epsilon,
+			Sigma:          m.Sigma,
+			SampleSize:     m.SampleSize,
+			DisableSkyline: m.DisableSkyline,
+			Set:            m.Set,
+			Parallelism:    exec.Parallelism,
+			LazyBatch:      exec.LazyBatch,
+			Priority:       exec.Priority,
+			DeadlineMS:     exec.DeadlineMS,
+			MaxQueue:       exec.MaxQueue,
+		}
+		if m.Algorithm != fam.GreedyShrink {
+			// The zero algorithm is the default either way; explicit
+			// non-defaults are recorded by name so replay re-parses them.
+			req.Algorithm = m.Algorithm.String()
+		}
+		_ = h.trace.Record(load.TraceEntry{TMS: tms, Request: req})
+	}
 }
 
 // BatchSelectRequest is the body of POST /v2/select.
@@ -397,6 +435,20 @@ type HandlerConfig struct {
 	// this are queued on the engine's pool is shed with 429. Zero
 	// disables the server-side bound.
 	MaxQueue int
+	// Clock supplies the handler's notion of "now" — the arrival time
+	// relative deadlines resolve against, and the timebase of trace
+	// timestamps. Nil uses time.Now; tests inject a fixed clock to pin
+	// deadline resolution.
+	Clock func() time.Time
+	// Trace, when set, records every accepted query request (v1
+	// select/evaluate and each v2 batch member) as one JSONL
+	// internal/load.TraceEntry line: the request's offset from handler
+	// construction in ms, the semantic query, and the client's
+	// scheduling knobs after header folding (the server-side MaxQueue
+	// default is handler config, not client intent, and is not
+	// recorded). famload replays these traces. The writer is serialized
+	// internally; any io.Writer works.
+	Trace io.Writer
 }
 
 // Default limits of HandlerConfig's zero values.
@@ -410,6 +462,11 @@ type Handler struct {
 	engine *fam.Engine
 	cfg    HandlerConfig
 	mux    *http.ServeMux
+
+	// clock is cfg.Clock or time.Now; start anchors trace timestamps.
+	clock func() time.Time
+	start time.Time
+	trace *load.TraceWriter
 
 	requests     atomic.Uint64
 	clientErrors atomic.Uint64
@@ -433,6 +490,14 @@ func NewHandlerConfig(e *fam.Engine, cfg HandlerConfig) *Handler {
 		cfg.MaxBatchQueries = DefaultMaxBatchQueries
 	}
 	h := &Handler{engine: e, cfg: cfg, mux: http.NewServeMux()}
+	h.clock = cfg.Clock
+	if h.clock == nil {
+		h.clock = time.Now
+	}
+	h.start = h.clock()
+	if cfg.Trace != nil {
+		h.trace = load.NewTraceWriter(cfg.Trace)
+	}
 	h.mux.HandleFunc("GET /v1/datasets", h.handleDatasets)
 	h.mux.HandleFunc("POST /v1/datasets", func(w http.ResponseWriter, r *http.Request) { h.handleUpload(v1Errors, w, r) })
 	h.mux.HandleFunc("POST /v1/select", h.handleSelect)
@@ -526,7 +591,7 @@ func (h *Handler) handleBatchSelect(w http.ResponseWriter, r *http.Request) {
 			fmt.Errorf("batch of %d queries exceeds the limit of %d", len(req.Queries), h.cfg.MaxBatchQueries))
 		return
 	}
-	exec, err := h.resolveExec(r, req.Exec)
+	exec, err := h.resolveExec(r, req.Exec, req.Queries...)
 	if err != nil {
 		h.writeErrorDialect(v2Errors, w, http.StatusBadRequest, err)
 		return
@@ -566,7 +631,7 @@ func (h *Handler) handleSelect(w http.ResponseWriter, r *http.Request) {
 		}
 		member.Algorithm = algo
 	}
-	exec, err := h.resolveExec(r, ExecRequest{Parallelism: req.Parallelism, LazyBatch: req.LazyBatch})
+	exec, err := h.resolveExec(r, ExecRequest{Parallelism: req.Parallelism, LazyBatch: req.LazyBatch}, member)
 	if err != nil {
 		h.writeError(w, http.StatusBadRequest, err)
 		return
@@ -602,7 +667,7 @@ func (h *Handler) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 		// A missing set must fail set validation, not K validation.
 		q.ExplicitSet = []int{}
 	}
-	exec, err := h.resolveExec(r, ExecRequest{})
+	exec, err := h.resolveExec(r, ExecRequest{}, member)
 	if err != nil {
 		h.writeError(w, http.StatusBadRequest, err)
 		return

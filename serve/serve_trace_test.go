@@ -1,0 +1,202 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"testing"
+	"time"
+
+	fam "github.com/regretlab/fam"
+	"github.com/regretlab/fam/internal/load"
+)
+
+// newTraceServer builds a test server with an injected fixed-step
+// clock and a trace buffer.
+func newTraceServer(t *testing.T, cfg HandlerConfig) (*httptest.Server, *bytes.Buffer) {
+	t.Helper()
+	engine := fam.NewEngine(fam.EngineConfig{})
+	t.Cleanup(engine.Close)
+	ds, err := fam.Hotels(120, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist, err := fam.UniformLinear(ds.Dim())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := engine.Register("hotels", ds, dist); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	cfg.Trace = &buf
+	srv := httptest.NewServer(NewHandlerConfig(engine, cfg))
+	t.Cleanup(srv.Close)
+	return srv, &buf
+}
+
+// The handler's clock — not the wall clock — resolves relative
+// deadlines: with a clock frozen in the past, a deadline generous on
+// the wall clock still resolves to an expired instant and sheds.
+func TestServeClockResolvesDeadlines(t *testing.T) {
+	frozen := time.Date(2000, 1, 1, 0, 0, 0, 0, time.UTC)
+	srv, _ := newTraceServer(t, HandlerConfig{Clock: func() time.Time { return frozen }})
+
+	// Admission compares the resolved deadline against the real wall
+	// clock, so any deadline anchored at the frozen epoch has long
+	// passed — the request must shed (429), proving toExec saw the
+	// injected clock rather than time.Now.
+	req := SelectRequest{Dataset: "hotels", K: 3, Seed: 7, SampleSize: 80}
+	hreq, _ := http.NewRequest(http.MethodPost, srv.URL+"/v1/select", jsonBody(t, req))
+	hreq.Header.Set(HeaderDeadlineMS, "60000")
+	resp, err := http.DefaultClient.Do(hreq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("frozen-clock deadline: status %d, want 429", resp.StatusCode)
+	}
+}
+
+// A body that explicitly carries deadline_ms: 0 leaves the knob unset,
+// so the header must still apply.
+func TestServeHeaderAppliesOverZeroBodyDeadline(t *testing.T) {
+	srv, _ := newTraceServer(t, HandlerConfig{})
+	body := map[string]any{
+		"queries": []map[string]any{{"dataset": "hotels", "k": 3, "seed": 7, "sample_size": 80}},
+		"exec":    map[string]any{"deadline_ms": 0},
+	}
+	hreq, _ := http.NewRequest(http.MethodPost, srv.URL+"/v2/select", jsonBody(t, body))
+	hreq.Header.Set(HeaderDeadlineMS, strconv.Itoa(-1000))
+	resp, err := http.DefaultClient.Do(hreq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	// The already-expired header deadline must shed on admission (429),
+	// not run and fail mid-flight (503).
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("zero body deadline + negative header: status %d, want 429", resp.StatusCode)
+	}
+}
+
+// A negative header deadline is expired on arrival: admission control
+// sheds it before any solver work (429), never 503.
+func TestServeNegativeHeaderDeadlineShedsNot503(t *testing.T) {
+	srv, _ := newTraceServer(t, HandlerConfig{})
+	for _, path := range []string{"/v1/select", "/v2/select"} {
+		var body any = SelectRequest{Dataset: "hotels", K: 3, Seed: 7, SampleSize: 80}
+		if path == "/v2/select" {
+			body = BatchSelectRequest{Queries: []QueryRequest{{Dataset: "hotels", K: 3, Seed: 7, SampleSize: 80}}}
+		}
+		hreq, _ := http.NewRequest(http.MethodPost, srv.URL+path, jsonBody(t, body))
+		hreq.Header.Set(HeaderDeadlineMS, "-1")
+		resp, err := http.DefaultClient.Do(hreq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusTooManyRequests {
+			t.Fatalf("%s: negative header deadline answered %d, want 429", path, resp.StatusCode)
+		}
+	}
+}
+
+// Accepted requests are recorded as replayable JSONL trace entries:
+// one line per v1 query, one per v2 batch member, carrying the
+// semantic query and the post-header-fold scheduling knobs.
+func TestServeTraceRecording(t *testing.T) {
+	t0 := time.Date(2026, 8, 7, 12, 0, 0, 0, time.UTC)
+	var ticks int
+	srv, buf := newTraceServer(t, HandlerConfig{Clock: func() time.Time {
+		ticks++
+		return t0.Add(time.Duration(ticks) * 10 * time.Millisecond)
+	}})
+
+	var sel SelectResponse
+	if code := postJSON(t, srv.URL+"/v1/select", SelectRequest{Dataset: "hotels", K: 4, Seed: 9, SampleSize: 80}, &sel); code != http.StatusOK {
+		t.Fatalf("v1 select status %d", code)
+	}
+	var ev EvaluateResponse
+	if code := postJSON(t, srv.URL+"/v1/evaluate", EvaluateRequest{Dataset: "hotels", Set: []int{0, 1}, SampleSize: 80}, &ev); code != http.StatusOK {
+		t.Fatalf("v1 evaluate status %d", code)
+	}
+	// A v2 batch whose scheduling knobs arrive by header: the recorded
+	// entries must carry the folded priority.
+	batch := BatchSelectRequest{Queries: []QueryRequest{
+		{Dataset: "hotels", K: 2, Seed: 9, SampleSize: 80},
+		{Dataset: "hotels", K: 3, Seed: 9, SampleSize: 80, Algorithm: fam.GreedyAdd},
+	}}
+	hreq, _ := http.NewRequest(http.MethodPost, srv.URL+"/v2/select", jsonBody(t, batch))
+	hreq.Header.Set(HeaderPriority, "high")
+	resp, err := http.DefaultClient.Do(hreq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("v2 select status %d", resp.StatusCode)
+	}
+	// A rejected request (unparseable body) must not be recorded.
+	badResp, err := http.Post(srv.URL+"/v1/select", "application/json", bytes.NewReader([]byte("{")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	badResp.Body.Close()
+
+	entries, err := load.ReadTrace(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("ReadTrace: %v", err)
+	}
+	if len(entries) != 4 {
+		t.Fatalf("recorded %d entries, want 4 (select, evaluate, 2 batch members)", len(entries))
+	}
+	if entries[0].Dataset != "hotels" || entries[0].K != 4 || entries[0].Seed != 9 {
+		t.Fatalf("select entry mis-recorded: %+v", entries[0])
+	}
+	if entries[1].Set == nil || len(entries[1].Set) != 2 {
+		t.Fatalf("evaluate entry mis-recorded: %+v", entries[1])
+	}
+	if entries[2].Priority != "high" || entries[3].Priority != "high" {
+		t.Fatalf("batch entries missing folded header priority: %+v / %+v", entries[2], entries[3])
+	}
+	if entries[3].Algorithm != fam.GreedyAdd.String() {
+		t.Fatalf("non-default algorithm not recorded by name: %+v", entries[3])
+	}
+	if entries[2].TMS != entries[3].TMS {
+		t.Fatalf("batch members recorded at different offsets: %g vs %g", entries[2].TMS, entries[3].TMS)
+	}
+	if !(entries[0].TMS < entries[1].TMS && entries[1].TMS < entries[2].TMS) {
+		t.Fatalf("request offsets not increasing: %g, %g, %g",
+			entries[0].TMS, entries[1].TMS, entries[2].TMS)
+	}
+
+	// The recorded trace replays against the same engine library-side.
+	e2, _, err := load.BuildEngine(fam.EngineConfig{}, "hotels:120:3", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e2.Close()
+	outcomes, _, err := load.Run(context.Background(), load.EngineTarget{Engine: e2}, entries, load.RunConfig{})
+	if err != nil {
+		t.Fatalf("replaying recorded trace: %v", err)
+	}
+	for _, o := range outcomes {
+		if o.Status != http.StatusOK {
+			t.Fatalf("replayed entry %d: status %d (%s)", o.I, o.Status, o.Err)
+		}
+	}
+}
+
+func jsonBody(t *testing.T, v any) *bytes.Reader {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return bytes.NewReader(b)
+}
