@@ -152,7 +152,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	if *url != "" {
 		mode = "http"
 		target = load.HTTPTarget{BaseURL: *url}
-		if s, err := fetchEngineStats(ctx, *url); err == nil {
+		if s, err := fetchStats(ctx, *url); err == nil {
 			statsBefore, haveStats = s, true
 		}
 	} else {
@@ -177,7 +177,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		return err
 	}
 	if *url != "" {
-		if s, err := fetchEngineStats(ctx, *url); err == nil && haveStats {
+		if s, err := fetchStats(ctx, *url); err == nil && haveStats {
 			statsAfter = s
 		} else {
 			haveStats = false
@@ -193,6 +193,8 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	if haveStats {
 		rates := load.CacheRatesFrom(statsBefore, statsAfter)
 		report.Caches = &rates
+		sched := load.SchedRatesFrom(statsBefore, statsAfter)
+		report.Sched = &sched
 	}
 
 	path := *outPath
@@ -241,6 +243,40 @@ func (t maxQueueTarget) Do(ctx context.Context, req load.Request) load.Outcome {
 		req.MaxQueue = t.maxQueue
 	}
 	return t.inner.Do(ctx, req)
+}
+
+// fetchStats reads the engine counters from a live famserve: the
+// /metrics exposition first (the per-class scheduler series the
+// report's sched deltas need), falling back to /v2/stats against
+// servers predating the metrics endpoint.
+func fetchStats(ctx context.Context, baseURL string) (fam.EngineStats, error) {
+	if s, err := fetchMetrics(ctx, baseURL); err == nil {
+		return s, nil
+	}
+	return fetchEngineStats(ctx, baseURL)
+}
+
+// fetchMetrics scrapes GET /metrics and reconstructs the stats view
+// the report deltas read.
+func fetchMetrics(ctx context.Context, baseURL string) (fam.EngineStats, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		strings.TrimRight(baseURL, "/")+"/metrics", nil)
+	if err != nil {
+		return fam.EngineStats{}, err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return fam.EngineStats{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fam.EngineStats{}, fmt.Errorf("metrics status %d", resp.StatusCode)
+	}
+	samples, err := load.ParseMetrics(resp.Body)
+	if err != nil {
+		return fam.EngineStats{}, err
+	}
+	return load.EngineStatsFromMetrics(samples), nil
 }
 
 // fetchEngineStats reads the engine counters from a live famserve.

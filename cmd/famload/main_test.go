@@ -160,6 +160,55 @@ func TestFamloadHTTPMode(t *testing.T) {
 	if r.Caches == nil {
 		t.Fatal("http-mode report missing cache rates (stats endpoint probe failed)")
 	}
+	if r.Sched == nil {
+		t.Fatal("http-mode report missing sched rates (/metrics probe failed)")
+	}
+}
+
+// Queue-wait attribution survives the HTTP hop: requests that fan out
+// wider than one goroutine (par=4) on a small pool produce live helper
+// grants, and both the per-class grant rates and the queue-wait
+// percentiles in the report come back non-zero from the /metrics and
+// telemetry paths of a real famserve.
+func TestFamloadHTTPQueueWaitUnderSaturation(t *testing.T) {
+	engine, _, err := load.BuildEngine(fam.EngineConfig{Workers: 2}, tinySpec, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer engine.Close()
+	srv := httptest.NewServer(serve.NewHandler(engine))
+	defer srv.Close()
+
+	dir := t.TempDir()
+	out := filepath.Join(dir, "BENCH_qw.json")
+	var buf bytes.Buffer
+	err = run(context.Background(), []string{
+		"-url", srv.URL,
+		"-rate", "300", "-duration", "400ms",
+		"-mix", "ds=tiny,k=2-4,n=40,par=4,prio=high;ds=tiny,k=3|5,n=40,par=4,prio=low",
+		"-label", "qw", "-out", out, "-paced", "off", "-seed", "3",
+	}, &buf)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, buf.String())
+	}
+	r := readReport(t, out)
+	if r.Completed == 0 || r.Errors > 0 {
+		t.Fatalf("run outcomes: %+v", r)
+	}
+	if r.QueueWait.MaxMS <= 0 {
+		t.Fatalf("queue-wait percentiles all zero over HTTP: %+v", r.QueueWait)
+	}
+	if r.Sched == nil || r.Sched.Granted == 0 {
+		t.Fatalf("sched rates missing or empty: %+v", r.Sched)
+	}
+	for _, class := range []string{"low", "high"} {
+		if r.Sched.Classes[class].Granted == 0 {
+			t.Fatalf("class %q collected no grants: %+v", class, r.Sched.Classes)
+		}
+		if cr, ok := r.Classes[class]; !ok || cr.QueueWait.MaxMS <= 0 {
+			t.Fatalf("class %q queue-wait summary empty: %+v", class, r.Classes)
+		}
+	}
 }
 
 func TestSanitizeLabel(t *testing.T) {

@@ -612,8 +612,15 @@ type EngineStats struct {
 type CacheStats = ecache.CacheStats
 
 // SchedStats re-exports the grant-queue counter snapshot used in
-// EngineStats.
+// EngineStats. Its PerClass map breaks grants, sheds, stale tickets,
+// queue wait, and depth down by priority class, and DeficitGrants
+// counts the starvation-relief grants where an overdue lighter class
+// was served ahead of a heavier one.
 type SchedStats = sched.Stats
+
+// SchedClassStats re-exports the per-priority-class slice of the
+// grant-queue counters (the values of SchedStats.PerClass).
+type SchedClassStats = sched.ClassStats
 
 // Stats returns a snapshot of the Engine's counters.
 //

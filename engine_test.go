@@ -499,3 +499,67 @@ func TestEngineStatsBatchSnapshotInvariants(t *testing.T) {
 		t.Fatalf("quiesced: PlannedDedups %d != Batches %d", s.PlannedDedups, s.Batches)
 	}
 }
+
+// TestLegacyShimCarriesQueueWait pins the v1 shim's queue-wait wiring:
+// a result-cache hit replays the Telemetry of the execution that
+// computed the entry, so SelectWithOptions on an equivalent query must
+// surface exactly that QueueWait in the LegacyResult — the shim used
+// to drop the field entirely.
+func TestLegacyShimCarriesQueueWait(t *testing.T) {
+	e := newTestEngine(t, engineFixtures(t))
+	ctx := context.Background()
+
+	opts := SelectOptions{K: 5, Seed: 9, SampleSize: 120}
+	q, exec := opts.Split()
+	q.Dataset = "hotels"
+	_, tel, err := e.Select(ctx, q, exec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	legacy, err := e.SelectWithOptions(ctx, "hotels", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !legacy.Cached {
+		t.Fatal("second equivalent query missed the result cache")
+	}
+	if legacy.QueueWait != tel.QueueWait {
+		t.Fatalf("legacy QueueWait %v != replayed telemetry QueueWait %v (shim drops the counter)",
+			legacy.QueueWait, tel.QueueWait)
+	}
+	if legacy.Preprocess != tel.Preprocess || legacy.Query != tel.Query {
+		t.Fatalf("legacy timings (%v, %v) != replayed telemetry (%v, %v)",
+			legacy.Preprocess, legacy.Query, tel.Preprocess, tel.Query)
+	}
+}
+
+// TestExecWeightIsExecutionPolicyOnly: the per-tenant weight override
+// must never change an answer — only grant order. Equal queries at
+// different weights share one result-cache entry and return identical
+// selections.
+func TestExecWeightIsExecutionPolicyOnly(t *testing.T) {
+	e := newTestEngine(t, engineFixtures(t))
+	ctx := context.Background()
+	q := Query{Dataset: "hotels", K: 4, Seed: 9, SampleSize: 120}
+
+	base, _, err := e.Select(ctx, q, Exec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	weighted, _, err := e.Select(ctx, q, Exec{Weight: 32, Priority: PriorityLow})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !weighted.Cached {
+		t.Fatal("weighted run missed the cache: Weight leaked into the query identity")
+	}
+	if len(base.Indices) != len(weighted.Indices) {
+		t.Fatalf("selection sizes differ: %d vs %d", len(base.Indices), len(weighted.Indices))
+	}
+	for i := range base.Indices {
+		if base.Indices[i] != weighted.Indices[i] {
+			t.Fatalf("selections differ at %d: %v vs %v", i, base.Indices, weighted.Indices)
+		}
+	}
+}

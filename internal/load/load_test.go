@@ -124,7 +124,7 @@ func TestTraceRoundTrip(t *testing.T) {
 }
 
 func TestParseMix(t *testing.T) {
-	ts, err := ParseMix("ds=hotels,k=2-4,prio=high,deadline=200,w=3;ds=cat,k=5|9,seed=1|2,algo=greedy-add")
+	ts, err := ParseMix("ds=hotels,k=2-4,prio=high,deadline=200,par=4,w=3;ds=cat,k=5|9,seed=1|2,algo=greedy-add")
 	if err != nil {
 		t.Fatalf("ParseMix: %v", err)
 	}
@@ -132,7 +132,7 @@ func TestParseMix(t *testing.T) {
 		t.Fatalf("want 2 templates, got %d", len(ts))
 	}
 	a := ts[0]
-	if a.Base.Dataset != "hotels" || a.Weight != 3 || a.Base.Priority != "high" || a.Base.DeadlineMS != 200 {
+	if a.Base.Dataset != "hotels" || a.Weight != 3 || a.Base.Priority != "high" || a.Base.DeadlineMS != 200 || a.Base.Parallelism != 4 {
 		t.Fatalf("template 0 mis-parsed: %+v", a)
 	}
 	if len(a.Ks) != 3 || a.Ks[0] != 2 || a.Ks[2] != 4 {
@@ -282,6 +282,111 @@ func TestJain(t *testing.T) {
 	}
 	if j := Jain(nil); j != 1 {
 		t.Fatalf("Jain(nil) = %g", j)
+	}
+	// All classes at zero is a total outage — the opposite of fair. It
+	// must read 0, not 1 (the old behaviour made an outage pass the CI
+	// fairness gate).
+	if j := Jain([]float64{0, 0, 0}); j != 0 {
+		t.Fatalf("Jain(all-zero) = %g, want 0", j)
+	}
+}
+
+// TestStatusCode pins the outcome-artifact code table against serve's
+// envelope codes: 409 and 413 (both reachable via dataset uploads)
+// must carry their own codes, not fold into "internal".
+func TestStatusCode(t *testing.T) {
+	cases := []struct {
+		status int
+		want   string
+	}{
+		{200, ""},
+		{400, "bad_request"},
+		{403, "forbidden"},
+		{404, "not_found"},
+		{409, "conflict"},
+		{413, "payload_too_large"},
+		{429, "shed"},
+		{502, "bad_gateway"},
+		{503, "unavailable"},
+		{500, "internal"},
+		{418, "internal"},
+	}
+	for _, c := range cases {
+		if got := statusCode(c.status); got != c.want {
+			t.Fatalf("statusCode(%d) = %q, want %q", c.status, got, c.want)
+		}
+	}
+}
+
+// TestParseMetricsRoundtrip: the scrape parser reads famserve-shaped
+// exposition text into the flat sample map, and the EngineStats
+// reconstruction surfaces the cache and per-class sched fields the
+// report deltas consume.
+func TestParseMetricsRoundtrip(t *testing.T) {
+	text := `# HELP fam_sched_granted_total Helper requests granted, by class.
+# TYPE fam_sched_granted_total counter
+fam_sched_granted_total{class="high"} 40
+fam_sched_granted_total{class="low"} 2
+fam_sched_shed_total{class="low"} 1
+fam_sched_stale_total{class="normal"} 3
+fam_sched_deficit_grants_total 5
+
+fam_cache_hits_total{cache="result"} 7
+fam_cache_misses_total{cache="result"} 11
+fam_cache_hits_total{cache="prep"} 13
+fam_cache_misses_total{cache="prep"} 17
+fam_engine_uptime_seconds 1.25
+`
+	m, err := ParseMetrics(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m[`fam_sched_granted_total{class="high"}`] != 40 || m["fam_engine_uptime_seconds"] != 1.25 {
+		t.Fatalf("parsed samples: %+v", m)
+	}
+	s := EngineStatsFromMetrics(m)
+	if s.ResultCache.Hits != 7 || s.ResultCache.Misses != 11 || s.PrepCache.Hits != 13 || s.PrepCache.Misses != 17 {
+		t.Fatalf("cache reconstruction: %+v", s)
+	}
+	if s.Sched.DeficitGrants != 5 || s.Sched.Granted != 42 {
+		t.Fatalf("sched reconstruction: %+v", s.Sched)
+	}
+	if s.Sched.PerClass["high"].Granted != 40 || s.Sched.PerClass["low"].Granted != 2 ||
+		s.Sched.PerClass["low"].Shed != 1 || s.Sched.PerClass["normal"].Stale != 3 {
+		t.Fatalf("per-class reconstruction: %+v", s.Sched.PerClass)
+	}
+
+	if _, err := ParseMetrics(strings.NewReader("garbage-without-value\n")); err == nil {
+		t.Fatal("malformed line accepted")
+	}
+}
+
+// TestSchedRatesFrom: the run-window delta view subtracts the before
+// snapshot per class and drops classes with no activity.
+func TestSchedRatesFrom(t *testing.T) {
+	var before, after fam.EngineStats
+	before.Sched.Granted = 10
+	before.Sched.DeficitGrants = 1
+	before.Sched.PerClass = map[string]fam.SchedClassStats{
+		"high": {Granted: 8},
+		"low":  {Granted: 2},
+	}
+	after.Sched.Granted = 50
+	after.Sched.DeficitGrants = 4
+	after.Sched.PerClass = map[string]fam.SchedClassStats{
+		"high":   {Granted: 40},
+		"low":    {Granted: 8, Shed: 2},
+		"normal": {}, // present but idle over the window
+	}
+	s := SchedRatesFrom(before, after)
+	if s.Granted != 40 || s.DeficitGrants != 3 {
+		t.Fatalf("totals: %+v", s)
+	}
+	if s.Classes["high"].Granted != 32 || s.Classes["low"].Granted != 6 || s.Classes["low"].Shed != 2 {
+		t.Fatalf("classes: %+v", s.Classes)
+	}
+	if _, ok := s.Classes["normal"]; ok {
+		t.Fatal("idle class must be dropped from the delta view")
 	}
 }
 

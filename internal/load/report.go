@@ -82,6 +82,49 @@ func rate(hits, misses uint64) float64 {
 	return float64(hits) / float64(hits+misses)
 }
 
+// SchedClassRates is one class's scheduler activity over the run
+// window.
+type SchedClassRates struct {
+	Granted uint64 `json:"granted"`
+	Shed    uint64 `json:"shed"`
+	Stale   uint64 `json:"stale"`
+}
+
+// SchedRates reports the engine's scheduler behaviour over the run
+// window as deltas between two EngineStats snapshots: the per-class
+// grant shares (the fairness evidence of the deficit-bounded grant
+// fix) and the count of starvation-relief grants.
+type SchedRates struct {
+	Granted       uint64                     `json:"granted"`
+	DeficitGrants uint64                     `json:"deficit_grants"`
+	Classes       map[string]SchedClassRates `json:"classes,omitempty"`
+}
+
+// SchedRatesFrom computes the run-window scheduler rates from the
+// stats snapshots taken before and after the run.
+func SchedRatesFrom(before, after fam.EngineStats) SchedRates {
+	s := SchedRates{
+		Granted:       after.Sched.Granted - before.Sched.Granted,
+		DeficitGrants: after.Sched.DeficitGrants - before.Sched.DeficitGrants,
+	}
+	for class, a := range after.Sched.PerClass {
+		b := before.Sched.PerClass[class]
+		cr := SchedClassRates{
+			Granted: a.Granted - b.Granted,
+			Shed:    a.Shed - b.Shed,
+			Stale:   a.Stale - b.Stale,
+		}
+		if cr == (SchedClassRates{}) {
+			continue
+		}
+		if s.Classes == nil {
+			s.Classes = map[string]SchedClassRates{}
+		}
+		s.Classes[class] = cr
+	}
+	return s
+}
+
 // Report is the machine-readable fitness report of one famload run —
 // the perf-trajectory data point BENCH_<label>.json carries.
 type Report struct {
@@ -122,6 +165,10 @@ type Report struct {
 	// delta view (nil when no stats snapshots were available).
 	CachedFraction float64     `json:"cached_fraction"`
 	Caches         *CacheRates `json:"caches,omitempty"`
+	// Sched is the engine-side scheduler delta view over the run window
+	// (nil when no stats snapshots were available): per-class grant
+	// shares and starvation-relief grants.
+	Sched *SchedRates `json:"sched,omitempty"`
 
 	// OutcomeHash fingerprints the deterministic per-request outcome
 	// triple sequence (status, cached, shed) over the full trace —
@@ -131,8 +178,11 @@ type Report struct {
 }
 
 // Jain returns Jain's fairness index (Σx)²/(n·Σx²) of the samples:
-// 1 when all equal, approaching 1/n under maximal skew. An empty or
-// all-zero sample reports 1 (nothing was treated unfairly).
+// 1 when all equal, approaching 1/n under maximal skew. An empty
+// sample reports 1 (no class was treated unfairly), but an all-zero
+// sample reports 0: every class starved is a total outage, the
+// opposite of fair — reporting 1 there made an outage read as
+// perfectly balanced in CI.
 func Jain(xs []float64) float64 {
 	if len(xs) == 0 {
 		return 1
@@ -143,7 +193,7 @@ func Jain(xs []float64) float64 {
 		sumSq += x * x
 	}
 	if sumSq == 0 {
-		return 1
+		return 0
 	}
 	return sum * sum / (float64(len(xs)) * sumSq)
 }
@@ -180,15 +230,24 @@ func WriteOutcomes(w io.Writer, outcomes []Outcome) error {
 }
 
 // statusCode labels a non-200 outcome with the serve layer's stable
-// envelope code for that status ("" for success).
+// envelope code for that status ("" for success). The table mirrors
+// serve's errorCode: 409 (duplicate dataset upload) and 413 (body over
+// the upload cap) carry their own codes — folding them into "internal"
+// made replayed upload traffic's outcome artifacts unstable.
 func statusCode(status int) string {
 	switch status {
 	case 200:
 		return ""
 	case 400:
 		return "bad_request"
+	case 403:
+		return "forbidden"
 	case 404:
 		return "not_found"
+	case 409:
+		return "conflict"
+	case 413:
+		return "payload_too_large"
 	case 429:
 		return "shed"
 	case 502:

@@ -141,9 +141,10 @@ func (s Spec) Generate() ([]TraceEntry, error) {
 //
 // Keys: ds (dataset, required), k (single value "5", range "2-8", or
 // list "2|5|9"), seed (single or "1|2|3" list), algo, prio
-// (low|normal|high), deadline (relative ms), maxq, n (sample size),
-// eps, sigma, w (weight). Unknown keys fail loudly — a typo should
-// not silently change the workload.
+// (low|normal|high), deadline (relative ms), maxq, par (per-request
+// shard parallelism), n (sample size), eps, sigma, w (weight).
+// Unknown keys fail loudly — a typo should not silently change the
+// workload.
 func ParseMix(s string) ([]Template, error) {
 	var out []Template
 	for ci, clause := range strings.Split(s, ";") {
@@ -185,6 +186,8 @@ func ParseMix(s string) ([]Template, error) {
 				t.Base.DeadlineMS, err = strconv.ParseInt(val, 10, 64)
 			case "maxq":
 				t.Base.MaxQueue, err = strconv.Atoi(val)
+			case "par":
+				t.Base.Parallelism, err = strconv.Atoi(val)
 			case "n":
 				t.Base.SampleSize, err = strconv.Atoi(val)
 			case "eps":

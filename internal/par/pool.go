@@ -200,6 +200,12 @@ func (p *Pool) Shards(ctx context.Context, workers, n int, fn func(w, lo, hi int
 	}
 	call := &sched.Call{}
 	p.requestHelpers(workers-1, attrs, call, run)
+	// Give the woken helpers a scheduling point before the caller starts
+	// claiming blocks. Without it a caller on a saturated single-P
+	// runtime claims every block before any helper runs, so tickets only
+	// ever go stale and the grant policy (and its per-class counters)
+	// never gets to act.
+	runtime.Gosched()
 	run()
 	wg.Wait()
 	// Tickets not yet granted are stale: every block is claimed, so the

@@ -369,3 +369,41 @@ func TestPoolShardsAttributesQueueWait(t *testing.T) {
 		t.Fatalf("granted %d tickets under an advancing clock but attributed wait is %v", s.Granted, w.Load())
 	}
 }
+
+// TestPoolPerClassStatsSurface: the queue's per-class counters flow
+// through Pool.SchedStats — every class that requested helpers is
+// accounted (each pushed ticket ends granted or stale), so the serving
+// layers above can export per-class grant shares without reaching into
+// internal/sched.
+func TestPoolPerClassStatsSurface(t *testing.T) {
+	pool := NewPoolConfig(Config{Size: 2})
+	defer pool.Close()
+	for _, p := range []sched.Priority{sched.Low, sched.High} {
+		ctx := sched.NewContext(context.Background(), sched.Attrs{Priority: p})
+		var n atomic.Int64
+		if err := pool.Shards(ctx, 4, 200, func(_, lo, hi int) { n.Add(int64(hi - lo)) }); err != nil {
+			t.Fatal(err)
+		}
+		if n.Load() != 200 {
+			t.Fatalf("covered %d of 200", n.Load())
+		}
+	}
+	s := pool.SchedStats()
+	if s.PerClass == nil {
+		t.Fatal("SchedStats.PerClass not populated after classed traffic")
+	}
+	var granted, stale uint64
+	for _, class := range []string{"low", "high"} {
+		cs, ok := s.PerClass[class]
+		if !ok || cs.Granted+cs.Stale == 0 {
+			t.Fatalf("class %q unaccounted in %+v", class, s.PerClass)
+		}
+	}
+	for _, cs := range s.PerClass {
+		granted += cs.Granted
+		stale += cs.Stale
+	}
+	if granted != s.Granted || stale != s.Stale {
+		t.Fatalf("per-class sums (%d/%d) do not partition pool totals (%d/%d)", granted, stale, s.Granted, s.Stale)
+	}
+}

@@ -35,6 +35,21 @@ const (
 	High   Priority = 1
 )
 
+// String returns the stable lower-case class name used as the key of
+// per-class stats maps and metric labels ("low", "normal", "high";
+// custom classes render as "priority(<n>)").
+func (p Priority) String() string {
+	switch p {
+	case Low:
+		return "low"
+	case Normal:
+		return "normal"
+	case High:
+		return "high"
+	}
+	return fmt.Sprintf("priority(%d)", int8(p))
+}
+
 // Attrs are the scheduling attributes of one request: its priority
 // class and its absolute deadline (zero = none). The zero value means
 // "normal class, no deadline" — the behavior of every request before
@@ -42,6 +57,12 @@ const (
 type Attrs struct {
 	Priority Priority
 	Deadline time.Time
+	// Weight, when positive, overrides the request's class weight in
+	// weight-aware policies — the per-tenant hook: a tenant granted
+	// Weight 8 inside the Normal class outranks default Normal traffic
+	// and accrues deficit at its own rate, without defining a new
+	// Priority. Zero means "use the policy's class weight".
+	Weight int
 	// SoftDeadline keeps the deadline as an ordering signal only: the
 	// request still sorts earliest-deadline-first among its class, but
 	// admission never sheds it when the deadline has passed. Detached
@@ -80,8 +101,11 @@ func (w *WaitCounter) Load() time.Duration {
 
 // zero reports whether the attrs carry no scheduling signal. A wait
 // counter alone is a signal: it must reach the grant queue to
-// attribute waits, even for normal-class no-deadline requests.
-func (a Attrs) zero() bool { return a.Priority == Normal && a.Deadline.IsZero() && a.Wait == nil }
+// attribute waits, even for normal-class no-deadline requests. So is a
+// weight override — it changes grant order even within Normal.
+func (a Attrs) zero() bool {
+	return a.Priority == Normal && a.Deadline.IsZero() && a.Wait == nil && a.Weight == 0
+}
 
 type ctxKey struct{}
 
@@ -162,10 +186,28 @@ var DefaultWeights = map[Priority]int{Low: 1, Normal: 4, High: 16}
 // (a request without a deadline sorts after every request with one),
 // arrival order as the final tie-break. With every request at the zero
 // Attrs it degenerates to exact FIFO.
+//
+// Pure weight ordering would starve light classes without bound, so
+// Queue pairs any policy implementing ClassWeights — this one — with
+// deficit-bounded grants: see the Queue documentation for the bound.
+// A request's effective weight is Attrs.Weight when positive (the
+// per-tenant override), else the class weight from Weights.
 type WeightedEDF struct {
 	// Weights maps each priority class to its weight; nil uses
 	// DefaultWeights, and classes absent from the map weigh as Normal.
 	Weights map[Priority]int
+}
+
+// ClassWeights is the optional Policy extension that enables the
+// queue's deficit-bounded anti-starvation machinery: a policy that can
+// name each class's weight lets the queue compute the round quantum
+// (the sum of backlogged classes' weights) and accrue per-class
+// deficit against it. Policies without it (FIFO) grant in pure policy
+// order — FIFO cannot starve, so it needs no bound.
+type ClassWeights interface {
+	// ClassWeight returns the configured weight of the priority class;
+	// it must be positive and constant for the queue's lifetime.
+	ClassWeight(c Priority) int
 }
 
 // Name implements Policy.
@@ -188,9 +230,22 @@ func (p WeightedEDF) weight(c Priority) int {
 	return DefaultWeights[Normal]
 }
 
+// ClassWeight implements ClassWeights, opting WeightedEDF into the
+// queue's deficit-bounded grants.
+func (p WeightedEDF) ClassWeight(c Priority) int { return p.weight(c) }
+
+// ticketWeight is the effective weight of one request: its per-tenant
+// override when set, else its class weight.
+func (p WeightedEDF) ticketWeight(t Ticket) int {
+	if t.Attrs.Weight > 0 {
+		return t.Attrs.Weight
+	}
+	return p.weight(t.Attrs.Priority)
+}
+
 // Less implements Policy.
 func (p WeightedEDF) Less(a, b Ticket) bool {
-	if wa, wb := p.weight(a.Attrs.Priority), p.weight(b.Attrs.Priority); wa != wb {
+	if wa, wb := p.ticketWeight(a), p.ticketWeight(b); wa != wb {
 		return wa > wb
 	}
 	da, db := a.Attrs.Deadline, b.Attrs.Deadline
@@ -201,6 +256,19 @@ func (p WeightedEDF) Less(a, b Ticket) bool {
 		return da.Before(db)
 	}
 	return a.Seq < b.Seq
+}
+
+// ClassStats is the per-priority-class slice of a queue's counters:
+// the observable proof that no class is starving.
+type ClassStats struct {
+	// Granted, Stale, Shed and QueueWait are the class's share of the
+	// same-named queue-wide counters.
+	Granted   uint64        `json:"granted"`
+	Stale     uint64        `json:"stale"`
+	Shed      uint64        `json:"shed"`
+	QueueWait time.Duration `json:"queue_wait_ns"`
+	// Depth is the class's share of the current queue depth.
+	Depth int `json:"depth"`
 }
 
 // Stats is a point-in-time snapshot of a grant queue's counters.
@@ -222,6 +290,14 @@ type Stats struct {
 	// Depth is the current number of queued requests (stale entries not
 	// yet discarded included).
 	Depth int `json:"depth"`
+	// DeficitGrants counts grants where the anti-starvation machinery
+	// overrode the policy's pick: an overdue lighter class was granted
+	// ahead of a heavier one. Zero under any load the policy's own
+	// ordering serves fairly.
+	DeficitGrants uint64 `json:"deficit_grants"`
+	// PerClass breaks the counters down by priority class, keyed by
+	// Priority.String(). Nil until the queue has seen any traffic.
+	PerClass map[string]ClassStats `json:"per_class,omitempty"`
 }
 
 // Call marks the lifetime of one Shards invocation so the queue can
@@ -243,15 +319,60 @@ type item struct {
 	index    int // heap position
 }
 
+// classKey identifies one deficit-accounting class: the priority plus
+// any per-tenant weight override. Overridden tickets form their own
+// class, so a tenant's custom weight earns deficit at its own rate
+// instead of piggybacking on the class default.
+type classKey struct {
+	prio   Priority
+	weight int // Attrs.Weight override; 0 = class default
+}
+
+// classState is the live accounting of one backlogged class: how many
+// of its tickets are queued and how much deficit it has accrued.
+// Deficit resets when the class drains — credit never banks across
+// idle periods, which is what keeps the deficit path exactly inactive
+// (and grant order bit-identical to the pure policy) whenever classes
+// are not simultaneously backlogged.
+type classState struct {
+	queued  int
+	deficit int64
+}
+
 // Queue is the policy-ordered set of pending helper requests. All
 // methods are safe for concurrent use.
+//
+// # Starvation bound
+//
+// A weight-priority policy alone starves: under a sustained flood of a
+// heavy class, a queued light ticket is never granted. When the policy
+// implements ClassWeights, the queue layers deficit-bounded grants on
+// top of the policy order. On every grant while two or more classes
+// are backlogged, each backlogged class accrues deficit equal to its
+// weight, and the granted class pays back the round quantum (the sum
+// of the backlogged classes' weights). A class whose deficit reaches
+// the quantum is overdue and is granted next — its best ticket per the
+// policy — ahead of any heavier class. A class backlogged alongside
+// classes of total weight Σw therefore waits at most ⌈Σw/w_class⌉
+// grants between consecutive grants of its own: with the default
+// weights (1/4/16) a Low ticket is granted within 21 grants of the
+// flood, no matter how much High traffic keeps arriving.
 type Queue struct {
 	mu     sync.Mutex
 	policy Policy
-	clock  Clock
-	h      itemHeap
-	seq    uint64
-	stats  Stats
+	// weights is the policy's ClassWeights view; nil (policy doesn't
+	// implement it) disables the deficit machinery entirely.
+	weights ClassWeights
+	clock   Clock
+	h       itemHeap
+	seq     uint64
+	stats   Stats
+	// backlog tracks queued-ticket counts and deficits per class; keys
+	// exist only while the class has tickets queued.
+	backlog map[classKey]*classState
+	// perClass accumulates the monotonic per-class counters (Depth is
+	// derived from backlog at snapshot time instead).
+	perClass map[Priority]*ClassStats
 }
 
 // NewQueue builds a grant queue over the policy (nil = WeightedEDF
@@ -263,7 +384,68 @@ func NewQueue(policy Policy, clock Clock) *Queue {
 	if clock == nil {
 		clock = time.Now
 	}
-	return &Queue{policy: policy, clock: clock, h: itemHeap{policy: policy}}
+	q := &Queue{
+		policy:   policy,
+		clock:    clock,
+		h:        itemHeap{policy: policy},
+		backlog:  map[classKey]*classState{},
+		perClass: map[Priority]*ClassStats{},
+	}
+	q.weights, _ = policy.(ClassWeights)
+	return q
+}
+
+// class returns (creating if needed) the monotonic counter bucket of
+// the priority class. Callers hold q.mu.
+func (q *Queue) class(p Priority) *ClassStats {
+	cs := q.perClass[p]
+	if cs == nil {
+		cs = &ClassStats{}
+		q.perClass[p] = cs
+	}
+	return cs
+}
+
+func keyOf(t Ticket) classKey {
+	k := classKey{prio: t.Attrs.Priority}
+	if t.Attrs.Weight > 0 {
+		k.weight = t.Attrs.Weight
+	}
+	return k
+}
+
+// effWeight is the grant weight one ticket of the class carries: the
+// per-tenant override when the key has one, else the policy's class
+// weight. Only called with q.weights non-nil.
+func (q *Queue) effWeight(k classKey) int64 {
+	if k.weight > 0 {
+		return int64(k.weight)
+	}
+	if w := q.weights.ClassWeight(k.prio); w > 0 {
+		return int64(w)
+	}
+	return 1
+}
+
+// backlogAdd/backlogRemove maintain the per-class queued counts; a
+// class's deficit dies with its last queued ticket. Callers hold q.mu.
+func (q *Queue) backlogAdd(t Ticket) {
+	k := keyOf(t)
+	st := q.backlog[k]
+	if st == nil {
+		st = &classState{}
+		q.backlog[k] = st
+	}
+	st.queued++
+}
+
+func (q *Queue) backlogRemove(t Ticket) {
+	k := keyOf(t)
+	if st := q.backlog[k]; st != nil {
+		if st.queued--; st.queued <= 0 {
+			delete(q.backlog, k)
+		}
+	}
 }
 
 // ShedExpired implements admission control: when the attrs carry a
@@ -280,6 +462,7 @@ func (q *Queue) ShedExpired(a Attrs) bool {
 		return false
 	}
 	q.stats.Shed++
+	q.class(a.Priority).Shed++
 	return true
 }
 
@@ -290,6 +473,7 @@ func (q *Queue) Push(a Attrs, call *Call, run func()) {
 	defer q.mu.Unlock()
 	if call != nil && call.done {
 		q.stats.Stale++
+		q.class(a.Priority).Stale++
 		return
 	}
 	q.seq++
@@ -300,6 +484,7 @@ func (q *Queue) Push(a Attrs, call *Call, run func()) {
 		run:      run,
 	}
 	heap.Push(&q.h, it)
+	q.backlogAdd(it.ticket)
 	if call != nil {
 		call.items = append(call.items, it)
 	}
@@ -320,35 +505,134 @@ func (q *Queue) FinishCall(c *Call) {
 		if it.index >= 0 {
 			heap.Remove(&q.h, it.index)
 			it.index = -1
+			q.backlogRemove(it.ticket)
 			q.stats.Stale++
+			q.class(it.ticket.Attrs.Priority).Stale++
 		}
 	}
 	c.items = nil
 }
 
-// Pop removes and returns the best pending request per the policy,
-// discarding stale tickets along the way. It returns nil when the queue
-// is empty.
+// Pop removes and returns the best pending request per the policy —
+// or, when a lighter class has gone unserved long enough to become
+// overdue, that class's best request (see the Queue doc for the bound)
+// — discarding stale tickets along the way. It returns nil when the
+// queue is empty.
 func (q *Queue) Pop() func() {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	for q.h.Len() > 0 {
-		it := heap.Pop(&q.h).(*item)
+		it, quantum, overrode := q.grantNext()
 		it.index = -1
+		q.backlogRemove(it.ticket)
 		if it.call != nil && it.call.done {
 			q.stats.Stale++
+			q.class(it.ticket.Attrs.Priority).Stale++
 			continue
 		}
 		q.stats.Granted++
+		if overrode {
+			q.stats.DeficitGrants++
+		}
 		wait := q.clock().Sub(it.enqueued)
 		q.stats.QueueWait += wait
+		cs := q.class(it.ticket.Attrs.Priority)
+		cs.Granted++
+		cs.QueueWait += wait
 		// Attribute the same wait to the request's own counter, so the
 		// query that enqueued the ticket can report its personal queue
 		// wait alongside the engine-wide sum.
 		it.ticket.Attrs.Wait.Add(wait)
+		q.accrue(keyOf(it.ticket), quantum)
 		return it.run
 	}
 	return nil
+}
+
+// grantNext selects the next request. The plain path is a heap pop in
+// pure policy order; the deficit path activates only when the policy
+// exposes class weights AND two or more classes are simultaneously
+// backlogged — the only situation where starvation is possible. It
+// returns the selected item, the round quantum in force (0 when the
+// deficit path was inactive), and whether an overdue class overrode
+// the policy's pick. Callers hold q.mu.
+func (q *Queue) grantNext() (it *item, quantum int64, overrode bool) {
+	if q.weights == nil || len(q.backlog) < 2 {
+		return heap.Pop(&q.h).(*item), 0, false
+	}
+	for k := range q.backlog {
+		quantum += q.effWeight(k)
+	}
+	overdueKey, ok := q.overdue(quantum)
+	if !ok || keyOf(q.h.items[0].ticket) == overdueKey {
+		return heap.Pop(&q.h).(*item), quantum, false
+	}
+	// The overdue class is not at the heap head: grant its best ticket
+	// per the policy order instead. Linear scan — queue depths are
+	// bounded by workers×calls in practice, and the scan runs only on
+	// the starvation-relief path.
+	best := -1
+	for i, cand := range q.h.items {
+		if keyOf(cand.ticket) != overdueKey {
+			continue
+		}
+		if best < 0 || q.policy.Less(cand.ticket, q.h.items[best].ticket) {
+			best = i
+		}
+	}
+	return heap.Remove(&q.h, best).(*item), quantum, true
+}
+
+// overdue returns the backlogged class whose deficit has reached the
+// round quantum, if any. Ties (and the pick among several overdue
+// classes) resolve deterministically: larger deficit first, then
+// smaller weight (the lighter class has waited proportionally longer),
+// then smaller priority, then smaller override value. Callers hold
+// q.mu.
+func (q *Queue) overdue(quantum int64) (classKey, bool) {
+	var bestKey classKey
+	var bestState *classState
+	for k, st := range q.backlog {
+		if st.deficit < quantum {
+			continue
+		}
+		if bestState == nil || moreOverdue(st, k, bestState, bestKey, q) {
+			bestKey, bestState = k, st
+		}
+	}
+	return bestKey, bestState != nil
+}
+
+func moreOverdue(a *classState, ak classKey, b *classState, bk classKey, q *Queue) bool {
+	if a.deficit != b.deficit {
+		return a.deficit > b.deficit
+	}
+	if wa, wb := q.effWeight(ak), q.effWeight(bk); wa != wb {
+		return wa < wb
+	}
+	if ak.prio != bk.prio {
+		return ak.prio < bk.prio
+	}
+	return ak.weight < bk.weight
+}
+
+// accrue runs the deficit round after a grant: every still-backlogged
+// class earns its weight, and the granted class pays back the quantum
+// (clamped at zero — credit is relief, not a bankable balance). A
+// quantum of zero means the deficit path was inactive for this grant.
+// Callers hold q.mu.
+func (q *Queue) accrue(granted classKey, quantum int64) {
+	if quantum == 0 {
+		return
+	}
+	for k, st := range q.backlog {
+		st.deficit += q.effWeight(k)
+	}
+	if st := q.backlog[granted]; st != nil {
+		if st.deficit -= quantum; st.deficit < 0 {
+			st.deficit = 0
+		}
+	}
 }
 
 // Depth returns the number of queued requests (including not yet
@@ -359,13 +643,25 @@ func (q *Queue) Depth() int {
 	return q.h.Len()
 }
 
-// Stats returns a snapshot of the counters.
+// Stats returns a snapshot of the counters. The PerClass map is a deep
+// copy the caller owns.
 func (q *Queue) Stats() Stats {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	s := q.stats
 	s.Policy = q.policy.Name()
 	s.Depth = q.h.Len()
+	if len(q.perClass) > 0 || len(q.backlog) > 0 {
+		s.PerClass = make(map[string]ClassStats, len(q.perClass))
+		for p, cs := range q.perClass {
+			s.PerClass[p.String()] = *cs
+		}
+		for k, st := range q.backlog {
+			c := s.PerClass[k.prio.String()]
+			c.Depth += st.queued
+			s.PerClass[k.prio.String()] = c
+		}
+	}
 	return s
 }
 

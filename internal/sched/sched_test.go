@@ -3,6 +3,8 @@ package sched
 import (
 	"context"
 	"errors"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 )
@@ -334,5 +336,349 @@ func TestWaitCounterNilSafe(t *testing.T) {
 	attrs.Wait = new(WaitCounter)
 	if attrs.zero() {
 		t.Fatal("Attrs carrying a wait counter must count as a scheduling signal")
+	}
+}
+
+// TestDeficitStarvationBound is the headline regression test of the
+// anti-starvation machinery: with a frozen clock and an unbounded
+// sustained flood of High tickets, a queued Low ticket must be granted
+// within the documented ⌈Σw/w_low⌉+1 grant bound. Against the old pure
+// weight ordering the Low ticket is never granted — this test would
+// spin to the bound and fail.
+func TestDeficitStarvationBound(t *testing.T) {
+	q := NewQueue(WeightedEDF{}, fixedClock(t0))
+	granted := []string{}
+	pushClass := func(name string, p Priority) {
+		q.Push(Attrs{Priority: p}, nil, func() { granted = append(granted, name) })
+	}
+
+	pushClass("low", Low)
+	for i := 0; i < 3; i++ {
+		pushClass("high", High)
+	}
+
+	// Σw over the backlogged classes is 1+16=17; the Low class accrues
+	// +1 per grant, so it is overdue after 17 grants and granted on the
+	// 18th at the latest.
+	const bound = 18
+	lowAt := 0
+	for grant := 1; grant <= bound; grant++ {
+		run := q.Pop()
+		if run == nil {
+			t.Fatalf("queue empty at grant %d", grant)
+		}
+		run()
+		if granted[len(granted)-1] == "low" {
+			lowAt = grant
+			break
+		}
+		// Sustain the flood: High backlog never drains.
+		pushClass("high", High)
+	}
+	if lowAt == 0 {
+		t.Fatalf("low ticket starved: not granted within the %d-grant bound under a sustained High flood", bound)
+	}
+	if lowAt != bound {
+		// The deficit schedule is fully deterministic under a frozen
+		// clock: the low grant lands exactly on the bound.
+		t.Fatalf("low granted at grant %d, want exactly %d", lowAt, bound)
+	}
+
+	s := q.Stats()
+	if s.DeficitGrants != 1 {
+		t.Fatalf("DeficitGrants = %d, want 1 (the single starvation-relief grant)", s.DeficitGrants)
+	}
+	if got := s.PerClass["low"]; got.Granted != 1 {
+		t.Fatalf("PerClass[low].Granted = %d, want 1", got.Granted)
+	}
+	if got := s.PerClass["high"]; got.Granted != uint64(bound-1) {
+		t.Fatalf("PerClass[high].Granted = %d, want %d", got.Granted, bound-1)
+	}
+}
+
+// TestDeficitStarvationBoundThreeClasses: the bound holds with all
+// three classes backlogged — quantum 21, so Low is overdue after 21
+// grants; Normal (weight 4) after ⌈21/4⌉=6 accruals.
+func TestDeficitStarvationBoundThreeClasses(t *testing.T) {
+	q := NewQueue(WeightedEDF{}, fixedClock(t0))
+	granted := []string{}
+	pushClass := func(name string, p Priority) {
+		q.Push(Attrs{Priority: p}, nil, func() { granted = append(granted, name) })
+	}
+	pushClass("low", Low)
+	for i := 0; i < 3; i++ {
+		pushClass("normal", Normal)
+		pushClass("high", High)
+	}
+
+	const bound = 22 // ⌈(1+4+16)/1⌉ + 1
+	lowAt, normalAt := 0, 0
+	for grant := 1; grant <= bound; grant++ {
+		run := q.Pop()
+		if run == nil {
+			t.Fatalf("queue empty at grant %d", grant)
+		}
+		run()
+		switch granted[len(granted)-1] {
+		case "low":
+			lowAt = grant
+		case "normal":
+			if normalAt == 0 {
+				normalAt = grant
+			}
+			pushClass("normal", Normal)
+		default:
+			pushClass("high", High)
+		}
+		if lowAt != 0 {
+			break
+		}
+	}
+	if lowAt == 0 || lowAt > bound {
+		t.Fatalf("low granted at %d, want within %d", lowAt, bound)
+	}
+	if normalAt == 0 || normalAt > 7 {
+		t.Fatalf("normal first granted at %d, want within 7 (⌈21/4⌉+1)", normalAt)
+	}
+}
+
+// TestDeficitInactiveSingleClass: with only one class ever backlogged
+// the deficit machinery must stay fully inactive — grant order is the
+// pure policy order and DeficitGrants stays zero. This is the guard
+// that keeps every bit-determinism suite byte-identical.
+func TestDeficitInactiveSingleClass(t *testing.T) {
+	q := NewQueue(WeightedEDF{}, fixedClock(t0))
+	labels := map[*int]string{}
+	push(q, Attrs{Priority: High, Deadline: t0.Add(9 * time.Second)}, labels, "9s")
+	push(q, Attrs{Priority: High, Deadline: t0.Add(3 * time.Second)}, labels, "3s")
+	push(q, Attrs{Priority: High, Deadline: t0.Add(6 * time.Second)}, labels, "6s")
+	got := popOrder(t, q, labels)
+	want := []string{"3s", "6s", "9s"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("grant order %v, want %v", got, want)
+		}
+	}
+	if s := q.Stats(); s.DeficitGrants != 0 {
+		t.Fatalf("DeficitGrants = %d with a single backlogged class, want 0", s.DeficitGrants)
+	}
+}
+
+// TestPerTenantWeightOverride: Attrs.Weight lets one tenant outrank its
+// class without a new Priority — a Normal request at Weight 32 is
+// granted before default High (weight 16), and default Normal traffic
+// still cannot be starved by the heavy tenant thanks to the override
+// class accruing its own deficit.
+func TestPerTenantWeightOverride(t *testing.T) {
+	q := NewQueue(WeightedEDF{}, fixedClock(t0))
+	labels := map[*int]string{}
+	push(q, Attrs{Priority: Normal}, labels, "normal-default")
+	push(q, Attrs{Priority: High}, labels, "high")
+	push(q, Attrs{Priority: Normal, Weight: 32}, labels, "tenant-32")
+	got := popOrder(t, q, labels)
+	want := []string{"tenant-32", "high", "normal-default"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("grant order %v, want %v", got, want)
+		}
+	}
+
+	// A sustained flood from the weight-32 tenant cannot starve default
+	// Normal: quantum 4+32=36, Normal overdue after 9 grants.
+	q2 := NewQueue(WeightedEDF{}, fixedClock(t0))
+	granted := []string{}
+	pushW := func(name string, a Attrs) {
+		q2.Push(a, nil, func() { granted = append(granted, name) })
+	}
+	pushW("normal", Attrs{Priority: Normal})
+	for i := 0; i < 3; i++ {
+		pushW("tenant", Attrs{Priority: Normal, Weight: 32})
+	}
+	const bound = 10 // ⌈36/4⌉ + 1
+	normalAt := 0
+	for grant := 1; grant <= bound; grant++ {
+		run := q2.Pop()
+		if run == nil {
+			t.Fatalf("queue empty at grant %d", grant)
+		}
+		run()
+		if granted[len(granted)-1] == "normal" {
+			normalAt = grant
+			break
+		}
+		pushW("tenant", Attrs{Priority: Normal, Weight: 32})
+	}
+	if normalAt == 0 {
+		t.Fatalf("default-normal ticket starved by weight-override tenant flood (bound %d)", bound)
+	}
+}
+
+// TestPerClassStatsAccounting: the per-class counters partition the
+// queue-wide ones across grant, shed, and stale outcomes.
+func TestPerClassStatsAccounting(t *testing.T) {
+	clock := fixedClock(t0)
+	q := NewQueue(WeightedEDF{}, clock)
+
+	// One granted High, one granted Low.
+	q.Push(Attrs{Priority: High}, nil, func() {})
+	q.Push(Attrs{Priority: Low}, nil, func() {})
+	// One shed Low (hard deadline already passed).
+	if !q.ShedExpired(Attrs{Priority: Low, Deadline: t0.Add(-time.Second)}) {
+		t.Fatal("expired deadline not shed")
+	}
+	// One stale Normal (its call finishes before any pop).
+	call := &Call{}
+	q.Push(Attrs{Priority: Normal}, call, func() { t.Fatal("stale ticket ran") })
+	q.FinishCall(call)
+
+	for q.Pop() != nil {
+	}
+	s := q.Stats()
+	if s.Granted != 2 || s.Stale != 1 || s.Shed != 1 {
+		t.Fatalf("queue-wide counters: %+v", s)
+	}
+	if got := s.PerClass["high"]; got.Granted != 1 || got.Shed != 0 || got.Stale != 0 {
+		t.Fatalf("PerClass[high] = %+v", got)
+	}
+	if got := s.PerClass["low"]; got.Granted != 1 || got.Shed != 1 {
+		t.Fatalf("PerClass[low] = %+v", got)
+	}
+	if got := s.PerClass["normal"]; got.Stale != 1 || got.Granted != 0 {
+		t.Fatalf("PerClass[normal] = %+v", got)
+	}
+	var granted, stale, shed uint64
+	for _, cs := range s.PerClass {
+		granted += cs.Granted
+		stale += cs.Stale
+		shed += cs.Shed
+	}
+	if granted != s.Granted || stale != s.Stale || shed != s.Shed {
+		t.Fatalf("per-class sums (%d/%d/%d) do not partition queue-wide (%d/%d/%d)",
+			granted, stale, shed, s.Granted, s.Stale, s.Shed)
+	}
+}
+
+// TestPerClassDepthSnapshot: Depth in the per-class view counts only
+// currently queued tickets and sums to the queue-wide Depth.
+func TestPerClassDepthSnapshot(t *testing.T) {
+	q := NewQueue(WeightedEDF{}, fixedClock(t0))
+	q.Push(Attrs{Priority: High}, nil, func() {})
+	q.Push(Attrs{Priority: High}, nil, func() {})
+	q.Push(Attrs{Priority: Low}, nil, func() {})
+	s := q.Stats()
+	if s.Depth != 3 || s.PerClass["high"].Depth != 2 || s.PerClass["low"].Depth != 1 {
+		t.Fatalf("depth snapshot: %+v", s)
+	}
+	q.Pop()
+	s = q.Stats()
+	if s.Depth != 2 || s.PerClass["high"].Depth != 1 {
+		t.Fatalf("depth after pop: %+v", s)
+	}
+}
+
+// TestPopDefensiveStaleBranch exercises Pop's stale skip directly: a
+// call marked done without FinishCall's heap sweep (the window a
+// concurrent finisher can leave) must be discarded by Pop, counted
+// stale — never run, never counted granted.
+func TestPopDefensiveStaleBranch(t *testing.T) {
+	q := NewQueue(WeightedEDF{}, fixedClock(t0))
+	call := &Call{}
+	q.Push(Attrs{Priority: Low}, call, func() { t.Fatal("stale ticket ran") })
+	q.mu.Lock()
+	call.done = true // simulate FinishCall racing ahead of its sweep
+	q.mu.Unlock()
+	if run := q.Pop(); run != nil {
+		t.Fatal("Pop returned a stale ticket")
+	}
+	s := q.Stats()
+	if s.Stale != 1 || s.Granted != 0 || s.Depth != 0 {
+		t.Fatalf("stale accounting: %+v", s)
+	}
+	if got := s.PerClass["low"]; got.Stale != 1 || got.Depth != 0 {
+		t.Fatalf("PerClass[low] = %+v", got)
+	}
+}
+
+// TestPerClassStaleAccountingConcurrent hammers FinishCall against
+// concurrent Pops under -race and pins the accounting invariant: every
+// pushed ticket ends exactly once as granted or stale, Depth() never
+// counts removed tickets, and the per-class counters partition the
+// totals.
+func TestPerClassStaleAccountingConcurrent(t *testing.T) {
+	q := NewQueue(WeightedEDF{}, nil)
+	const calls = 60
+	const perCall = 4
+	classes := []Priority{Low, Normal, High}
+
+	var executed atomic.Int64
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	// Poppers race FinishCall for every ticket.
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if run := q.Pop(); run != nil {
+					run()
+					continue
+				}
+				select {
+				case <-stop:
+					if q.Pop() == nil {
+						return
+					}
+				default:
+				}
+			}
+		}()
+	}
+
+	for i := 0; i < calls; i++ {
+		call := &Call{}
+		for j := 0; j < perCall; j++ {
+			q.Push(Attrs{Priority: classes[(i+j)%len(classes)]}, call, func() { executed.Add(1) })
+		}
+		// Even calls finish immediately — their unpopped tickets must be
+		// swept stale; odd calls are left live for the poppers.
+		if i%2 == 0 {
+			q.FinishCall(call)
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	s := q.Stats()
+	total := uint64(calls * perCall)
+	if s.Granted+s.Stale != total {
+		t.Fatalf("granted %d + stale %d != pushed %d", s.Granted, s.Stale, total)
+	}
+	if s.Granted != uint64(executed.Load()) {
+		t.Fatalf("granted %d != executed %d", s.Granted, executed.Load())
+	}
+	if d := q.Depth(); d != 0 {
+		t.Fatalf("Depth() = %d after drain, want 0 (removed tickets still counted?)", d)
+	}
+	var granted, stale uint64
+	for _, cs := range s.PerClass {
+		granted += cs.Granted
+		stale += cs.Stale
+		if cs.Depth != 0 {
+			t.Fatalf("per-class depth nonzero after drain: %+v", s.PerClass)
+		}
+	}
+	if granted != s.Granted || stale != s.Stale {
+		t.Fatalf("per-class sums (%d/%d) do not partition totals (%d/%d)", granted, stale, s.Granted, s.Stale)
+	}
+}
+
+// TestPriorityString pins the class names used as stats keys and
+// metric labels.
+func TestPriorityString(t *testing.T) {
+	cases := map[Priority]string{Low: "low", Normal: "normal", High: "high", Priority(3): "priority(3)"}
+	for p, want := range cases {
+		if got := p.String(); got != want {
+			t.Fatalf("Priority(%d).String() = %q, want %q", p, got, want)
+		}
 	}
 }

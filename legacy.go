@@ -83,6 +83,10 @@ type LegacyResult struct {
 	// computation it replays.
 	Preprocess time.Duration
 	Query      time.Duration
+	// QueueWait is the time the query spent waiting on the engine's
+	// scheduling machinery (see Telemetry.QueueWait); zero for one-shot
+	// calls, which never queue.
+	QueueWait time.Duration
 	// Cached reports that the result was answered from an Engine's
 	// result cache; always false for one-shot calls.
 	Cached bool
@@ -100,6 +104,7 @@ func mergeLegacy(res *Result, tel *Telemetry) *LegacyResult {
 		SkylineSize: res.SkylineSize,
 		Preprocess:  tel.Preprocess,
 		Query:       tel.Query,
+		QueueWait:   tel.QueueWait,
 		Cached:      res.Cached,
 		Stats:       tel.Stats,
 	}

@@ -98,6 +98,13 @@ type Exec struct {
 	// with context.DeadlineExceeded. The deadline also participates in
 	// the pool's earliest-deadline-first grant ordering.
 	Deadline time.Time
+	// Weight, when positive, overrides the query's class weight in the
+	// pool's weighted grant policy — the per-tenant knob: a tenant
+	// granted Weight 8 within PriorityNormal outranks default normal
+	// traffic (and accrues starvation-relief deficit at its own rate)
+	// without occupying a whole priority class. Zero uses the class
+	// weight. Like Priority it never changes an answer.
+	Weight int
 	// MaxQueue bounds the pool's grant-queue depth this query will accept
 	// on admission: when more helper requests than MaxQueue are already
 	// queued, the Engine sheds the query (ErrShed) instead of piling on.
@@ -186,7 +193,7 @@ var ErrShed = errors.New("fam: query shed by admission control")
 
 // attrs converts the Exec's scheduling fields to the internal form.
 func (x Exec) attrs() sched.Attrs {
-	return sched.Attrs{Priority: sched.Priority(x.Priority), Deadline: x.Deadline, Wait: x.wait}
+	return sched.Attrs{Priority: sched.Priority(x.Priority), Deadline: x.Deadline, Weight: x.Weight, Wait: x.wait}
 }
 
 // fillAttrs are the scheduling attrs detached cache fills run under:
@@ -196,7 +203,7 @@ func (x Exec) attrs() sched.Attrs {
 // halfway. The requester's own wait is still bounded by its context
 // deadline.
 func (x Exec) fillAttrs() sched.Attrs {
-	return sched.Attrs{Priority: sched.Priority(x.Priority), Deadline: x.Deadline, SoftDeadline: true, Wait: x.wait}
+	return sched.Attrs{Priority: sched.Priority(x.Priority), Deadline: x.Deadline, Weight: x.Weight, SoftDeadline: true, Wait: x.wait}
 }
 
 // admit applies the Exec's admission policy: a deadline that has

@@ -12,6 +12,9 @@
 //	GET  /v2/datasets  — the registered datasets (typed error envelope)
 //	POST /v2/datasets  — CSV upload (typed error envelope)
 //	GET  /v2/stats     — engine + HTTP counters (typed error envelope)
+//	GET  /metrics      — Prometheus text exposition: per-class
+//	                     scheduler counters, cache gauges, planner and
+//	                     per-endpoint request metrics (see metrics.go)
 //
 // The v2 surface mirrors the library's Query/Exec API: each member of a
 // batch is a purely semantic query, and one exec block sets the
@@ -472,6 +475,10 @@ type Handler struct {
 	clientErrors atomic.Uint64
 	serverErrors atomic.Uint64
 	uploads      atomic.Uint64
+
+	// metrics backs GET /metrics: per-endpoint request counters and
+	// latency histograms (see metrics.go for the full series list).
+	metrics *httpMetrics
 }
 
 // NewHandler builds the routes over the engine with default limits. The
@@ -489,7 +496,7 @@ func NewHandlerConfig(e *fam.Engine, cfg HandlerConfig) *Handler {
 	if cfg.MaxBatchQueries <= 0 {
 		cfg.MaxBatchQueries = DefaultMaxBatchQueries
 	}
-	h := &Handler{engine: e, cfg: cfg, mux: http.NewServeMux()}
+	h := &Handler{engine: e, cfg: cfg, mux: http.NewServeMux(), metrics: newHTTPMetrics()}
 	h.clock = cfg.Clock
 	if h.clock == nil {
 		h.clock = time.Now
@@ -507,6 +514,7 @@ func NewHandlerConfig(e *fam.Engine, cfg HandlerConfig) *Handler {
 	h.mux.HandleFunc("GET /v2/datasets", h.handleDatasets)
 	h.mux.HandleFunc("POST /v2/datasets", func(w http.ResponseWriter, r *http.Request) { h.handleUpload(v2Errors, w, r) })
 	h.mux.HandleFunc("GET /v2/stats", h.handleStats)
+	h.mux.HandleFunc("GET /metrics", h.handleMetrics)
 	return h
 }
 
@@ -519,10 +527,19 @@ const (
 	v2Errors
 )
 
-// ServeHTTP implements http.Handler.
+// ServeHTTP implements http.Handler. Every request is accounted to the
+// /metrics per-endpoint counters under its matched route pattern, with
+// its response status and latency.
 func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	h.requests.Add(1)
-	h.mux.ServeHTTP(w, r)
+	_, pattern := h.mux.Handler(r)
+	if pattern == "" {
+		pattern = "unmatched"
+	}
+	rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+	start := h.clock()
+	h.mux.ServeHTTP(rec, r)
+	h.metrics.record(pattern, rec.status, h.clock().Sub(start).Seconds())
 }
 
 func (h *Handler) handleDatasets(w http.ResponseWriter, r *http.Request) {
