@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"github.com/regretlab/fam/internal/obs"
 )
 
 // BatchResult is one member slot of a SelectBatch answer. Exactly one of
@@ -70,10 +72,13 @@ func (e *Engine) SelectBatch(ctx context.Context, queries []Query, exec Exec) ([
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	ctx, span := obs.Start(ctx, "engine.batch")
+	span.SetAttrInt("members", len(queries))
+	defer span.End()
 	// Batch-level admission: a batch whose deadline has already passed
 	// (or that arrives over its queue bound) is shed whole — cheaper for
 	// the caller to handle than len(queries) identical member sheds.
-	if err := e.admit(exec); err != nil {
+	if err := e.admitTraced(ctx, exec); err != nil {
 		return nil, err
 	}
 	// Counter-update order is part of the EngineStats snapshot contract:
@@ -97,7 +102,11 @@ func (e *Engine) SelectBatch(ctx context.Context, queries []Query, exec Exec) ([
 	memberExec := exec
 	memberExec.MaxQueue = 0
 
+	_, planSpan := obs.Start(ctx, "plan")
 	pl := e.plan(queries)
+	planSpan.SetAttrInt("groups", len(pl.groups))
+	planSpan.SetAttrInt("dedups", len(pl.copies))
+	planSpan.End()
 	e.planGroups.Add(uint64(len(pl.groups)))
 	e.plannedDedups.Add(uint64(len(pl.copies)))
 
@@ -112,11 +121,21 @@ func (e *Engine) SelectBatch(ctx context.Context, queries []Query, exec Exec) ([
 	}
 	sem := make(chan struct{}, width)
 	start := time.Now()
-	runMember := func(i int) {
+	runMember := func(i int, groupKey string) {
 		sem <- struct{}{}
 		defer func() { <-sem }()
 		wait := time.Since(start)
-		out[i] = e.member(ctx, queries[i], memberExec)
+		// Every member span shares the batch's collector — and so its
+		// TraceID. The representative carries the plan-group key in its
+		// context, so the prep fills it triggers are attributable to the
+		// group (their spans gain a group attr via fillSpan).
+		mctx, mspan := obs.Start(ctx, "member")
+		mspan.SetAttrInt("index", i)
+		if groupKey != "" {
+			mctx = withPlanGroupKey(mctx, groupKey)
+		}
+		out[i] = e.member(mctx, queries[i], memberExec)
+		mspan.End()
 		if out[i].Telemetry != nil {
 			// The member's Telemetry already carries its own pool grant
 			// waits (attributed per query on the Select/Evaluate path);
@@ -133,13 +152,13 @@ func (e *Engine) SelectBatch(ctx context.Context, queries []Query, exec Exec) ([
 			// The representative runs alone first: it fills the group's
 			// shared preprocessing exactly once, so the released members
 			// find a warm cache instead of a singleflight door.
-			runMember(g.rep)
+			runMember(g.rep, g.key)
 			var members sync.WaitGroup
 			for _, i := range g.rest {
 				members.Add(1)
 				go func(i int) {
 					defer members.Done()
-					runMember(i)
+					runMember(i, "")
 				}(i)
 			}
 			members.Wait()
@@ -147,9 +166,14 @@ func (e *Engine) SelectBatch(ctx context.Context, queries []Query, exec Exec) ([
 	}
 	wg.Wait()
 	// Planned duplicates copy their leader's slot after the fan-out —
-	// bit-identical to re-asking, without re-asking.
+	// bit-identical to re-asking, without re-asking. Each copy is marked
+	// in the trace: a member span that did no work beyond the copy.
 	for dup, leader := range pl.copies {
+		_, dspan := obs.Start(ctx, "member")
+		dspan.SetAttrInt("index", dup)
+		dspan.SetAttrBool("dedup", true)
 		out[dup] = copySlot(out[leader], queries[dup].ExplicitSet == nil)
+		dspan.End()
 	}
 	return out, nil
 }
@@ -164,10 +188,13 @@ type plan struct {
 }
 
 // planGroup is one set of members sharing preprocessing: rep runs
-// first, rest follow on the warm cache.
+// first, rest follow on the warm cache. key is the preprocessing-
+// sharing key the group was formed under, carried into the
+// representative's context so its prep-fill spans are attributable.
 type planGroup struct {
 	rep  int
 	rest []int
+	key  string
 }
 
 // plan dedupes and groups a batch. Grouping is best-effort: a member
@@ -192,7 +219,7 @@ func (e *Engine) plan(queries []Query) plan {
 			groups[gi].rest = append(groups[gi].rest, i)
 		} else {
 			groupIdx[key] = len(groups)
-			groups = append(groups, planGroup{rep: i})
+			groups = append(groups, planGroup{rep: i, key: key})
 		}
 	}
 	return plan{groups: groups, copies: copies}
@@ -221,11 +248,15 @@ func (e *Engine) planKey(q Query, i int) string {
 }
 
 // copySlot answers a planned duplicate from its leader's slot. A
-// selection duplicate is marked Cached — a sequential loop would have
-// answered it from the result cache the leader filled. Evaluation
-// duplicates keep the leader's flags verbatim: evaluations are
-// recomputed (deterministically) by a loop, so there is no cache bit to
-// set.
+// selection duplicate is marked Cached and its Telemetry mirrors the
+// result-cache hit contract — a sequential loop would have answered it
+// from the result cache the leader filled, reporting its own near-zero
+// execution with the computing execution's Telemetry under Replay (a
+// leader that was itself a hit already carries the filler there).
+// Evaluation duplicates keep the leader's timings verbatim: evaluations
+// are recomputed (deterministically) by a loop, so there is no cache
+// contract to mirror. Neither kind carries a Trace — the copy did not
+// execute; the batch trace marks it with a dedup=true member span.
 func copySlot(leader BatchResult, selection bool) BatchResult {
 	if leader.Err != nil {
 		return BatchResult{Err: leader.Err}
@@ -237,7 +268,16 @@ func copySlot(leader BatchResult, selection bool) BatchResult {
 	var tel *Telemetry
 	if leader.Telemetry != nil {
 		cp := *leader.Telemetry
-		tel = &cp
+		cp.Trace = nil
+		if selection {
+			replay := cp
+			if cp.Replay != nil {
+				replay = *cp.Replay
+			}
+			tel = &Telemetry{Replay: &replay}
+		} else {
+			tel = &cp
+		}
 	}
 	return BatchResult{Result: res, Telemetry: tel}
 }

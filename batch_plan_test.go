@@ -300,14 +300,28 @@ func TestEngineBatchQueueWaitTelemetry(t *testing.T) {
 	if total := e.Stats().Sched.QueueWait; tel.QueueWait > total {
 		t.Fatalf("direct select queue wait %v exceeds the engine-wide sum %v", tel.QueueWait, total)
 	}
-	// A result-cache hit replays the filler's QueueWait with the rest of
-	// the Telemetry.
+	// A result-cache hit reports its own execution — a pure lookup runs
+	// no fan-outs, so its QueueWait is exactly zero — and preserves the
+	// filling execution's Telemetry under Replay instead of claiming the
+	// filler's timings as its own.
 	res2, tel2, err := e.Select(ctx, Query{Dataset: "hotels", K: 7, Seed: 9, SampleSize: 120}, Exec{})
 	if err != nil || !res2.Cached {
 		t.Fatalf("warm repeat: cached=%v err=%v", res2 != nil && res2.Cached, err)
 	}
-	if tel2.QueueWait != tel.QueueWait {
-		t.Fatalf("cache hit replayed queue wait %v, filler reported %v", tel2.QueueWait, tel.QueueWait)
+	if tel2.QueueWait != 0 {
+		t.Fatalf("pure cache hit reported %v of its own queue wait", tel2.QueueWait)
+	}
+	if tel2.Replay == nil {
+		t.Fatal("cache hit carries no Replay telemetry")
+	}
+	if tel2.Replay.QueueWait != tel.QueueWait || tel2.Replay.Preprocess != tel.Preprocess ||
+		tel2.Replay.Query != tel.Query || tel2.Replay.Stats != tel.Stats {
+		t.Fatalf("replayed telemetry (%v, %v, %v) != filler's (%v, %v, %v)",
+			tel2.Replay.Preprocess, tel2.Replay.Query, tel2.Replay.QueueWait,
+			tel.Preprocess, tel.Query, tel.QueueWait)
+	}
+	if tel.Replay != nil {
+		t.Fatal("filling execution must not carry a Replay")
 	}
 }
 

@@ -31,8 +31,9 @@ import (
 	"flag"
 	"fmt"
 	"io"
-	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -68,8 +69,12 @@ func run(args []string, out io.Writer) error {
 		specs    = fs.String("datasets", "hotels:200", "comma-separated dataset specs: [name=]kind[:n[:seed]] or [name=]synthetic[:n[:d[:corr[:seed]]]]")
 		ces      = fs.Float64("ces", 0, "use CES utilities with this rho for every dataset (0 = uniform linear)")
 		trace    = fs.String("trace", "", "record every accepted query request to this JSONL file (replayable with famload -replay)")
+		traceLog = fs.String("trace-log", "", "sink sampled and slow-query span trees to this JSONL file")
+		sample   = fs.Int("trace-sample", 0, "sink every Nth query request's span tree to -trace-log (0 = slow queries only)")
+		slowMS   = fs.Int64("slow-query-ms", 0, "trace every query request and always sink those slower than this many milliseconds (0 = off)")
+		pprofA   = fs.String("pprof-addr", "", "serve net/http/pprof on this separate listener (empty = disabled)")
 		grace    = fs.Duration("shutdown-grace", 10*time.Second, "graceful-shutdown window for in-flight requests")
-		logDest  = log.New(out, "famserve: ", log.LstdFlags)
+		logger   = slog.New(slog.NewJSONHandler(out, nil))
 	)
 	fs.SetOutput(io.Discard)
 	if err := fs.Parse(args); err != nil {
@@ -94,7 +99,7 @@ func run(args []string, out io.Writer) error {
 	}
 	defer engine.Close()
 	for _, info := range infos {
-		logDest.Printf("dataset %q: n=%d dim=%d dist=%s", info.Name, info.N, info.Dim, info.Distribution)
+		logger.Info("dataset", "name", info.Name, "n", info.N, "dim", info.Dim, "dist", info.Distribution)
 	}
 
 	maxUpload := *uploadMB << 20
@@ -105,6 +110,9 @@ func run(args []string, out io.Writer) error {
 		MaxUploadBytes:  maxUpload,
 		MaxBatchQueries: *batchCap,
 		MaxQueue:        *maxQueue,
+		TraceSample:     *sample,
+		SlowQuery:       time.Duration(*slowMS) * time.Millisecond,
+		Log:             logger,
 	}
 	if *trace != "" {
 		f, err := os.Create(*trace)
@@ -113,16 +121,36 @@ func run(args []string, out io.Writer) error {
 		}
 		defer f.Close()
 		cfg.Trace = f
-		logDest.Printf("recording request trace to %s", *trace)
+		logger.Info("recording request trace", "path", *trace)
+	}
+	if *traceLog != "" {
+		f, err := os.Create(*traceLog)
+		if err != nil {
+			return fmt.Errorf("opening trace log: %w", err)
+		}
+		defer f.Close()
+		cfg.TraceLog = f
+		logger.Info("sinking span trees", "path", *traceLog, "sample", *sample, "slow_query_ms", *slowMS)
 	}
 	handler := serve.NewHandlerConfig(engine, cfg)
 	srv := &http.Server{Addr: *addr, Handler: handler}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	if *pprofA != "" {
+		psrv := &http.Server{Addr: *pprofA, Handler: pprofHandler()}
+		defer psrv.Close()
+		go func() {
+			logger.Info("pprof listening", "addr", *pprofA)
+			if err := psrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Error("pprof server", "err", err.Error())
+			}
+		}()
+	}
+
 	errc := make(chan error, 1)
 	go func() {
-		logDest.Printf("listening on %s (%d pool workers)", *addr, engine.Stats().PoolWorkers)
+		logger.Info("listening", "addr", *addr, "pool_workers", engine.Stats().PoolWorkers)
 		errc <- srv.ListenAndServe()
 	}()
 	select {
@@ -130,7 +158,7 @@ func run(args []string, out io.Writer) error {
 		return err
 	case <-ctx.Done():
 	}
-	logDest.Printf("shutting down (grace %v)", *grace)
+	logger.Info("shutting down", "grace", grace.String())
 	shutCtx, cancel := context.WithTimeout(context.Background(), *grace)
 	defer cancel()
 	if err := srv.Shutdown(shutCtx); err != nil {
@@ -140,5 +168,18 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 	return nil
+}
+
+// pprofHandler exposes net/http/pprof on an explicit mux — never on
+// the API listener, so profiling stays separable (and firewallable)
+// from serving.
+func pprofHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
 }
 

@@ -1,6 +1,8 @@
 package main
 
 import (
+	"net/http"
+	"net/http/httptest"
 	"strings"
 	"testing"
 
@@ -86,5 +88,31 @@ func TestBuildEngine(t *testing.T) {
 func TestBuildEngineBadSpec(t *testing.T) {
 	if _, _, err := load.BuildEngine(fam.EngineConfig{}, "bogus:1", 0); err == nil {
 		t.Fatal("bad spec must error")
+	}
+}
+
+// The -pprof-addr listener serves the standard pprof index and
+// profiles on its explicit mux — and nothing else (the API routes must
+// not leak onto the profiling listener).
+func TestPprofHandler(t *testing.T) {
+	srv := httptest.NewServer(pprofHandler())
+	defer srv.Close()
+	for _, path := range []string{"/debug/pprof/", "/debug/pprof/cmdline", "/debug/pprof/symbol"} {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+	}
+	resp, err := http.Get(srv.URL + "/v1/datasets")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("API route on the pprof listener answered %d, want 404", resp.StatusCode)
 	}
 }

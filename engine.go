@@ -5,12 +5,14 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"github.com/regretlab/fam/internal/core"
 	ecache "github.com/regretlab/fam/internal/engine"
+	"github.com/regretlab/fam/internal/obs"
 	"github.com/regretlab/fam/internal/par"
 	"github.com/regretlab/fam/internal/sched"
 	"github.com/regretlab/fam/internal/skyline"
@@ -35,9 +37,10 @@ import (
 // Determinism: an Engine-served Result is bit-identical to a fresh
 // one-shot Select with the same Query at any concurrency — same Indices,
 // Labels, Metrics, ExactARR, and SkylineSize. Only the Telemetry differs
-// (cached work is not re-done; a result-cache hit replays the Telemetry
-// of the execution that filled the entry) and Result.Cached marks
-// answers served from the result cache.
+// (cached work is not re-done; a result-cache hit reports its own near-
+// zero execution and carries the filling execution's Telemetry under
+// Telemetry.Replay) and Result.Cached marks answers served from the
+// result cache.
 //
 // All methods are safe for concurrent use. Close releases the pool;
 // queries issued after Close return ErrEngineClosed.
@@ -264,9 +267,10 @@ type answer struct {
 // the given execution policy. Cold queries build (and cache) the
 // preprocessing artifacts and the result; warm queries with the same
 // Fingerprint are answered from the result cache (Result.Cached = true,
-// Telemetry replaying the original computation) regardless of their
-// Exec, and queries that share preprocessing but differ in (K,
-// Algorithm, …) skip straight to the query phase on the cached instance.
+// the original computation's Telemetry under Telemetry.Replay)
+// regardless of their Exec, and queries that share preprocessing but
+// differ in (K, Algorithm, …) skip straight to the query phase on the
+// cached instance.
 func (e *Engine) Select(ctx context.Context, q Query, exec Exec) (*Result, *Telemetry, error) {
 	if e.closed.Load() {
 		return nil, nil, ErrEngineClosed
@@ -286,13 +290,19 @@ func (e *Engine) Select(ctx context.Context, q Query, exec Exec) (*Result, *Tele
 	if err != nil {
 		return nil, nil, err
 	}
-	if err := e.admit(exec); err != nil {
+	ctx, span := obs.Start(ctx, "engine.select")
+	span.SetAttr("dataset", q.Dataset)
+	span.SetAttr("algorithm", q.Algorithm.String())
+	span.SetAttrInt("k", q.K)
+	defer span.End()
+	if err := e.admitTraced(ctx, exec); err != nil {
 		return nil, nil, err
 	}
 	// Per-query queue-wait attribution: every helper grant of this
 	// query's own fan-outs adds its enqueue-to-grant latency here, so
 	// Telemetry.QueueWait is the query's wait, not an engine-wide share.
-	exec = exec.withWait(new(sched.WaitCounter))
+	ownWait := new(sched.WaitCounter)
+	exec = exec.withWait(ownWait)
 	// The requester waits under its deadline; the detached fill keeps
 	// the priority class and the deadline as a soft ordering signal
 	// only (a fill that outlives its triggering request is shared
@@ -302,8 +312,12 @@ func (e *Engine) Select(ctx context.Context, q Query, exec Exec) (*Result, *Tele
 	defer cancel()
 	e.selects.Add(1)
 
-	v, hit, err := e.results.Do(ctx, "res|"+fp, func(fillCtx context.Context) (any, error) {
+	lctx, lookup := obs.Start(ctx, "cache.result")
+	lookup.SetAttr("key", "res|"+fp)
+	v, hit, err := e.results.Do(lctx, "res|"+fp, func(fillCtx context.Context) (any, error) {
 		fillCtx = sched.NewContext(fillCtx, exec.fillAttrs())
+		fillCtx, fill := obs.Start(fillCtx, "fill.result")
+		defer fill.End()
 		prepStart := time.Now()
 		prep, err := e.prepare(fillCtx, reg, q, norm, exec)
 		if err != nil {
@@ -317,20 +331,50 @@ func (e *Engine) Select(ctx context.Context, q Query, exec Exec) (*Result, *Tele
 		// On a fully warm preprocessing cache this is near zero: the
 		// expensive artifacts were reused, not rebuilt.
 		tel.Preprocess = preprocess
-		// The pool grant waits of the execution that computed this
-		// entry; a result-cache hit replays it like the rest of the
-		// Telemetry.
+		// The pool grant waits of the execution that computed this entry;
+		// a hit carries it under Telemetry.Replay.
 		tel.QueueWait = exec.wait.Load()
+		markShared(fillCtx, fill)
 		return &answer{res: res, tel: tel}, nil
 	})
+	lookup.SetAttrBool("hit", hit)
+	lookup.End()
 	if err != nil {
 		return nil, nil, err
 	}
 	a := v.(*answer)
 	res := copyResult(a.res)
 	res.Cached = hit
-	tel := *a.tel
+	var tel Telemetry
+	if hit {
+		// A hit's own execution is the cache lookup: its timings are near
+		// zero and its QueueWait is whatever the hit itself waited (no
+		// fan-outs ran, so exactly its own grants — none). The filling
+		// execution's Telemetry is preserved under Replay instead of being
+		// reported as this query's (the pre-PR-8 behavior, which made a
+		// warm hit claim the filler's QueueWait/Preprocess as its own).
+		fillerTel := *a.tel
+		tel = Telemetry{QueueWait: ownWait.Load(), Replay: &fillerTel}
+	} else {
+		tel = *a.tel
+	}
+	span.End()
+	// The trace describes THIS execution (a hit's trace shows the lookup,
+	// not the replayed fill), so it attaches after the value copy — never
+	// into the cached entry.
+	tel.Trace = traceOf(span)
 	return res, &tel, nil
+}
+
+// markShared annotates a singleflight fill span with shared=true when
+// the fill served coalesced waiters beyond its own requester.
+func markShared(fillCtx context.Context, span *obs.Span) {
+	if span == nil {
+		return
+	}
+	if ecache.Waiters(fillCtx) > 0 {
+		span.SetAttrBool("shared", true)
+	}
 }
 
 // Evaluate measures the Metrics of q.ExplicitSet against a registered
@@ -363,7 +407,11 @@ func (e *Engine) evaluate(ctx context.Context, q Query, exec Exec) (Metrics, *re
 	if err := ctx.Err(); err != nil {
 		return Metrics{}, nil, nil, err
 	}
-	if err := e.admit(exec); err != nil {
+	ctx, span := obs.Start(ctx, "engine.evaluate")
+	span.SetAttr("dataset", q.Dataset)
+	span.SetAttrInt("set", len(q.ExplicitSet))
+	defer span.End()
+	if err := e.admitTraced(ctx, exec); err != nil {
 		return Metrics{}, nil, nil, err
 	}
 	// Per-query queue-wait attribution, exactly as on the Select path.
@@ -377,13 +425,17 @@ func (e *Engine) evaluate(ctx context.Context, q Query, exec Exec) (Metrics, *re
 		return Metrics{}, nil, nil, err
 	}
 	tel := &Telemetry{Preprocess: time.Since(prepStart)}
+	_, evalSpan := obs.Start(ctx, "evaluate")
 	queryStart := time.Now()
 	m, err := prep.in.Evaluate(q.ExplicitSet, nil)
+	evalSpan.End()
 	if err != nil {
 		return Metrics{}, nil, nil, err
 	}
 	tel.Query = time.Since(queryStart)
 	tel.QueueWait = exec.wait.Load()
+	span.End()
+	tel.Trace = traceOf(span)
 	return m, reg, tel, nil
 }
 
@@ -398,6 +450,8 @@ func (e *Engine) evaluate(ctx context.Context, q Query, exec Exec) (Metrics, *re
 // The returned prepared carries a zero-copy clone of the cached instance
 // with this query's Exec and the shared pool.
 func (e *Engine) prepare(ctx context.Context, reg *registration, q Query, norm normalized, exec Exec) (*prepared, error) {
+	ctx, span := obs.Start(ctx, "prepare")
+	defer span.End()
 	candidates, class, err := e.candidates(ctx, reg, q, norm)
 	if err != nil {
 		return nil, err
@@ -405,6 +459,8 @@ func (e *Engine) prepare(ctx context.Context, reg *registration, q Query, norm n
 	instKey := fmt.Sprintf("inst|%s|%s|seed=%d|N=%d|exact=%t|budget=%d",
 		reg.name, class, q.Seed, norm.sampleSize, norm.discrete != nil, effectiveBudget(q.CacheBudget))
 	v, _, err := e.prep.Do(ctx, instKey, func(fillCtx context.Context) (any, error) {
+		fillCtx, fill := e.fillSpan(fillCtx, instKey)
+		defer fill.End()
 		funcs, weights, err := e.funcs(fillCtx, reg, q, norm)
 		if err != nil {
 			return nil, err
@@ -415,7 +471,9 @@ func (e *Engine) prepare(ctx context.Context, reg *registration, q Query, norm n
 		// query shares. Preprocessing output is bit-identical at any
 		// width, and per-query execution settings are applied to the
 		// clone below, so this affects fill latency only.
-		return assemble(reg.ds, candidates, funcs, weights, q, Exec{pool: e.pool})
+		prep, err := assemble(fillCtx, reg.ds, candidates, funcs, weights, q, Exec{pool: e.pool})
+		markShared(fillCtx, fill)
+		return prep, err
 	})
 	if err != nil {
 		return nil, err
@@ -439,6 +497,34 @@ func (e *Engine) admit(exec Exec) error {
 	return nil
 }
 
+// fillSpan opens the span of one singleflight prep fill, named after
+// the artifact kind ("fill.sky", "fill.funcs", "fill.inst") and
+// annotated with the cache key — plus the plan-group key when the fill
+// was triggered by a batch group's representative.
+func (e *Engine) fillSpan(fillCtx context.Context, key string) (context.Context, *obs.Span) {
+	name := "fill"
+	if i := strings.IndexByte(key, '|'); i > 0 {
+		name = "fill." + key[:i]
+	}
+	fillCtx, span := obs.Start(fillCtx, name)
+	span.SetAttr("key", key)
+	if g := planGroupKeyFrom(fillCtx); g != "" {
+		span.SetAttr("group", g)
+	}
+	return fillCtx, span
+}
+
+// admitTraced is admit with the decision recorded as an "admit" span
+// (shed=true when the query was rejected), so a trace shows where a
+// 429 came from.
+func (e *Engine) admitTraced(ctx context.Context, exec Exec) error {
+	_, span := obs.Start(ctx, "admit")
+	err := e.admit(exec)
+	span.SetAttrBool("shed", err != nil)
+	span.End()
+	return err
+}
+
 // candidates resolves the query's candidate set: the cached skyline when
 // the skyline restriction applies and is larger than K, the full dataset
 // otherwise. class names the variant for the instance cache key.
@@ -452,7 +538,11 @@ func (e *Engine) candidates(ctx context.Context, reg *registration, q Query, nor
 	// run at the normal class with no deadline.
 	v, _, err := e.prep.Do(ctx, "sky|"+reg.name, func(fillCtx context.Context) (any, error) {
 		fillCtx = sched.NewContext(fillCtx, sched.Attrs{})
-		return skyline.ComputeOpts(fillCtx, reg.ds.Points, skyline.ComputeOptions{Pool: e.pool})
+		fillCtx, fill := e.fillSpan(fillCtx, "sky|"+reg.name)
+		defer fill.End()
+		sky, err := skyline.ComputeOpts(fillCtx, reg.ds.Points, skyline.ComputeOptions{Pool: e.pool})
+		markShared(fillCtx, fill)
+		return sky, err
 	})
 	if err != nil {
 		return nil, "", err
@@ -472,11 +562,14 @@ func (e *Engine) funcs(ctx context.Context, reg *registration, q Query, norm nor
 		return norm.discrete.Funcs, norm.discrete.Probs, nil
 	}
 	key := fmt.Sprintf("funcs|%s|seed=%d|N=%d", reg.name, q.Seed, norm.sampleSize)
-	v, _, err := e.prep.Do(ctx, key, func(context.Context) (any, error) {
-		funcs, _, err := buildFuncs(reg.dist, norm, q.Seed)
+	v, _, err := e.prep.Do(ctx, key, func(fillCtx context.Context) (any, error) {
+		fillCtx, fill := e.fillSpan(fillCtx, key)
+		defer fill.End()
+		funcs, _, err := buildFuncs(fillCtx, reg.dist, norm, q.Seed)
 		if err != nil {
 			return nil, err
 		}
+		markShared(fillCtx, fill)
 		return funcs, nil
 	})
 	if err != nil {

@@ -500,11 +500,12 @@ func TestEngineStatsBatchSnapshotInvariants(t *testing.T) {
 	}
 }
 
-// TestLegacyShimCarriesQueueWait pins the v1 shim's queue-wait wiring:
-// a result-cache hit replays the Telemetry of the execution that
-// computed the entry, so SelectWithOptions on an equivalent query must
-// surface exactly that QueueWait in the LegacyResult — the shim used
-// to drop the field entirely.
+// TestLegacyShimCarriesQueueWait pins the v1 shim's frozen contract: a
+// result-cache hit now reports its own near-zero execution with the
+// filler's Telemetry under Replay, and the shim folds the replay back
+// so the LegacyResult still carries the computing execution's timings
+// (QueueWait = the hit's own wait, zero on a pure hit, plus the
+// replayed wait) — exactly what v1 always reported.
 func TestLegacyShimCarriesQueueWait(t *testing.T) {
 	e := newTestEngine(t, engineFixtures(t))
 	ctx := context.Background()

@@ -1,0 +1,132 @@
+// Command trace walks through end-to-end query tracing: the same
+// selection query run twice under a traced context, with the two span
+// trees printed side by side.
+//
+// The first (cold) run misses the result cache and its tree shows the
+// whole pipeline — admission, cache lookup, the fill with its prepare
+// and solve phases, and one "round" span per solver iteration. The
+// second (warm) run hits the cache, so its tree collapses to the
+// lookup: traces always describe the execution that returned them,
+// never a replay of the filler's. The filler's timings still ride
+// along, under Telemetry.Replay.
+//
+// The serve layer arms tracing from the X-Fam-Trace / traceparent
+// headers (or exec.trace in a v2 body); in-process callers arm it
+// with fam.TraceContext, as here. An unarmed context skips all of
+// this at zero allocation cost.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"sort"
+	"strings"
+
+	fam "github.com/regretlab/fam"
+)
+
+func main() {
+	ds, err := fam.Hotels(400, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dist, err := fam.UniformLinear(ds.Dim())
+	if err != nil {
+		log.Fatal(err)
+	}
+	engine := fam.NewEngine(fam.EngineConfig{})
+	defer engine.Close()
+	if err := engine.Register("hotels", ds, dist); err != nil {
+		log.Fatal(err)
+	}
+
+	q := fam.Query{Dataset: "hotels", K: 5, Seed: 9, SampleSize: 200}
+	ctx := fam.TraceContext(context.Background(), "") // fresh trace ID per call
+
+	_, cold, err := engine.Select(ctx, q, fam.Exec{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, warm, err := engine.Select(fam.TraceContext(context.Background(), ""), q, fam.Exec{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !res.Cached || warm.Replay == nil {
+		log.Fatal("second run should have hit the result cache")
+	}
+
+	fmt.Printf("cold trace %s\nwarm trace %s\n\n", cold.Trace.TraceID, warm.Trace.TraceID)
+	sideBySide(render(cold.Trace), render(warm.Trace))
+	fmt.Printf("\nwarm query time %v; the filler's, replayed: %v\n",
+		warm.Query, warm.Replay.Query)
+}
+
+// render flattens a span tree into indented "name attrs dur" lines,
+// compressing the solver's round spans (one line per iteration) into
+// a single summary line to keep the cold tree readable.
+func render(sp *fam.TraceSpan) []string {
+	var lines []string
+	var walk func(s *fam.TraceSpan, depth int)
+	walk = func(s *fam.TraceSpan, depth int) {
+		lines = append(lines, strings.Repeat("  ", depth)+label(s))
+		rounds := 0
+		for _, ch := range s.Children {
+			if ch.Name == "round" {
+				rounds++
+				continue
+			}
+			walk(ch, depth+1)
+		}
+		if rounds > 0 {
+			lines = append(lines, fmt.Sprintf("%sround ×%d",
+				strings.Repeat("  ", depth+1), rounds))
+		}
+	}
+	walk(sp, 0)
+	return lines
+}
+
+func label(s *fam.TraceSpan) string {
+	parts := []string{s.Name}
+	keys := make([]string, 0, len(s.Attrs))
+	for k := range s.Attrs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		v := s.Attrs[k]
+		if len(v) > 24 {
+			v = v[:21] + "..."
+		}
+		parts = append(parts, k+"="+v)
+	}
+	parts = append(parts, fmt.Sprintf("(%v)", s.Dur.Round(s.Dur/100+1)))
+	return strings.Join(parts, " ")
+}
+
+// sideBySide prints two line slices as columns: the cold tree on the
+// left, the warm (cache-hit) tree on the right.
+func sideBySide(left, right []string) {
+	width := len("-- cold --")
+	for _, l := range left {
+		if len(l) > width {
+			width = len(l)
+		}
+	}
+	rows := len(left)
+	if len(right) > rows {
+		rows = len(right)
+	}
+	fmt.Printf("%-*s | %s\n", width, "-- cold --", "-- warm --")
+	for i := 0; i < rows; i++ {
+		var l, r string
+		if i < len(left) {
+			l = left[i]
+		}
+		if i < len(right) {
+			r = right[i]
+		}
+		fmt.Printf("%-*s | %s\n", width, l, r)
+	}
+}

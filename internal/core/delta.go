@@ -2,6 +2,8 @@ package core
 
 import (
 	"context"
+
+	"github.com/regretlab/fam/internal/obs"
 )
 
 // deltaShrink implements GREEDY-SHRINK with best- and second-best-point
@@ -136,6 +138,12 @@ func deltaShrink(ctx context.Context, in *Instance, k int) ([]int, ShrinkStats, 
 		// removal increases arr the least; every candidate's evaluation is
 		// already available, so all of them count as evaluated.
 		stats.Evaluations += set.count
+		// Round span: eval count is a pure function of the instance
+		// (set.count is worker-independent), keeping the trace shape
+		// deterministic at any worker count.
+		_, round := obs.Start(ctx, "round")
+		round.SetAttrInt("iter", stats.Iterations)
+		round.SetAttrInt("evals", set.count)
 		chosen := -1
 		for p := 0; p < n; p++ {
 			if set.alive[p] && (chosen == -1 || rc[p] < rc[chosen]) {
@@ -213,6 +221,7 @@ func deltaShrink(ctx context.Context, in *Instance, k int) ([]int, ShrinkStats, 
 		}
 		usersByBest[chosen] = nil
 		usersBySecond[chosen] = nil
+		round.End()
 	}
 	return set.members(), stats, nil
 }

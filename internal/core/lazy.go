@@ -3,6 +3,8 @@ package core
 import (
 	"container/heap"
 	"context"
+
+	"github.com/regretlab/fam/internal/obs"
 )
 
 // lazyShrink is the paper-faithful GREEDY-SHRINK of Section III-C and
@@ -207,6 +209,12 @@ func lazyShrink(ctx context.Context, in *Instance, k int) ([]int, ShrinkStats, e
 			}
 		}
 		stats.EvalSkipped += set.count - (stats.Evaluations - evalsBefore)
+		// Round span: the refresh batches are deterministic (bit-identical
+		// heap state at any worker count), so the computed-eval count is a
+		// pure function of the instance and the trace shape stays fixed.
+		_, round := obs.Start(ctx, "round")
+		round.SetAttrInt("iter", stats.Iterations)
+		round.SetAttrInt("evals", stats.Evaluations-evalsBefore)
 		for _, p := range spec {
 			if p == chosen {
 				stats.SpeculativeHits++
@@ -252,6 +260,7 @@ func lazyShrink(ctx context.Context, in *Instance, k int) ([]int, ShrinkStats, e
 			}
 		}
 		usersByBest[chosen] = nil
+		round.End()
 	}
 	return set.members(), stats, nil
 }

@@ -2,6 +2,8 @@ package core
 
 import (
 	"context"
+
+	"github.com/regretlab/fam/internal/obs"
 )
 
 // naiveShrink is the straightforward implementation of Algorithm 1: every
@@ -52,6 +54,9 @@ func naiveShrink(ctx context.Context, in *Instance, k int) ([]int, ShrinkStats, 
 		stats.Iterations++
 		stats.CandidateTotal += set.count
 		stats.Evaluations += set.count
+		_, round := obs.Start(ctx, "round")
+		round.SetAttrInt("iter", stats.Iterations)
+		round.SetAttrInt("evals", set.count)
 		// Each candidate costs a full O(|S|·N) scan, so fan out even for
 		// small candidate sets (no grain bound).
 		if err := pool.runWide(ctx, n, func(w, lo, hi int) {
@@ -73,6 +78,7 @@ func naiveShrink(ctx context.Context, in *Instance, k int) ([]int, ShrinkStats, 
 			}
 		}
 		set.remove(chosen)
+		round.End()
 	}
 	return set.members(), stats, nil
 }

@@ -5,6 +5,8 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+
+	"github.com/regretlab/fam/internal/obs"
 )
 
 // Strategy selects the GREEDY-SHRINK implementation. All strategies run
@@ -93,6 +95,11 @@ func GreedyShrink(ctx context.Context, in *Instance, k int, strategy Strategy) (
 	if k <= 0 || k > n {
 		return nil, ShrinkStats{}, fmt.Errorf("%w: k=%d n=%d", ErrBadK, k, n)
 	}
+	ctx, span := obs.Start(ctx, "shrink")
+	span.SetAttr("strategy", strategy.String())
+	span.SetAttrInt("n", n)
+	span.SetAttrInt("k", k)
+	defer span.End()
 	var (
 		set   []int
 		stats ShrinkStats

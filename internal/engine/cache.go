@@ -11,6 +11,7 @@ import (
 	"container/list"
 	"context"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -65,11 +66,31 @@ type Config struct {
 }
 
 // call is one in-flight fill that later arrivals for the same key wait
-// on.
+// on. waiters counts the coalesced arrivals, so the fill can report
+// whether it served anyone beyond its own requester (the "shared" trace
+// attribute).
 type call struct {
-	done chan struct{}
-	val  any
-	err  error
+	done    chan struct{}
+	val     any
+	err     error
+	waiters atomic.Int32
+}
+
+// sharedKey carries the fill's *call through the detached fill context,
+// letting Waiters read the coalesced-arrival count from inside the fill.
+type sharedKey struct{}
+
+// Waiters returns, from inside a fill function, how many coalesced
+// arrivals are waiting on this fill beyond the requester that started
+// it (0 outside a fill, and 0 when the fill served only its own
+// requester). The count is read at call time: a tracer reads it at the
+// end of the fill, when every waiter of the round has registered.
+func Waiters(ctx context.Context) int {
+	cl, _ := ctx.Value(sharedKey{}).(*call)
+	if cl == nil {
+		return 0
+	}
+	return int(cl.waiters.Load())
 }
 
 // Cache is a bounded LRU keyed by string with singleflight fill
@@ -153,6 +174,7 @@ func (c *Cache) Do(ctx context.Context, key string, fill func(ctx context.Contex
 	}
 	if cl, ok := c.inflight[key]; ok {
 		c.stats.Coalesced++
+		cl.waiters.Add(1)
 		c.mu.Unlock()
 		select {
 		case <-cl.done:
@@ -167,7 +189,11 @@ func (c *Cache) Do(ctx context.Context, key string, fill func(ctx context.Contex
 	c.mu.Unlock()
 
 	go func() {
-		v, ferr := fill(context.WithoutCancel(ctx))
+		// WithoutCancel detaches the fill from the requester's lifetime but
+		// keeps ctx values — trace spans and scheduling attributes flow into
+		// the fill. The call handle rides along so the fill can ask Waiters
+		// how many arrivals coalesced onto it.
+		v, ferr := fill(context.WithValue(context.WithoutCancel(ctx), sharedKey{}, cl))
 		cl.val, cl.err = v, ferr
 		c.mu.Lock()
 		delete(c.inflight, key)

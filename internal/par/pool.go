@@ -6,6 +6,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"github.com/regretlab/fam/internal/obs"
 	"github.com/regretlab/fam/internal/sched"
 )
 
@@ -169,6 +170,11 @@ func (p *Pool) Shards(ctx context.Context, workers, n int, fn func(w, lo, hi int
 	// Admission control: work whose deadline has already passed can only
 	// steal helpers from live requests — shed it before decomposition.
 	attrs := sched.FromContext(ctx)
+	// The current trace span (if any) rides on the ticket attrs so each
+	// grant reports its enqueue-to-grant wait as a span event. Attached
+	// here, not stored in the sched context: tracing must not turn an
+	// otherwise attribute-less request into scheduled work.
+	attrs.Span = obs.FromContext(ctx)
 	if p.queue.ShedExpired(attrs) {
 		return sched.ErrShed
 	}

@@ -20,6 +20,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"github.com/regretlab/fam/internal/obs"
 )
 
 // Priority is a request's scheduling class. The zero value is Normal,
@@ -75,6 +77,12 @@ type Attrs struct {
 	// query so queue wait is attributable per request, not only
 	// engine-wide (Stats.QueueWait keeps the global sum).
 	Wait *WaitCounter
+	// Span, when non-nil, receives a "pool.grant" event with the
+	// enqueue-to-grant wait for every granted ticket, so a trace shows
+	// each individual grant beside the Wait counter's sum. Like Wait it
+	// is observability, not a scheduling signal (zero() ignores it):
+	// tracing a request must not change how it is granted helpers.
+	Span *obs.Span
 }
 
 // WaitCounter accumulates queue-wait durations across concurrent
@@ -543,6 +551,7 @@ func (q *Queue) Pop() func() {
 		// query that enqueued the ticket can report its personal queue
 		// wait alongside the engine-wide sum.
 		it.ticket.Attrs.Wait.Add(wait)
+		it.ticket.Attrs.Span.Event("pool.grant", wait)
 		q.accrue(keyOf(it.ticket), quantum)
 		return it.run
 	}

@@ -95,18 +95,28 @@ type LegacyResult struct {
 }
 
 // mergeLegacy folds a (Result, Telemetry) pair back into the v1 shape.
+// The v1 contract is frozen: a cache hit carries the timings of the
+// computation it replays, so when the Telemetry reports a hit's own
+// (near-zero) execution with the filler under Replay, the fold reads
+// the replayed timings back out — QueueWait as the hit's own wait plus
+// the replayed wait, matching what v1 always summed into one number.
 func mergeLegacy(res *Result, tel *Telemetry) *LegacyResult {
+	src, queueWait := tel, tel.QueueWait
+	if tel.Replay != nil {
+		src = tel.Replay
+		queueWait += tel.Replay.QueueWait
+	}
 	return &LegacyResult{
 		Indices:     res.Indices,
 		Labels:      res.Labels,
 		Metrics:     res.Metrics,
 		ExactARR:    res.ExactARR,
 		SkylineSize: res.SkylineSize,
-		Preprocess:  tel.Preprocess,
-		Query:       tel.Query,
-		QueueWait:   tel.QueueWait,
+		Preprocess:  src.Preprocess,
+		Query:       src.Query,
+		QueueWait:   queueWait,
 		Cached:      res.Cached,
-		Stats:       tel.Stats,
+		Stats:       src.Stats,
 	}
 }
 

@@ -249,8 +249,9 @@ func (x Exec) withWait(w *sched.WaitCounter) Exec {
 // Telemetry reports how a query was executed: timings and work counters
 // that depend on the Exec (worker counts, dispatch batches, speculative
 // refreshes) and therefore do not belong in the cacheable Result. A
-// result-cache hit replays the Telemetry of the execution that originally
-// computed the entry.
+// result-cache hit reports the hit's own execution (its timings are the
+// cache lookup's, near zero) and carries the filling execution's
+// Telemetry under Replay.
 type Telemetry struct {
 	// Preprocess covers skyline computation, utility sampling and
 	// best-point indexing; Query covers the selection algorithm itself —
@@ -274,6 +275,20 @@ type Telemetry struct {
 	// applicable (iterations, evaluations, lazy skips, worker dispatch,
 	// speculative refresh accounting).
 	Stats ShrinkStats
+	// Replay carries the Telemetry of the execution that filled the
+	// result-cache entry when this query was answered from the cache
+	// (Result.Cached). The top-level fields describe THIS query's
+	// execution — a hit's Preprocess/Query are the cache lookup's (near
+	// zero) and QueueWait is the hit's own admission wait — while Replay
+	// preserves what the original computation cost. Nil on misses and
+	// one-shot queries.
+	Replay *Telemetry
+	// Trace is the query's finished span tree when the request was traced
+	// (Engine.Select under a TraceContext, or serve with exec.trace /
+	// X-Fam-Trace). It describes this execution — never replayed from the
+	// cache: a hit's trace shows the lookup, not the fill. Nil when
+	// tracing is off.
+	Trace *TraceSpan
 }
 
 // Fingerprint returns the canonical cache identity of the query: a

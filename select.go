@@ -9,6 +9,7 @@ import (
 	"github.com/regretlab/fam/internal/baseline"
 	"github.com/regretlab/fam/internal/core"
 	"github.com/regretlab/fam/internal/dp2d"
+	"github.com/regretlab/fam/internal/obs"
 	"github.com/regretlab/fam/internal/rng"
 	"github.com/regretlab/fam/internal/sampling"
 	"github.com/regretlab/fam/internal/skyline"
@@ -69,6 +70,8 @@ func Select(ctx context.Context, q Query, exec Exec) (*Result, *Telemetry, error
 	}
 	ctx, cancel := exec.schedContext(ctx)
 	defer cancel()
+	ctx, span := obs.Start(ctx, "select")
+	defer span.End()
 	preStart := time.Now()
 	prep, err := prepare(ctx, q.Data, q.Dist, q, norm, exec)
 	if err != nil {
@@ -80,6 +83,8 @@ func Select(ctx context.Context, q Query, exec Exec) (*Result, *Telemetry, error
 		return nil, nil, err
 	}
 	tel.Preprocess = preprocess
+	span.End()
+	tel.Trace = traceOf(span)
 	return res, tel, nil
 }
 
@@ -127,16 +132,21 @@ type prepared struct {
 // shard fan-outs (skyline dominance tests, utility materialization,
 // best-point indexing); results are bit-identical with or without one.
 func prepare(ctx context.Context, ds *Dataset, dist Distribution, q Query, norm normalized, exec Exec) (*prepared, error) {
+	ctx, span := obs.Start(ctx, "prepare")
+	defer span.End()
 	// Preprocessing step 1: skyline restriction for monotone Θ (every
 	// user's favorite is a skyline point, so arr over the skyline equals
 	// arr over the database). Index-based (Table) distributions are
 	// excluded: their scores are tied to database positions.
 	candidates := identity(ds.N())
 	if norm.useSkyline {
-		sky, err := skyline.ComputeOpts(ctx, ds.Points, skyline.ComputeOptions{Workers: exec.Parallelism, Pool: exec.pool})
+		skyCtx, skySpan := obs.Start(ctx, "skyline")
+		sky, err := skyline.ComputeOpts(skyCtx, ds.Points, skyline.ComputeOptions{Workers: exec.Parallelism, Pool: exec.pool})
 		if err != nil {
 			return nil, err
 		}
+		skySpan.SetAttrInt("size", len(sky))
+		skySpan.End()
 		if len(sky) > q.K {
 			candidates = sky
 		}
@@ -144,30 +154,37 @@ func prepare(ctx context.Context, ds *Dataset, dist Distribution, q Query, norm 
 
 	// Preprocessing step 2: sample Θ (or take the discrete support
 	// verbatim with its probabilities — Appendix A) and index best points.
-	funcs, weights, err := buildFuncs(dist, norm, q.Seed)
+	funcs, weights, err := buildFuncs(ctx, dist, norm, q.Seed)
 	if err != nil {
 		return nil, err
 	}
-	return assemble(ds, candidates, funcs, weights, q, exec)
+	return assemble(ctx, ds, candidates, funcs, weights, q, exec)
 }
 
 // buildFuncs draws the instance's utility functions: the discrete support
 // with its probabilities in exact mode, or norm.sampleSize draws seeded
 // by seed.
-func buildFuncs(dist Distribution, norm normalized, seed uint64) ([]UtilityFunc, []float64, error) {
+func buildFuncs(ctx context.Context, dist Distribution, norm normalized, seed uint64) ([]UtilityFunc, []float64, error) {
+	_, span := obs.Start(ctx, "buildFuncs")
+	defer span.End()
 	if norm.discrete != nil {
+		span.SetAttrInt("funcs", len(norm.discrete.Funcs))
 		return norm.discrete.Funcs, norm.discrete.Probs, nil
 	}
 	funcs, err := sampling.Sample(dist, norm.sampleSize, rng.New(seed))
 	if err != nil {
 		return nil, nil, err
 	}
+	span.SetAttrInt("funcs", len(funcs))
 	return funcs, nil, nil
 }
 
 // assemble restricts the point set to the candidates and builds the
 // core.Instance (utility materialization + best-point indexing).
-func assemble(ds *Dataset, candidates []int, funcs []UtilityFunc, weights []float64, q Query, exec Exec) (*prepared, error) {
+func assemble(ctx context.Context, ds *Dataset, candidates []int, funcs []UtilityFunc, weights []float64, q Query, exec Exec) (*prepared, error) {
+	_, span := obs.Start(ctx, "assemble")
+	span.SetAttrInt("candidates", len(candidates))
+	defer span.End()
 	points := ds.Points
 	if len(candidates) != ds.N() {
 		// Index-based utility functions would be misaligned on a
@@ -206,6 +223,10 @@ func solve(ctx context.Context, ds *Dataset, dist Distribution, prep *prepared, 
 	candidates := prep.candidates
 	res := &Result{ExactARR: -1, SkylineSize: len(candidates)}
 	tel := &Telemetry{}
+	ctx, span := obs.Start(ctx, "solve")
+	span.SetAttr("algorithm", q.Algorithm.String())
+	span.SetAttrInt("k", q.K)
+	defer span.End()
 	queryStart := time.Now()
 	var local []int
 	switch q.Algorithm {

@@ -3,12 +3,18 @@ package serve
 import (
 	"fmt"
 	"net/http"
+	"runtime"
 	"sort"
 	"strings"
 	"sync"
 
 	fam "github.com/regretlab/fam"
 )
+
+// BuildVersion labels fam_build_info. Override at link time:
+//
+//	go build -ldflags "-X github.com/regretlab/fam/serve.BuildVersion=v1.2.3"
+var BuildVersion = "dev"
 
 // This file implements GET /metrics: the Prometheus text exposition
 // (version 0.0.4) of the engine's scheduling, cache, and planner
@@ -49,6 +55,12 @@ import (
 //	fam_http_uploads_total                      counter
 //	fam_http_requests_total            (endpoint, code) counter
 //	fam_http_request_duration_seconds  (endpoint) histogram
+//	fam_build_info                     (version, go_version) gauge (constant 1)
+//	fam_go_goroutines                           gauge
+//	fam_go_heap_alloc_bytes                     gauge
+//	fam_go_gc_pause_seconds_total               counter
+//	fam_trace_spans_total                       counter
+//	fam_slow_queries_total                      counter
 //
 // The per-class scheduling series always carry the three built-in
 // classes (low/normal/high) zero-filled plus any custom class the
@@ -257,6 +269,24 @@ func (h *Handler) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	out.sample("fam_engine_uptime_seconds", "", stats.Uptime.Seconds())
 	out.family("fam_http_uploads_total", "counter", "Datasets accepted through dataset upload.")
 	out.sample("fam_http_uploads_total", "", float64(h.uploads.Load()))
+
+	// Build identity and Go runtime health.
+	out.family("fam_build_info", "gauge", "Build identity (constant 1; the version labels carry the information).")
+	out.sample("fam_build_info", labels("version", BuildVersion, "go_version", runtime.Version()), 1)
+	var mem runtime.MemStats
+	runtime.ReadMemStats(&mem)
+	out.family("fam_go_goroutines", "gauge", "Live goroutines.")
+	out.sample("fam_go_goroutines", "", float64(runtime.NumGoroutine()))
+	out.family("fam_go_heap_alloc_bytes", "gauge", "Bytes of allocated heap objects.")
+	out.sample("fam_go_heap_alloc_bytes", "", float64(mem.HeapAlloc))
+	out.family("fam_go_gc_pause_seconds_total", "counter", "Cumulative GC stop-the-world pause time.")
+	out.sample("fam_go_gc_pause_seconds_total", "", float64(mem.PauseTotalNs)/1e9)
+
+	// Tracing: span volume and slow-query count.
+	out.family("fam_trace_spans_total", "counter", "Spans collected by finished request traces.")
+	out.sample("fam_trace_spans_total", "", float64(h.traceSpans.Load()))
+	out.family("fam_slow_queries_total", "counter", "Query requests slower than the slow-query threshold.")
+	out.sample("fam_slow_queries_total", "", float64(h.slowQueries.Load()))
 
 	// HTTP: per-endpoint request counters and latency histograms.
 	out.family("fam_http_requests_total", "counter", "Requests served, by route pattern and status code.")

@@ -42,6 +42,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"strconv"
 	"sync/atomic"
@@ -49,6 +50,7 @@ import (
 
 	fam "github.com/regretlab/fam"
 	"github.com/regretlab/fam/internal/load"
+	"github.com/regretlab/fam/internal/obs"
 )
 
 // QueryRequest is the JSON shape of one semantic query: the v2 batch
@@ -102,6 +104,11 @@ type ExecRequest struct {
 	// MaxQueue sheds the request (429) when more helper requests than
 	// this are already queued on the engine's pool. Zero = no bound.
 	MaxQueue int `json:"max_queue,omitempty"`
+	// Trace requests each member's finished span tree in its response
+	// telemetry (v2 surface only). A request not already traced through
+	// the X-Fam-Trace / traceparent headers is armed with a fresh trace
+	// ID, echoed back in X-Fam-Trace.
+	Trace bool `json:"trace,omitempty"`
 }
 
 // toExec resolves the wire exec policy at the given arrival time.
@@ -276,8 +283,10 @@ func toMetrics(m fam.Metrics) Metrics {
 }
 
 // TelemetryResponse is the JSON shape of fam.Telemetry: execution
-// detail that varies with the exec policy (and is replayed from the
-// original computation on cache hits).
+// detail that varies with the exec policy. The top-level fields always
+// describe this request's own execution — a result-cache hit reports
+// its own near-zero timings, with the computing execution's telemetry
+// under Replayed.
 type TelemetryResponse struct {
 	PreprocessMS     float64 `json:"preprocess_ms"`
 	QueryMS          float64 `json:"query_ms"`
@@ -292,13 +301,20 @@ type TelemetryResponse struct {
 	SpeculativeEvals int     `json:"speculative_evals,omitempty"`
 	SpeculativeHits  int     `json:"speculative_hits,omitempty"`
 	SpeculativeWaste int     `json:"speculative_waste,omitempty"`
+	// Replayed is the telemetry of the execution that computed a
+	// replayed answer: the result-cache filler, or the batch-dedup
+	// leader. Present exactly when the answer was a replay.
+	Replayed *TelemetryResponse `json:"replayed,omitempty"`
+	// Trace is the member's finished span tree, present when the
+	// request set exec.trace.
+	Trace *fam.TraceSpan `json:"trace,omitempty"`
 }
 
-func toTelemetry(t *fam.Telemetry) *TelemetryResponse {
+func toTelemetry(t *fam.Telemetry, withTrace bool) *TelemetryResponse {
 	if t == nil {
 		return nil
 	}
-	return &TelemetryResponse{
+	out := &TelemetryResponse{
 		PreprocessMS:     float64(t.Preprocess) / float64(time.Millisecond),
 		QueryMS:          float64(t.Query) / float64(time.Millisecond),
 		QueueWaitMS:      float64(t.QueueWait) / float64(time.Millisecond),
@@ -313,6 +329,13 @@ func toTelemetry(t *fam.Telemetry) *TelemetryResponse {
 		SpeculativeHits:  t.Stats.SpeculativeHits,
 		SpeculativeWaste: t.Stats.SpeculativeWaste,
 	}
+	if t.Replay != nil {
+		out.Replayed = toTelemetry(t.Replay, false)
+	}
+	if withTrace {
+		out.Trace = t.Trace
+	}
+	return out
 }
 
 // SelectResponse is the body returned by POST /v1/select and the success
@@ -384,9 +407,12 @@ type ErrorResponse struct {
 
 // ErrorV2 is the typed error envelope of every non-2xx /v2 answer: a
 // stable machine-matchable code plus the human-readable message.
+// RequestID identifies the failed request in the server's structured
+// request log.
 type ErrorV2 struct {
-	Code    string `json:"code"`
-	Message string `json:"message"`
+	Code      string `json:"code"`
+	Message   string `json:"message"`
+	RequestID string `json:"request_id,omitempty"`
 }
 
 // The stable error codes of the v2 envelope.
@@ -452,6 +478,22 @@ type HandlerConfig struct {
 	// recorded). famload replays these traces. The writer is serialized
 	// internally; any io.Writer works.
 	Trace io.Writer
+	// TraceLog, when set, receives one JSON line per sinked span tree:
+	// sampled query requests (every TraceSample-th) and every slow
+	// query. The writer is serialized internally.
+	TraceLog io.Writer
+	// TraceSample sinks every Nth query request's span tree to
+	// TraceLog (0 = sink only slow queries).
+	TraceSample int
+	// SlowQuery is the latency threshold above which a query request
+	// counts as slow and its span tree is always sinked to TraceLog.
+	// When set, every query request is traced, so the tree exists if
+	// the request turns out slow. Zero disables slow-query capture.
+	SlowQuery time.Duration
+	// Log, when set, receives one structured line per served request:
+	// request_id, trace_id (empty when untraced), endpoint, status,
+	// dur_ms.
+	Log *slog.Logger
 }
 
 // Default limits of HandlerConfig's zero values.
@@ -471,10 +513,20 @@ type Handler struct {
 	start time.Time
 	trace *load.TraceWriter
 
+	// runID prefixes request IDs so they stay unique across restarts in
+	// aggregated logs; reqSeq numbers the requests of this run.
+	runID    string
+	reqSeq   atomic.Uint64
+	traceLog *traceSink
+	log      *slog.Logger
+
 	requests     atomic.Uint64
 	clientErrors atomic.Uint64
 	serverErrors atomic.Uint64
 	uploads      atomic.Uint64
+	sampleSeq    atomic.Uint64
+	traceSpans   atomic.Uint64
+	slowQueries  atomic.Uint64
 
 	// metrics backs GET /metrics: per-endpoint request counters and
 	// latency histograms (see metrics.go for the full series list).
@@ -505,6 +557,11 @@ func NewHandlerConfig(e *fam.Engine, cfg HandlerConfig) *Handler {
 	if cfg.Trace != nil {
 		h.trace = load.NewTraceWriter(cfg.Trace)
 	}
+	h.runID = obs.NewTraceID()[:8]
+	if cfg.TraceLog != nil {
+		h.traceLog = &traceSink{w: cfg.TraceLog}
+	}
+	h.log = cfg.Log
 	h.mux.HandleFunc("GET /v1/datasets", h.handleDatasets)
 	h.mux.HandleFunc("POST /v1/datasets", func(w http.ResponseWriter, r *http.Request) { h.handleUpload(v1Errors, w, r) })
 	h.mux.HandleFunc("POST /v1/select", h.handleSelect)
@@ -527,19 +584,79 @@ const (
 	v2Errors
 )
 
-// ServeHTTP implements http.Handler. Every request is accounted to the
-// /metrics per-endpoint counters under its matched route pattern, with
-// its response status and latency.
+// ServeHTTP implements http.Handler. It is the observability
+// middleware of every route: each request gets an ID, the /metrics
+// per-endpoint accounting under its matched route pattern, and — when
+// the client sent a tracing header, the request was sampled, or
+// slow-query capture is on — a span-tree collector whose root
+// http.request span encloses the whole request. Traced responses echo
+// X-Fam-Trace and traceparent; sampled and slow trees are sinked to
+// the JSONL trace log; every request writes one structured log line.
 func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	h.requests.Add(1)
 	_, pattern := h.mux.Handler(r)
 	if pattern == "" {
 		pattern = "unmatched"
 	}
+	reqID := fmt.Sprintf("%s-%06d", h.runID, h.reqSeq.Add(1))
+	ctx := withRequestID(r.Context(), reqID)
+
+	traceID, remoteSpan, clientArmed := traceHeaders(r)
+	query := isQueryPattern(pattern)
+	sampled := false
+	if query && h.traceLog != nil && h.cfg.TraceSample > 0 {
+		sampled = h.sampleSeq.Add(1)%uint64(h.cfg.TraceSample) == 0
+	}
+	var col *obs.Collector
+	var root *obs.Span
+	if clientArmed || sampled || (query && h.cfg.SlowQuery > 0) {
+		col = obs.NewCollector(traceID)
+		col.SetRemoteParent(remoteSpan)
+		root = col.StartSpan("http.request")
+		root.SetAttr("endpoint", pattern)
+		ctx = obs.NewContext(ctx, root)
+		// Identity headers go out before the handler writes the body,
+		// so the client learns its trace ID even on failures.
+		w.Header().Set(HeaderTrace, col.TraceID())
+		w.Header().Set(HeaderTraceparent, obs.FormatTraceparent(col.TraceID(), root.SpanID))
+	}
+
 	rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
 	start := h.clock()
-	h.mux.ServeHTTP(rec, r)
-	h.metrics.record(pattern, rec.status, h.clock().Sub(start).Seconds())
+	h.mux.ServeHTTP(rec, r.WithContext(ctx))
+	dur := h.clock().Sub(start)
+	h.metrics.record(pattern, rec.status, dur.Seconds())
+
+	if root != nil {
+		root.SetAttrInt("status", rec.status)
+		root.End()
+		h.traceSpans.Add(uint64(col.SpanCount()))
+		slow := query && h.cfg.SlowQuery > 0 && dur >= h.cfg.SlowQuery
+		if slow {
+			h.slowQueries.Add(1)
+		}
+		if h.traceLog != nil && (sampled || slow) {
+			h.traceLog.write(traceLogEntry{
+				Time:      start,
+				TraceID:   col.TraceID(),
+				RequestID: reqID,
+				Endpoint:  pattern,
+				Status:    rec.status,
+				DurMS:     float64(dur) / 1e6,
+				Slow:      slow,
+				Sampled:   sampled,
+				Spans:     col.Tree().JSON(),
+			})
+		}
+	}
+	if h.log != nil {
+		h.log.LogAttrs(r.Context(), slog.LevelInfo, "request",
+			slog.String("request_id", reqID),
+			slog.String("trace_id", col.TraceID()),
+			slog.String("endpoint", pattern),
+			slog.Int("status", rec.status),
+			slog.Float64("dur_ms", float64(dur)/1e6))
+	}
 }
 
 func (h *Handler) handleDatasets(w http.ResponseWriter, r *http.Request) {
@@ -547,8 +664,12 @@ func (h *Handler) handleDatasets(w http.ResponseWriter, r *http.Request) {
 }
 
 // memberResponse renders one answered member — the shared shape of a
-// v2 slot and a v1 select body.
-func memberResponse(member QueryRequest, res *fam.Result, tel *fam.Telemetry) *SelectResponse {
+// v2 slot and a v1 select body. The top-level PreprocessMS/QueryMS
+// keep the frozen v1 semantics — a cache hit carries the timings of
+// the computation it replays — so they read through Replay; the
+// telemetry block distinguishes the hit's own execution from the
+// replayed one.
+func memberResponse(member QueryRequest, res *fam.Result, tel *fam.Telemetry, withTrace bool) *SelectResponse {
 	resp := &SelectResponse{
 		Dataset:     member.Dataset,
 		Algorithm:   member.Algorithm.String(),
@@ -559,11 +680,15 @@ func memberResponse(member QueryRequest, res *fam.Result, tel *fam.Telemetry) *S
 		ExactARR:    res.ExactARR,
 		SkylineSize: res.SkylineSize,
 		Cached:      res.Cached,
-		Telemetry:   toTelemetry(tel),
+		Telemetry:   toTelemetry(tel, withTrace),
 	}
 	if tel != nil {
-		resp.PreprocessMS = float64(tel.Preprocess) / float64(time.Millisecond)
-		resp.QueryMS = float64(tel.Query) / float64(time.Millisecond)
+		src := tel
+		if tel.Replay != nil {
+			src = tel.Replay
+		}
+		resp.PreprocessMS = float64(src.Preprocess) / float64(time.Millisecond)
+		resp.QueryMS = float64(src.Query) / float64(time.Millisecond)
 	}
 	return resp
 }
@@ -572,7 +697,7 @@ func memberResponse(member QueryRequest, res *fam.Result, tel *fam.Telemetry) *S
 // planner. Member successes are rendered as SelectResponses, member
 // failures keep their slot with the error, the status, and the typed
 // code the same failure would have had standalone.
-func (h *Handler) runBatch(r *http.Request, members []QueryRequest, exec fam.Exec) ([]BatchMemberResponse, error) {
+func (h *Handler) runBatch(r *http.Request, members []QueryRequest, exec fam.Exec, withTrace bool) ([]BatchMemberResponse, error) {
 	queries := make([]fam.Query, len(members))
 	for i := range members {
 		queries[i] = members[i].toQuery()
@@ -588,7 +713,7 @@ func (h *Handler) runBatch(r *http.Request, members []QueryRequest, exec fam.Exe
 			out[i] = BatchMemberResponse{Error: slot.Err.Error(), Status: status, Code: errorCode(status)}
 			continue
 		}
-		out[i] = BatchMemberResponse{SelectResponse: memberResponse(members[i], slot.Result, slot.Telemetry)}
+		out[i] = BatchMemberResponse{SelectResponse: memberResponse(members[i], slot.Result, slot.Telemetry, withTrace)}
 	}
 	return out, nil
 }
@@ -596,24 +721,32 @@ func (h *Handler) runBatch(r *http.Request, members []QueryRequest, exec fam.Exe
 func (h *Handler) handleBatchSelect(w http.ResponseWriter, r *http.Request) {
 	var req BatchSelectRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		h.writeErrorDialect(v2Errors, w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		h.writeErrorDialect(v2Errors, w, r, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
 		return
 	}
 	if len(req.Queries) == 0 {
-		h.writeErrorDialect(v2Errors, w, http.StatusBadRequest, errors.New("empty batch: queries must be non-empty"))
+		h.writeErrorDialect(v2Errors, w, r, http.StatusBadRequest, errors.New("empty batch: queries must be non-empty"))
 		return
 	}
 	if len(req.Queries) > h.cfg.MaxBatchQueries {
-		h.writeErrorDialect(v2Errors, w, http.StatusBadRequest,
+		h.writeErrorDialect(v2Errors, w, r, http.StatusBadRequest,
 			fmt.Errorf("batch of %d queries exceeds the limit of %d", len(req.Queries), h.cfg.MaxBatchQueries))
 		return
 	}
 	exec, err := h.resolveExec(r, req.Exec, req.Queries...)
 	if err != nil {
-		h.writeErrorDialect(v2Errors, w, http.StatusBadRequest, err)
+		h.writeErrorDialect(v2Errors, w, r, http.StatusBadRequest, err)
 		return
 	}
-	results, err := h.runBatch(r, req.Queries, exec)
+	if req.Exec.Trace && !obs.Active(r.Context()) {
+		// The body asked for a trace but no header (or server knob)
+		// armed one: arm a request-local collector so the engine
+		// subtree exists, and tell the client its trace ID.
+		col := obs.NewCollector("")
+		w.Header().Set(HeaderTrace, col.TraceID())
+		r = r.WithContext(obs.NewCollectorContext(r.Context(), col))
+	}
+	results, err := h.runBatch(r, req.Queries, exec, req.Exec.Trace)
 	if err != nil {
 		h.writeEngineErrorDialect(v2Errors, w, r, err)
 		return
@@ -628,7 +761,7 @@ func (h *Handler) handleBatchSelect(w http.ResponseWriter, r *http.Request) {
 func (h *Handler) handleSelect(w http.ResponseWriter, r *http.Request) {
 	var req SelectRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		h.writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		h.writeError(w, r, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
 		return
 	}
 	member := QueryRequest{
@@ -643,14 +776,14 @@ func (h *Handler) handleSelect(w http.ResponseWriter, r *http.Request) {
 	if req.Algorithm != "" {
 		algo, err := fam.ParseAlgorithm(req.Algorithm)
 		if err != nil {
-			h.writeError(w, http.StatusBadRequest, err)
+			h.writeError(w, r, http.StatusBadRequest, err)
 			return
 		}
 		member.Algorithm = algo
 	}
 	exec, err := h.resolveExec(r, ExecRequest{Parallelism: req.Parallelism, LazyBatch: req.LazyBatch}, member)
 	if err != nil {
-		h.writeError(w, http.StatusBadRequest, err)
+		h.writeError(w, r, http.StatusBadRequest, err)
 		return
 	}
 	res, tel, err := h.engine.Select(r.Context(), member.toQuery(), exec)
@@ -658,7 +791,7 @@ func (h *Handler) handleSelect(w http.ResponseWriter, r *http.Request) {
 		h.writeEngineError(w, r, err)
 		return
 	}
-	resp := memberResponse(member, res, tel)
+	resp := memberResponse(member, res, tel, false)
 	resp.Telemetry = nil // telemetry detail is a v2-surface feature
 	h.writeJSON(w, http.StatusOK, resp)
 }
@@ -668,7 +801,7 @@ func (h *Handler) handleSelect(w http.ResponseWriter, r *http.Request) {
 func (h *Handler) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 	var req EvaluateRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		h.writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		h.writeError(w, r, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
 		return
 	}
 	member := QueryRequest{
@@ -686,7 +819,7 @@ func (h *Handler) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 	}
 	exec, err := h.resolveExec(r, ExecRequest{}, member)
 	if err != nil {
-		h.writeError(w, http.StatusBadRequest, err)
+		h.writeError(w, r, http.StatusBadRequest, err)
 		return
 	}
 	m, err := h.engine.Evaluate(r.Context(), q, exec)
@@ -707,12 +840,12 @@ func (h *Handler) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 // "ces:<rho>" for concave CES utilities).
 func (h *Handler) handleUpload(d errorDialect, w http.ResponseWriter, r *http.Request) {
 	if h.cfg.MaxUploadBytes < 0 {
-		h.writeErrorDialect(d, w, http.StatusForbidden, errors.New("dataset uploads are disabled"))
+		h.writeErrorDialect(d, w, r, http.StatusForbidden, errors.New("dataset uploads are disabled"))
 		return
 	}
 	name := r.URL.Query().Get("name")
 	if name == "" {
-		h.writeErrorDialect(d, w, http.StatusBadRequest, errors.New("missing required query parameter: name"))
+		h.writeErrorDialect(d, w, r, http.StatusBadRequest, errors.New("missing required query parameter: name"))
 		return
 	}
 	body := http.MaxBytesReader(w, r.Body, h.cfg.MaxUploadBytes)
@@ -720,21 +853,21 @@ func (h *Handler) handleUpload(d errorDialect, w http.ResponseWriter, r *http.Re
 	if err != nil {
 		var tooBig *http.MaxBytesError
 		if errors.As(err, &tooBig) {
-			h.writeErrorDialect(d, w, http.StatusRequestEntityTooLarge,
+			h.writeErrorDialect(d, w, r, http.StatusRequestEntityTooLarge,
 				fmt.Errorf("dataset exceeds the %d-byte upload cap", h.cfg.MaxUploadBytes))
 			return
 		}
-		h.writeErrorDialect(d, w, http.StatusBadRequest, fmt.Errorf("parsing CSV: %w", err))
+		h.writeErrorDialect(d, w, r, http.StatusBadRequest, fmt.Errorf("parsing CSV: %w", err))
 		return
 	}
 	dist, err := uploadDistribution(r.URL.Query().Get("dist"), ds.Dim())
 	if err != nil {
-		h.writeErrorDialect(d, w, http.StatusBadRequest, err)
+		h.writeErrorDialect(d, w, r, http.StatusBadRequest, err)
 		return
 	}
 	if err := h.engine.Register(name, ds, dist); err != nil {
 		if errors.Is(err, fam.ErrDuplicateDataset) {
-			h.writeErrorDialect(d, w, http.StatusConflict, err)
+			h.writeErrorDialect(d, w, r, http.StatusConflict, err)
 			return
 		}
 		h.writeEngineErrorDialect(d, w, r, err)
@@ -813,23 +946,28 @@ func (h *Handler) writeEngineErrorDialect(d errorDialect, w http.ResponseWriter,
 		h.clientErrors.Add(1)
 		return
 	}
-	h.writeErrorDialect(d, w, statusOf(err), err)
+	h.writeErrorDialect(d, w, r, statusOf(err), err)
 }
 
-func (h *Handler) writeError(w http.ResponseWriter, status int, err error) {
-	h.writeErrorDialect(v1Errors, w, status, err)
+func (h *Handler) writeError(w http.ResponseWriter, r *http.Request, status int, err error) {
+	h.writeErrorDialect(v1Errors, w, r, status, err)
 }
 
 // writeErrorDialect renders a failure in the endpoint's envelope: the
-// frozen v1 {error} shape or the typed v2 {code, message} shape.
-func (h *Handler) writeErrorDialect(d errorDialect, w http.ResponseWriter, status int, err error) {
+// frozen v1 {error} shape or the typed v2 {code, message, request_id}
+// shape.
+func (h *Handler) writeErrorDialect(d errorDialect, w http.ResponseWriter, r *http.Request, status int, err error) {
 	if status >= 500 {
 		h.serverErrors.Add(1)
 	} else {
 		h.clientErrors.Add(1)
 	}
 	if d == v2Errors {
-		h.writeJSON(w, status, ErrorV2{Code: errorCode(status), Message: err.Error()})
+		h.writeJSON(w, status, ErrorV2{
+			Code:      errorCode(status),
+			Message:   err.Error(),
+			RequestID: requestIDFrom(r.Context()),
+		})
 		return
 	}
 	h.writeJSON(w, status, ErrorResponse{Error: err.Error()})
