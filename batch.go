@@ -234,13 +234,30 @@ func (e *Engine) plan(queries []Query) plan {
 // (by index) so they fail in their own slot without serializing behind
 // a group.
 func (e *Engine) planKey(q Query, i int) string {
+	if key := e.InstanceKey(q); key != "" {
+		return key
+	}
+	return fmt.Sprintf("solo|%d", i)
+}
+
+// InstanceKey returns the preprocessing-sharing identity of q: the
+// (dataset, skyline-eligibility, seed, sample size, exactness, cache
+// budget) tuple that determines which cached preprocessing artifacts —
+// skyline index, sampled functions, built instance — the query reuses.
+// It is the batch planner's grouping key, and the key the serve layer
+// echoes as X-Fam-Instance-Key so a cluster router can learn which
+// replica's prep cache is warm for which queries. Equal Fingerprints
+// imply equal InstanceKeys, never the reverse: a k-sweep over one
+// dataset shares a single instance key across distinct fingerprints.
+// Returns "" for a query that does not resolve against the registry.
+func (e *Engine) InstanceKey(q Query) string {
 	reg, err := e.resolve(q)
 	if err != nil {
-		return fmt.Sprintf("solo|%d", i)
+		return ""
 	}
 	norm, err := deriveQuery(reg.ds, reg.dist, q, q.ExplicitSet == nil)
 	if err != nil {
-		return fmt.Sprintf("solo|%d", i)
+		return ""
 	}
 	return fmt.Sprintf("%s|sky=%t|seed=%d|N=%d|exact=%t|budget=%d",
 		reg.name, norm.useSkyline, q.Seed, norm.sampleSize, norm.discrete != nil,

@@ -22,6 +22,12 @@
 //
 //	famload -url http://localhost:8080 -rate 100 -duration 10s -mix 'ds=hotels,k=3-6'
 //
+// Stripe the same workload round-robin across replicas directly — the
+// no-router baseline a famrouter run is compared against:
+//
+//	famload -target http://localhost:8081,http://localhost:8082,http://localhost:8083 \
+//	        -rate 100 -duration 10s -mix 'ds=hotels,k=3-6'
+//
 // Arrival processes: poisson (default), gamma (-gamma-shape tunes
 // burstiness; < 1 burstier than poisson), uniform (a metronome).
 // Everything is seeded: equal -seed values generate identical traces.
@@ -57,6 +63,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("famload", flag.ContinueOnError)
 	var (
 		url        = fs.String("url", "", "drive a running famserve at this base URL instead of an in-process engine")
+		targets    = fs.String("target", "", "comma-separated base URLs to stripe requests across round-robin (the direct-to-replicas baseline; one URL behaves like -url)")
 		specs      = fs.String("datasets", "hotels:200", "in-process engine dataset specs (same syntax as famserve -datasets)")
 		workers    = fs.Int("workers", 0, "in-process engine worker-pool size (0 = all CPUs)")
 		maxQueue   = fs.Int("max-queue", 0, "in-process engine server-side admission bound applied to requests without their own max_queue (0 = none)")
@@ -144,16 +151,49 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		return fmt.Errorf("bad -paced %q (want on|off|auto)", *paced)
 	}
 
-	// Build the target and the stats probes around the run.
+	// Build the target and the stats probes around the run. -target is
+	// the multi-URL generalization of -url: one URL behaves identically,
+	// several stripe the workload round-robin (the direct-to-replicas
+	// baseline a through-router run is compared against).
+	if *targets != "" && *url != "" {
+		return fmt.Errorf("-url and -target are mutually exclusive (use -target alone)")
+	}
+	var urls []string
+	if *targets != "" {
+		for _, u := range strings.Split(*targets, ",") {
+			if u = strings.TrimSpace(u); u != "" {
+				urls = append(urls, u)
+			}
+		}
+		if len(urls) == 0 {
+			return fmt.Errorf("-target lists no URLs")
+		}
+	} else if *url != "" {
+		urls = []string{*url}
+	}
 	var target load.Target
 	mode := "engine"
 	statsBefore, statsAfter := fam.EngineStats{}, fam.EngineStats{}
 	haveStats := false
-	if *url != "" {
+	if len(urls) > 0 {
 		mode = "http"
-		target = load.HTTPTarget{BaseURL: *url}
-		if s, err := fetchStats(ctx, *url); err == nil {
-			statsBefore, haveStats = s, true
+		if len(urls) == 1 {
+			target = load.HTTPTarget{BaseURL: urls[0]}
+			// Engine-stat deltas only make sense against one server: a
+			// striped run spans several engines' counters.
+			if s, err := fetchStats(ctx, urls[0]); err == nil {
+				statsBefore, haveStats = s, true
+			}
+		} else {
+			httpTargets := make([]load.Target, len(urls))
+			for i, u := range urls {
+				httpTargets[i] = load.HTTPTarget{BaseURL: u}
+			}
+			mt, err := load.NewMultiTarget(httpTargets...)
+			if err != nil {
+				return err
+			}
+			target = mt
 		}
 	} else {
 		engine, infos, err := load.BuildEngine(fam.EngineConfig{Workers: *workers}, *specs, 0)
@@ -176,8 +216,8 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	if *url != "" {
-		if s, err := fetchStats(ctx, *url); err == nil && haveStats {
+	if len(urls) == 1 {
+		if s, err := fetchStats(ctx, urls[0]); err == nil && haveStats {
 			statsAfter = s
 		} else {
 			haveStats = false

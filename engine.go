@@ -487,6 +487,13 @@ func (e *Engine) prepare(ctx context.Context, reg *registration, q Query, norm n
 	}, nil
 }
 
+// QueueDepth reports the number of helper requests currently queued on
+// the engine's shared pool — the live load signal admission control
+// bounds against. Cheap enough for a health endpoint to poll.
+func (e *Engine) QueueDepth() int {
+	return e.pool.QueueDepth()
+}
+
 // admit applies admission control against the shared pool's grant
 // queue, counting sheds.
 func (e *Engine) admit(exec Exec) error {

@@ -1,0 +1,146 @@
+// Command cluster demonstrates the fam scale-out tier end to end in
+// one process: three famserve replicas (each its own engine and
+// caches) behind a famrouter with the instance-key affinity policy.
+// It plays the client through the router — the same selection three
+// times (one cold fill, then result-cache hits), a scatter-gathered
+// v2 batch, and a look at which replicas actually paid a
+// preprocessing fill — then reruns the identical workload under
+// round-robin on a fresh cluster to show the difference: affinity
+// warms ONE replica where round-robin warms them all.
+//
+// Run it with:
+//
+//	go run ./examples/cluster
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net/http"
+	"net/http/httptest"
+
+	fam "github.com/regretlab/fam"
+	"github.com/regretlab/fam/internal/cluster"
+	"github.com/regretlab/fam/serve"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	fmt.Println("=== affinity: repeated queries pin to one warm replica ===")
+	if err := demo(func(reg *cluster.Registry) cluster.Policy {
+		return cluster.NewAffinity(reg.Replicas())
+	}); err != nil {
+		return err
+	}
+	fmt.Println()
+	fmt.Println("=== round-robin: the same workload cold-fills every replica ===")
+	return demo(func(*cluster.Registry) cluster.Policy { return &cluster.RoundRobin{} })
+}
+
+func demo(newPolicy func(*cluster.Registry) cluster.Policy) error {
+	// --- Replica side ------------------------------------------------
+	// Three independent famserve handlers, each with its own engine,
+	// worker pool, and (crucially) its own cold caches.
+	const n = 3
+	engines := make([]*fam.Engine, n)
+	urls := make([]string, n)
+	for i := range engines {
+		engine := fam.NewEngine(fam.EngineConfig{})
+		defer engine.Close()
+		hotels, err := fam.Hotels(500, 42)
+		if err != nil {
+			return err
+		}
+		dist, err := fam.UniformLinear(hotels.Dim())
+		if err != nil {
+			return err
+		}
+		if err := engine.Register("hotels", hotels, dist); err != nil {
+			return err
+		}
+		srv := httptest.NewServer(serve.NewHandler(engine))
+		defer srv.Close()
+		engines[i] = engine
+		urls[i] = srv.URL
+	}
+
+	// --- Router side -------------------------------------------------
+	// The registry tracks the membership; one synchronous health round
+	// marks everyone routable before traffic arrives (a real deployment
+	// runs checker.Start() for the periodic loop).
+	reg, err := cluster.NewRegistry(urls)
+	if err != nil {
+		return err
+	}
+	checker := cluster.NewHealthChecker(reg, nil)
+	checker.CheckOnce(context.Background())
+	router := httptest.NewServer(cluster.NewRouter(reg, cluster.RouterConfig{Policy: newPolicy(reg)}))
+	defer router.Close()
+
+	// --- Client side -------------------------------------------------
+	// The same query three times through the router. Under affinity the
+	// first pays the preprocessing fill and the rest are result-cache
+	// hits on the same replica; under round-robin each lands on a
+	// different cold replica.
+	query := map[string]any{"dataset": "hotels", "k": 8, "seed": 7}
+	for i := 0; i < 3; i++ {
+		var resp serve.SelectResponse
+		if err := postJSON(router.URL+"/v1/select", query, &resp); err != nil {
+			return err
+		}
+		fmt.Printf("select %d: arr=%.4f cached=%-5v preprocess=%.0fms\n",
+			i+1, resp.Metrics.ARR, resp.Cached, resp.PreprocessMS)
+	}
+
+	// A v2 batch through scatter-gather: one sub-batch per instance
+	// group, slots reassembled in order.
+	batch := map[string]any{"queries": []map[string]any{
+		{"dataset": "hotels", "k": 4, "seed": 7},
+		{"dataset": "hotels", "k": 6, "seed": 7},
+		{"dataset": "hotels", "k": 10, "seed": 7},
+	}}
+	var batchResp serve.BatchSelectResponse
+	if err := postJSON(router.URL+"/v2/select", batch, &batchResp); err != nil {
+		return err
+	}
+	for i, slot := range batchResp.Results {
+		fmt.Printf("batch slot %d: k=%d arr=%.4f cached=%v\n", i, slot.K, slot.Metrics.ARR, slot.Cached)
+	}
+
+	// The receipts: which replicas paid a preprocessing fill?
+	fills := 0
+	for i, e := range engines {
+		s := e.Stats()
+		if s.PrepCache.Misses > 0 {
+			fills++
+		}
+		fmt.Printf("replica %d: selects=%d prep_fills=%d result_hits=%d\n",
+			i+1, s.Selects, s.PrepCache.Misses, s.ResultCache.Hits)
+	}
+	fmt.Printf("replicas that paid the cold preprocessing cost: %d of %d\n", fills, n)
+	return nil
+}
+
+func postJSON(url string, body, out any) error {
+	buf, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s answered status %d", url, resp.StatusCode)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}

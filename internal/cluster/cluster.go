@@ -1,0 +1,131 @@
+// Package cluster is the scale-out tier above famserve: a replica
+// registry with periodic health checks, pluggable routing policies
+// (round-robin, least-loaded, weighted scoring, instance-key
+// affinity), a reverse proxy for the query endpoints, and a
+// scatter-gather path that splits v2 batches across replicas by
+// instance-key group. The point is the distributed analogue of the
+// batch planner's representative-first fills: queries that share a
+// preprocessing instance land on the replica whose prep/result caches
+// are already warm for it, so the cluster re-pays the ~half-second
+// cold preprocessing cost once instead of once per replica.
+package cluster
+
+import (
+	"fmt"
+	"net/url"
+	"sync/atomic"
+	"time"
+)
+
+// Health is one /healthz observation of a replica — the routing
+// signals a policy scores against, plus when they were taken.
+type Health struct {
+	OK            bool
+	QueueDepth    int
+	ShedRate      float64
+	ResultHitRate float64
+	CheckedAt     time.Time
+}
+
+// Replica is one famserve instance behind the router. All fields the
+// router mutates are atomics: health checks, request forwarding, and
+// the metrics scrape touch replicas concurrently without a lock.
+type Replica struct {
+	// BaseURL is the replica's root, e.g. "http://127.0.0.1:8071".
+	BaseURL string
+	// Name labels the replica in metrics and logs (the URL's host:port).
+	Name string
+
+	up       atomic.Bool
+	health   atomic.Pointer[Health]
+	inflight atomic.Int64
+	fails    atomic.Int32 // consecutive failed health checks
+
+	routed      atomic.Uint64
+	retried     atomic.Uint64
+	failed      atomic.Uint64
+	transitions atomic.Uint64
+	lastShed    atomic.Int64 // UnixNano of the last observed 429/503
+}
+
+// Up reports whether the replica is currently considered routable.
+func (r *Replica) Up() bool { return r.up.Load() }
+
+// Inflight reports the requests the router currently has open against
+// the replica — the live half of the least-loaded score.
+func (r *Replica) Inflight() int64 { return r.inflight.Load() }
+
+// Health returns the latest health observation (nil before the first
+// successful check).
+func (r *Replica) Health() *Health { return r.health.Load() }
+
+// Shedding reports whether the replica pushed back recently: a 429 or
+// 503 observed within cooldown, or a shed rate above threshold on the
+// last health check. Affinity routing falls back to least-loaded for
+// a shedding owner instead of piling onto it.
+func (r *Replica) Shedding(now time.Time, cooldown time.Duration, threshold float64) bool {
+	if last := r.lastShed.Load(); last > 0 && now.Sub(time.Unix(0, last)) < cooldown {
+		return true
+	}
+	if h := r.health.Load(); h != nil && h.ShedRate > threshold {
+		return true
+	}
+	return false
+}
+
+// noteShed records replica backpressure (a 429 or 503 answer).
+func (r *Replica) noteShed(now time.Time) { r.lastShed.Store(now.UnixNano()) }
+
+// setUp flips the routable bit, counting each transition.
+func (r *Replica) setUp(up bool) (changed bool) {
+	if r.up.Swap(up) != up {
+		r.transitions.Add(1)
+		return true
+	}
+	return false
+}
+
+// Registry is the fixed replica set the router serves. Membership is
+// static for a router's lifetime (restart to change it); everything
+// about a member is dynamic.
+type Registry struct {
+	replicas []*Replica
+}
+
+// NewRegistry builds a registry from replica base URLs. Replicas
+// start down: run a health check (or CheckOnce) before routing.
+func NewRegistry(baseURLs []string) (*Registry, error) {
+	if len(baseURLs) == 0 {
+		return nil, fmt.Errorf("cluster: no replicas")
+	}
+	seen := make(map[string]bool, len(baseURLs))
+	reg := &Registry{}
+	for _, raw := range baseURLs {
+		u, err := url.Parse(raw)
+		if err != nil || u.Scheme == "" || u.Host == "" {
+			return nil, fmt.Errorf("cluster: replica %q: need an absolute URL like http://host:port", raw)
+		}
+		base := u.Scheme + "://" + u.Host
+		if seen[base] {
+			return nil, fmt.Errorf("cluster: duplicate replica %q", base)
+		}
+		seen[base] = true
+		reg.replicas = append(reg.replicas, &Replica{BaseURL: base, Name: u.Host})
+	}
+	return reg, nil
+}
+
+// Replicas returns the full membership in registration order.
+func (g *Registry) Replicas() []*Replica { return g.replicas }
+
+// UpReplicas returns the currently routable members, preserving
+// registration order so policies see a stable candidate layout.
+func (g *Registry) UpReplicas() []*Replica {
+	up := make([]*Replica, 0, len(g.replicas))
+	for _, r := range g.replicas {
+		if r.Up() {
+			up = append(up, r)
+		}
+	}
+	return up
+}

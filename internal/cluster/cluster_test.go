@@ -1,0 +1,534 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	fam "github.com/regretlab/fam"
+	"github.com/regretlab/fam/internal/obs"
+	"github.com/regretlab/fam/serve"
+)
+
+// testCluster is N real famserve replicas (engine + serve handler
+// over httptest) behind one registry, all marked routable.
+type testCluster struct {
+	engines  []*fam.Engine
+	servers  []*httptest.Server
+	registry *Registry
+}
+
+func startCluster(t *testing.T, n int, wrap func(i int, h http.Handler) http.Handler) *testCluster {
+	t.Helper()
+	tc := &testCluster{}
+	urls := make([]string, n)
+	for i := 0; i < n; i++ {
+		engine := fam.NewEngine(fam.EngineConfig{})
+		t.Cleanup(engine.Close)
+		for _, name := range []string{"hotels", "cabins"} {
+			ds, err := fam.Hotels(120, 3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			dist, err := fam.UniformLinear(ds.Dim())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := engine.Register(name, ds, dist); err != nil {
+				t.Fatal(err)
+			}
+		}
+		var h http.Handler = serve.NewHandler(engine)
+		if wrap != nil {
+			h = wrap(i, h)
+		}
+		srv := httptest.NewServer(h)
+		t.Cleanup(srv.Close)
+		tc.engines = append(tc.engines, engine)
+		tc.servers = append(tc.servers, srv)
+		urls[i] = srv.URL
+	}
+	reg, err := NewRegistry(urls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hc := NewHealthChecker(reg, nil)
+	hc.FailThreshold = 1
+	hc.CheckOnce(context.Background())
+	for _, r := range reg.Replicas() {
+		if !r.Up() {
+			t.Fatalf("replica %s not up after initial check", r.Name)
+		}
+	}
+	tc.registry = reg
+	return tc
+}
+
+func startRouter(t *testing.T, tc *testCluster, cfg RouterConfig) (*httptest.Server, *Router) {
+	t.Helper()
+	rt := NewRouter(tc.registry, cfg)
+	srv := httptest.NewServer(rt)
+	t.Cleanup(srv.Close)
+	return srv, rt
+}
+
+func postJSON(t *testing.T, url string, body any, out any) (int, http.Header) {
+	t.Helper()
+	buf, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	payload, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != nil {
+		if err := json.Unmarshal(payload, out); err != nil {
+			t.Fatalf("decoding %s response %q: %v", url, payload, err)
+		}
+	}
+	return resp.StatusCode, resp.Header
+}
+
+// prepFillReplicas counts replicas whose prep cache took at least one
+// fill — the cluster-wide cold-preprocessing cost.
+func prepFillReplicas(tc *testCluster) int {
+	n := 0
+	for _, e := range tc.engines {
+		if e.Stats().PrepCache.Misses > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+var selectBody = map[string]any{"dataset": "hotels", "k": 5, "seed": 7, "sample_size": 120}
+
+// TestRouterAffinityWarmsCluster is the tentpole acceptance test:
+// repeated identical queries through the affinity policy land on one
+// replica, so the cluster pays exactly one prep fill and the second
+// query is a result-cache hit — served through the router.
+func TestRouterAffinityWarmsCluster(t *testing.T) {
+	tc := startCluster(t, 3, nil)
+	srv, _ := startRouter(t, tc, RouterConfig{})
+
+	var first serve.SelectResponse
+	if code, _ := postJSON(t, srv.URL+"/v1/select", selectBody, &first); code != http.StatusOK {
+		t.Fatalf("first select status %d", code)
+	}
+	if first.Cached {
+		t.Fatal("first select reported cached")
+	}
+	for i := 0; i < 3; i++ {
+		var resp serve.SelectResponse
+		code, hdr := postJSON(t, srv.URL+"/v1/select", selectBody, &resp)
+		if code != http.StatusOK {
+			t.Fatalf("repeat %d status %d", i, code)
+		}
+		if !resp.Cached {
+			t.Fatalf("repeat %d not served from cache: affinity failed to pin the instance", i)
+		}
+		if hdr.Get(serve.HeaderInstanceKey) == "" {
+			t.Fatalf("repeat %d missing %s header", i, serve.HeaderInstanceKey)
+		}
+	}
+	if got := prepFillReplicas(tc); got != 1 {
+		t.Fatalf("prep fills on %d replicas, want exactly 1", got)
+	}
+}
+
+// TestRouterRoundRobinSpreadsFills proves the affinity result is the
+// policy's doing, not luck: the same workload under round-robin pays
+// the prep fill on at least two replicas.
+func TestRouterRoundRobinSpreadsFills(t *testing.T) {
+	tc := startCluster(t, 3, nil)
+	srv, _ := startRouter(t, tc, RouterConfig{Policy: &RoundRobin{}})
+
+	for i := 0; i < 3; i++ {
+		var resp serve.SelectResponse
+		if code, _ := postJSON(t, srv.URL+"/v1/select", selectBody, &resp); code != http.StatusOK {
+			t.Fatalf("select %d status %d", i, code)
+		}
+	}
+	if got := prepFillReplicas(tc); got < 2 {
+		t.Fatalf("prep fills on %d replicas under round-robin, want >= 2", got)
+	}
+}
+
+// TestRouterFailover kills the replica that owns the warm instance
+// mid-stream: the router passively marks it down on the transport
+// error, retries the request on a survivor, and keeps answering 200 —
+// no 502 storm — while /metrics records the transition.
+func TestRouterFailover(t *testing.T) {
+	tc := startCluster(t, 3, nil)
+	srv, _ := startRouter(t, tc, RouterConfig{})
+
+	if code, _ := postJSON(t, srv.URL+"/v1/select", selectBody, nil); code != http.StatusOK {
+		t.Fatalf("warm select status %d", code)
+	}
+	owner := -1
+	for i, e := range tc.engines {
+		if e.Stats().Selects > 0 {
+			owner = i
+		}
+	}
+	if owner < 0 {
+		t.Fatal("no replica served the warm select")
+	}
+	tc.servers[owner].CloseClientConnections()
+	tc.servers[owner].Close()
+
+	for i := 0; i < 5; i++ {
+		if code, _ := postJSON(t, srv.URL+"/v1/select", selectBody, nil); code != http.StatusOK {
+			t.Fatalf("post-kill select %d status %d", i, code)
+		}
+	}
+	dead := tc.registry.Replicas()[owner]
+	if dead.Up() {
+		t.Fatal("killed replica still marked up")
+	}
+
+	metrics := scrapeMetrics(t, srv.URL)
+	if !strings.Contains(metrics, fmt.Sprintf("famrouter_replica_transitions_total{replica=%q} 2", dead.Name)) {
+		t.Fatalf("metrics missing down transition for %s:\n%s", dead.Name, metrics)
+	}
+	if !strings.Contains(metrics, "famrouter_replicas_up 2") {
+		t.Fatal("metrics do not show 2 replicas up")
+	}
+	if !strings.Contains(metrics, "famrouter_retries_total 1") {
+		t.Fatal("metrics do not show the failover retry")
+	}
+}
+
+func scrapeMetrics(t *testing.T, baseURL string) string {
+	t.Helper()
+	resp, err := http.Get(baseURL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics status %d", resp.StatusCode)
+	}
+	return string(body)
+}
+
+// TestRouterScatterGather drives a mixed batch through the router:
+// members split into per-instance sub-batches across replicas, slots
+// reassemble in request order, and a bad member degrades to its own
+// error slot without touching the others.
+func TestRouterScatterGather(t *testing.T) {
+	tc := startCluster(t, 2, nil)
+	srv, _ := startRouter(t, tc, RouterConfig{})
+
+	batch := map[string]any{"queries": []map[string]any{
+		{"dataset": "hotels", "k": 3, "seed": 7},
+		{"dataset": "cabins", "k": 4, "seed": 7},
+		{"dataset": "hotels", "k": 5, "seed": 7},
+		{"dataset": "missing", "k": 2, "seed": 7},
+	}}
+	var resp serve.BatchSelectResponse
+	if code, _ := postJSON(t, srv.URL+"/v2/select", batch, &resp); code != http.StatusOK {
+		t.Fatalf("batch status %d", code)
+	}
+	if len(resp.Results) != 4 {
+		t.Fatalf("got %d slots, want 4", len(resp.Results))
+	}
+	wantDatasets := []string{"hotels", "cabins", "hotels"}
+	for i, want := range wantDatasets {
+		slot := resp.Results[i]
+		if slot.Error != "" || slot.SelectResponse == nil {
+			t.Fatalf("slot %d failed: %+v", i, slot)
+		}
+		if slot.Dataset != want || slot.K != batch["queries"].([]map[string]any)[i]["k"] {
+			t.Fatalf("slot %d = dataset %q k %d, want %q (order not preserved)", i, slot.Dataset, slot.K, want)
+		}
+	}
+	if bad := resp.Results[3]; bad.Error == "" || bad.Status != http.StatusNotFound {
+		t.Fatalf("bad-dataset slot = %+v, want a 404 error slot", bad)
+	}
+
+	metrics := scrapeMetrics(t, srv.URL)
+	if !strings.Contains(metrics, "famrouter_scatter_batches_total 1") {
+		t.Fatal("metrics missing scatter batch count")
+	}
+	if !strings.Contains(metrics, "famrouter_scatter_subrequests_total 3") {
+		t.Fatalf("metrics missing the 3 scatter sub-requests:\n%s", metrics)
+	}
+}
+
+// TestRouterScatterAffinityGroups runs the same instance group twice
+// through scatter-gather: the second batch must hit the result cache
+// of whichever replica served the first, proving learned affinity
+// covers the batch path too.
+func TestRouterScatterAffinityGroups(t *testing.T) {
+	tc := startCluster(t, 3, nil)
+	srv, _ := startRouter(t, tc, RouterConfig{})
+
+	batch := map[string]any{"queries": []map[string]any{
+		{"dataset": "hotels", "k": 3, "seed": 7},
+		{"dataset": "hotels", "k": 4, "seed": 7},
+	}}
+	for round := 0; round < 2; round++ {
+		var resp serve.BatchSelectResponse
+		if code, _ := postJSON(t, srv.URL+"/v2/select", batch, &resp); code != http.StatusOK {
+			t.Fatalf("round %d status %d", round, code)
+		}
+		if round == 1 {
+			for i, slot := range resp.Results {
+				if slot.SelectResponse == nil || !slot.Cached {
+					t.Fatalf("round 2 slot %d not cached: %+v", i, slot)
+				}
+			}
+		}
+	}
+	if got := prepFillReplicas(tc); got != 1 {
+		t.Fatalf("prep fills on %d replicas, want exactly 1", got)
+	}
+}
+
+// TestRouterTraceparentPropagation covers the satellite contract: a
+// traced request through the router reaches the replica under the
+// same trace ID (the router's forward span as parent), and a
+// malformed inbound traceparent is ignored at both hops.
+func TestRouterTraceparentPropagation(t *testing.T) {
+	var mu sync.Mutex
+	received := map[int][]string{} // replica index → inbound traceparent headers
+	adopted := map[int][]string{}  // replica index → trace IDs the replica armed
+	tc := startCluster(t, 2, func(i int, h http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			mu.Lock()
+			received[i] = append(received[i], r.Header.Get(serve.HeaderTraceparent))
+			mu.Unlock()
+			h.ServeHTTP(w, r)
+			mu.Lock()
+			adopted[i] = append(adopted[i], w.Header().Get(serve.HeaderTrace))
+			mu.Unlock()
+		})
+	})
+	srv, _ := startRouter(t, tc, RouterConfig{})
+
+	traceID := strings.Repeat("ab", 16)
+	buf, _ := json.Marshal(selectBody)
+	req, err := http.NewRequest(http.MethodPost, srv.URL+"/v1/select", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set(serve.HeaderTrace, traceID)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("traced select status %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get(serve.HeaderTrace); got != traceID {
+		t.Fatalf("router echoed trace ID %q, want %q", got, traceID)
+	}
+	routerTrace, routerSpan, ok := obs.ParseTraceparent(resp.Header.Get(serve.HeaderTraceparent))
+	if !ok || routerTrace != traceID {
+		t.Fatalf("router traceparent %q does not carry trace %s", resp.Header.Get(serve.HeaderTraceparent), traceID)
+	}
+	mu.Lock()
+	var gotParent, gotAdopted string
+	for _, hs := range received {
+		for _, h := range hs {
+			if h != "" {
+				gotParent = h
+			}
+		}
+	}
+	for _, ids := range adopted {
+		for _, id := range ids {
+			if id != "" {
+				gotAdopted = id
+			}
+		}
+	}
+	mu.Unlock()
+	repTrace, repSpan, ok := obs.ParseTraceparent(gotParent)
+	if !ok {
+		t.Fatalf("replica received unparseable traceparent %q", gotParent)
+	}
+	if repTrace != traceID {
+		t.Fatalf("replica trace ID %s, want %s: router and replica spans are in different traces", repTrace, traceID)
+	}
+	if repSpan == routerSpan {
+		t.Fatal("replica's remote parent is the router root span; want the forward child span")
+	}
+	if gotAdopted != traceID {
+		t.Fatalf("replica armed trace %q, want %s", gotAdopted, traceID)
+	}
+
+	// Malformed inbound traceparent: not armed, forwarded verbatim,
+	// ignored at both hops — the request still succeeds untraced.
+	for k := range received {
+		delete(received, k)
+	}
+	req2, err := http.NewRequest(http.MethodPost, srv.URL+"/v1/select", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req2.Header.Set(serve.HeaderTraceparent, "garbage-not-a-traceparent")
+	resp2, err := http.DefaultClient.Do(req2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp2.Body)
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("malformed-trace select status %d", resp2.StatusCode)
+	}
+	if got := resp2.Header.Get(serve.HeaderTrace); got != "" {
+		t.Fatalf("malformed traceparent armed a trace (%q) at some hop", got)
+	}
+	mu.Lock()
+	var forwarded []string
+	for _, hs := range received {
+		forwarded = append(forwarded, hs...)
+	}
+	mu.Unlock()
+	if len(forwarded) != 1 || forwarded[0] != "garbage-not-a-traceparent" {
+		t.Fatalf("malformed traceparent not forwarded verbatim: %q", forwarded)
+	}
+}
+
+// TestRouterBroadcastUpload sends a CSV upload through the router and
+// expects every replica to accept the dataset.
+func TestRouterBroadcastUpload(t *testing.T) {
+	tc := startCluster(t, 3, nil)
+	srv, _ := startRouter(t, tc, RouterConfig{})
+
+	csv := "a,b\n1,2\n3,4\n5,6\n"
+	resp, err := http.Post(srv.URL+"/v1/datasets?name=mine", "text/csv", strings.NewReader(csv))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated && resp.StatusCode != http.StatusOK {
+		t.Fatalf("upload status %d", resp.StatusCode)
+	}
+	for i, e := range tc.engines {
+		if e.Stats().Datasets != 3 {
+			t.Fatalf("replica %d has %d datasets, want 3 (broadcast missed it)", i, e.Stats().Datasets)
+		}
+	}
+}
+
+// TestRegistryValidation pins the registry's URL hygiene.
+func TestRegistryValidation(t *testing.T) {
+	if _, err := NewRegistry(nil); err == nil {
+		t.Fatal("empty registry accepted")
+	}
+	if _, err := NewRegistry([]string{"not a url"}); err == nil {
+		t.Fatal("relative URL accepted")
+	}
+	if _, err := NewRegistry([]string{"http://a:1", "http://a:1"}); err == nil {
+		t.Fatal("duplicate replica accepted")
+	}
+}
+
+// TestRingStability pins consistent hashing: the owner of a key is
+// stable, skips down replicas, and returns when they recover.
+func TestRingStability(t *testing.T) {
+	reps := []*Replica{{Name: "a"}, {Name: "b"}, {Name: "c"}}
+	for _, r := range reps {
+		r.setUp(true)
+	}
+	rg := newRing(reps)
+	owner := rg.owner("hotels")
+	if owner == nil {
+		t.Fatal("no owner for hotels")
+	}
+	for i := 0; i < 10; i++ {
+		if got := rg.owner("hotels"); got != owner {
+			t.Fatal("owner not stable across lookups")
+		}
+	}
+	owner.setUp(false)
+	fallback := rg.owner("hotels")
+	if fallback == nil || fallback == owner {
+		t.Fatalf("down owner still returned")
+	}
+	owner.setUp(true)
+	if got := rg.owner("hotels"); got != owner {
+		t.Fatal("recovered owner did not reclaim its arc")
+	}
+	for _, r := range reps {
+		r.setUp(false)
+	}
+	if got := rg.owner("hotels"); got != nil {
+		t.Fatalf("all-down ring returned %v", got.Name)
+	}
+}
+
+// TestAffinityShedFallback pins the backpressure rule: a learned
+// owner that recently shed is bypassed for the least-loaded replica,
+// and ownership follows whoever actually serves the instance.
+func TestAffinityShedFallback(t *testing.T) {
+	reps := []*Replica{{Name: "a"}, {Name: "b"}}
+	for _, r := range reps {
+		r.setUp(true)
+	}
+	p := NewAffinity(reps)
+	key := RouteKey{GroupKey: "g1", Dataset: "hotels"}
+	p.Learn(key, "inst1", reps[0])
+	if got, reason := p.Pick(key, reps); got != reps[0] || reason != "affinity" {
+		t.Fatalf("learned owner not used: %s (%s)", got.Name, reason)
+	}
+	reps[0].noteShed(p.clock())
+	reps[0].inflight.Add(5)
+	got, reason := p.Pick(key, reps)
+	if got != reps[1] || reason != "affinity-fallback" {
+		t.Fatalf("shedding owner not bypassed: %s (%s)", got.Name, reason)
+	}
+	p.Learn(key, "inst1", reps[1])
+	reps[0].lastShed.Store(0)
+	if got, _ := p.Pick(key, reps); got != reps[1] {
+		t.Fatal("ownership did not follow the serving replica")
+	}
+}
+
+// TestRouterNoReplicas pins the empty-cluster answer: 502 with the
+// v2 error envelope, not a panic or a hang.
+func TestRouterNoReplicas(t *testing.T) {
+	reg, err := NewRegistry([]string{"http://127.0.0.1:1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(NewRouter(reg, RouterConfig{}))
+	defer srv.Close()
+	var env serve.ErrorV2
+	code, _ := postJSON(t, srv.URL+"/v1/select", selectBody, &env)
+	if code != http.StatusBadGateway || env.Code != serve.CodeUnavailable {
+		t.Fatalf("empty-cluster select = %d %+v", code, env)
+	}
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("router healthz with no up replicas = %d, want 503", resp.StatusCode)
+	}
+}

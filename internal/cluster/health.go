@@ -1,0 +1,158 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/regretlab/fam/serve"
+)
+
+// HealthChecker polls every replica's GET /healthz on a fixed
+// interval and flips routable state: one good answer marks a replica
+// up, FailThreshold consecutive bad answers mark it down. The checker
+// is the slow path of failure detection — the router also marks a
+// replica down passively on a transport error, so a crashed replica
+// stops receiving traffic before the next tick.
+type HealthChecker struct {
+	// Interval between check rounds. Default 500ms.
+	Interval time.Duration
+	// Timeout bounds one replica probe. Default 2s.
+	Timeout time.Duration
+	// FailThreshold is the consecutive-failure count that marks a
+	// replica down. Default 2 — one lost probe is noise, two is an
+	// outage.
+	FailThreshold int
+	// Log receives up/down transition lines. Nil disables logging.
+	Log *slog.Logger
+
+	reg    *Registry
+	client *http.Client
+
+	startOnce sync.Once
+	stopOnce  sync.Once
+	started   atomic.Bool
+	stop      chan struct{}
+	done      chan struct{}
+}
+
+// NewHealthChecker builds a checker over the registry. A nil client
+// uses a dedicated one with sane probe timeouts.
+func NewHealthChecker(reg *Registry, client *http.Client) *HealthChecker {
+	if client == nil {
+		client = &http.Client{}
+	}
+	return &HealthChecker{
+		Interval:      500 * time.Millisecond,
+		Timeout:       2 * time.Second,
+		FailThreshold: 2,
+		reg:           reg,
+		client:        client,
+		stop:          make(chan struct{}),
+		done:          make(chan struct{}),
+	}
+}
+
+// CheckOnce probes every replica concurrently and applies the
+// up/down transitions. It blocks until the round completes, so a
+// caller can run one synchronous round before serving traffic.
+func (hc *HealthChecker) CheckOnce(ctx context.Context) {
+	var wg sync.WaitGroup
+	for _, r := range hc.reg.Replicas() {
+		wg.Add(1)
+		go func(r *Replica) {
+			defer wg.Done()
+			hc.check(ctx, r)
+		}(r)
+	}
+	wg.Wait()
+}
+
+// Start launches the periodic check loop. Stop ends it.
+func (hc *HealthChecker) Start() {
+	hc.startOnce.Do(func() {
+		hc.started.Store(true)
+		go func() {
+			defer close(hc.done)
+			ticker := time.NewTicker(hc.Interval)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-hc.stop:
+					return
+				case <-ticker.C:
+					hc.CheckOnce(context.Background())
+				}
+			}
+		}()
+	})
+}
+
+// Stop ends the check loop and waits for it to exit. Safe to call
+// more than once, or without Start having run.
+func (hc *HealthChecker) Stop() {
+	hc.stopOnce.Do(func() { close(hc.stop) })
+	if hc.started.Load() {
+		<-hc.done
+	}
+}
+
+// check probes one replica and applies the transition rules.
+func (hc *HealthChecker) check(ctx context.Context, r *Replica) {
+	h, err := hc.probe(ctx, r)
+	if err != nil || !h.OK {
+		fails := r.fails.Add(1)
+		if int(fails) >= hc.FailThreshold && r.setUp(false) && hc.Log != nil {
+			hc.Log.Warn("replica down", "replica", r.Name, "consecutive_fails", fails, "err", errString(err))
+		}
+		return
+	}
+	r.fails.Store(0)
+	r.health.Store(h)
+	if r.setUp(true) && hc.Log != nil {
+		hc.Log.Info("replica up", "replica", r.Name, "queue_depth", h.QueueDepth, "shed_rate", h.ShedRate)
+	}
+}
+
+// probe fetches and decodes one /healthz answer.
+func (hc *HealthChecker) probe(ctx context.Context, r *Replica) (*Health, error) {
+	ctx, cancel := context.WithTimeout(ctx, hc.Timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, r.BaseURL+"/healthz", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := hc.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		return nil, fmt.Errorf("healthz: status %d", resp.StatusCode)
+	}
+	var body serve.HealthzResponse
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&body); err != nil {
+		return nil, fmt.Errorf("healthz: decoding: %w", err)
+	}
+	return &Health{
+		OK:            body.OK,
+		QueueDepth:    body.QueueDepth,
+		ShedRate:      body.ShedRate,
+		ResultHitRate: body.ResultHitRate,
+		CheckedAt:     time.Now(),
+	}, nil
+}
+
+func errString(err error) string {
+	if err == nil {
+		return ""
+	}
+	return err.Error()
+}

@@ -1,0 +1,74 @@
+package cluster
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// ringVnodes is the virtual-node count per replica. 64 vnodes keep
+// the dataset→replica split within a few percent of even for the
+// single-digit replica counts a famserve cluster runs at, at the cost
+// of a few hundred ring points — negligible to search.
+const ringVnodes = 64
+
+// ring is a consistent-hash ring over the registry: datasets map to
+// owner replicas, and membership changes move only the datasets whose
+// arcs a replica owned. The ring hashes the full membership — routable
+// state is applied at lookup time by walking clockwise past down
+// replicas, so a replica that comes back immediately reclaims its
+// arcs (and its warm caches) without rebuilding anything.
+type ring struct {
+	points []ringPoint
+}
+
+type ringPoint struct {
+	hash    uint32
+	replica *Replica
+}
+
+// newRing places every replica at ringVnodes points.
+func newRing(replicas []*Replica) *ring {
+	r := &ring{points: make([]ringPoint, 0, len(replicas)*ringVnodes)}
+	for _, rep := range replicas {
+		for v := 0; v < ringVnodes; v++ {
+			r.points = append(r.points, ringPoint{
+				hash:    hashKey(fmt.Sprintf("%s#%d", rep.Name, v)),
+				replica: rep,
+			})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		// Tie-break on name so equal hashes still order deterministically.
+		return r.points[i].replica.Name < r.points[j].replica.Name
+	})
+	return r
+}
+
+// owner returns the first routable replica clockwise from key's hash,
+// or nil if no replica is routable.
+func (r *ring) owner(key string) *Replica {
+	if len(r.points) == 0 {
+		return nil
+	}
+	h := hashKey(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	for i := 0; i < len(r.points); i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if p.replica.Up() {
+			return p.replica
+		}
+	}
+	return nil
+}
+
+// hashKey is FNV-1a over the key — stable across processes, so every
+// router instance agrees on dataset placement without coordination.
+func hashKey(key string) uint32 {
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return h.Sum32()
+}

@@ -1,0 +1,156 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+
+	"github.com/regretlab/fam/serve"
+)
+
+// This file is the scatter-gather path for POST /v2/select: the
+// distributed half of the engine's batch planner. Members group by
+// routing key (the same preprocessing-instance grouping the planner
+// uses), each group is forwarded to its policy-chosen replica as one
+// sub-batch — so a group's representative fill and its dedup
+// followers stay on one replica's caches — and the per-slot results
+// reassemble in the original member order, exactly as a single
+// replica would have answered.
+
+// batchWire is the v2 batch envelope with members kept as raw bytes:
+// the router routes on a few fields but forwards bodies verbatim, so
+// replicas see exactly what the client sent.
+type batchWire struct {
+	Queries []json.RawMessage `json:"queries"`
+	Exec    json.RawMessage   `json:"exec,omitempty"`
+}
+
+// batchResultsWire decodes a replica's batch answer without touching
+// the member payloads.
+type batchResultsWire struct {
+	Results []json.RawMessage `json:"results"`
+}
+
+// scatterGroup is one instance-key group: the member indices it owns
+// in the original batch and their raw bodies.
+type scatterGroup struct {
+	key     RouteKey
+	indices []int
+	queries []json.RawMessage
+}
+
+// handleScatter serves POST /v2/select by splitting the batch across
+// replicas per instance-key group and reassembling slot answers in
+// order. A group whose replica fails (transport exhausted or a
+// non-200 batch envelope) degrades to per-slot errors in the v2
+// member shape; the other groups' results are unaffected.
+func (rt *Router) handleScatter(w http.ResponseWriter, r *http.Request) {
+	var req batchWire
+	if err := json.NewDecoder(http.MaxBytesReader(nil, r.Body, maxBodyBytes)).Decode(&req); err != nil {
+		rt.writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	if len(req.Queries) == 0 {
+		rt.writeError(w, http.StatusBadRequest, fmt.Errorf("empty batch: queries must be non-empty"))
+		return
+	}
+	groups := groupMembers(req.Queries)
+	rt.metrics.scatterBatches.Add(1)
+	rt.metrics.scatterSubrequests.Add(uint64(len(groups)))
+
+	slots := make([]json.RawMessage, len(req.Queries))
+	var wg sync.WaitGroup
+	for _, g := range groups {
+		wg.Add(1)
+		go func(g *scatterGroup) {
+			defer wg.Done()
+			rt.runGroup(r, g, req.Exec, slots)
+		}(g)
+	}
+	wg.Wait()
+
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_ = json.NewEncoder(w).Encode(batchResultsWire{Results: slots})
+}
+
+// groupMembers splits batch members into instance-key groups,
+// preserving first-appearance order.
+func groupMembers(queries []json.RawMessage) []*scatterGroup {
+	var order []*scatterGroup
+	byKey := make(map[string]*scatterGroup)
+	for i, raw := range queries {
+		var fields routeFields
+		_ = json.Unmarshal(raw, &fields) // undecodable members group together and fail on a replica
+		key := fields.routeKey()
+		g := byKey[key.GroupKey]
+		if g == nil {
+			g = &scatterGroup{key: key}
+			byKey[key.GroupKey] = g
+			order = append(order, g)
+		}
+		g.indices = append(g.indices, i)
+		g.queries = append(g.queries, raw)
+	}
+	return order
+}
+
+// runGroup forwards one group's sub-batch and fills its slots. Every
+// failure mode becomes per-slot errors so the batch answer always has
+// one entry per member.
+func (rt *Router) runGroup(r *http.Request, g *scatterGroup, exec json.RawMessage, slots []json.RawMessage) {
+	sub, err := json.Marshal(batchWire{Queries: g.queries, Exec: exec})
+	if err != nil {
+		rt.fillErrors(g, slots, http.StatusInternalServerError, fmt.Sprintf("encoding sub-batch: %v", err))
+		return
+	}
+	resp, body, replica, err := rt.dispatch(r, g.key, sub)
+	if err != nil {
+		rt.fillErrors(g, slots, http.StatusBadGateway, err.Error())
+		return
+	}
+	if resp.StatusCode != http.StatusOK {
+		// The replica rejected the whole sub-batch (bad exec block,
+		// over the batch limit, shed). Surface its envelope message
+		// per slot under the replica's status.
+		rt.fillErrors(g, slots, resp.StatusCode, upstreamMessage(body, resp.StatusCode))
+		return
+	}
+	var results batchResultsWire
+	if err := json.Unmarshal(body, &results); err != nil || len(results.Results) != len(g.indices) {
+		rt.fillErrors(g, slots, http.StatusBadGateway,
+			fmt.Sprintf("replica %s answered a malformed batch response", replica.Name))
+		return
+	}
+	for j, idx := range g.indices {
+		slots[idx] = results.Results[j]
+	}
+	if rt.learner != nil {
+		if key := resp.Header.Get(serve.HeaderInstanceKey); key != "" {
+			rt.learner.Learn(g.key, firstKey(key), replica)
+		}
+	}
+}
+
+// fillErrors writes the v2 batch member error shape into every slot
+// of a failed group.
+func (rt *Router) fillErrors(g *scatterGroup, slots []json.RawMessage, status int, msg string) {
+	member, err := json.Marshal(serve.BatchMemberResponse{Error: msg, Status: status, Code: routerErrorCode(status)})
+	if err != nil {
+		member = []byte(`{"error":"router error","status":502,"code":"unavailable"}`)
+	}
+	for _, idx := range g.indices {
+		slots[idx] = member
+	}
+}
+
+// upstreamMessage extracts the human message from a replica's v2
+// error envelope, falling back to the bare status.
+func upstreamMessage(body []byte, status int) string {
+	var env serve.ErrorV2
+	if err := json.Unmarshal(body, &env); err == nil && env.Message != "" {
+		return env.Message
+	}
+	return fmt.Sprintf("replica answered status %d", status)
+}

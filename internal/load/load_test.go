@@ -6,6 +6,7 @@ import (
 	"math"
 	"reflect"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -453,5 +454,50 @@ func TestParseDatasetSpecs(t *testing.T) {
 	}
 	if _, err := ParseDatasetSpecs(""); err == nil {
 		t.Fatal("empty spec accepted")
+	}
+}
+
+// countingTarget records which target served each request.
+type countingTarget struct {
+	id    int
+	calls *[]int
+	mu    *sync.Mutex
+}
+
+func (t countingTarget) Do(ctx context.Context, req Request) Outcome {
+	t.mu.Lock()
+	*t.calls = append(*t.calls, t.id)
+	t.mu.Unlock()
+	return Outcome{Status: 200}
+}
+
+// MultiTarget stripes strictly round-robin, so a sequential run's
+// target sequence is the repeating rotation.
+func TestMultiTargetRoundRobin(t *testing.T) {
+	var calls []int
+	var mu sync.Mutex
+	mt, err := NewMultiTarget(
+		countingTarget{id: 0, calls: &calls, mu: &mu},
+		countingTarget{id: 1, calls: &calls, mu: &mu},
+		countingTarget{id: 2, calls: &calls, mu: &mu},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 7; i++ {
+		if o := mt.Do(context.Background(), Request{}); o.Status != 200 {
+			t.Fatalf("call %d status %d", i, o.Status)
+		}
+	}
+	want := []int{0, 1, 2, 0, 1, 2, 0}
+	if !reflect.DeepEqual(calls, want) {
+		t.Fatalf("striping %v, want %v", calls, want)
+	}
+
+	if _, err := NewMultiTarget(); err == nil {
+		t.Fatal("empty MultiTarget accepted")
+	}
+	if _, err := NewMultiTarget(nil); err == nil {
+		t.Fatal("nil member accepted")
 	}
 }

@@ -10,6 +10,7 @@ import (
 	"net/http"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	fam "github.com/regretlab/fam"
@@ -227,6 +228,33 @@ func (t HTTPTarget) Do(ctx context.Context, req Request) Outcome {
 		out.QueueWaitMS = slot.Telemetry.QueueWaitMS
 	}
 	return out
+}
+
+// MultiTarget stripes requests across several targets round-robin —
+// the direct-to-replicas baseline a through-router run is compared
+// against: same workload, no routing policy, so the delta in cache
+// hit rate is attributable to routing alone.
+type MultiTarget struct {
+	targets []Target
+	next    atomic.Uint64
+}
+
+// NewMultiTarget builds a round-robin fan over the targets.
+func NewMultiTarget(targets ...Target) (*MultiTarget, error) {
+	if len(targets) == 0 {
+		return nil, errors.New("load: MultiTarget needs at least one target")
+	}
+	for _, t := range targets {
+		if t == nil {
+			return nil, errors.New("load: MultiTarget got a nil target")
+		}
+	}
+	return &MultiTarget{targets: append([]Target(nil), targets...)}, nil
+}
+
+// Do implements Target by forwarding to the next target in rotation.
+func (t *MultiTarget) Do(ctx context.Context, req Request) Outcome {
+	return t.targets[(t.next.Add(1)-1)%uint64(len(t.targets))].Do(ctx, req)
 }
 
 // RunConfig tunes a trace run.

@@ -1,0 +1,104 @@
+package serve
+
+import (
+	"net/http"
+	"sync"
+	"time"
+)
+
+// This file implements GET /healthz: the cheap JSON readiness probe a
+// cluster router polls on every health tick. Unlike /metrics (full
+// Prometheus text, ReadMemStats) or /v2/stats (the whole EngineStats
+// snapshot), /healthz answers with exactly the numbers a routing score
+// needs — liveness, live queue depth, the shed rate over a short
+// trailing window, and the result-cache hit rate — so a router checking
+// N replicas every few hundred milliseconds never parses exposition
+// text on its hot path.
+
+// HealthzResponse is the body of GET /healthz.
+type HealthzResponse struct {
+	// OK is true when the handler answered at all — a router treats a
+	// non-200 or unreachable /healthz as down, so the field is the
+	// positive half of that contract.
+	OK bool `json:"ok"`
+	// QueueDepth is the number of helper requests currently queued on
+	// the engine's shared pool.
+	QueueDepth int `json:"queue_depth"`
+	// ShedRate is the fraction of query requests answered 429 over the
+	// trailing window (0 when the window saw no queries).
+	ShedRate float64 `json:"shed_rate"`
+	// WindowSeconds is the shed-rate window length.
+	WindowSeconds int `json:"window_seconds"`
+	// ResultHitRate is the result cache's lifetime hit fraction (0 when
+	// no lookups yet) — the warmth signal affinity routing feeds on.
+	ResultHitRate float64 `json:"result_hit_rate"`
+	// Datasets counts the registered datasets.
+	Datasets int `json:"datasets"`
+	// UptimeS is seconds since the engine was built.
+	UptimeS float64 `json:"uptime_s"`
+}
+
+// shedWindowSeconds is the length of the trailing shed-rate window.
+const shedWindowSeconds = 10
+
+// shedWindow is a ring of per-second buckets counting query requests
+// and 429 answers, so /healthz reports a recent shed rate rather than a
+// lifetime average that never recovers after one overload burst.
+type shedWindow struct {
+	mu      sync.Mutex
+	buckets [shedWindowSeconds]struct {
+		sec         int64
+		total, shed uint64
+	}
+}
+
+// note accounts one finished query request.
+func (w *shedWindow) note(now time.Time, shed bool) {
+	sec := now.Unix()
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	b := &w.buckets[sec%shedWindowSeconds]
+	if b.sec != sec {
+		b.sec, b.total, b.shed = sec, 0, 0
+	}
+	b.total++
+	if shed {
+		b.shed++
+	}
+}
+
+// rate reports the shed fraction over the live window (0 when empty).
+func (w *shedWindow) rate(now time.Time) float64 {
+	floor := now.Unix() - shedWindowSeconds
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	var total, shed uint64
+	for _, b := range w.buckets {
+		if b.sec > floor {
+			total += b.total
+			shed += b.shed
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(shed) / float64(total)
+}
+
+// handleHealthz serves GET /healthz.
+func (h *Handler) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	stats := h.engine.Stats()
+	hitRate := 0.0
+	if lookups := stats.ResultCache.Hits + stats.ResultCache.Misses; lookups > 0 {
+		hitRate = float64(stats.ResultCache.Hits) / float64(lookups)
+	}
+	h.writeJSON(w, http.StatusOK, HealthzResponse{
+		OK:            true,
+		QueueDepth:    h.engine.QueueDepth(),
+		ShedRate:      h.shed.rate(h.clock()),
+		WindowSeconds: shedWindowSeconds,
+		ResultHitRate: hitRate,
+		Datasets:      stats.Datasets,
+		UptimeS:       stats.Uptime.Seconds(),
+	})
+}

@@ -1,0 +1,159 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"testing"
+	"time"
+
+	fam "github.com/regretlab/fam"
+)
+
+func mustMarshal(t *testing.T, body any) io.Reader {
+	t.Helper()
+	buf, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return bytes.NewReader(buf)
+}
+
+func TestHealthzEndpoint(t *testing.T) {
+	srv, _ := newTestServer(t)
+
+	var h HealthzResponse
+	if code := getJSON(t, srv.URL+"/healthz", &h); code != http.StatusOK {
+		t.Fatalf("healthz status %d", code)
+	}
+	if !h.OK || h.Datasets != 1 || h.WindowSeconds != shedWindowSeconds {
+		t.Fatalf("cold healthz = %+v", h)
+	}
+	if h.ShedRate != 0 || h.ResultHitRate != 0 {
+		t.Fatalf("cold healthz has nonzero rates: %+v", h)
+	}
+
+	// One miss then one hit: the hit rate becomes 0.5.
+	req := SelectRequest{Dataset: "hotels", K: 5, Seed: 7, SampleSize: 120}
+	for i := 0; i < 2; i++ {
+		if code := postJSON(t, srv.URL+"/v1/select", req, nil); code != http.StatusOK {
+			t.Fatalf("select %d status %d", i, code)
+		}
+	}
+	if code := getJSON(t, srv.URL+"/healthz", &h); code != http.StatusOK {
+		t.Fatalf("healthz status %d", code)
+	}
+	if h.ResultHitRate != 0.5 {
+		t.Fatalf("result hit rate %g, want 0.5", h.ResultHitRate)
+	}
+}
+
+func TestShedWindowRate(t *testing.T) {
+	var w shedWindow
+	base := time.Unix(1000, 0)
+	if got := w.rate(base); got != 0 {
+		t.Fatalf("empty window rate %g", got)
+	}
+	w.note(base, false)
+	w.note(base, true)
+	w.note(base.Add(time.Second), true)
+	if got := w.rate(base.Add(time.Second)); got != 2.0/3.0 {
+		t.Fatalf("rate %g, want 2/3", got)
+	}
+	// Past the window, the old buckets age out entirely.
+	later := base.Add((shedWindowSeconds + 2) * time.Second)
+	if got := w.rate(later); got != 0 {
+		t.Fatalf("aged window rate %g, want 0", got)
+	}
+	// A bucket slot reused by a new second forgets its old counts.
+	w.note(later, false)
+	if got := w.rate(later); got != 0 {
+		t.Fatalf("post-reuse rate %g, want 0", got)
+	}
+}
+
+func TestInstanceKeyEcho(t *testing.T) {
+	srv, engine := newTestServer(t)
+
+	req := SelectRequest{Dataset: "hotels", K: 5, Seed: 7, SampleSize: 120}
+	buf := mustMarshal(t, req)
+	resp, err := http.Post(srv.URL+"/v1/select", "application/json", buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	key := resp.Header.Get(HeaderInstanceKey)
+	if key == "" {
+		t.Fatal("select response missing instance key header")
+	}
+	// The echoed key matches the engine's normalized instance identity.
+	member := QueryRequest{Dataset: "hotels", K: 5, Seed: 7, SampleSize: 120}
+	if want := engine.InstanceKey(member.toQuery()); key != want {
+		t.Fatalf("echoed key %q, want %q", key, want)
+	}
+
+	// A batch over two instances echoes both keys, comma-joined.
+	batch := BatchSelectRequest{Queries: []QueryRequest{
+		{Dataset: "hotels", K: 3, Seed: 7, SampleSize: 120},
+		{Dataset: "hotels", K: 4, Seed: 9, SampleSize: 120},
+		{Dataset: "hotels", K: 5, Seed: 7, SampleSize: 120},
+	}}
+	resp, err = http.Post(srv.URL+"/v2/select", "application/json", mustMarshal(t, batch))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	keys := resp.Header.Get(HeaderInstanceKey)
+	want := engine.InstanceKey(batch.Queries[0].toQuery()) + "," + engine.InstanceKey(batch.Queries[1].toQuery())
+	if keys != want {
+		t.Fatalf("batch echoed %q, want %q", keys, want)
+	}
+
+	// Unknown datasets produce no header (and the request fails).
+	resp, err = http.Post(srv.URL+"/v1/select", "application/json",
+		mustMarshal(t, SelectRequest{Dataset: "missing", K: 5}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("missing-dataset status %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get(HeaderInstanceKey); got != "" {
+		t.Fatalf("missing-dataset response echoed key %q", got)
+	}
+}
+
+func TestEngineInstanceKeyNormalization(t *testing.T) {
+	engine := fam.NewEngine(fam.EngineConfig{})
+	defer engine.Close()
+	ds, err := fam.Hotels(120, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist, err := fam.UniformLinear(ds.Dim())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := engine.Register("hotels", ds, dist); err != nil {
+		t.Fatal(err)
+	}
+	// Different K, same preprocessing instance: the key must agree, or
+	// affinity routing would scatter one warm instance across replicas.
+	a := QueryRequest{Dataset: "hotels", K: 3, Seed: 7, SampleSize: 120}
+	b := QueryRequest{Dataset: "hotels", K: 8, Seed: 7, SampleSize: 120}
+	if ka, kb := engine.InstanceKey(a.toQuery()), engine.InstanceKey(b.toQuery()); ka == "" || ka != kb {
+		t.Fatalf("same-instance keys differ: %q vs %q", ka, kb)
+	}
+	// A different seed is a different instance.
+	c := QueryRequest{Dataset: "hotels", K: 3, Seed: 8, SampleSize: 120}
+	if engine.InstanceKey(a.toQuery()) == engine.InstanceKey(c.toQuery()) {
+		t.Fatal("different seeds share an instance key")
+	}
+	// Unknown dataset resolves to no key.
+	d := QueryRequest{Dataset: "missing", K: 3}
+	if got := engine.InstanceKey(d.toQuery()); got != "" {
+		t.Fatalf("unknown dataset key %q, want empty", got)
+	}
+}

@@ -45,6 +45,7 @@ import (
 	"log/slog"
 	"net/http"
 	"strconv"
+	"strings"
 	"sync/atomic"
 	"time"
 
@@ -147,6 +148,33 @@ const (
 	HeaderDeadlineMS = "X-Fam-Deadline-Ms"
 	HeaderMaxQueue   = "X-Fam-Max-Queue"
 )
+
+// HeaderInstanceKey is echoed on successful query responses with the
+// normalized preprocessing-instance key(s) the request resolved to
+// (comma-separated on batch responses, unique keys only). A cluster
+// router uses it to learn which replica holds which warm instance
+// instead of guessing keys from raw request bodies.
+const HeaderInstanceKey = "X-Fam-Instance-Key"
+
+// setInstanceKeyHeader echoes the unique instance keys of the served
+// queries, in first-appearance order, on HeaderInstanceKey. Queries
+// that don't resolve (unknown dataset — the request failed anyway, or
+// a racing delete) contribute nothing.
+func (h *Handler) setInstanceKeyHeader(w http.ResponseWriter, queries ...fam.Query) {
+	var keys []string
+	seen := make(map[string]bool, len(queries))
+	for _, q := range queries {
+		key := h.engine.InstanceKey(q)
+		if key == "" || seen[key] {
+			continue
+		}
+		seen[key] = true
+		keys = append(keys, key)
+	}
+	if len(keys) > 0 {
+		w.Header().Set(HeaderInstanceKey, strings.Join(keys, ","))
+	}
+}
 
 // withHeaders folds the scheduling headers into the wire exec policy:
 // a header applies only where the body left the knob unset.
@@ -531,6 +559,10 @@ type Handler struct {
 	// metrics backs GET /metrics: per-endpoint request counters and
 	// latency histograms (see metrics.go for the full series list).
 	metrics *httpMetrics
+
+	// shed backs /healthz's windowed shed rate: per-second buckets of
+	// query requests and their 429 answers (see health.go).
+	shed shedWindow
 }
 
 // NewHandler builds the routes over the engine with default limits. The
@@ -572,6 +604,7 @@ func NewHandlerConfig(e *fam.Engine, cfg HandlerConfig) *Handler {
 	h.mux.HandleFunc("POST /v2/datasets", func(w http.ResponseWriter, r *http.Request) { h.handleUpload(v2Errors, w, r) })
 	h.mux.HandleFunc("GET /v2/stats", h.handleStats)
 	h.mux.HandleFunc("GET /metrics", h.handleMetrics)
+	h.mux.HandleFunc("GET /healthz", h.handleHealthz)
 	return h
 }
 
@@ -626,6 +659,9 @@ func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	h.mux.ServeHTTP(rec, r.WithContext(ctx))
 	dur := h.clock().Sub(start)
 	h.metrics.record(pattern, rec.status, dur.Seconds())
+	if query {
+		h.shed.note(h.clock(), rec.status == http.StatusTooManyRequests)
+	}
 
 	if root != nil {
 		root.SetAttrInt("status", rec.status)
@@ -751,6 +787,11 @@ func (h *Handler) handleBatchSelect(w http.ResponseWriter, r *http.Request) {
 		h.writeEngineErrorDialect(v2Errors, w, r, err)
 		return
 	}
+	queries := make([]fam.Query, len(req.Queries))
+	for i := range req.Queries {
+		queries[i] = req.Queries[i].toQuery()
+	}
+	h.setInstanceKeyHeader(w, queries...)
 	h.writeJSON(w, http.StatusOK, BatchSelectResponse{Results: results})
 }
 
@@ -793,6 +834,7 @@ func (h *Handler) handleSelect(w http.ResponseWriter, r *http.Request) {
 	}
 	resp := memberResponse(member, res, tel, false)
 	resp.Telemetry = nil // telemetry detail is a v2-surface feature
+	h.setInstanceKeyHeader(w, member.toQuery())
 	h.writeJSON(w, http.StatusOK, resp)
 }
 
@@ -827,6 +869,7 @@ func (h *Handler) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 		h.writeEngineError(w, r, err)
 		return
 	}
+	h.setInstanceKeyHeader(w, q)
 	h.writeJSON(w, http.StatusOK, EvaluateResponse{
 		Dataset: req.Dataset,
 		Set:     req.Set,
