@@ -259,9 +259,18 @@ func (e *Engine) InstanceKey(q Query) string {
 	if err != nil {
 		return ""
 	}
-	return fmt.Sprintf("%s|sky=%t|seed=%d|N=%d|exact=%t|budget=%d",
+	key := fmt.Sprintf("%s|sky=%t|seed=%d|N=%d|exact=%t|budget=%d",
 		reg.name, norm.useSkyline, q.Seed, norm.sampleSize, norm.discrete != nil,
 		effectiveBudget(q.CacheBudget))
+	// Like the Fingerprint, opt-in knobs that change which instance is
+	// built append conditionally so established keys stay byte-stable.
+	if norm.useCoreset {
+		key += fmt.Sprintf("|cs=%g", norm.coresetEps)
+	}
+	if q.Float32 {
+		key += "|f32"
+	}
+	return key
 }
 
 // copySlot answers a planned duplicate from its leader's slot. A

@@ -350,6 +350,55 @@ func BenchmarkRegretIntegralSimpson(b *testing.B) {
 	}
 }
 
+// BenchmarkCoresetKernel sweeps the ε-kernel coreset prepass and the
+// cache-blocked evaluation kernel across the paper's n regimes. Each op
+// is a full one-shot Select (skyline + sampling + coreset + solver), so
+// the rows show where the prepass pays: at 10⁶ the unpruned
+// GREEDY-SHRINK family is infeasible (the skyline alone leaves thousands
+// of candidates on anticorrelated data and the utility matrix exceeds
+// the cache budget), so only coreset-on rows run there. famexp
+// -kernel-bench runs the same sweep with solver/preprocess timing split
+// and emits the gated BENCH_kernel.json.
+func BenchmarkCoresetKernel(b *testing.B) {
+	for _, sc := range []struct {
+		n    int
+		corr Correlation
+	}{{10_000, Anticorrelated}, {100_000, Anticorrelated}, {1_000_000, Independent}} {
+		ds, err := Synthetic(sc.n, 4, sc.corr, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		dist, err := UniformLinear(ds.Dim())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, coreset := range []bool{false, true} {
+			if !coreset && sc.n >= 1_000_000 {
+				continue
+			}
+			b.Run(fmt.Sprintf("n=%d/coreset=%t", sc.n, coreset), func(b *testing.B) {
+				q := Query{Data: ds, Dist: dist, K: 10, Algorithm: GreedyShrinkLazy,
+					SampleSize: 200, Seed: 1, Coreset: coreset}
+				res, _, err := Select(context.Background(), q, Exec{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(res.SkylineSize), "skyline")
+				if coreset {
+					b.ReportMetric(float64(res.CoresetSize), "candidates")
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, _, err := Select(context.Background(), q, Exec{}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
 func BenchmarkSelectEndToEnd(b *testing.B) {
 	ds, err := Hotels(500, 5)
 	if err != nil {

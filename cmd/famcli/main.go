@@ -45,7 +45,10 @@ func run(args []string, out io.Writer) error {
 		seed     = fs.Uint64("seed", 1, "random seed")
 		ces      = fs.Float64("ces", 0, "use CES utilities with this rho (0 = linear)")
 		workers  = fs.Int("workers", 0, "worker goroutines for preprocessing and query evaluation (0 = all CPUs, 1 = serial; results are identical at any setting)")
-		lazyB    = fs.Int("lazy-batch", 0, "greedy-shrink-lazy refresh batch size (<=1 = serial pop-refresh; selections are identical at any setting, only work counters change)")
+		lazyB    = fs.Int("lazy-batch", 0, "greedy-shrink-lazy refresh batch size (<=1 = serial pop-refresh, negative = adaptive controller; selections are identical at any setting, only work counters change)")
+		coreset  = fs.Bool("coreset", false, "enable the ε-kernel coreset candidate prepass (solution quality within -coreset-eps of the unpruned run)")
+		csEps    = fs.Float64("coreset-eps", 0, "coreset kernel tolerance in [0,1) (0 = library default; requires -coreset)")
+		f32      = fs.Bool("float32", false, "store the utility matrix in float32 (half the memory, ~1e-7 relative metric drift)")
 		jsonOut  = fs.Bool("json", false, "emit the result as JSON instead of a table")
 	)
 	fs.SetOutput(io.Discard)
@@ -77,6 +80,7 @@ func run(args []string, out io.Writer) error {
 		Data: ds, Dist: dist,
 		K: *k, Algorithm: algorithm, Epsilon: *eps, Sigma: *sigma,
 		SampleSize: *samples, Seed: *seed,
+		Coreset: *coreset, CoresetEps: *csEps, Float32: *f32,
 	}, fam.Exec{Parallelism: *workers, LazyBatch: *lazyB})
 	if err != nil {
 		return err
@@ -110,6 +114,9 @@ func run(args []string, out io.Writer) error {
 	fmt.Fprintf(out, "std dev           %.5f\n", m.StdDev)
 	fmt.Fprintf(out, "rr percentiles    70%%=%.4f 80%%=%.4f 90%%=%.4f 95%%=%.4f 99%%=%.4f 100%%=%.4f\n",
 		m.Percentiles[0], m.Percentiles[1], m.Percentiles[2], m.Percentiles[3], m.Percentiles[4], m.Percentiles[5])
+	if res.CoresetSize >= 0 {
+		fmt.Fprintf(out, "coreset           %d of %d candidates survive\n", res.CoresetSize, res.SkylineSize)
+	}
 	fmt.Fprintf(out, "preprocess        %v (skyline: %d candidates)\n", tel.Preprocess, res.SkylineSize)
 	fmt.Fprintf(out, "query time        %v\n", tel.Query)
 	return nil
@@ -128,6 +135,7 @@ type jsonResult struct {
 	Percentiles     []float64 `json:"regret_at_percentile"`
 	PercentileLevel []float64 `json:"percentile_levels"`
 	SkylineSize     int       `json:"skyline_size"`
+	CoresetSize     *int      `json:"coreset_size,omitempty"`
 	PreprocessSec   float64   `json:"preprocess_seconds"`
 	QuerySec        float64   `json:"query_seconds"`
 }
@@ -150,6 +158,10 @@ func writeJSON(out io.Writer, ds *fam.Dataset, algorithm fam.Algorithm, res *fam
 	if res.ExactARR >= 0 {
 		v := res.ExactARR
 		jr.ExactARR = &v
+	}
+	if res.CoresetSize >= 0 {
+		cs := res.CoresetSize
+		jr.CoresetSize = &cs
 	}
 	enc := json.NewEncoder(out)
 	enc.SetIndent("", "  ")

@@ -7,6 +7,11 @@
 //	famexp -exp fig1
 //	famexp -exp all -scale small
 //	famexp -exp fig7 -scale paper      # paper-size sweep; slow
+//
+// The coreset/kernel performance sweep emits and gates BENCH_kernel.json:
+//
+//	famexp -kernel-bench -scale paper -out BENCH_kernel.json
+//	famexp -kernel-bench -scale small -baseline BENCH_kernel.json -gate 0.15
 package main
 
 import (
@@ -18,6 +23,7 @@ import (
 
 	fam "github.com/regretlab/fam"
 	"github.com/regretlab/fam/internal/experiments"
+	"github.com/regretlab/fam/internal/kernelbench"
 	"github.com/regretlab/fam/internal/sched"
 )
 
@@ -38,6 +44,10 @@ func run(args []string) error {
 		lazyB   = fs.Int("lazy-batch", 0, "lazy strategy refresh batch size (<=1 = serial pop-refresh; tables are identical, lazy work counters change)")
 		prio    = fs.String("priority", "", "scheduling class for the run's fan-outs: low|normal|high (tables are identical at any class)")
 		list    = fs.Bool("list", false, "list experiments and exit")
+		kbench  = fs.Bool("kernel-bench", false, "run the coreset/kernel performance sweep instead of an experiment")
+		kout    = fs.String("out", "", "kernel-bench: write the BENCH_kernel.json report here")
+		kbase   = fs.String("baseline", "", "kernel-bench: gate the run against this committed BENCH_kernel.json")
+		kgate   = fs.Float64("gate", 0.15, "kernel-bench: fail when solver ns/op regresses beyond this fraction of the baseline (0 disables the timing gate; candidate counts are always gated exactly)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -47,6 +57,9 @@ func run(args []string) error {
 			fmt.Printf("%-10s %s\n", r.ID, r.Description)
 		}
 		return nil
+	}
+	if *kbench {
+		return runKernelBench(*scale, *seed, *kout, *kbase, *kgate)
 	}
 	if *exp == "" {
 		return fmt.Errorf("-exp is required (or -list)")
@@ -85,6 +98,41 @@ func run(args []string) error {
 			fmt.Println()
 		}
 		fmt.Printf("(%s completed in %v)\n\n", r.ID, time.Since(start).Round(time.Millisecond))
+	}
+	return nil
+}
+
+// runKernelBench executes the coreset/kernel sweep: -scale bounds the
+// dataset sizes (bench → 10⁴, small → 10⁵, paper → 10⁶), -out stores
+// the report, and -baseline/-gate enforce the benchstat-style
+// regression gate against a committed report.
+func runKernelBench(scale string, seed uint64, out, baselinePath string, gate float64) error {
+	maxN := map[string]int{"bench": 10_000, "small": 100_000, "paper": 1_000_000}[scale]
+	if maxN == 0 {
+		return fmt.Errorf("unknown scale %q for -kernel-bench (want bench|small|paper)", scale)
+	}
+	rep, err := kernelbench.Run(context.Background(), kernelbench.Config{MaxN: maxN, Seed: seed, Log: os.Stdout})
+	if err != nil {
+		return err
+	}
+	if out != "" {
+		if err := rep.Write(out); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (%d rows)\n", out, len(rep.Rows))
+	}
+	if baselinePath != "" {
+		base, err := kernelbench.Load(baselinePath)
+		if err != nil {
+			return err
+		}
+		if failures := kernelbench.Gate(rep, base, gate); len(failures) > 0 {
+			for _, f := range failures {
+				fmt.Fprintln(os.Stderr, "kernel-bench gate:", f)
+			}
+			return fmt.Errorf("kernel-bench gate failed: %d regression(s) vs %s", len(failures), baselinePath)
+		}
+		fmt.Printf("kernel-bench gate passed vs %s\n", baselinePath)
 	}
 	return nil
 }

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"github.com/regretlab/fam/internal/core"
+	"github.com/regretlab/fam/internal/coreset"
 	ecache "github.com/regretlab/fam/internal/engine"
 	"github.com/regretlab/fam/internal/obs"
 	"github.com/regretlab/fam/internal/par"
@@ -444,6 +445,8 @@ func (e *Engine) evaluate(ctx context.Context, q Query, exec Exec) (Metrics, *re
 //
 //	sky|<dataset>                      the skyline index
 //	funcs|<dataset>|<seed>|<N>         the sampled utility functions
+//	coreset|<dataset>|<class>|…        the ε-kernel survivor index
+//	                                   (Coreset queries only)
 //	inst|<dataset>|<class>|…           the built instance (utility
 //	                                   matrix + best-point index)
 //
@@ -456,8 +459,27 @@ func (e *Engine) prepare(ctx context.Context, reg *registration, q Query, norm n
 	if err != nil {
 		return nil, err
 	}
+	skySize := len(candidates)
+	csSize := -1
+	if norm.useCoreset {
+		cs, err := e.coreset(ctx, reg, q, norm, candidates, class)
+		if err != nil {
+			return nil, err
+		}
+		// Same guard as the one-shot path: pruning below K keeps the
+		// unpruned candidates, and the class only gains the coreset
+		// component when the pruning actually applied.
+		if len(cs) > q.K {
+			candidates = cs
+			class = fmt.Sprintf("%s+cs%g", class, norm.coresetEps)
+		}
+		csSize = len(candidates)
+	}
 	instKey := fmt.Sprintf("inst|%s|%s|seed=%d|N=%d|exact=%t|budget=%d",
 		reg.name, class, q.Seed, norm.sampleSize, norm.discrete != nil, effectiveBudget(q.CacheBudget))
+	if q.Float32 {
+		instKey += "|f32"
+	}
 	v, _, err := e.prep.Do(ctx, instKey, func(fillCtx context.Context) (any, error) {
 		fillCtx, fill := e.fillSpan(fillCtx, instKey)
 		defer fill.End()
@@ -480,11 +502,47 @@ func (e *Engine) prepare(ctx context.Context, reg *registration, q Query, norm n
 	}
 	master := v.(*prepared)
 	return &prepared{
-		candidates: master.candidates,
-		funcs:      master.funcs,
-		weights:    master.weights,
-		in:         master.in.WithExecution(exec.Parallelism, exec.LazyBatch, e.pool, exec.fillAttrs()),
+		candidates:  master.candidates,
+		funcs:       master.funcs,
+		weights:     master.weights,
+		in:          master.in.WithExecution(exec.Parallelism, exec.LazyBatch, e.pool, exec.fillAttrs()),
+		skylineSize: skySize,
+		coresetSize: csSize,
 	}, nil
+}
+
+// coreset resolves the ε-kernel survivor index for the query's candidate
+// class from the prep cache. Like the skyline it is a shared artifact:
+// built once per (dataset, class, seed, N, exact, eps) at full pool
+// width under attr-neutral scheduling, exactly sized in the cache as a
+// plain []int, and traced as a "fill.coreset" span.
+func (e *Engine) coreset(ctx context.Context, reg *registration, q Query, norm normalized, candidates []int, class string) ([]int, error) {
+	key := fmt.Sprintf("coreset|%s|%s|seed=%d|N=%d|exact=%t|eps=%g",
+		reg.name, class, q.Seed, norm.sampleSize, norm.discrete != nil, norm.coresetEps)
+	v, _, err := e.prep.Do(ctx, key, func(fillCtx context.Context) (any, error) {
+		fillCtx = sched.NewContext(fillCtx, sched.Attrs{})
+		fillCtx, fill := e.fillSpan(fillCtx, key)
+		defer fill.End()
+		funcs, _, err := e.funcs(fillCtx, reg, q, norm)
+		if err != nil {
+			return nil, err
+		}
+		cs, err := coreset.Filter(fillCtx, reg.ds.Points, candidates, funcs, coreset.Options{
+			Eps:  norm.coresetEps,
+			Pool: e.pool,
+		})
+		if err != nil {
+			return nil, err
+		}
+		fill.SetAttrInt("in", len(candidates))
+		fill.SetAttrInt("out", len(cs))
+		markShared(fillCtx, fill)
+		return cs, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.([]int), nil
 }
 
 // QueueDepth reports the number of helper requests currently queued on

@@ -1,0 +1,182 @@
+package fam
+
+import (
+	"context"
+	"errors"
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestEngineCoresetSharedArtifact pins the engine-side coreset contract:
+// the ε-kernel survivor index is a shared prep-cache artifact (own
+// coreset|… key, filled once under singleflight, traced as a
+// fill.coreset span), the engine answer is bit-identical to the one-shot
+// path, and the cache accounts the entry's exact bytes — a plain []int,
+// sized like the skyline index.
+func TestEngineCoresetSharedArtifact(t *testing.T) {
+	const sliceHeader = 24
+	fixtures := engineFixtures(t)
+	e := newTestEngine(t, fixtures)
+	q := Query{Dataset: "hotels", K: 2, Seed: 7, SampleSize: 80, Coreset: true}
+
+	res, tel, err := e.Select(TraceContext(context.Background(), ""), q, Exec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CoresetSize <= 0 || res.CoresetSize > res.SkylineSize {
+		t.Fatalf("implausible CoresetSize %d (skyline %d)", res.CoresetSize, res.SkylineSize)
+	}
+	if tel.Trace == nil || !strings.Contains(tel.Trace.Shape(), "fill.coreset") {
+		t.Fatalf("cold coreset select traced no fill.coreset span:\n%v", tel.Trace)
+	}
+
+	// Bit-identity with the one-shot path on the same dataset.
+	var hotels *Dataset
+	var dist Distribution
+	for _, f := range fixtures {
+		if f.name == "hotels" {
+			hotels, dist = f.ds, f.dist
+		}
+	}
+	oneShot := q
+	oneShot.Dataset, oneShot.Data, oneShot.Dist = "", hotels, dist
+	want, _, err := Select(context.Background(), oneShot, Exec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CoresetSize != want.CoresetSize || res.SkylineSize != want.SkylineSize {
+		t.Fatalf("engine (coreset %d of %d) diverged from one-shot (coreset %d of %d)",
+			res.CoresetSize, res.SkylineSize, want.CoresetSize, want.SkylineSize)
+	}
+	if len(res.Indices) != len(want.Indices) {
+		t.Fatalf("engine indices %v, one-shot %v", res.Indices, want.Indices)
+	}
+	for i := range want.Indices {
+		if res.Indices[i] != want.Indices[i] {
+			t.Fatalf("engine indices %v, one-shot %v", res.Indices, want.Indices)
+		}
+	}
+	if res.Metrics.ARR != want.Metrics.ARR {
+		t.Fatalf("engine ARR %v, one-shot %v", res.Metrics.ARR, want.Metrics.ARR)
+	}
+
+	// Exact byte accounting: the cold select filled exactly four prep
+	// artifacts — skyline index, sampled functions, coreset index, and
+	// the built instance — and every one is sized exactly. The coreset
+	// entry is a []int like the skyline: sliceHeader + len*8.
+	s := e.Stats()
+	if s.PrepCache.Entries != 4 || s.PrepCache.Misses != 4 {
+		t.Fatalf("cold coreset select: prep entries=%d misses=%d, want 4/4", s.PrepCache.Entries, s.PrepCache.Misses)
+	}
+	N, d := int64(q.SampleSize), int64(hotels.Dim())
+	sky, cs := int64(res.SkylineSize), int64(res.CoresetSize)
+	skyBytes := int64(sliceHeader) + sky*8
+	funcsBytes := int64(sliceHeader) + N*16 + N*(sliceHeader+d*8) // N Linear funcs, d-dim weights
+	coresetBytes := int64(sliceHeader) + cs*8
+	instBytes := int64(sliceHeader*4) + cs*8 + N*16 + // prepared: candidates + interface headers
+		3*sliceHeader + N*cs*8 + N*8 + N*4 // instance: matrix, satD, bestD
+	if wantBytes := skyBytes + funcsBytes + coresetBytes + instBytes; s.PrepCache.Bytes != wantBytes {
+		t.Fatalf("prep cache bytes = %d, want exactly %d (sky %d + funcs %d + coreset %d + inst %d)",
+			s.PrepCache.Bytes, wantBytes, skyBytes, funcsBytes, coresetBytes, instBytes)
+	}
+
+	// A different K over the same (dataset, seed, N, eps) reuses every
+	// shared artifact — the coreset entry included — filling nothing new.
+	if _, _, err := e.Select(context.Background(), Query{Dataset: "hotels", K: 3, Seed: 7, SampleSize: 80, Coreset: true}, Exec{}); err != nil {
+		t.Fatal(err)
+	}
+	s2 := e.Stats()
+	if s2.PrepCache.Misses != s.PrepCache.Misses || s2.PrepCache.Entries != s.PrepCache.Entries {
+		t.Fatalf("second coreset query refilled prep artifacts: misses %d→%d entries %d→%d",
+			s.PrepCache.Misses, s2.PrepCache.Misses, s.PrepCache.Entries, s2.PrepCache.Entries)
+	}
+	if s2.PrepCache.Hits <= s.PrepCache.Hits {
+		t.Fatalf("second coreset query hit no shared artifacts: hits %d→%d", s.PrepCache.Hits, s2.PrepCache.Hits)
+	}
+}
+
+// TestSelectFloat32Tolerance pins the float32 storage-mode contract at
+// the public layer: the opt-in changes the matrix precision only, so
+// reported statistics stay within single-precision rounding of the
+// float64 answer (selection may legitimately flip on a near-tie; the
+// statistics contract is tolerance, not bit-identity).
+func TestSelectFloat32Tolerance(t *testing.T) {
+	ctx := context.Background()
+	ds, err := Synthetic(200, 3, Anticorrelated, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist, err := UniformLinear(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, algo := range []Algorithm{GreedyShrink, GreedyShrinkLazy, GreedyAdd} {
+		q := Query{Data: ds, Dist: dist, K: 4, Algorithm: algo, Seed: 2, SampleSize: 150}
+		f64, _, err := Select(ctx, q, Exec{})
+		if err != nil {
+			t.Fatalf("%s float64: %v", algo, err)
+		}
+		q.Float32 = true
+		f32, _, err := Select(ctx, q, Exec{})
+		if err != nil {
+			t.Fatalf("%s float32: %v", algo, err)
+		}
+		const tol = 1e-5 // single-precision rounding over a 150×|sky| matrix
+		if math.Abs(f32.Metrics.ARR-f64.Metrics.ARR) > tol {
+			t.Fatalf("%s: float32 ARR %v drifted beyond %v from float64 %v",
+				algo, f32.Metrics.ARR, tol, f64.Metrics.ARR)
+		}
+		if math.Abs(f32.Metrics.MaxRR-f64.Metrics.MaxRR) > tol {
+			t.Fatalf("%s: float32 MaxRR %v drifted beyond %v from float64 %v",
+				algo, f32.Metrics.MaxRR, tol, f64.Metrics.MaxRR)
+		}
+	}
+}
+
+// The coreset and float32 knobs validate like every other Query field:
+// ErrBadOptions, mappable to a 400.
+func TestCoresetKnobValidation(t *testing.T) {
+	ctx := context.Background()
+	ds, err := Synthetic(30, 2, Independent, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist, err := UniformLinear(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := Query{Data: ds, Dist: dist, K: 2, SampleSize: 40}
+	for _, tc := range []struct {
+		name string
+		mod  func(*Query)
+	}{
+		{"eps without coreset", func(q *Query) { q.CoresetEps = 0.1 }},
+		{"eps negative", func(q *Query) { q.Coreset = true; q.CoresetEps = -0.1 }},
+		{"eps at one", func(q *Query) { q.Coreset = true; q.CoresetEps = 1 }},
+		{"eps NaN", func(q *Query) { q.Coreset = true; q.CoresetEps = math.NaN() }},
+		{"coreset on evaluate", func(q *Query) { q.K = 0; q.ExplicitSet = []int{0, 1}; q.Coreset = true }},
+	} {
+		q := base
+		tc.mod(&q)
+		var serr error
+		if q.K > 0 {
+			_, _, serr = Select(ctx, q, Exec{})
+		} else {
+			_, serr = Evaluate(ctx, q, Exec{})
+		}
+		if !errors.Is(serr, ErrBadOptions) {
+			t.Errorf("%s: err = %v, want ErrBadOptions", tc.name, serr)
+		}
+	}
+	// The default eps kicks in when the knob is on with eps zero.
+	q := base
+	q.Coreset = true
+	res, _, err := Select(ctx, q, Exec{})
+	if err != nil {
+		t.Fatalf("coreset with default eps: %v", err)
+	}
+	if res.CoresetSize < 0 {
+		t.Fatalf("coreset run reported CoresetSize %d", res.CoresetSize)
+	}
+}

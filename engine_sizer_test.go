@@ -46,7 +46,7 @@ func TestPrepSizeExact(t *testing.T) {
 		t.Fatal(err)
 	}
 	n, N := int64(4), int64(2)
-	wantIn := N*n*8 + N*sliceHeader + sliceHeader + // cached matrix
+	wantIn := sliceHeader + N*n*8 + // cached matrix (flat backing array)
 		sliceHeader + N*8 + // satD
 		sliceHeader + N*4 // bestD
 	if got := in.MemoryFootprint(); got != wantIn {

@@ -1,0 +1,88 @@
+package core
+
+import (
+	"context"
+	"testing"
+)
+
+// The adaptive LazyBatch controller (negative option) is stats-tolerant
+// equivalent to every fixed batch size: identical selected set, FinalARR
+// and iteration counters at any worker count; only work counters follow
+// the controller's batch trajectory.
+func TestAdaptiveLazyBatchEquivalence(t *testing.T) {
+	ctx := context.Background()
+	const n, d, N, k = 90, 4, 400, 12
+	for _, seed := range []uint64{3, 19, 57} {
+		ref, refStats, err := GreedyShrink(ctx, lazyBatchInstance(t, seed, n, d, N, 1, 0), k, StrategyLazy)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{1, 4, 8} {
+			in := lazyBatchInstance(t, seed, n, d, N, workers, -1)
+			if !in.LazyBatchAdaptive() {
+				t.Fatal("negative LazyBatch did not enable the adaptive controller")
+			}
+			set, stats, err := GreedyShrink(ctx, in, k, StrategyLazy)
+			if err != nil {
+				t.Fatalf("seed=%d workers=%d: %v", seed, workers, err)
+			}
+			sameSet(t, "adaptive", set, ref)
+			if stats.FinalARR != refStats.FinalARR {
+				t.Fatalf("seed=%d workers=%d: FinalARR %v != %v", seed, workers, stats.FinalARR, refStats.FinalARR)
+			}
+			if stats.Iterations != refStats.Iterations || stats.CandidateTotal != refStats.CandidateTotal {
+				t.Fatalf("seed=%d workers=%d: iteration counters diverged: %+v vs %+v",
+					seed, workers, stats, refStats)
+			}
+			if stats.LazyBatch < adaptiveMinBatch || stats.LazyBatch > adaptiveMaxBatch {
+				t.Fatalf("seed=%d: final controller batch %d outside [%d, %d]",
+					seed, stats.LazyBatch, adaptiveMinBatch, adaptiveMaxBatch)
+			}
+			if stats.SpeculativeHits+stats.SpeculativeWaste != stats.SpeculativeEvals {
+				t.Fatalf("seed=%d: hits %d + waste %d != evals %d",
+					seed, stats.SpeculativeHits, stats.SpeculativeWaste, stats.SpeculativeEvals)
+			}
+			if stats.Evaluations+stats.EvalSkipped != refStats.Evaluations+refStats.EvalSkipped {
+				t.Fatalf("seed=%d: evaluations+skips changed: %d+%d vs %d+%d",
+					seed, stats.Evaluations, stats.EvalSkipped, refStats.Evaluations, refStats.EvalSkipped)
+			}
+		}
+	}
+}
+
+// The controller is deterministic and live: two adaptive runs on the
+// same instance report the same decision counters; on a smooth instance
+// (stable queue head, so speculation is mostly waste) it must shrink
+// away from the start size and end up doing less evaluation work than a
+// fixed batch pinned at the start size. Fixed batch sizes never record
+// controller decisions.
+func TestAdaptiveControllerCounters(t *testing.T) {
+	ctx := context.Background()
+	const n, d, N, k = 120, 4, 500, 10
+	a1, s1, err := GreedyShrink(ctx, lazyBatchInstance(t, 11, n, d, N, 4, -1), k, StrategyLazy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, s2, err := GreedyShrink(ctx, lazyBatchInstance(t, 11, n, d, N, 4, -1), k, StrategyLazy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameSet(t, "adaptive-repeat", a2, a1)
+	if s1.AdaptiveGrows != s2.AdaptiveGrows || s1.AdaptiveShrinks != s2.AdaptiveShrinks || s1.LazyBatch != s2.LazyBatch {
+		t.Fatalf("controller decisions not deterministic: %+v vs %+v", s1, s2)
+	}
+	if s1.AdaptiveShrinks == 0 {
+		t.Fatalf("controller never shrank on a smooth instance; the adaptive path is inert: %+v", s1)
+	}
+	_, fixed, err := GreedyShrink(ctx, lazyBatchInstance(t, 11, n, d, N, 4, adaptiveStartBatch), k, StrategyLazy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fixed.AdaptiveGrows != 0 || fixed.AdaptiveShrinks != 0 {
+		t.Fatalf("fixed batch recorded controller decisions: %+v", fixed)
+	}
+	if s1.Evaluations >= fixed.Evaluations {
+		t.Fatalf("adaptive run evaluated %d, fixed B=%d run %d; controller saved nothing",
+			s1.Evaluations, adaptiveStartBatch, fixed.Evaluations)
+	}
+}

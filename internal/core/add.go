@@ -39,10 +39,31 @@ func GreedyAdd(ctx context.Context, in *Instance, k int) ([]int, ShrinkStats, er
 	bestVal := make([]float64, N)
 	inSet := make([]bool, n)
 
+	// The gain loop reads one point's utility across all users — a
+	// stride-n column walk through the user-major matrix. The transient
+	// point-major transpose turns every gain evaluation into a contiguous
+	// pass; values are identical to element-wise access (float32 storage
+	// rounds identically on both paths), so selections are unchanged. Nil
+	// when the matrix is not materialized — then utilities are recomputed
+	// on demand either way.
+	tp := in.Transposed()
+
 	// gain(p) = Σ_u w_u · max(0, f_u(p) − bestVal[u]) / satD[u]: the
 	// (unnormalized) drop in arr from adding p.
 	gain := func(p int) float64 {
 		var g float64
+		if tp != nil {
+			col := tp.Col(p)
+			for u := 0; u < N; u++ {
+				if in.satD[u] <= 0 {
+					continue
+				}
+				if v := col[u]; v > bestVal[u] {
+					g += in.Weight(u) * (v - bestVal[u]) / in.satD[u]
+				}
+			}
+			return g
+		}
 		for u := 0; u < N; u++ {
 			if in.satD[u] <= 0 {
 				continue
@@ -109,6 +130,10 @@ func GreedyAdd(ctx context.Context, in *Instance, k int) ([]int, ShrinkStats, er
 		for w := range improved {
 			improved[w] = 0
 		}
+		var chosenCol []float64
+		if tp != nil {
+			chosenCol = tp.Col(chosen)
+		}
 		if err := pool.run(ctx, N, func(w, lo, hi int) {
 			for u := lo; u < hi; u++ {
 				if ctx.Err() != nil {
@@ -117,7 +142,13 @@ func GreedyAdd(ctx context.Context, in *Instance, k int) ([]int, ShrinkStats, er
 				if in.satD[u] <= 0 {
 					continue
 				}
-				if v := in.Utility(u, chosen); v > bestVal[u] {
+				v := 0.0
+				if chosenCol != nil {
+					v = chosenCol[u]
+				} else {
+					v = in.Utility(u, chosen)
+				}
+				if v > bestVal[u] {
 					bestVal[u] = v
 					improved[w]++
 				}

@@ -41,22 +41,12 @@ func deltaShrink(ctx context.Context, in *Instance, k int) ([]int, ShrinkStats, 
 	usersBySecond := make([][]int32, n)
 
 	// twoMax finds the best (first index wins ties) and second-best alive
-	// points for user u. Returns sentinel -1 indices when unavailable.
+	// points for user u via the kernel's contiguous row scan over the
+	// compacted alive list — same ascending visit order as the historical
+	// full-array scan, without touching dead points. Returns sentinel -1
+	// indices when unavailable.
 	twoMax := func(u int) (b1 int32, v1 float64, b2 int32, v2 float64) {
-		b1, b2 = -1, -1
-		v1, v2 = -1, -1
-		for p := 0; p < n; p++ {
-			if !set.alive[p] {
-				continue
-			}
-			v := in.Utility(u, p)
-			if v > v1 {
-				b2, v2 = b1, v1
-				b1, v1 = int32(p), v
-			} else if v > v2 {
-				b2, v2 = int32(p), v
-			}
-		}
+		b1, v1, b2, v2 = in.rowTwoMax(u, set.list)
 		if v1 < 0 {
 			v1 = 0
 		}
@@ -69,16 +59,7 @@ func deltaShrink(ctx context.Context, in *Instance, k int) ([]int, ShrinkStats, 
 	// secondMax finds the best alive point for user u excluding the
 	// point `excl`.
 	secondMax := func(u int, excl int32) (int32, float64) {
-		var idx int32 = -1
-		val := -1.0
-		for p := 0; p < n; p++ {
-			if !set.alive[p] || int32(p) == excl {
-				continue
-			}
-			if v := in.Utility(u, p); v > val {
-				idx, val = int32(p), v
-			}
-		}
+		idx, val := in.rowMaxExcl(u, set.list, excl)
 		if val < 0 {
 			val = 0
 		}
@@ -145,8 +126,8 @@ func deltaShrink(ctx context.Context, in *Instance, k int) ([]int, ShrinkStats, 
 		round.SetAttrInt("iter", stats.Iterations)
 		round.SetAttrInt("evals", set.count)
 		chosen := -1
-		for p := 0; p < n; p++ {
-			if set.alive[p] && (chosen == -1 || rc[p] < rc[chosen]) {
+		for _, p32 := range set.list {
+			if p := int(p32); chosen == -1 || rc[p] < rc[chosen] {
 				chosen = p
 			}
 		}

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"math"
 
+	"github.com/regretlab/fam/internal/kernel"
 	"github.com/regretlab/fam/internal/par"
 	"github.com/regretlab/fam/internal/point"
 	"github.com/regretlab/fam/internal/sched"
@@ -36,8 +37,9 @@ type Instance struct {
 	wt     []float64 // per-user probability mass; nil = uniform
 	totalW float64   // Σ wt, or N when uniform
 
-	cache     [][]float64 // optional N x n utility matrix
+	mat       *kernel.Matrix // optional N x n utility matrix (user-major)
 	cacheUsed bool
+	f32       bool // float32 storage mode: utilities round through float32
 
 	par       int         // requested worker bound for preprocessing and query (0 = all CPUs)
 	lazyBatch int         // lazy-strategy refresh batch size (<=1 = serial refresh)
@@ -52,7 +54,17 @@ type Options struct {
 	// are materialized once (O(Nn) space, O(1) lookups); above it they are
 	// recomputed on demand (O(d) per lookup), the trade-off of Section
 	// III-D3. Zero applies DefaultCacheBudget; negative disables caching.
+	// The budget counts entries, not bytes: Float32 mode halves the bytes
+	// per entry but not the entry count.
 	CacheBudget int64
+	// Float32 stores the materialized utility matrix as float32, halving
+	// resident bytes at the cost of ~7 decimal digits. Every utility the
+	// solvers observe is rounded through float32 — including the uncached
+	// recompute path, so results are independent of the cache budget —
+	// which makes runs bit-deterministic within the mode but numerically
+	// different from float64 runs (ARR differences are bounded by the
+	// rounding, ~1e-7 relative).
+	Float32 bool
 	// Weights assigns a probability mass to each utility function
 	// (Appendix A: for a countably finite F the average regret ratio is
 	// the exact weighted sum Σ rr(S,f)·η(f), no sampling needed). Nil
@@ -75,7 +87,10 @@ type Options struct {
 	// evaluation-count statistics (Evaluations, EvalSkipped, UserRescans
 	// and the speculative counters) may differ, because entries beyond
 	// the queue head are refreshed speculatively. Zero or one keeps the
-	// paper's serial pop-refresh loop with exact counters.
+	// paper's serial pop-refresh loop with exact counters. A negative
+	// value enables the adaptive controller: the batch doubles while
+	// speculative waste stays low and halves on waste spikes, reported
+	// through the ShrinkStats.Adaptive* counters.
 	LazyBatch int
 	// Pool is an externally owned worker pool (par.NewPool) shared with
 	// other concurrent queries of a long-lived serving process. When set,
@@ -138,13 +153,10 @@ func NewInstance(points [][]float64, funcs []utility.Func, opts Options) (*Insta
 	}
 	n, N := len(points), len(funcs)
 	if budget > 0 && int64(n)*int64(N) <= budget {
-		in.cache = make([][]float64, N)
-		flat := make([]float64, n*N)
-		for u := 0; u < N; u++ {
-			in.cache[u] = flat[u*n : (u+1)*n]
-		}
+		in.mat = kernel.New(N, n, opts.Float32)
 		in.cacheUsed = true
 	}
+	in.f32 = opts.Float32
 
 	in.par = opts.Parallelism
 	in.lazyBatch = opts.LazyBatch
@@ -183,10 +195,9 @@ func (in *Instance) preprocessUsers(lo, hi int) error {
 	n := len(in.Points)
 	for u := lo; u < hi; u++ {
 		if in.cacheUsed {
-			row := in.cache[u]
 			f := in.Funcs[u]
 			for p := 0; p < n; p++ {
-				row[p] = f.Value(p, in.Points[p])
+				in.mat.Set(u, p, f.Value(p, in.Points[p]))
 			}
 		}
 		best, bestIdx := 0.0, int32(-1)
@@ -213,12 +224,85 @@ func (in *Instance) preprocessUsers(lo, hi int) error {
 	return nil
 }
 
-// Utility returns f_u(p_j), from the cache when materialized.
+// Utility returns f_u(p_j), from the materialized matrix when cached.
+// In float32 mode the uncached recompute path applies the same rounding
+// the matrix stores, so the observed value never depends on the cache
+// budget.
 func (in *Instance) Utility(u, j int) float64 {
 	if in.cacheUsed {
-		return in.cache[u][j]
+		return in.mat.At(u, j)
 	}
-	return in.Funcs[u].Value(j, in.Points[j])
+	v := in.Funcs[u].Value(j, in.Points[j])
+	if in.f32 {
+		return float64(float32(v))
+	}
+	return v
+}
+
+// rowTwoMax returns user u's best and second-best points among the
+// listed candidates (visited in order, first index wins ties), with
+// sentinels (-1, -1.0). Dispatches to the kernel's contiguous row scan
+// when the matrix is materialized.
+func (in *Instance) rowTwoMax(u int, idx []int32) (int32, float64, int32, float64) {
+	if in.cacheUsed {
+		return in.mat.RowTwoMax(u, idx)
+	}
+	b1, b2 := int32(-1), int32(-1)
+	v1, v2 := -1.0, -1.0
+	for _, p := range idx {
+		v := in.Utility(u, int(p))
+		if v > v1 {
+			b2, v2 = b1, v1
+			b1, v1 = p, v
+		} else if v > v2 {
+			b2, v2 = p, v
+		}
+	}
+	return b1, v1, b2, v2
+}
+
+// rowMax returns user u's best point among the listed candidates with
+// sentinel (-1, -1.0) for an empty list.
+func (in *Instance) rowMax(u int, idx []int32) (int32, float64) {
+	if in.cacheUsed {
+		return in.mat.RowMax(u, idx)
+	}
+	bi, bv := int32(-1), -1.0
+	for _, p := range idx {
+		if v := in.Utility(u, int(p)); v > bv {
+			bi, bv = p, v
+		}
+	}
+	return bi, bv
+}
+
+// rowMaxExcl is rowMax skipping the single excluded candidate.
+func (in *Instance) rowMaxExcl(u int, idx []int32, excl int32) (int32, float64) {
+	if in.cacheUsed {
+		return in.mat.RowMaxExcl(u, idx, excl)
+	}
+	bi, bv := int32(-1), -1.0
+	for _, p := range idx {
+		if p == excl {
+			continue
+		}
+		if v := in.Utility(u, int(p)); v > bv {
+			bi, bv = p, v
+		}
+	}
+	return bi, bv
+}
+
+// Transposed returns a freshly built point-major copy of the utility
+// matrix (nil when not materialized): Col(p) is point p's contiguous
+// utility column across users, the access pattern of insertion-style
+// solvers. The copy is transient per call — it is not part of
+// MemoryFootprint — and costs one cache-blocked O(Nn) pass.
+func (in *Instance) Transposed() *kernel.Transposed {
+	if !in.cacheUsed {
+		return nil
+	}
+	return in.mat.Transpose()
 }
 
 // NumPoints returns n.
@@ -235,6 +319,9 @@ func (in *Instance) DegenerateUsers() int { return in.degen }
 // Cached reports whether the N×n utility matrix was materialized.
 func (in *Instance) Cached() bool { return in.cacheUsed }
 
+// Float32 reports whether the instance runs in float32 storage mode.
+func (in *Instance) Float32() bool { return in.f32 }
+
 // MemoryFootprint returns the exact resident bytes of the instance's
 // owned preprocessing artifacts: the materialized utility matrix (when
 // cached), the satisfaction and best-point indexes, and the user
@@ -243,11 +330,11 @@ func (in *Instance) Cached() bool { return in.cacheUsed }
 // callers sizing a cache entry account for them once at their owner.
 func (in *Instance) MemoryFootprint() int64 {
 	const sliceHeader = 24
-	n, N := int64(len(in.Points)), int64(len(in.Funcs))
+	N := int64(len(in.Funcs))
 	var size int64
 	if in.cacheUsed {
-		// One flat N×n backing array plus N row headers.
-		size += N*n*8 + N*sliceHeader + sliceHeader
+		// One flat N×n backing array (4 bytes per entry in float32 mode).
+		size += in.mat.FootprintBytes()
 	}
 	size += sliceHeader + N*8 // satD
 	size += sliceHeader + N*4 // bestD

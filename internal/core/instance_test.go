@@ -227,10 +227,20 @@ func TestInstanceMemoryFootprint(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want := N*n*8 + N*sliceHeader + sliceHeader + // matrix
+	want := sliceHeader + N*n*8 + // flat matrix backing array
 		sliceHeader + N*8 + sliceHeader + N*4 // satD + bestD
 	if got := cached.MemoryFootprint(); got != want {
 		t.Fatalf("cached footprint = %d, want %d", got, want)
+	}
+
+	f32, err := NewInstance(points, funcs, Options{Float32: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantF32 := sliceHeader + N*n*4 + // float32 halves matrix bytes
+		sliceHeader + N*8 + sliceHeader + N*4
+	if got := f32.MemoryFootprint(); got != wantF32 {
+		t.Fatalf("float32 footprint = %d, want %d", got, wantF32)
 	}
 
 	uncached, err := NewInstance(points, funcs, Options{CacheBudget: -1})

@@ -56,12 +56,7 @@ func lazyShrink(ctx context.Context, in *Instance, k int) ([]int, ShrinkStats, e
 			best[u] = -1
 			continue
 		}
-		bi, bv := int32(-1), -1.0
-		for p := 0; p < n; p++ {
-			if v := in.Utility(u, p); v > bv {
-				bi, bv = int32(p), v
-			}
-		}
+		bi, bv := in.rowMax(u, set.list)
 		best[u], bestVal[u] = bi, bv
 		usersByBest[bi] = append(usersByBest[bi], int32(u))
 		arrSum += in.Weight(u) * (in.satD[u] - bv) / in.satD[u]
@@ -76,15 +71,7 @@ func lazyShrink(ctx context.Context, in *Instance, k int) ([]int, ShrinkStats, e
 		rescans := 0
 		for _, u := range usersByBest[p] {
 			rescans++
-			nv := -1.0
-			for q := 0; q < n; q++ {
-				if !set.alive[q] || q == p {
-					continue
-				}
-				if w := in.Utility(int(u), q); w > nv {
-					nv = w
-				}
-			}
+			_, nv := in.rowMaxExcl(int(u), set.list, int32(p))
 			if nv < 0 {
 				nv = 0
 			}
@@ -128,15 +115,29 @@ func lazyShrink(ctx context.Context, in *Instance, k int) ([]int, ShrinkStats, e
 		bv float64
 	}
 	moves := make([]move, 0, N)
+	// The adaptive controller (negative LazyBatch option) sizes the batch
+	// from observed behavior: an iteration that needed more than one
+	// refresh sweep had queue-head churn a bigger batch would have merged
+	// into one parallel round, so the batch doubles; an iteration that
+	// resolved in a single sweep while wasting more than half its batch
+	// on unused speculation shrinks it. A fixed LazyBatch keeps today's
+	// behavior. Any batch trajectory selects the identical set (every
+	// queue key is a Lemma 2 lower bound regardless of when it was
+	// refreshed), so the controller moves only the work counters.
+	adaptive := in.LazyBatchAdaptive()
 	lazyB := in.LazyBatch()
+	maxB := lazyB
+	if adaptive {
+		lazyB, maxB = adaptiveStartBatch, adaptiveMaxBatch
+	}
 	stats.LazyBatch = lazyB
-	batch := make([]evalEntry, 0, lazyB)
+	batch := make([]evalEntry, 0, maxB)
 	type refresh struct {
 		val     float64
 		rescans int
 	}
-	refreshed := make([]refresh, lazyB)
-	spec := make([]int, 0, lazyB) // points refreshed speculatively this iteration
+	refreshed := make([]refresh, maxB)
+	spec := make([]int, 0, maxB) // points refreshed speculatively this iteration
 	for iter := 1; set.count > k; iter++ {
 		if err := ctx.Err(); err != nil {
 			return nil, stats, err
@@ -147,6 +148,7 @@ func lazyShrink(ctx context.Context, in *Instance, k int) ([]int, ShrinkStats, e
 		chosen := -1
 		var chosenVal float64
 		spec = spec[:0]
+		sweeps := 0 // refresh sweeps this iteration (batches actually refreshed)
 		for chosen == -1 {
 			// Collect up to lazyB stale entries off the top; a fresh entry
 			// ends the sweep early (everything beneath it is ruled out by
@@ -171,6 +173,7 @@ func lazyShrink(ctx context.Context, in *Instance, k int) ([]int, ShrinkStats, e
 				chosen, chosenVal = fresh.point, fresh.val
 				break
 			}
+			sweeps++
 			stats.Evaluations += len(batch)
 			stats.SpeculativeEvals += len(batch) - 1
 			for i := range batch {
@@ -215,12 +218,30 @@ func lazyShrink(ctx context.Context, in *Instance, k int) ([]int, ShrinkStats, e
 		_, round := obs.Start(ctx, "round")
 		round.SetAttrInt("iter", stats.Iterations)
 		round.SetAttrInt("evals", stats.Evaluations-evalsBefore)
+		iterHits, iterWaste := 0, 0
 		for _, p := range spec {
 			if p == chosen {
-				stats.SpeculativeHits++
+				iterHits++
 			} else {
-				stats.SpeculativeWaste++
+				iterWaste++
 			}
+		}
+		stats.SpeculativeHits += iterHits
+		stats.SpeculativeWaste += iterWaste
+		if adaptive {
+			switch {
+			case sweeps > 1 && lazyB < adaptiveMaxBatch:
+				// Head churn: the refreshed head kept getting displaced,
+				// costing serial refresh rounds a bigger batch merges.
+				lazyB *= 2
+				stats.AdaptiveGrows++
+			case sweeps == 1 && iterWaste > lazyB/2 && lazyB > adaptiveMinBatch:
+				// Waste spike: resolved on the first sweep but more than
+				// half the batch was speculation the iteration never used.
+				lazyB /= 2
+				stats.AdaptiveShrinks++
+			}
+			stats.LazyBatch = lazyB
 		}
 
 		set.remove(chosen)
@@ -236,15 +257,7 @@ func lazyShrink(ctx context.Context, in *Instance, k int) ([]int, ShrinkStats, e
 					return
 				}
 				u := affected[i]
-				bi, bv := int32(-1), -1.0
-				for q := 0; q < n; q++ {
-					if !set.alive[q] {
-						continue
-					}
-					if w := in.Utility(int(u), q); w > bv {
-						bi, bv = int32(q), w
-					}
-				}
+				bi, bv := in.rowMax(int(u), set.list)
 				if bv < 0 {
 					bv = 0
 				}
@@ -264,6 +277,16 @@ func lazyShrink(ctx context.Context, in *Instance, k int) ([]int, ShrinkStats, e
 	}
 	return set.members(), stats, nil
 }
+
+// Adaptive LazyBatch controller constants: the batch starts mid-range
+// (so both decisions are reachable), doubles on multi-sweep iterations,
+// and halves on single-sweep iterations that wasted more than half
+// their batch; iterations between the two thresholds hold the size.
+const (
+	adaptiveStartBatch = 8
+	adaptiveMinBatch   = 2
+	adaptiveMaxBatch   = 64
+)
 
 type evalEntry struct {
 	point int

@@ -22,22 +22,16 @@ func naiveShrink(ctx context.Context, in *Instance, k int) ([]int, ShrinkStats, 
 	pool := newEvalPool(in, &stats)
 	set := newAliveSet(n)
 
-	// arrWithout computes the unnormalized arr of S−{p} by full scans.
+	// arrWithout computes the unnormalized arr of S−{p} by full scans of
+	// the compacted alive list (same ascending visit order as the
+	// historical full-array scan; accumulation stays in user order).
 	arrWithout := func(excl int) float64 {
 		var sum float64
 		for u := 0; u < N; u++ {
 			if in.satD[u] <= 0 {
 				continue
 			}
-			bv := -1.0
-			for q := 0; q < n; q++ {
-				if !set.alive[q] || q == excl {
-					continue
-				}
-				if v := in.Utility(u, q); v > bv {
-					bv = v
-				}
-			}
+			_, bv := in.rowMaxExcl(u, set.list, int32(excl))
 			if bv < 0 {
 				bv = 0
 			}
@@ -58,22 +52,25 @@ func naiveShrink(ctx context.Context, in *Instance, k int) ([]int, ShrinkStats, 
 		round.SetAttrInt("iter", stats.Iterations)
 		round.SetAttrInt("evals", set.count)
 		// Each candidate costs a full O(|S|·N) scan, so fan out even for
-		// small candidate sets (no grain bound).
-		if err := pool.runWide(ctx, n, func(w, lo, hi int) {
-			for p := lo; p < hi; p++ {
+		// small candidate sets (no grain bound). Sharding the alive list
+		// instead of [0, n) skips dead candidates entirely; each vals[p]
+		// is an independent pure function of the set, so shard boundaries
+		// cannot change any value.
+		alive := set.list
+		if err := pool.runWide(ctx, len(alive), func(w, lo, hi int) {
+			for i := lo; i < hi; i++ {
 				if ctx.Err() != nil {
 					return
 				}
-				if set.alive[p] {
-					vals[p] = arrWithout(p)
-				}
+				p := int(alive[i])
+				vals[p] = arrWithout(p)
 			}
 		}); err != nil {
 			return nil, stats, err
 		}
 		chosen := -1
-		for p := 0; p < n; p++ {
-			if set.alive[p] && (chosen == -1 || vals[p] < vals[chosen]) {
+		for _, p32 := range alive {
+			if p := int(p32); chosen == -1 || vals[p] < vals[chosen] {
 				chosen = p
 			}
 		}

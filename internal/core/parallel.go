@@ -22,7 +22,9 @@ func (in *Instance) SetParallelism(p int) { in.par = p }
 
 // LazyBatch returns the effective refresh batch size of the lazy
 // GREEDY-SHRINK strategy (at least 1; 1 means the serial pop-refresh
-// loop).
+// loop). When the adaptive controller is enabled (negative setting)
+// this is the serial floor; the controller's live size is reported in
+// ShrinkStats.LazyBatch.
 func (in *Instance) LazyBatch() int {
 	if in.lazyBatch < 1 {
 		return 1
@@ -30,10 +32,17 @@ func (in *Instance) LazyBatch() int {
 	return in.lazyBatch
 }
 
-// SetLazyBatch changes the lazy strategy's refresh batch size (<=1 =
-// serial refresh). Selected sets and FinalARR are identical at any
-// setting; evaluation-count statistics may differ. It must not be called
-// concurrently with a running solver.
+// LazyBatchAdaptive reports whether the lazy strategy's refresh batch
+// size is driven by the adaptive controller (negative LazyBatch
+// setting): the batch grows while speculative waste stays low and
+// shrinks on waste spikes.
+func (in *Instance) LazyBatchAdaptive() bool { return in.lazyBatch < 0 }
+
+// SetLazyBatch changes the lazy strategy's refresh batch size (0 or 1 =
+// serial refresh, >1 = fixed batch, negative = adaptive controller).
+// Selected sets and FinalARR are identical at any setting; evaluation-
+// count statistics may differ. It must not be called concurrently with
+// a running solver.
 func (in *Instance) SetLazyBatch(b int) { in.lazyBatch = b }
 
 // Pool returns the externally owned worker pool the instance dispatches

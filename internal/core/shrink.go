@@ -75,10 +75,18 @@ type ShrinkStats struct {
 	// point of its iteration; a waste means it did not (its exact value
 	// still tightens the entry's lower bound for later iterations).
 	// All three are zero when LazyBatch <= 1.
-	LazyBatch        int // effective refresh batch size (1 = serial refresh)
+	LazyBatch        int // effective refresh batch size (1 = serial; adaptive: final controller value)
 	SpeculativeEvals int // stale entries refreshed below the queue head
 	SpeculativeHits  int // speculative refreshes that resolved their iteration
 	SpeculativeWaste int // speculative refreshes that did not (Evals - Hits)
+
+	// Adaptive-controller counters (negative LazyBatch option): the
+	// controller doubles the batch while an iteration's speculative
+	// waste fraction stays low and halves it on waste spikes. The
+	// selected set and FinalARR are identical to any fixed batch size —
+	// only the work counters move with the controller's trajectory.
+	AdaptiveGrows   int // batch-size doublings
+	AdaptiveShrinks int // batch-size halvings after waste spikes
 }
 
 // ErrBadK is returned when k is out of (0, n].
@@ -128,33 +136,40 @@ func GreedyShrink(ctx context.Context, in *Instance, k int, strategy Strategy) (
 	return set, stats, nil
 }
 
-// aliveSet is the shared mutable selection-set representation.
+// aliveSet is the shared mutable selection-set representation: the
+// alive bitmap for O(1) membership tests plus a compacted ascending
+// index list so candidate scans visit only alive points — iterating the
+// list reproduces the historical "skip dead points" scans exactly (same
+// ascending visit order) without touching the n−|S| dead entries.
 type aliveSet struct {
 	alive []bool
+	list  []int32 // alive indices, ascending
 	count int
 }
 
 func newAliveSet(n int) *aliveSet {
-	a := &aliveSet{alive: make([]bool, n), count: n}
+	a := &aliveSet{alive: make([]bool, n), list: make([]int32, n), count: n}
 	for i := range a.alive {
 		a.alive[i] = true
+		a.list[i] = int32(i)
 	}
 	return a
 }
 
 func (a *aliveSet) remove(p int) {
-	if a.alive[p] {
-		a.alive[p] = false
-		a.count--
+	if !a.alive[p] {
+		return
 	}
+	a.alive[p] = false
+	a.count--
+	i := sort.Search(len(a.list), func(i int) bool { return a.list[i] >= int32(p) })
+	a.list = append(a.list[:i], a.list[i+1:]...)
 }
 
 func (a *aliveSet) members() []int {
-	out := make([]int, 0, a.count)
-	for p, ok := range a.alive {
-		if ok {
-			out = append(out, p)
-		}
+	out := make([]int, len(a.list))
+	for i, p := range a.list {
+		out[i] = int(p)
 	}
 	return out
 }

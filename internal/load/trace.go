@@ -38,6 +38,9 @@ type Request struct {
 	Sigma          float64 `json:"sigma,omitempty"`
 	SampleSize     int     `json:"sample_size,omitempty"`
 	DisableSkyline bool    `json:"disable_skyline,omitempty"`
+	Coreset        bool    `json:"coreset,omitempty"`
+	CoresetEps     float64 `json:"coreset_eps,omitempty"`
+	Float32        bool    `json:"float32,omitempty"`
 	// Set turns the request into an evaluation of these row indices.
 	Set []int `json:"set,omitempty"`
 
@@ -61,6 +64,9 @@ func (r Request) Query() fam.Query {
 		Sigma:          r.Sigma,
 		SampleSize:     r.SampleSize,
 		DisableSkyline: r.DisableSkyline,
+		Coreset:        r.Coreset,
+		CoresetEps:     r.CoresetEps,
+		Float32:        r.Float32,
 		ExplicitSet:    r.Set,
 	}
 	if r.Algorithm != "" {

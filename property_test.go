@@ -151,6 +151,68 @@ func TestCrossAlgorithmInvariantsProperty(t *testing.T) {
 	}
 }
 
+// TestCoresetARRBoundProperty is the ε-kernel quality harness: on ~50
+// seeded random instances (sizes where the prepass actually prunes) the
+// coreset-enabled run of every GREEDY-SHRINK-family solver must stay
+// within CoresetEps of the unpruned run's ARR — the kernel guarantee —
+// while reporting the pruned candidate count and, because every user's
+// argmax survives the prepass, metrics that remain database-level
+// quantities.
+func TestCoresetARRBoundProperty(t *testing.T) {
+	ctx := context.Background()
+	corrs := []Correlation{Independent, Correlated, Anticorrelated}
+	algos := []Algorithm{GreedyShrink, GreedyShrinkLazy, GreedyAdd}
+	const trials = 50
+	const eps = 0.1
+	for trial := 0; trial < trials; trial++ {
+		seed := uint64(trial + 1)
+		g := rng.New(seed * 104729)
+		n := 60 + g.IntN(60)   // 60..119 points
+		k := 2 + g.IntN(4)     // 2..5
+		N := 80 + g.IntN(40)   // sampled users
+		d := 2 + trial%2       // 2-d and 3-d instances
+		algo := algos[trial%len(algos)]
+
+		ds, err := Synthetic(n, d, corrs[trial%len(corrs)], seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dist, err := UniformLinear(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		base := Query{Data: ds, Dist: dist, K: k, Algorithm: algo, Seed: seed, SampleSize: N}
+		off, _, err := Select(ctx, base, Exec{})
+		if err != nil {
+			t.Fatalf("trial %d (n=%d k=%d %s): coreset off: %v", trial, n, k, algo, err)
+		}
+		if off.CoresetSize != -1 {
+			t.Fatalf("trial %d: coreset-off run reports CoresetSize %d, want -1", trial, off.CoresetSize)
+		}
+		withCS := base
+		withCS.Coreset, withCS.CoresetEps = true, eps
+		on, _, err := Select(ctx, withCS, Exec{})
+		if err != nil {
+			t.Fatalf("trial %d (n=%d k=%d %s): coreset on: %v", trial, n, k, algo, err)
+		}
+		if on.CoresetSize <= 0 || on.CoresetSize > on.SkylineSize {
+			t.Fatalf("trial %d: implausible CoresetSize %d (skyline %d)", trial, on.CoresetSize, on.SkylineSize)
+		}
+		if on.SkylineSize != off.SkylineSize {
+			t.Fatalf("trial %d: skyline size moved with the coreset knob: %d vs %d",
+				trial, on.SkylineSize, off.SkylineSize)
+		}
+		if len(on.Indices) != len(off.Indices) {
+			t.Fatalf("trial %d %s: |set| %d vs %d", trial, algo, len(on.Indices), len(off.Indices))
+		}
+		// The kernel guarantee: pruning costs at most eps of ARR.
+		if on.Metrics.ARR > off.Metrics.ARR+eps {
+			t.Fatalf("trial %d %s (n=%d k=%d): coreset ARR %v exceeds unpruned %v by more than eps=%v (candidates %d of %d)",
+				trial, algo, n, k, on.Metrics.ARR, off.Metrics.ARR, eps, on.CoresetSize, on.SkylineSize)
+		}
+	}
+}
+
 // randomSubset draws k distinct indices from [0, n) uniformly.
 func randomSubset(g *rng.RNG, n, k int) []int {
 	perm := make([]int, n)

@@ -57,6 +57,29 @@ type Query struct {
 	// results are identical either way — but it shapes the preprocessing
 	// artifact, so it participates in the Fingerprint.
 	CacheBudget int64
+	// Coreset enables the ε-kernel candidate prepass: after the skyline
+	// restriction, candidates that are never within CoresetEps of best
+	// for any sampled utility function are dropped before the solver
+	// runs, shrinking the candidate set by orders of magnitude on large
+	// instances. Every user's argmax survives, so the reported metrics
+	// remain database-level quantities; what pruning can cost is
+	// solution quality, bounded by CoresetEps (the ε-kernel guarantee).
+	// It changes answers, so it is a Query knob with its own Fingerprint
+	// component. Selection queries only.
+	Coreset bool
+	// CoresetEps is the kernel tolerance in [0, 1): a candidate survives
+	// the prepass when it reaches (1−CoresetEps) of some user's best
+	// utility. Zero uses DefaultCoresetEps. Requires Coreset.
+	CoresetEps float64
+	// Float32 stores the materialized utility matrix in float32, halving
+	// its resident bytes — the difference between fitting the cache
+	// budget or recomputing per lookup on large instances. Results are
+	// bit-deterministic within the mode (the uncached path rounds
+	// identically, so the cache budget still never changes answers) but
+	// numerically differ from float64 runs by the rounding (~1e-7
+	// relative on ARR), so it is opt-in, stats-tolerant, and carries its
+	// own Fingerprint component.
+	Float32 bool
 
 	// ExplicitSet turns the query into an evaluation: instead of solving
 	// for K points, the Metrics of these dataset row indices are measured
@@ -324,8 +347,12 @@ func (q Query) Fingerprint() (string, error) {
 	if q.ExplicitSet != nil {
 		// Evaluation queries: K and Algorithm are ignored, the set is the
 		// identity.
-		fmt.Fprintf(&sb, "eval|%s|seed=%d|N=%d|exact=%t|budget=%d|set=",
+		fmt.Fprintf(&sb, "eval|%s|seed=%d|N=%d|exact=%t|budget=%d",
 			name, q.Seed, sampleSize, q.ExactDiscrete, effectiveBudget(q.CacheBudget))
+		if q.Float32 {
+			sb.WriteString("|f32=t")
+		}
+		sb.WriteString("|set=")
 		for i, idx := range q.ExplicitSet {
 			if i > 0 {
 				sb.WriteByte(',')
@@ -340,5 +367,17 @@ func (q Query) Fingerprint() (string, error) {
 	fmt.Fprintf(&sb, "sel|%s|algo=%s|k=%d|seed=%d|N=%d|exact=%t|nosky=%t|budget=%d",
 		name, q.Algorithm, q.K, q.Seed, sampleSize, q.ExactDiscrete,
 		q.DisableSkyline, effectiveBudget(q.CacheBudget))
+	// Opt-in semantic knobs append conditionally so fingerprints of
+	// queries that never touch them are byte-stable across releases.
+	if q.Coreset {
+		eps, err := resolveCoresetEps(q.CoresetEps)
+		if err != nil {
+			return "", err
+		}
+		fmt.Fprintf(&sb, "|cs=%g", eps)
+	}
+	if q.Float32 {
+		sb.WriteString("|f32=t")
+	}
 	return sb.String(), nil
 }

@@ -8,6 +8,7 @@ import (
 
 	"github.com/regretlab/fam/internal/baseline"
 	"github.com/regretlab/fam/internal/core"
+	"github.com/regretlab/fam/internal/coreset"
 	"github.com/regretlab/fam/internal/dp2d"
 	"github.com/regretlab/fam/internal/obs"
 	"github.com/regretlab/fam/internal/rng"
@@ -35,6 +36,11 @@ type Result struct {
 	// SkylineSize is the candidate count after skyline preprocessing
 	// (equal to the dataset size when preprocessing is off).
 	SkylineSize int
+	// CoresetSize is the candidate count the solver actually ran over
+	// after the ε-kernel coreset prepass (Query.Coreset); −1 when the
+	// prepass was off. When the prepass would have pruned below K the
+	// unpruned candidates are kept and CoresetSize equals SkylineSize.
+	CoresetSize int
 	// Cached reports that the Result was answered from an Engine's
 	// result cache; always false for one-shot Select.
 	Cached bool
@@ -125,6 +131,11 @@ type prepared struct {
 	funcs      []UtilityFunc
 	weights    []float64
 	in         *core.Instance
+	// skylineSize is the candidate count before the coreset prepass
+	// (what Result.SkylineSize reports); coresetSize is the count after
+	// it, or −1 when the prepass was off.
+	skylineSize int
+	coresetSize int
 }
 
 // prepare runs the preprocessing pipeline of Section III-D2 under the
@@ -158,7 +169,50 @@ func prepare(ctx context.Context, ds *Dataset, dist Distribution, q Query, norm 
 	if err != nil {
 		return nil, err
 	}
-	return assemble(ctx, ds, candidates, funcs, weights, q, exec)
+
+	// Preprocessing step 3 (opt-in): the ε-kernel coreset prepass drops
+	// candidates that are never within norm.coresetEps of best for any
+	// sampled user. It runs after sampling because the kernel is defined
+	// against the drawn functions, and is skipped — like the skyline
+	// guard above — when it would leave fewer than K+1 candidates.
+	skySize := len(candidates)
+	csSize := -1
+	if norm.useCoreset {
+		cs, err := coresetFilter(ctx, ds, candidates, funcs, norm.coresetEps, exec)
+		if err != nil {
+			return nil, err
+		}
+		if len(cs) > q.K {
+			candidates = cs
+		}
+		csSize = len(candidates)
+	}
+	prep, err := assemble(ctx, ds, candidates, funcs, weights, q, exec)
+	if err != nil {
+		return nil, err
+	}
+	prep.skylineSize, prep.coresetSize = skySize, csSize
+	return prep, nil
+}
+
+// coresetFilter runs the ε-kernel prepass over the current candidates
+// under the query's execution policy, tracing candidate counts on the
+// "coreset" span.
+func coresetFilter(ctx context.Context, ds *Dataset, candidates []int, funcs []UtilityFunc, eps float64, exec Exec) ([]int, error) {
+	csCtx, csSpan := obs.Start(ctx, "coreset")
+	defer csSpan.End()
+	csSpan.SetAttrInt("in", len(candidates))
+	cs, err := coreset.Filter(csCtx, ds.Points, candidates, funcs, coreset.Options{
+		Eps:         eps,
+		Parallelism: exec.Parallelism,
+		Pool:        exec.pool,
+		Sched:       exec.attrs(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	csSpan.SetAttrInt("out", len(cs))
+	return cs, nil
 }
 
 // buildFuncs draws the instance's utility functions: the discrete support
@@ -192,7 +246,7 @@ func assemble(ctx context.Context, ds *Dataset, candidates []int, funcs []Utilit
 		// sample them, but guard against a mismatched registration.
 		for _, f := range funcs {
 			if _, ok := f.(utility.Table); ok {
-				return nil, errors.New("fam: index-based utility functions cannot be combined with skyline preprocessing")
+				return nil, errors.New("fam: index-based utility functions cannot be combined with skyline or coreset preprocessing")
 			}
 		}
 		points = make([][]float64, len(candidates))
@@ -203,6 +257,7 @@ func assemble(ctx context.Context, ds *Dataset, candidates []int, funcs []Utilit
 	in, err := core.NewInstance(points, funcs, core.Options{
 		CacheBudget: q.CacheBudget,
 		Weights:     weights,
+		Float32:     q.Float32,
 		Parallelism: exec.Parallelism,
 		LazyBatch:   exec.LazyBatch,
 		Pool:        exec.pool,
@@ -211,7 +266,8 @@ func assemble(ctx context.Context, ds *Dataset, candidates []int, funcs []Utilit
 	if err != nil {
 		return nil, err
 	}
-	return &prepared{candidates: candidates, funcs: funcs, weights: weights, in: in}, nil
+	return &prepared{candidates: candidates, funcs: funcs, weights: weights, in: in,
+		skylineSize: len(candidates), coresetSize: -1}, nil
 }
 
 // solve runs the query phase on prepared state: the selected solver, the
@@ -221,7 +277,7 @@ func assemble(ctx context.Context, ds *Dataset, candidates []int, funcs []Utilit
 func solve(ctx context.Context, ds *Dataset, dist Distribution, prep *prepared, q Query, exec Exec) (*Result, *Telemetry, error) {
 	in := prep.in
 	candidates := prep.candidates
-	res := &Result{ExactARR: -1, SkylineSize: len(candidates)}
+	res := &Result{ExactARR: -1, SkylineSize: prep.skylineSize, CoresetSize: prep.coresetSize}
 	tel := &Telemetry{}
 	ctx, span := obs.Start(ctx, "solve")
 	span.SetAttr("algorithm", q.Algorithm.String())
@@ -243,11 +299,14 @@ func solve(ctx context.Context, ds *Dataset, dist Distribution, prep *prepared, 
 		}
 		local, tel.Stats = set, stats
 	case DP2D:
-		out, err := dp2d.SolveOpts(ctx, ds.Points, q.K, dp2d.Options{Parallelism: exec.Parallelism, Pool: in.Pool()})
+		// in.Points is the dataset unless the coreset prepass pruned it
+		// (the skyline restriction is off for DP2D); out.Set indexes it,
+		// so the uniform candidates[p] mapping below applies.
+		out, err := dp2d.SolveOpts(ctx, in.Points, q.K, dp2d.Options{Parallelism: exec.Parallelism, Pool: in.Pool()})
 		if err != nil {
 			return nil, nil, err
 		}
-		local = out.Set // already dataset indices
+		local = out.Set
 		res.ExactARR = out.ARR
 		res.SkylineSize = out.SkylineSize
 	case BruteForce:
@@ -269,11 +328,11 @@ func solve(ctx context.Context, ds *Dataset, dist Distribution, prep *prepared, 
 		}
 		local = set
 	case SkyDom:
-		set, err := baseline.SkyDom(ctx, ds.Points, q.K, exec.Parallelism, in.Pool())
+		set, err := baseline.SkyDom(ctx, in.Points, q.K, exec.Parallelism, in.Pool())
 		if err != nil {
 			return nil, nil, err
 		}
-		local = set // dataset indices (SkyDom sees the full dataset)
+		local = set // instance indices, identity unless the coreset pruned
 	case KHit:
 		set, err := baseline.KHit(ctx, in, q.K)
 		if err != nil {
@@ -291,16 +350,13 @@ func solve(ctx context.Context, ds *Dataset, dist Distribution, prep *prepared, 
 	}
 	tel.Query = time.Since(queryStart)
 
-	// Map candidate-local indices back to dataset indices. DP2D and
-	// SkyDom operate on the full dataset (the skyline restriction is off
-	// for them), so candidates is the identity and the mapping is one.
+	// Map instance-local indices back to dataset indices. Every solver —
+	// DP2D and SkyDom included — now runs over in.Points, so the mapping
+	// through candidates is uniform (it is the identity whenever no
+	// restriction applied).
 	res.Indices = make([]int, len(local))
 	for i, p := range local {
-		if q.Algorithm == DP2D || q.Algorithm == SkyDom {
-			res.Indices[i] = p
-		} else {
-			res.Indices[i] = candidates[p]
-		}
+		res.Indices[i] = candidates[p]
 	}
 	res.Labels = make([]string, len(res.Indices))
 	for i, idx := range res.Indices {
@@ -309,14 +365,9 @@ func solve(ctx context.Context, ds *Dataset, dist Distribution, prep *prepared, 
 
 	// Metrics are measured against the candidate instance; for monotone
 	// distributions satisfaction over the skyline equals satisfaction
-	// over the database, so the numbers are the database-level
-	// quantities. DP2D/SkyDom run with the identity candidate set, so
-	// their dataset indices are valid on the instance directly.
-	evalSet := local
-	if q.Algorithm == DP2D || q.Algorithm == SkyDom {
-		evalSet = res.Indices
-	}
-	m, err := in.Evaluate(evalSet, nil)
+	// over the database, and the coreset keeps every user's argmax, so
+	// the numbers are the database-level quantities either way.
+	m, err := in.Evaluate(local, nil)
 	if err != nil {
 		return nil, nil, err
 	}

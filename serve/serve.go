@@ -68,7 +68,15 @@ type QueryRequest struct {
 	Sigma          float64       `json:"sigma,omitempty"`
 	SampleSize     int           `json:"sample_size,omitempty"`
 	DisableSkyline bool          `json:"disable_skyline,omitempty"`
-	Set            []int         `json:"set,omitempty"`
+	// Coreset enables the ε-kernel candidate prepass with tolerance
+	// CoresetEps (0 = library default). Semantic knobs: they change the
+	// answer within the ε bound, not just its latency.
+	Coreset    bool    `json:"coreset,omitempty"`
+	CoresetEps float64 `json:"coreset_eps,omitempty"`
+	// Float32 stores the utility matrix in float32 (half the bytes,
+	// ~1e-7 relative drift on metrics).
+	Float32 bool  `json:"float32,omitempty"`
+	Set     []int `json:"set,omitempty"`
 }
 
 // toQuery maps the request member to a fam.Query.
@@ -82,6 +90,9 @@ func (r *QueryRequest) toQuery() fam.Query {
 		Sigma:          r.Sigma,
 		SampleSize:     r.SampleSize,
 		DisableSkyline: r.DisableSkyline,
+		Coreset:        r.Coreset,
+		CoresetEps:     r.CoresetEps,
+		Float32:        r.Float32,
 		ExplicitSet:    r.Set,
 	}
 }
@@ -378,7 +389,10 @@ type SelectResponse struct {
 	Metrics      Metrics            `json:"metrics"`
 	ExactARR     float64            `json:"exact_arr"`
 	SkylineSize  int                `json:"skyline_size"`
-	Cached       bool               `json:"cached"`
+	// CoresetSize is the candidate count after the ε-kernel prepass;
+	// omitted when the query did not enable Coreset.
+	CoresetSize *int `json:"coreset_size,omitempty"`
+	Cached      bool `json:"cached"`
 	PreprocessMS float64            `json:"preprocess_ms"`
 	QueryMS      float64            `json:"query_ms"`
 	Telemetry    *TelemetryResponse `json:"telemetry,omitempty"`
@@ -717,6 +731,10 @@ func memberResponse(member QueryRequest, res *fam.Result, tel *fam.Telemetry, wi
 		SkylineSize: res.SkylineSize,
 		Cached:      res.Cached,
 		Telemetry:   toTelemetry(tel, withTrace),
+	}
+	if res.CoresetSize >= 0 {
+		cs := res.CoresetSize
+		resp.CoresetSize = &cs
 	}
 	if tel != nil {
 		src := tel
